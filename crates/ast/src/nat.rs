@@ -1,0 +1,728 @@
+//! Symbolic natural-number arithmetic.
+//!
+//! Descend tracks array sizes, grid shapes and view parameters as *nats*
+//! (the `η` of the paper's Figures 2 and 6): expressions built from
+//! literals, variables, and arithmetic. The type checker must decide
+//! equalities such as `32 * (n / 32) == n` (given `n % 32 == 0`) and
+//! `row_size / num_rows == 8`, and the code generator must evaluate nats
+//! once all variables are instantiated.
+//!
+//! Equality is decided by normalizing both sides to a *polynomial normal
+//! form*: an integer-coefficient polynomial over [`Atom`]s, where an atom is
+//! either a variable or an opaque `Div`/`Mod` expression that could not be
+//! simplified away. Two nats are considered equal iff their normal forms
+//! are identical. This is sound (normal-form equality implies semantic
+//! equality for all valuations) and complete for the `+`/`*` fragment;
+//! division and modulo are simplified in the common exact cases and left
+//! opaque otherwise, mirroring the paper's static `nat` reasoning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic natural number expression.
+///
+/// # Examples
+///
+/// ```
+/// use descend_ast::Nat;
+/// let n = Nat::var("n");
+/// let sum = n.clone() * Nat::lit(2) + Nat::lit(6);
+/// let other = Nat::lit(2) * (n + Nat::lit(3));
+/// assert!(sum.equal(&other));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Nat {
+    /// A literal constant.
+    Lit(u64),
+    /// A nat-kinded variable (generic parameter, loop variable, or named constant).
+    Var(String),
+    /// Addition.
+    Add(Box<Nat>, Box<Nat>),
+    /// Subtraction. Nats are non-negative; subtraction that would go
+    /// negative is an evaluation error.
+    Sub(Box<Nat>, Box<Nat>),
+    /// Multiplication.
+    Mul(Box<Nat>, Box<Nat>),
+    /// Integer (floor) division.
+    Div(Box<Nat>, Box<Nat>),
+    /// Remainder.
+    Mod(Box<Nat>, Box<Nat>),
+}
+
+/// Errors produced when evaluating a [`Nat`] to a concrete value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NatError {
+    /// A variable had no binding in the evaluation environment.
+    UnboundVar(String),
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// Subtraction underflowed below zero.
+    Underflow,
+}
+
+impl fmt::Display for NatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NatError::UnboundVar(v) => write!(f, "unbound nat variable `{v}`"),
+            NatError::DivisionByZero => write!(f, "division by zero in nat expression"),
+            NatError::Underflow => write!(f, "nat subtraction underflowed below zero"),
+        }
+    }
+}
+
+impl std::error::Error for NatError {}
+
+impl Nat {
+    /// Creates a literal nat.
+    pub fn lit(v: u64) -> Nat {
+        Nat::Lit(v)
+    }
+
+    /// Creates a nat variable.
+    pub fn var(name: impl Into<String>) -> Nat {
+        Nat::Var(name.into())
+    }
+
+    /// Evaluates the expression under a variable environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound variables, division by zero, or
+    /// subtraction below zero.
+    pub fn eval(&self, env: &dyn Fn(&str) -> Option<u64>) -> Result<u64, NatError> {
+        match self {
+            Nat::Lit(v) => Ok(*v),
+            Nat::Var(x) => env(x).ok_or_else(|| NatError::UnboundVar(x.clone())),
+            Nat::Add(a, b) => Ok(a.eval(env)? + b.eval(env)?),
+            Nat::Sub(a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                a.checked_sub(b).ok_or(NatError::Underflow)
+            }
+            Nat::Mul(a, b) => Ok(a.eval(env)? * b.eval(env)?),
+            Nat::Div(a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                if b == 0 {
+                    Err(NatError::DivisionByZero)
+                } else {
+                    Ok(a / b)
+                }
+            }
+            Nat::Mod(a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                if b == 0 {
+                    Err(NatError::DivisionByZero)
+                } else {
+                    Ok(a % b)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a closed expression (no variables).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Nat::eval`]; any variable is an error.
+    pub fn eval_closed(&self) -> Result<u64, NatError> {
+        self.eval(&|_| None)
+    }
+
+    /// Substitutes nat expressions for variables.
+    pub fn subst(&self, map: &dyn Fn(&str) -> Option<Nat>) -> Nat {
+        match self {
+            Nat::Lit(_) => self.clone(),
+            Nat::Var(x) => map(x).unwrap_or_else(|| self.clone()),
+            Nat::Add(a, b) => Nat::Add(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Nat::Sub(a, b) => Nat::Sub(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Nat::Mul(a, b) => Nat::Mul(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Nat::Div(a, b) => Nat::Div(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Nat::Mod(a, b) => Nat::Mod(Box::new(a.subst(map)), Box::new(b.subst(map))),
+        }
+    }
+
+    /// Normalizes to polynomial normal form.
+    pub fn normalize(&self) -> Poly {
+        match self {
+            Nat::Lit(v) => Poly::constant(*v as i64),
+            Nat::Var(x) => Poly::atom(Atom::Var(x.clone())),
+            Nat::Add(a, b) => a.normalize().add(&b.normalize()),
+            Nat::Sub(a, b) => a.normalize().sub(&b.normalize()),
+            Nat::Mul(a, b) => a.normalize().mul(&b.normalize()),
+            Nat::Div(a, b) => a.normalize().div(&b.normalize()),
+            Nat::Mod(a, b) => a.normalize().modulo(&b.normalize()),
+        }
+    }
+
+    /// Whether two nats are equal under all valuations, as decided by
+    /// normal-form identity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use descend_ast::Nat;
+    /// let n = Nat::var("n");
+    /// assert!((n.clone() + n.clone()).equal(&(Nat::lit(2) * n)));
+    /// ```
+    pub fn equal(&self, other: &Nat) -> bool {
+        self.normalize() == other.normalize()
+    }
+
+    /// Returns the literal value if the normal form is a constant.
+    pub fn as_lit(&self) -> Option<u64> {
+        self.normalize().as_constant().and_then(|c| u64::try_from(c).ok())
+    }
+
+    /// A simplified nat rebuilt from the normal form (used in diagnostics).
+    pub fn simplify(&self) -> Nat {
+        self.normalize().to_nat()
+    }
+
+    /// Collects the free variables of the expression.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Nat::Lit(_) => {}
+            Nat::Var(x) => out.push(x.clone()),
+            Nat::Add(a, b) | Nat::Sub(a, b) | Nat::Mul(a, b) | Nat::Div(a, b) | Nat::Mod(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl std::ops::Add for Nat {
+    type Output = Nat;
+    fn add(self, rhs: Nat) -> Nat {
+        Nat::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Nat {
+    type Output = Nat;
+    fn sub(self, rhs: Nat) -> Nat {
+        Nat::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Nat {
+    type Output = Nat;
+    fn mul(self, rhs: Nat) -> Nat {
+        Nat::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for Nat {
+    type Output = Nat;
+    fn div(self, rhs: Nat) -> Nat {
+        Nat::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Rem for Nat {
+    type Output = Nat;
+    fn rem(self, rhs: Nat) -> Nat {
+        Nat::Mod(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Nat {
+        Nat::Lit(v)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(n: &Nat) -> u8 {
+            match n {
+                Nat::Lit(_) | Nat::Var(_) => 3,
+                Nat::Mul(..) | Nat::Div(..) | Nat::Mod(..) => 2,
+                Nat::Add(..) | Nat::Sub(..) => 1,
+            }
+        }
+        fn write_child(f: &mut fmt::Formatter<'_>, child: &Nat, min: u8) -> fmt::Result {
+            if prec(child) < min {
+                write!(f, "({child})")
+            } else {
+                write!(f, "{child}")
+            }
+        }
+        match self {
+            Nat::Lit(v) => write!(f, "{v}"),
+            Nat::Var(x) => write!(f, "{x}"),
+            Nat::Add(a, b) => {
+                write_child(f, a, 1)?;
+                write!(f, " + ")?;
+                write_child(f, b, 2)
+            }
+            Nat::Sub(a, b) => {
+                write_child(f, a, 1)?;
+                write!(f, " - ")?;
+                write_child(f, b, 2)
+            }
+            Nat::Mul(a, b) => {
+                write_child(f, a, 2)?;
+                write!(f, " * ")?;
+                write_child(f, b, 3)
+            }
+            Nat::Div(a, b) => {
+                write_child(f, a, 2)?;
+                write!(f, " / ")?;
+                write_child(f, b, 3)
+            }
+            Nat::Mod(a, b) => {
+                write_child(f, a, 2)?;
+                write!(f, " % ")?;
+                write_child(f, b, 3)
+            }
+        }
+    }
+}
+
+/// An irreducible factor of a monomial: a variable or an opaque division
+/// or modulo whose operands are themselves normalized polynomials.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// A nat variable.
+    Var(String),
+    /// `a / b` that could not be divided exactly.
+    Div(Box<Poly>, Box<Poly>),
+    /// `a % b` that could not be reduced.
+    Mod(Box<Poly>, Box<Poly>),
+}
+
+/// A product of atoms raised to positive powers (the key of a polynomial
+/// term). The empty monomial is the constant term.
+pub type Monomial = BTreeMap<Atom, u32>;
+
+/// An integer-coefficient polynomial over [`Atom`]s in canonical form:
+/// a map from monomial to non-zero coefficient.
+///
+/// Coefficients are signed so that intermediate differences normalize
+/// (e.g. `n - n == 0`), even though source-level nats are non-negative.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Monomial::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single atom.
+    pub fn atom(a: Atom) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(a, 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(m, 1);
+        Poly { terms }
+    }
+
+    /// Returns the constant value if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        if self.terms.is_empty() {
+            return Some(0);
+        }
+        if self.terms.len() == 1 {
+            if let Some((m, c)) = self.terms.iter().next() {
+                if m.is_empty() {
+                    return Some(*c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let entry = self.terms.entry(m).or_insert(0);
+        *entry += c;
+        if *entry == 0 {
+            // Remove cancelled terms to keep the form canonical.
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, v)| **v == 0)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.insert_term(m.clone(), *c);
+        }
+        out
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.insert_term(m.clone(), -c);
+        }
+        out
+    }
+
+    /// Polynomial multiplication.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let mut m = m1.clone();
+                for (a, p) in m2 {
+                    *m.entry(a.clone()).or_insert(0) += p;
+                }
+                out.insert_term(m, c1 * c2);
+            }
+        }
+        out
+    }
+
+    /// Attempts exact division, returning the quotient if the divisor
+    /// divides every term of `self`.
+    ///
+    /// Exactness is recognized when the divisor is a constant or a single
+    /// monomial whose coefficient and atom powers divide every term, when
+    /// `self == other`, or when `self` is zero. This covers the paper's
+    /// uses such as `n / 32` with `n = 32 * m`, `(n * k) / k`, and
+    /// `row_size / num_rows` with literals.
+    pub fn try_exact_div(&self, other: &Poly) -> Option<Poly> {
+        if self.is_zero() {
+            return Some(Poly::zero());
+        }
+        if self == other {
+            return Some(Poly::constant(1));
+        }
+        if let Some(c) = other.as_constant() {
+            if c == 1 {
+                return Some(self.clone());
+            }
+        }
+        if other.terms.len() == 1 {
+            let (dm, dc) = other.terms.iter().next().expect("len checked");
+            if *dc != 0
+                && self.terms.iter().all(|(m, c)| {
+                    c % dc == 0 && dm.iter().all(|(a, p)| m.get(a).is_some_and(|mp| mp >= p))
+                })
+            {
+                let mut out = Poly::zero();
+                for (m, c) in &self.terms {
+                    let mut nm = m.clone();
+                    for (a, p) in dm {
+                        let mp = nm.get_mut(a).expect("divisibility checked");
+                        *mp -= p;
+                        if *mp == 0 {
+                            nm.remove(a);
+                        }
+                    }
+                    out.insert_term(nm, c / dc);
+                }
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// Division: exact polynomial division where possible (see
+    /// [`Poly::try_exact_div`]), literal folding otherwise, else an opaque
+    /// [`Atom::Div`].
+    pub fn div(&self, other: &Poly) -> Poly {
+        if let Some(q) = self.try_exact_div(other) {
+            return q;
+        }
+        if let (Some(n), Some(c)) = (self.as_constant(), other.as_constant()) {
+            if n >= 0 && c > 0 {
+                return Poly::constant(n / c);
+            }
+        }
+        Poly::atom(Atom::Div(Box::new(self.clone()), Box::new(other.clone())))
+    }
+
+    /// Modulo: exact divisibility yields zero (see [`Poly::try_exact_div`]),
+    /// literals fold, and divisible parts split off
+    /// (`(k*q + r) % k == r % k`); otherwise an opaque [`Atom::Mod`].
+    pub fn modulo(&self, other: &Poly) -> Poly {
+        if self.try_exact_div(other).is_some() {
+            return Poly::zero();
+        }
+        if let (Some(a), Some(b)) = (self.as_constant(), other.as_constant()) {
+            if b > 0 && a >= 0 {
+                return Poly::constant(a % b);
+            }
+        }
+        // Drop the terms that the divisor exactly divides; they contribute
+        // nothing to the remainder.
+        if other.terms.len() == 1 {
+            let mut rest = Poly::zero();
+            for (m, v) in &self.terms {
+                let mut single = Poly::zero();
+                single.insert_term(m.clone(), *v);
+                if single.try_exact_div(other).is_none() {
+                    rest.insert_term(m.clone(), *v);
+                }
+            }
+            if let (Some(r), Some(c)) = (rest.as_constant(), other.as_constant()) {
+                if r >= 0 && c > 0 {
+                    return Poly::constant(r % c);
+                }
+            }
+            if rest.terms.len() < self.terms.len() {
+                return Poly::atom(Atom::Mod(Box::new(rest), Box::new(other.clone())));
+            }
+        }
+        Poly::atom(Atom::Mod(Box::new(self.clone()), Box::new(other.clone())))
+    }
+
+    /// Rebuilds a [`Nat`] from the normal form. Produces an arbitrary but
+    /// deterministic reading order; used for simplified diagnostics output.
+    pub fn to_nat(&self) -> Nat {
+        fn atom_to_nat(a: &Atom) -> Nat {
+            match a {
+                Atom::Var(x) => Nat::Var(x.clone()),
+                Atom::Div(a, b) => Nat::Div(Box::new(a.to_nat()), Box::new(b.to_nat())),
+                Atom::Mod(a, b) => Nat::Mod(Box::new(a.to_nat()), Box::new(b.to_nat())),
+            }
+        }
+        let mut pos: Option<Nat> = None;
+        let mut neg: Option<Nat> = None;
+        for (m, c) in &self.terms {
+            let mut factor: Option<Nat> = if c.unsigned_abs() == 1 && !m.is_empty() {
+                None
+            } else {
+                Some(Nat::Lit(c.unsigned_abs()))
+            };
+            for (a, p) in m {
+                for _ in 0..*p {
+                    let an = atom_to_nat(a);
+                    factor = Some(match factor {
+                        None => an,
+                        Some(f) => f * an,
+                    });
+                }
+            }
+            let term = factor.unwrap_or(Nat::Lit(c.unsigned_abs()));
+            if *c >= 0 {
+                pos = Some(match pos {
+                    None => term,
+                    Some(p) => p + term,
+                });
+            } else {
+                neg = Some(match neg {
+                    None => term,
+                    Some(p) => p + term,
+                });
+            }
+        }
+        match (pos, neg) {
+            (None, None) => Nat::Lit(0),
+            (Some(p), None) => p,
+            (None, Some(n)) => Nat::Lit(0) - n,
+            (Some(p), Some(n)) => p - n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(name: &str) -> Nat {
+        Nat::var(name)
+    }
+
+    #[test]
+    fn literal_arithmetic_folds() {
+        let e = (Nat::lit(4) + Nat::lit(8)) * Nat::lit(2);
+        assert_eq!(e.as_lit(), Some(24));
+    }
+
+    #[test]
+    fn addition_commutes() {
+        assert!((n("a") + n("b")).equal(&(n("b") + n("a"))));
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let lhs = Nat::lit(2) * (n("a") + Nat::lit(3));
+        let rhs = Nat::lit(2) * n("a") + Nat::lit(6);
+        assert!(lhs.equal(&rhs));
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        let e = n("x") + n("y") - n("x");
+        assert!(e.equal(&n("y")));
+    }
+
+    #[test]
+    fn exact_constant_division() {
+        let e = (Nat::lit(6) * n("k")) / Nat::lit(2);
+        assert!(e.equal(&(Nat::lit(3) * n("k"))));
+    }
+
+    #[test]
+    fn exact_monomial_division() {
+        // (n * k) / k == n
+        let e = (n("n") * n("k")) / n("k");
+        assert!(e.equal(&n("n")));
+    }
+
+    #[test]
+    fn self_division_is_one() {
+        let e = (n("n") + Nat::lit(1)) / (n("n") + Nat::lit(1));
+        assert_eq!(e.as_lit(), Some(1));
+    }
+
+    #[test]
+    fn inexact_division_is_opaque_but_stable() {
+        let a = n("n") / Nat::lit(3);
+        let b = n("n") / Nat::lit(3);
+        assert!(a.equal(&b));
+        assert!(!a.equal(&n("n")));
+    }
+
+    #[test]
+    fn modulo_folds_literals() {
+        assert_eq!((Nat::lit(37) % Nat::lit(8)).as_lit(), Some(5));
+    }
+
+    #[test]
+    fn modulo_of_divisible_terms_is_zero() {
+        // (32 * q) % 8 == 0
+        let e = (Nat::lit(32) * n("q")) % Nat::lit(8);
+        assert_eq!(e.as_lit(), Some(0));
+    }
+
+    #[test]
+    fn modulo_splits_constant_remainder() {
+        // (8*q + 3) % 4 == 3
+        let e = (Nat::lit(8) * n("q") + Nat::lit(3)) % Nat::lit(4);
+        assert_eq!(e.as_lit(), Some(3));
+    }
+
+    #[test]
+    fn modulo_by_one_is_zero() {
+        assert_eq!((n("n") % Nat::lit(1)).as_lit(), Some(0));
+    }
+
+    #[test]
+    fn div_mod_identity_on_literals() {
+        // n == (n / k) * k + n % k for literals
+        for v in [0u64, 1, 7, 32, 33, 100] {
+            for k in [1u64, 2, 3, 32] {
+                let lhs = Nat::lit(v);
+                let rhs =
+                    (Nat::lit(v) / Nat::lit(k)) * Nat::lit(k) + (Nat::lit(v) % Nat::lit(k));
+                assert!(lhs.equal(&rhs), "failed for v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_with_env() {
+        let e = (n("n") / Nat::lit(32)) * n("m");
+        let r = e
+            .eval(&|x| match x {
+                "n" => Some(64),
+                "m" => Some(3),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn eval_unbound_errors() {
+        assert_eq!(
+            n("q").eval_closed(),
+            Err(NatError::UnboundVar("q".into()))
+        );
+    }
+
+    #[test]
+    fn eval_underflow_errors() {
+        assert_eq!(
+            (Nat::lit(2) - Nat::lit(5)).eval_closed(),
+            Err(NatError::Underflow)
+        );
+    }
+
+    #[test]
+    fn eval_division_by_zero_errors() {
+        assert_eq!(
+            (Nat::lit(2) / Nat::lit(0)).eval_closed(),
+            Err(NatError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn subst_replaces_vars() {
+        let e = n("n") * Nat::lit(2);
+        let s = e.subst(&|x| (x == "n").then(|| Nat::lit(21)));
+        assert_eq!(s.as_lit(), Some(42));
+    }
+
+    #[test]
+    fn free_vars_sorted_unique() {
+        let e = n("b") + n("a") * n("b");
+        assert_eq!(e.free_vars(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let e = (n("a") + n("b")) * Nat::lit(2);
+        assert_eq!(e.to_string(), "(a + b) * 2");
+        let e2 = n("a") + n("b") * Nat::lit(2);
+        assert_eq!(e2.to_string(), "a + b * 2");
+    }
+
+    #[test]
+    fn simplify_roundtrips_through_normal_form() {
+        let e = (n("n") + n("n")) * Nat::lit(3);
+        let s = e.simplify();
+        assert!(s.equal(&e));
+    }
+
+    #[test]
+    fn group_size_law() {
+        // The typing of group::<k> uses n / k groups of k elements:
+        // (n / k) * k == n requires n % k == 0; with n = k * m it holds.
+        let k = n("k");
+        let m = n("m");
+        let size = k.clone() * m.clone();
+        let regrouped = (size.clone() / k.clone()) * k.clone();
+        assert!(regrouped.equal(&size));
+        assert_eq!((size % k).as_lit(), Some(0));
+    }
+}

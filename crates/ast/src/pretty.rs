@@ -1,0 +1,431 @@
+//! Pretty-printing of ASTs back to concrete Descend syntax.
+//!
+//! The printer produces text that the parser accepts again (round-trip
+//! property: `parse(print(ast)) == ast` up to spans), which is used by the
+//! parser's property tests and for debugging generated benchmark sources.
+
+use crate::term::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, item) in p.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Fn(f) => fn_def(&mut out, f),
+            Item::View(v) => view_def(&mut out, v),
+            Item::Const(c) => {
+                let _ = writeln!(out, "const {}: nat = {};", c.name, c.value);
+            }
+        }
+    }
+    out
+}
+
+fn fn_def(out: &mut String, f: &FnDef) {
+    let _ = write!(out, "fn {}", f.sig.name);
+    if !f.sig.generics.is_empty() {
+        out.push('<');
+        for (i, (name, kind)) in f.sig.generics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{name}: {kind}");
+        }
+        out.push('>');
+    }
+    out.push('(');
+    for (i, p) in f.sig.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", p.name, p.ty);
+    }
+    out.push(')');
+    let _ = write!(out, " -[{}: {}]-> {}", f.sig.exec_name, f.sig.exec_ty, f.sig.ret);
+    if !f.sig.where_clauses.is_empty() {
+        out.push_str(" where ");
+        for (i, c) in f.sig.where_clauses.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+    }
+    out.push(' ');
+    block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn view_def(out: &mut String, v: &ViewDef) {
+    let _ = write!(out, "view {}", v.name);
+    if !v.params.is_empty() {
+        out.push('<');
+        for (i, p) in v.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{p}: nat");
+        }
+        out.push('>');
+    }
+    out.push_str(" = ");
+    for (i, va) in v.body.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        view_app(out, va);
+    }
+    out.push_str(";\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        indent(out, level + 1);
+        stmt(out, s, level + 1);
+        out.push('\n');
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    match &s.kind {
+        StmtKind::Let {
+            name,
+            mutable,
+            ty,
+            init,
+        } => {
+            out.push_str("let ");
+            if *mutable {
+                out.push_str("mut ");
+            }
+            out.push_str(name);
+            if let Some(t) = ty {
+                let _ = write!(out, ": {t}");
+            }
+            out.push_str(" = ");
+            expr(out, init);
+            out.push(';');
+        }
+        StmtKind::Assign { place, op, value } => {
+            place_expr(out, place);
+            match op {
+                Some(o) => {
+                    let _ = write!(out, " {o}= ");
+                }
+                None => out.push_str(" = "),
+            }
+            expr(out, value);
+            out.push(';');
+        }
+        StmtKind::Expr(e) => {
+            expr(out, e);
+            out.push(';');
+        }
+        StmtKind::Sched {
+            dims,
+            var,
+            exec,
+            body,
+        } => {
+            out.push_str("sched(");
+            for (i, d) in dims.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{d}");
+            }
+            let _ = write!(out, ") {var} in {exec} ");
+            block(out, body, level);
+        }
+        StmtKind::SplitExec {
+            dim,
+            exec,
+            pos,
+            fst_var,
+            fst_body,
+            snd_var,
+            snd_body,
+        } => {
+            let _ = write!(out, "split({dim}) {exec} at {pos} {{\n");
+            indent(out, level + 1);
+            let _ = write!(out, "{fst_var} => ");
+            block(out, fst_body, level + 1);
+            out.push_str(",\n");
+            indent(out, level + 1);
+            let _ = write!(out, "{snd_var} => ");
+            block(out, snd_body, level + 1);
+            out.push('\n');
+            indent(out, level);
+            out.push('}');
+        }
+        StmtKind::ForNat { var, range, body } => {
+            let _ = write!(out, "for {var} in ");
+            match range {
+                NatRange::Range { lo, hi } => {
+                    let _ = write!(out, "[{lo}..{hi}]");
+                }
+                NatRange::Halving { from } => {
+                    let _ = write!(out, "halving({from})");
+                }
+                NatRange::Doubling { from, limit } => {
+                    let _ = write!(out, "doubling({from}, {limit})");
+                }
+            }
+            out.push(' ');
+            block(out, body, level);
+        }
+        StmtKind::Sync => out.push_str("sync;"),
+        StmtKind::Scope(b) => block(out, b, level),
+    }
+}
+
+/// Renders a single expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(&mut out, e);
+    out
+}
+
+fn expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::Lit(l) => match l {
+            Lit::F64(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    let _ = write!(out, "{v:.1}");
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Lit::F32(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    let _ = write!(out, "{v:.1}f32");
+                } else {
+                    let _ = write!(out, "{v}f32");
+                }
+            }
+            Lit::I32(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Lit::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Lit::Unit => out.push_str("()"),
+        },
+        ExprKind::Place(p) => place_expr(out, p),
+        ExprKind::Borrow { uniq, place } => {
+            out.push('&');
+            if *uniq {
+                out.push_str("uniq ");
+            }
+            place_expr(out, place);
+        }
+        ExprKind::Binary(op, a, b) => {
+            out.push('(');
+            expr(out, a);
+            let _ = write!(out, " {op} ");
+            expr(out, b);
+            out.push(')');
+        }
+        ExprKind::Unary(op, a) => {
+            let _ = write!(out, "{op}");
+            out.push('(');
+            expr(out, a);
+            out.push(')');
+        }
+        ExprKind::Call {
+            name,
+            nat_args,
+            args,
+        } => {
+            out.push_str(name);
+            nat_arg_list(out, nat_args);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Launch {
+            name,
+            nat_args,
+            grid_dim,
+            block_dim,
+            args,
+        } => {
+            out.push_str(name);
+            nat_arg_list(out, nat_args);
+            let _ = write!(out, "<<<{grid_dim}, {block_dim}>>>");
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Alloc { mem, ty } => {
+            let _ = write!(out, "alloc::<{mem}, {ty}>()");
+        }
+    }
+}
+
+fn nat_arg_list(out: &mut String, nats: &[crate::nat::Nat]) {
+    if nats.is_empty() {
+        return;
+    }
+    out.push_str("::<");
+    for (i, n) in nats.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n}");
+    }
+    out.push('>');
+}
+
+/// Renders a place expression.
+pub fn place_to_string(p: &PlaceExpr) -> String {
+    let mut out = String::new();
+    place_expr(&mut out, p);
+    out
+}
+
+fn place_expr(out: &mut String, p: &PlaceExpr) {
+    match &p.kind {
+        PlaceExprKind::Ident(x) => out.push_str(x),
+        PlaceExprKind::Proj(inner, i) => {
+            place_expr(out, inner);
+            out.push_str(if *i == 0 { ".fst" } else { ".snd" });
+        }
+        PlaceExprKind::Deref(inner) => {
+            out.push_str("(*");
+            place_expr(out, inner);
+            out.push(')');
+        }
+        PlaceExprKind::Index(inner, n) => {
+            place_expr(out, inner);
+            let _ = write!(out, "[{n}]");
+        }
+        PlaceExprKind::Select(inner, exec, dim) => {
+            place_expr(out, inner);
+            match dim {
+                Some(d) => {
+                    let _ = write!(out, "[[{exec}.{d}]]");
+                }
+                None => {
+                    let _ = write!(out, "[[{exec}]]");
+                }
+            }
+        }
+        PlaceExprKind::View(inner, v) => {
+            place_expr(out, inner);
+            out.push('.');
+            view_app(out, v);
+        }
+    }
+}
+
+fn view_app(out: &mut String, v: &ViewApp) {
+    out.push_str(&v.name);
+    nat_arg_list(out, &v.nat_args);
+    if !v.view_args.is_empty() {
+        out.push('(');
+        for (i, a) in v.view_args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            view_app(out, a);
+        }
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::Nat;
+    use crate::span::Span;
+    use crate::ty::{Dim, DimCompo};
+
+    #[test]
+    fn prints_place_with_views_and_selects() {
+        let p = PlaceExpr::synth(PlaceExprKind::Index(
+            Box::new(PlaceExpr::synth(PlaceExprKind::Select(
+                Box::new(PlaceExpr::synth(PlaceExprKind::View(
+                    Box::new(PlaceExpr::var("tmp")),
+                    ViewApp::with_nats("group", vec![Nat::lit(8)]),
+                ))),
+                "thread".into(),
+                None,
+            ))),
+            Nat::var("i"),
+        ));
+        assert_eq!(place_to_string(&p), "tmp.group::<8>[[thread]][i]");
+    }
+
+    #[test]
+    fn prints_per_dim_select() {
+        let p = PlaceExpr::synth(PlaceExprKind::Select(
+            Box::new(PlaceExpr::var("a")),
+            "block".into(),
+            Some(DimCompo::Y),
+        ));
+        assert_eq!(place_to_string(&p), "a[[block.Y]]");
+    }
+
+    #[test]
+    fn prints_launch() {
+        let e = Expr::synth(ExprKind::Launch {
+            name: "scale_vec".into(),
+            nat_args: vec![Nat::lit(1024)],
+            grid_dim: Dim::x(32u64),
+            block_dim: Dim::x(32u64),
+            args: vec![Expr::synth(ExprKind::Borrow {
+                uniq: true,
+                place: PlaceExpr::var("v"),
+            })],
+        });
+        assert_eq!(
+            expr_to_string(&e),
+            "scale_vec::<1024><<<X<32>, X<32>>>>(&uniq v)"
+        );
+    }
+
+    #[test]
+    fn prints_const_item() {
+        let prog = Program {
+            items: vec![Item::Const(ConstDef {
+                name: "N".into(),
+                value: Nat::lit(64),
+                span: Span::DUMMY,
+            })],
+        };
+        assert_eq!(program(&prog), "const N: nat = 64;\n");
+    }
+
+    #[test]
+    fn prints_map_view() {
+        let mut v = ViewApp::with_nats("group", vec![Nat::lit(4)]);
+        v.view_args.push(ViewApp::simple("transpose"));
+        let mut s = String::new();
+        view_app(&mut s, &v);
+        assert_eq!(s, "group::<4>(transpose)");
+    }
+}

@@ -1,0 +1,120 @@
+//! Source spans.
+//!
+//! A [`Span`] is a half-open byte range into the source text of a Descend
+//! program. Spans are attached to every AST node that can appear in a
+//! diagnostic, so that error messages can point at the offending syntax in
+//! the style of the paper's Section 2 examples.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// The dummy span [`Span::DUMMY`] is used for synthesized nodes (e.g.
+/// programs built programmatically by the benchmark generators).
+///
+/// # Examples
+///
+/// ```
+/// use descend_ast::Span;
+/// let s = Span::new(4, 10);
+/// assert_eq!(s.len(), 6);
+/// assert!(!s.is_dummy());
+/// assert!(Span::DUMMY.is_dummy());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span used for synthesized AST nodes that have no source location.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span from byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are treated as identity elements.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this is the dummy span for synthesized nodes.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_len() {
+        let s = Span::new(2, 7);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn new_rejects_inverted() {
+        let _ = Span::new(7, 2);
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(2, 12));
+        assert_eq!(b.to(a), Span::new(2, 12));
+    }
+
+    #[test]
+    fn join_with_dummy_is_identity() {
+        let a = Span::new(3, 9);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.to(a), a);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

@@ -1,0 +1,630 @@
+//! Terms, statements, place expressions, and views.
+//!
+//! This module implements the paper's Figure 5 (terms) and Figure 3 (place
+//! expressions), plus top-level items: functions, named view definitions
+//! (like the paper's `group_by_row`), and nat constants.
+//!
+//! ## Surface-syntax choices
+//!
+//! The paper leaves two pieces of concrete syntax underspecified; we make
+//! them explicit here and document them:
+//!
+//! - **Per-dimension selects.** `p[[thread]]` for a multi-dimensional
+//!   execution resource is sugar for one select per scheduled dimension in
+//!   `sched` declaration order (e.g. after `sched(Y,X)`,
+//!   `p[[thread]] == p[[thread.Y]][[thread.X]]`), each consuming the
+//!   outermost remaining array dimension. The explicit form `p[[thread.X]]`
+//!   is also part of the grammar.
+//! - **For-nat ranges.** Besides `[a..b]` (half-open, step 1) we provide
+//!   `halving(n)` (`n, n/2, ..., 1`) and `doubling(n, limit)`
+//!   (`n, 2n, ... < limit`), which the tree-shaped reduction and scan
+//!   benchmarks of the paper's evaluation need. All ranges are statically
+//!   evaluated, as the paper requires.
+
+use crate::nat::Nat;
+use crate::span::Span;
+use crate::ty::{DataTy, Dim, DimCompo, FnSig, Memory};
+use std::fmt;
+
+/// A complete Descend program: a list of items.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Looks up a function definition by name.
+    pub fn fn_def(&self, name: &str) -> Option<&FnDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Fn(f) if f.sig.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Looks up a view definition by name.
+    pub fn view_def(&self, name: &str) -> Option<&ViewDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::View(v) if v.name == name => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a nat constant by name.
+    pub fn const_def(&self, name: &str) -> Option<&ConstDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Const(c) if c.name == name => Some(c),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A function definition (CPU or GPU, per its execution level).
+    Fn(FnDef),
+    /// A named view definition, e.g.
+    /// `view group_by_row<row_size: nat, num_rows: nat> = group::<row_size/num_rows>.map(transpose)`.
+    View(ViewDef),
+    /// A nat constant, e.g. `const N: nat = 1024;`.
+    Const(ConstDef),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDef {
+    /// The signature, including the execution-resource annotation.
+    pub sig: FnSig,
+    /// The body.
+    pub body: Block,
+    /// Source span of the whole definition.
+    pub span: Span,
+}
+
+/// A named view definition: a composition of basic views abstracted over
+/// nat parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Nat parameter names.
+    pub params: Vec<String>,
+    /// The body: a chain of view applications, applied left to right.
+    pub body: Vec<ViewApp>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A top-level nat constant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstDef {
+    /// Constant name.
+    pub name: String,
+    /// Value.
+    pub value: Nat,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A braced sequence of statements.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A statement with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Statement forms (the statement-like terms of the paper's Figure 5).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `let [mut] x [: δ] = e;`
+    Let {
+        /// Bound variable.
+        name: String,
+        /// Whether re-assignment to `x` is allowed (private scalars on the
+        /// GPU, accumulators etc.).
+        mutable: bool,
+        /// Optional type annotation.
+        ty: Option<DataTy>,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `p = e;` or `p += e;` (the latter is sugar for `p = p + e`).
+    Assign {
+        /// Assigned place.
+        place: PlaceExpr,
+        /// Optional compound operator.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// An expression statement (function call, kernel launch, ...).
+    Expr(Expr),
+    /// `sched(D1[,D2[,D3]]) x in e { ... }` — schedules the body over all
+    /// sub-resources of `e` along the given dimensions, binding `x`.
+    Sched {
+        /// Scheduled dimensions in declaration order.
+        dims: Vec<DimCompo>,
+        /// Variable bound to the sub-execution resource.
+        var: String,
+        /// The execution resource being scheduled (variable name).
+        exec: String,
+        /// Body executed by each sub-resource.
+        body: Block,
+    },
+    /// `split(D) e at η { x1 => { ... }, x2 => { ... } }` — splits an
+    /// execution resource into two independent parts.
+    SplitExec {
+        /// Split dimension.
+        dim: DimCompo,
+        /// The execution resource being split (variable name).
+        exec: String,
+        /// Split position.
+        pos: Nat,
+        /// Name bound to the first part.
+        fst_var: String,
+        /// Computation of the first part.
+        fst_body: Block,
+        /// Name bound to the second part.
+        snd_var: String,
+        /// Computation of the second part.
+        snd_body: Block,
+    },
+    /// `for x in range { ... }` — a statically evaluated for-nat loop.
+    ForNat {
+        /// Loop variable (a nat in scope of the body).
+        var: String,
+        /// The static range.
+        range: NatRange,
+        /// Loop body.
+        body: Block,
+    },
+    /// `sync;` — block-wide barrier synchronization.
+    Sync,
+    /// A nested scope `{ ... }` (controls deallocation of `@`-types).
+    Scope(Block),
+}
+
+/// A statically evaluated range of nats for `for`-nat loops.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NatRange {
+    /// `[lo..hi]`: `lo, lo+1, ..., hi-1`.
+    Range {
+        /// Inclusive lower bound.
+        lo: Nat,
+        /// Exclusive upper bound.
+        hi: Nat,
+    },
+    /// `halving(n)`: `n, n/2, n/4, ..., 1` (n must be a power of two).
+    Halving {
+        /// Starting value.
+        from: Nat,
+    },
+    /// `doubling(n, limit)`: `n, 2n, 4n, ... < limit`.
+    Doubling {
+        /// Starting value.
+        from: Nat,
+        /// Exclusive upper limit.
+        limit: Nat,
+    },
+}
+
+impl NatRange {
+    /// Expands the range to concrete values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the nat evaluation error if bounds are not closed under
+    /// `env`, or a descriptive message for invalid ranges.
+    pub fn values(&self, env: &dyn Fn(&str) -> Option<u64>) -> Result<Vec<u64>, String> {
+        match self {
+            NatRange::Range { lo, hi } => {
+                let lo = lo.eval(env).map_err(|e| e.to_string())?;
+                let hi = hi.eval(env).map_err(|e| e.to_string())?;
+                if lo > hi {
+                    return Err(format!("invalid range [{lo}..{hi}]"));
+                }
+                Ok((lo..hi).collect())
+            }
+            NatRange::Halving { from } => {
+                let mut v = from.eval(env).map_err(|e| e.to_string())?;
+                if v == 0 || !v.is_power_of_two() {
+                    return Err(format!("halving({v}) requires a power of two"));
+                }
+                let mut out = Vec::new();
+                while v >= 1 {
+                    out.push(v);
+                    if v == 1 {
+                        break;
+                    }
+                    v /= 2;
+                }
+                Ok(out)
+            }
+            NatRange::Doubling { from, limit } => {
+                let mut v = from.eval(env).map_err(|e| e.to_string())?;
+                let limit = limit.eval(env).map_err(|e| e.to_string())?;
+                if v == 0 {
+                    return Err("doubling(0, ..) is invalid".to_string());
+                }
+                let mut out = Vec::new();
+                while v < limit {
+                    out.push(v);
+                    v *= 2;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// An expression with type-relevant source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression proper.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression with a dummy span (for synthesized programs).
+    pub fn synth(kind: ExprKind) -> Expr {
+        Expr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+/// Expression forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// A literal.
+    Lit(Lit),
+    /// Reading from a place (by copy or move, decided by the type checker).
+    Place(PlaceExpr),
+    /// `&p` / `&uniq p`.
+    Borrow {
+        /// Whether the borrow is unique.
+        uniq: bool,
+        /// The borrowed place.
+        place: PlaceExpr,
+    },
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Function application `f::<η,...>(args)` (CPU functions and host
+    /// intrinsics such as `copy_mem_to_host`).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Explicit nat arguments.
+        nat_args: Vec<Nat>,
+        /// Value arguments.
+        args: Vec<Expr>,
+    },
+    /// Kernel launch `f::<η,...><<<GridDim, BlockDim>>>(args)`.
+    Launch {
+        /// Kernel name.
+        name: String,
+        /// Explicit nat arguments for the kernel's generics.
+        nat_args: Vec<Nat>,
+        /// Number of blocks per dimension.
+        grid_dim: Dim,
+        /// Number of threads per block per dimension.
+        block_dim: Dim,
+        /// Value arguments.
+        args: Vec<Expr>,
+    },
+    /// `alloc::<µ, δ>()` — allocates (shared GPU or other) memory.
+    Alloc {
+        /// Target memory space.
+        mem: Memory,
+        /// Allocated type.
+        ty: DataTy,
+    },
+}
+
+/// Literals.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lit {
+    /// 64-bit float.
+    F64(f64),
+    /// 32-bit float.
+    F32(f32),
+    /// 32-bit signed integer.
+    I32(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Unit.
+    Unit,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the operator takes boolean operands.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// A place expression (paper Figure 3): a path naming a region of memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlaceExpr {
+    /// The place proper.
+    pub kind: PlaceExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl PlaceExpr {
+    /// Creates a place with a dummy span.
+    pub fn synth(kind: PlaceExprKind) -> PlaceExpr {
+        PlaceExpr {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// A bare variable place.
+    pub fn var(name: impl Into<String>) -> PlaceExpr {
+        PlaceExpr::synth(PlaceExprKind::Ident(name.into()))
+    }
+
+    /// The root variable of the place.
+    pub fn root(&self) -> &str {
+        match &self.kind {
+            PlaceExprKind::Ident(x) => x,
+            PlaceExprKind::Proj(p, _)
+            | PlaceExprKind::Deref(p)
+            | PlaceExprKind::Index(p, _)
+            | PlaceExprKind::Select(p, _, _)
+            | PlaceExprKind::View(p, _) => p.root(),
+        }
+    }
+
+    /// Whether the place contains a dereference.
+    pub fn has_deref(&self) -> bool {
+        match &self.kind {
+            PlaceExprKind::Ident(_) => false,
+            PlaceExprKind::Deref(_) => true,
+            PlaceExprKind::Proj(p, _)
+            | PlaceExprKind::Index(p, _)
+            | PlaceExprKind::Select(p, _, _)
+            | PlaceExprKind::View(p, _) => p.has_deref(),
+        }
+    }
+}
+
+/// Place expression forms. The paper's `p.fst/p.snd`, `*p`, `p[t]`,
+/// `pJeK` (select) and view application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlaceExprKind {
+    /// A variable.
+    Ident(String),
+    /// Tuple projection: `.fst` is 0, `.snd` is 1.
+    Proj(Box<PlaceExpr>, u8),
+    /// Dereference `*p`.
+    Deref(Box<PlaceExpr>),
+    /// Indexing `p[η]` with a nat (literals and for-nat variables).
+    Index(Box<PlaceExpr>, Nat),
+    /// Select `p[[e]]` or `p[[e.D]]`: distributes the outermost array
+    /// dimension(s) over the sub-resources of execution resource `e`
+    /// (optionally restricted to one dimension `D`).
+    Select(Box<PlaceExpr>, String, Option<DimCompo>),
+    /// View application `p.v::<η,...>(v,...)`.
+    View(Box<PlaceExpr>, ViewApp),
+}
+
+/// A single view application: name, nat arguments and view arguments
+/// (the latter for higher-order views like `map`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewApp {
+    /// View name (`group`, `transpose`, `reverse`, `split`, `map`, or a
+    /// user-defined view).
+    pub name: String,
+    /// Nat arguments, e.g. the `8` of `group::<8>`.
+    pub nat_args: Vec<Nat>,
+    /// View arguments, e.g. the `transpose` of `map(transpose)`.
+    pub view_args: Vec<ViewApp>,
+}
+
+impl ViewApp {
+    /// A view application without arguments, e.g. `transpose`.
+    pub fn simple(name: impl Into<String>) -> ViewApp {
+        ViewApp {
+            name: name.into(),
+            nat_args: Vec::new(),
+            view_args: Vec::new(),
+        }
+    }
+
+    /// A view application with nat arguments, e.g. `group::<8>`.
+    pub fn with_nats(name: impl Into<String>, nat_args: Vec<Nat>) -> ViewApp {
+        ViewApp {
+            name: name.into(),
+            nat_args,
+            view_args: Vec::new(),
+        }
+    }
+
+    /// Substitutes nat variables in all nat arguments (recursively).
+    pub fn subst_nats(&self, map: &dyn Fn(&str) -> Option<Nat>) -> ViewApp {
+        ViewApp {
+            name: self.name.clone(),
+            nat_args: self.nat_args.iter().map(|n| n.subst(map)).collect(),
+            view_args: self.view_args.iter().map(|v| v.subst_nats(map)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_expansion() {
+        let r = NatRange::Range {
+            lo: Nat::lit(0),
+            hi: Nat::lit(4),
+        };
+        assert_eq!(r.values(&|_| None).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_with_vars() {
+        let r = NatRange::Range {
+            lo: Nat::lit(0),
+            hi: Nat::var("n") / Nat::lit(2),
+        };
+        assert_eq!(
+            r.values(&|x| (x == "n").then_some(8)).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn halving_expansion() {
+        let r = NatRange::Halving { from: Nat::lit(8) };
+        assert_eq!(r.values(&|_| None).unwrap(), vec![8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn halving_rejects_non_power_of_two() {
+        let r = NatRange::Halving { from: Nat::lit(6) };
+        assert!(r.values(&|_| None).is_err());
+    }
+
+    #[test]
+    fn doubling_expansion() {
+        let r = NatRange::Doubling {
+            from: Nat::lit(1),
+            limit: Nat::lit(16),
+        };
+        assert_eq!(r.values(&|_| None).unwrap(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_range_is_ok() {
+        let r = NatRange::Range {
+            lo: Nat::lit(3),
+            hi: Nat::lit(3),
+        };
+        assert_eq!(r.values(&|_| None).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn inverted_range_errors() {
+        let r = NatRange::Range {
+            lo: Nat::lit(4),
+            hi: Nat::lit(3),
+        };
+        assert!(r.values(&|_| None).is_err());
+    }
+
+    #[test]
+    fn place_root_through_chain() {
+        let p = PlaceExpr::synth(PlaceExprKind::Index(
+            Box::new(PlaceExpr::synth(PlaceExprKind::View(
+                Box::new(PlaceExpr::synth(PlaceExprKind::Deref(Box::new(
+                    PlaceExpr::var("arr"),
+                )))),
+                ViewApp::with_nats("group", vec![Nat::lit(8)]),
+            ))),
+            Nat::lit(0),
+        ));
+        assert_eq!(p.root(), "arr");
+        assert!(p.has_deref());
+        assert!(!PlaceExpr::var("x").has_deref());
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut prog = Program::default();
+        prog.items.push(Item::Const(ConstDef {
+            name: "N".into(),
+            value: Nat::lit(1024),
+            span: Span::DUMMY,
+        }));
+        assert!(prog.const_def("N").is_some());
+        assert!(prog.const_def("M").is_none());
+        assert!(prog.fn_def("f").is_none());
+    }
+}

@@ -1,0 +1,660 @@
+//! Types, kinds, memory spaces, dimensions, and execution levels.
+//!
+//! This module implements the paper's Figure 6: data types `δ`, kinds `κ`,
+//! memories `µ`, and execution levels `ε`, plus the dimension forms `d` of
+//! Figure 2 (`XYZ<a,b,c>`, `XY<a,b>`, ..., `X<a>`), which the paper uses to
+//! "check that we do not schedule over a missing dimension".
+
+use crate::nat::Nat;
+use std::fmt;
+
+/// The kind of a type-level variable (paper Figure 6, `κ`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Ranges over data types.
+    DataTy,
+    /// Ranges over natural numbers.
+    Nat,
+    /// Ranges over memory spaces.
+    Memory,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::DataTy => write!(f, "dty"),
+            Kind::Nat => write!(f, "nat"),
+            Kind::Memory => write!(f, "mem"),
+        }
+    }
+}
+
+/// Scalar types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarTy {
+    I32,
+    I64,
+    U32,
+    F32,
+    F64,
+    Bool,
+    Unit,
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarTy::I32 => "i32",
+            ScalarTy::I64 => "i64",
+            ScalarTy::U32 => "u32",
+            ScalarTy::F32 => "f32",
+            ScalarTy::F64 => "f64",
+            ScalarTy::Bool => "bool",
+            ScalarTy::Unit => "()",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Reference capability: shared (read-only, the default) or unique
+/// (exclusive, writable). The paper writes `&` and `&uniq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// Shared, read-only reference (`&`).
+    Shrd,
+    /// Unique, writable reference (`&uniq`).
+    Uniq,
+}
+
+impl fmt::Display for RefKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefKind::Shrd => write!(f, "shrd"),
+            RefKind::Uniq => write!(f, "uniq"),
+        }
+    }
+}
+
+/// Memory spaces (paper Figure 6, `µ`): where a value lives.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Memory {
+    /// CPU stack and heap.
+    CpuMem,
+    /// GPU global memory, accessible by the whole grid.
+    GpuGlobal,
+    /// GPU shared memory, accessible per block.
+    GpuShared,
+    /// A memory-kinded type variable (polymorphism over memories).
+    Ident(String),
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Memory::CpuMem => write!(f, "cpu.mem"),
+            Memory::GpuGlobal => write!(f, "gpu.global"),
+            Memory::GpuShared => write!(f, "gpu.shared"),
+            Memory::Ident(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A dimension component: `X`, `Y`, or `Z`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DimCompo {
+    X,
+    Y,
+    Z,
+}
+
+impl fmt::Display for DimCompo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimCompo::X => write!(f, "X"),
+            DimCompo::Y => write!(f, "Y"),
+            DimCompo::Z => write!(f, "Z"),
+        }
+    }
+}
+
+/// A (up to) three-dimensional shape with explicitly declared components
+/// (paper Figure 2, `d`).
+///
+/// `XY<32, 8>` declares components X (32) and Y (8) in that order; Z is
+/// *missing* — scheduling over Z is a type error, which is precisely why
+/// the paper includes the 1D and 2D forms. Declaration order matters only
+/// for printing; sizes are looked up by component.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dim {
+    components: Vec<(DimCompo, Nat)>,
+}
+
+impl Dim {
+    /// Creates a dimension from `(component, size)` pairs in declaration
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component is repeated or if no components are given.
+    pub fn new(components: Vec<(DimCompo, Nat)>) -> Dim {
+        assert!(!components.is_empty(), "dimension must declare at least one component");
+        for (i, (c, _)) in components.iter().enumerate() {
+            assert!(
+                components[i + 1..].iter().all(|(c2, _)| c2 != c),
+                "dimension declares component {c} twice"
+            );
+        }
+        Dim { components }
+    }
+
+    /// 1D shape in X.
+    pub fn x(n: impl Into<Nat>) -> Dim {
+        Dim::new(vec![(DimCompo::X, n.into())])
+    }
+
+    /// 2D shape in X and Y.
+    pub fn xy(x: impl Into<Nat>, y: impl Into<Nat>) -> Dim {
+        Dim::new(vec![(DimCompo::X, x.into()), (DimCompo::Y, y.into())])
+    }
+
+    /// 3D shape in X, Y and Z.
+    pub fn xyz(x: impl Into<Nat>, y: impl Into<Nat>, z: impl Into<Nat>) -> Dim {
+        Dim::new(vec![
+            (DimCompo::X, x.into()),
+            (DimCompo::Y, y.into()),
+            (DimCompo::Z, z.into()),
+        ])
+    }
+
+    /// The declared components in declaration order.
+    pub fn components(&self) -> impl Iterator<Item = (DimCompo, &Nat)> {
+        self.components.iter().map(|(c, n)| (*c, n))
+    }
+
+    /// The size of a declared component, or `None` if the component is
+    /// missing from this shape.
+    pub fn size(&self, c: DimCompo) -> Option<&Nat> {
+        self.components
+            .iter()
+            .find(|(c2, _)| *c2 == c)
+            .map(|(_, n)| n)
+    }
+
+    /// Whether the component is declared.
+    pub fn has(&self, c: DimCompo) -> bool {
+        self.size(c).is_some()
+    }
+
+    /// Number of declared components.
+    pub fn rank(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Product of all declared sizes.
+    pub fn total(&self) -> Nat {
+        let mut it = self.components.iter().map(|(_, n)| n.clone());
+        let first = it.next().expect("dimension is non-empty");
+        it.fold(first, |acc, n| acc * n)
+    }
+
+    /// Structural equality up to nat normalization.
+    pub fn same(&self, other: &Dim) -> bool {
+        use DimCompo::*;
+        [X, Y, Z].iter().all(|c| match (self.size(*c), other.size(*c)) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.equal(b),
+            _ => false,
+        })
+    }
+
+    /// Substitutes nat variables in all component sizes.
+    pub fn subst_nats(&self, map: &dyn Fn(&str) -> Option<Nat>) -> Dim {
+        Dim {
+            components: self
+                .components
+                .iter()
+                .map(|(c, n)| (*c, n.subst(map)))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, _) in &self.components {
+            write!(f, "{c}")?;
+        }
+        write!(f, "<")?;
+        for (i, (_, n)) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Execution levels (paper Figure 6, `ε`): what kind of execution resource
+/// a function expects to be executed by.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecTy {
+    /// A single CPU thread.
+    CpuThread,
+    /// The GPU grid: block shape and per-block thread shape.
+    GpuGrid(Dim, Dim),
+    /// A GPU block with the given thread shape.
+    GpuBlock(Dim),
+    /// A single GPU thread.
+    GpuThread,
+}
+
+impl ExecTy {
+    /// Whether this level executes on the GPU.
+    pub fn on_gpu(&self) -> bool {
+        !matches!(self, ExecTy::CpuThread)
+    }
+
+    /// Structural equality up to nat normalization.
+    pub fn same(&self, other: &ExecTy) -> bool {
+        match (self, other) {
+            (ExecTy::CpuThread, ExecTy::CpuThread) | (ExecTy::GpuThread, ExecTy::GpuThread) => {
+                true
+            }
+            (ExecTy::GpuGrid(a1, b1), ExecTy::GpuGrid(a2, b2)) => a1.same(a2) && b1.same(b2),
+            (ExecTy::GpuBlock(a), ExecTy::GpuBlock(b)) => a.same(b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ExecTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecTy::CpuThread => write!(f, "cpu.thread"),
+            ExecTy::GpuGrid(b, t) => write!(f, "gpu.grid<{b},{t}>"),
+            ExecTy::GpuBlock(t) => write!(f, "gpu.block<{t}>"),
+            ExecTy::GpuThread => write!(f, "gpu.thread"),
+        }
+    }
+}
+
+/// Data types (paper Figure 6, `δ`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DataTy {
+    /// Scalar type.
+    Scalar(ScalarTy),
+    /// Tuple type `(δ1, ..., δn)`.
+    Tuple(Vec<DataTy>),
+    /// Array type `[δ; η]`, contiguous in memory.
+    Array(Box<DataTy>, Nat),
+    /// Array *view* type `⟦δ; η⟧`: the result of applying a view; not
+    /// guaranteed contiguous.
+    ArrayView(Box<DataTy>, Nat),
+    /// Reference `&[uniq] µ δ`.
+    Ref(RefKind, Memory, Box<DataTy>),
+    /// Boxed type `δ @ µ`: a smartly-allocated value living in memory `µ`.
+    At(Box<DataTy>, Memory),
+    /// A data-type variable.
+    Ident(String),
+    /// A moved-out value (flow-sensitive typing marks moved places dead).
+    Dead(Box<DataTy>),
+}
+
+impl DataTy {
+    /// Convenience constructor: `[elem; n]`.
+    pub fn array(elem: DataTy, n: impl Into<Nat>) -> DataTy {
+        DataTy::Array(Box::new(elem), n.into())
+    }
+
+    /// Convenience constructor: `f64`.
+    pub fn f64() -> DataTy {
+        DataTy::Scalar(ScalarTy::F64)
+    }
+
+    /// Convenience constructor: `f32`.
+    pub fn f32() -> DataTy {
+        DataTy::Scalar(ScalarTy::F32)
+    }
+
+    /// Convenience constructor: `i32`.
+    pub fn i32() -> DataTy {
+        DataTy::Scalar(ScalarTy::I32)
+    }
+
+    /// Convenience constructor: unit.
+    pub fn unit() -> DataTy {
+        DataTy::Scalar(ScalarTy::Unit)
+    }
+
+    /// Convenience constructor: shared reference.
+    pub fn shrd_ref(mem: Memory, ty: DataTy) -> DataTy {
+        DataTy::Ref(RefKind::Shrd, mem, Box::new(ty))
+    }
+
+    /// Convenience constructor: unique reference.
+    pub fn uniq_ref(mem: Memory, ty: DataTy) -> DataTy {
+        DataTy::Ref(RefKind::Uniq, mem, Box::new(ty))
+    }
+
+    /// Whether values of this type are copied rather than moved
+    /// (the paper's `is_copyable`). Scalars, tuples of copyables, and
+    /// shared references are copyable; arrays, unique references and
+    /// boxed values move.
+    pub fn is_copyable(&self) -> bool {
+        match self {
+            DataTy::Scalar(_) => true,
+            DataTy::Tuple(ts) => ts.iter().all(|t| t.is_copyable()),
+            DataTy::Ref(RefKind::Shrd, _, _) => true,
+            DataTy::Ref(RefKind::Uniq, _, _)
+            | DataTy::Array(..)
+            | DataTy::ArrayView(..)
+            | DataTy::At(..)
+            | DataTy::Ident(_)
+            | DataTy::Dead(_) => false,
+        }
+    }
+
+    /// Whether the type contains a dead (moved-out) component.
+    pub fn contains_dead(&self) -> bool {
+        match self {
+            DataTy::Dead(_) => true,
+            DataTy::Scalar(_) | DataTy::Ident(_) => false,
+            DataTy::Tuple(ts) => ts.iter().any(|t| t.contains_dead()),
+            DataTy::Array(t, _) | DataTy::ArrayView(t, _) | DataTy::At(t, _) => t.contains_dead(),
+            DataTy::Ref(_, _, t) => t.contains_dead(),
+        }
+    }
+
+    /// Structural equality up to nat normalization, treating `Array` and
+    /// `ArrayView` of the same element/size as distinct.
+    pub fn same(&self, other: &DataTy) -> bool {
+        match (self, other) {
+            (DataTy::Scalar(a), DataTy::Scalar(b)) => a == b,
+            (DataTy::Tuple(a), DataTy::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same(y))
+            }
+            (DataTy::Array(a, n), DataTy::Array(b, m))
+            | (DataTy::ArrayView(a, n), DataTy::ArrayView(b, m)) => a.same(b) && n.equal(m),
+            (DataTy::Ref(k1, m1, t1), DataTy::Ref(k2, m2, t2)) => {
+                k1 == k2 && m1 == m2 && t1.same(t2)
+            }
+            (DataTy::At(t1, m1), DataTy::At(t2, m2)) => m1 == m2 && t1.same(t2),
+            (DataTy::Ident(a), DataTy::Ident(b)) => a == b,
+            (DataTy::Dead(a), DataTy::Dead(b)) => a.same(b),
+            _ => false,
+        }
+    }
+
+    /// Like [`DataTy::same`] but allows an `Array` where an `ArrayView` is
+    /// expected (every contiguous array is trivially a view of itself).
+    pub fn same_modulo_view(&self, other: &DataTy) -> bool {
+        match (self, other) {
+            (DataTy::Array(a, n) | DataTy::ArrayView(a, n), DataTy::ArrayView(b, m))
+            | (DataTy::ArrayView(a, n), DataTy::Array(b, m)) => {
+                a.same_modulo_view(b) && n.equal(m)
+            }
+            (DataTy::Array(a, n), DataTy::Array(b, m)) => a.same_modulo_view(b) && n.equal(m),
+            (DataTy::Tuple(a), DataTy::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_modulo_view(y))
+            }
+            (DataTy::Ref(k1, m1, t1), DataTy::Ref(k2, m2, t2)) => {
+                k1 == k2 && m1 == m2 && t1.same_modulo_view(t2)
+            }
+            (DataTy::At(t1, m1), DataTy::At(t2, m2)) => m1 == m2 && t1.same_modulo_view(t2),
+            _ => self.same(other),
+        }
+    }
+
+    /// Substitutes nat variables throughout the type.
+    pub fn subst_nats(&self, map: &dyn Fn(&str) -> Option<Nat>) -> DataTy {
+        match self {
+            DataTy::Scalar(_) | DataTy::Ident(_) => self.clone(),
+            DataTy::Tuple(ts) => DataTy::Tuple(ts.iter().map(|t| t.subst_nats(map)).collect()),
+            DataTy::Array(t, n) => DataTy::Array(Box::new(t.subst_nats(map)), n.subst(map)),
+            DataTy::ArrayView(t, n) => {
+                DataTy::ArrayView(Box::new(t.subst_nats(map)), n.subst(map))
+            }
+            DataTy::Ref(k, m, t) => DataTy::Ref(*k, m.clone(), Box::new(t.subst_nats(map))),
+            DataTy::At(t, m) => DataTy::At(Box::new(t.subst_nats(map)), m.clone()),
+            DataTy::Dead(t) => DataTy::Dead(Box::new(t.subst_nats(map))),
+        }
+    }
+
+    /// Substitutes memory variables throughout the type.
+    pub fn subst_mems(&self, map: &dyn Fn(&str) -> Option<Memory>) -> DataTy {
+        let subst_mem = |m: &Memory| -> Memory {
+            if let Memory::Ident(x) = m {
+                map(x).unwrap_or_else(|| m.clone())
+            } else {
+                m.clone()
+            }
+        };
+        match self {
+            DataTy::Scalar(_) | DataTy::Ident(_) => self.clone(),
+            DataTy::Tuple(ts) => DataTy::Tuple(ts.iter().map(|t| t.subst_mems(map)).collect()),
+            DataTy::Array(t, n) => DataTy::Array(Box::new(t.subst_mems(map)), n.clone()),
+            DataTy::ArrayView(t, n) => DataTy::ArrayView(Box::new(t.subst_mems(map)), n.clone()),
+            DataTy::Ref(k, m, t) => DataTy::Ref(*k, subst_mem(m), Box::new(t.subst_mems(map))),
+            DataTy::At(t, m) => DataTy::At(Box::new(t.subst_mems(map)), subst_mem(m)),
+            DataTy::Dead(t) => DataTy::Dead(Box::new(t.subst_mems(map))),
+        }
+    }
+}
+
+impl fmt::Display for DataTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataTy::Scalar(s) => write!(f, "{s}"),
+            DataTy::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            DataTy::Array(t, n) => write!(f, "[{t}; {n}]"),
+            DataTy::ArrayView(t, n) => write!(f, "[[{t}; {n}]]"),
+            DataTy::Ref(RefKind::Shrd, m, t) => write!(f, "& {m} {t}"),
+            DataTy::Ref(RefKind::Uniq, m, t) => write!(f, "&uniq {m} {t}"),
+            DataTy::At(t, m) => write!(f, "{t} @ {m}"),
+            DataTy::Ident(x) => write!(f, "{x}"),
+            DataTy::Dead(t) => write!(f, "dead({t})"),
+        }
+    }
+}
+
+/// A nat constraint from a `where` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NatConstraint {
+    /// `a == b`
+    Eq(Nat, Nat),
+    /// `a >= b`
+    Ge(Nat, Nat),
+    /// `a % b == 0`
+    Divides(Nat, Nat),
+}
+
+impl NatConstraint {
+    /// Checks the constraint under a concrete valuation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates nat evaluation errors.
+    pub fn check(
+        &self,
+        env: &dyn Fn(&str) -> Option<u64>,
+    ) -> Result<bool, crate::nat::NatError> {
+        Ok(match self {
+            NatConstraint::Eq(a, b) => a.eval(env)? == b.eval(env)?,
+            NatConstraint::Ge(a, b) => a.eval(env)? >= b.eval(env)?,
+            NatConstraint::Divides(a, b) => {
+                let bv = b.eval(env)?;
+                if bv == 0 {
+                    return Err(crate::nat::NatError::DivisionByZero);
+                }
+                a.eval(env)? % bv == 0
+            }
+        })
+    }
+}
+
+impl fmt::Display for NatConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NatConstraint::Eq(a, b) => write!(f, "{a} == {b}"),
+            NatConstraint::Ge(a, b) => write!(f, "{a} >= {b}"),
+            NatConstraint::Divides(a, b) => write!(f, "{a} % {b} == 0"),
+        }
+    }
+}
+
+/// A function parameter declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (restricted to data types, as in the paper).
+    pub ty: DataTy,
+}
+
+/// A function signature: generics, parameters, the execution resource
+/// annotation `-[name: ε]->`, return type and `where` clauses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// Generic parameters with kinds, in declaration order.
+    pub generics: Vec<(String, Kind)>,
+    /// Value parameters.
+    pub params: Vec<ParamDecl>,
+    /// The name binding the execution resource inside the body
+    /// (e.g. `grid` in `-[grid: gpu.grid<X<32>,X<32>>]->`).
+    pub exec_name: String,
+    /// The declared execution level.
+    pub exec_ty: ExecTy,
+    /// Return type.
+    pub ret: DataTy,
+    /// Nat constraints that instantiations must satisfy.
+    pub where_clauses: Vec<NatConstraint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_lookup_and_rank() {
+        let d = Dim::xy(32u64, 8u64);
+        assert_eq!(d.rank(), 2);
+        assert!(d.has(DimCompo::X));
+        assert!(!d.has(DimCompo::Z));
+        assert_eq!(d.size(DimCompo::Y).and_then(Nat::as_lit), Some(8));
+    }
+
+    #[test]
+    fn dim_total_product() {
+        let d = Dim::xyz(4u64, 4u64, 4u64);
+        assert_eq!(d.total().as_lit(), Some(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn dim_rejects_duplicate_component() {
+        let _ = Dim::new(vec![(DimCompo::X, Nat::lit(1)), (DimCompo::X, Nat::lit(2))]);
+    }
+
+    #[test]
+    fn dim_same_up_to_normalization() {
+        let a = Dim::x(Nat::var("n") + Nat::var("n"));
+        let b = Dim::x(Nat::lit(2) * Nat::var("n"));
+        assert!(a.same(&b));
+        assert!(!a.same(&Dim::x(Nat::var("n"))));
+    }
+
+    #[test]
+    fn dim_display() {
+        assert_eq!(Dim::xy(64u64, 64u64).to_string(), "XY<64,64>");
+        assert_eq!(Dim::x(32u64).to_string(), "X<32>");
+    }
+
+    #[test]
+    fn copyability() {
+        assert!(DataTy::f64().is_copyable());
+        assert!(DataTy::Tuple(vec![DataTy::i32(), DataTy::f32()]).is_copyable());
+        assert!(!DataTy::array(DataTy::f64(), 4u64).is_copyable());
+        assert!(DataTy::shrd_ref(Memory::GpuGlobal, DataTy::f64()).is_copyable());
+        assert!(!DataTy::uniq_ref(Memory::GpuGlobal, DataTy::f64()).is_copyable());
+        assert!(!DataTy::At(Box::new(DataTy::f64()), Memory::CpuMem).is_copyable());
+    }
+
+    #[test]
+    fn type_equality_modulo_nats() {
+        let a = DataTy::array(DataTy::f64(), Nat::var("n") * Nat::lit(1));
+        let b = DataTy::array(DataTy::f64(), Nat::var("n"));
+        assert!(a.same(&b));
+    }
+
+    #[test]
+    fn array_and_view_are_distinct() {
+        let arr = DataTy::array(DataTy::f64(), 8u64);
+        let view = DataTy::ArrayView(Box::new(DataTy::f64()), Nat::lit(8));
+        assert!(!arr.same(&view));
+        assert!(arr.same_modulo_view(&view));
+    }
+
+    #[test]
+    fn subst_nats_in_types() {
+        let t = DataTy::array(DataTy::f64(), Nat::var("n"));
+        let s = t.subst_nats(&|x| (x == "n").then(|| Nat::lit(16)));
+        assert!(s.same(&DataTy::array(DataTy::f64(), 16u64)));
+    }
+
+    #[test]
+    fn subst_mems_in_types() {
+        let t = DataTy::shrd_ref(Memory::Ident("m".into()), DataTy::f64());
+        let s = t.subst_mems(&|x| (x == "m").then_some(Memory::GpuShared));
+        assert!(s.same(&DataTy::shrd_ref(Memory::GpuShared, DataTy::f64())));
+    }
+
+    #[test]
+    fn exec_ty_display_and_same() {
+        let g = ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64));
+        assert_eq!(g.to_string(), "gpu.grid<XY<64,64>,XY<32,8>>");
+        assert!(g.same(&ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64))));
+        assert!(!g.same(&ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 4u64))));
+        assert!(g.on_gpu());
+        assert!(!ExecTy::CpuThread.on_gpu());
+    }
+
+    #[test]
+    fn constraint_checking() {
+        let c = NatConstraint::Divides(Nat::var("n"), Nat::lit(32));
+        assert!(c.check(&|_| Some(64)).unwrap());
+        assert!(!c.check(&|_| Some(33)).unwrap());
+        let e = NatConstraint::Eq(Nat::var("n"), Nat::lit(2) * Nat::lit(32));
+        assert!(e.check(&|_| Some(64)).unwrap());
+    }
+
+    #[test]
+    fn dead_detection() {
+        let t = DataTy::Tuple(vec![
+            DataTy::f64(),
+            DataTy::Dead(Box::new(DataTy::f64())),
+        ]);
+        assert!(t.contains_dead());
+        assert!(!DataTy::f64().contains_dead());
+    }
+
+    #[test]
+    fn display_types() {
+        let t = DataTy::uniq_ref(
+            Memory::GpuGlobal,
+            DataTy::array(DataTy::array(DataTy::f64(), 2048u64), 2048u64),
+        );
+        assert_eq!(t.to_string(), "&uniq gpu.global [[f64; 2048]; 2048]");
+    }
+}

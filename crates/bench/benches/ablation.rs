@@ -1,0 +1,44 @@
+//! Ablation: unrolled vs looped baselines.
+//!
+//! Descend unrolls static for-nat loops (like `nvcc -O3` does); the
+//! handwritten baselines are transcribed the same way. This ablation
+//! quantifies what a *non-unrolled* baseline would cost in the model, to
+//! show the comparison in Figure 8 is not an artifact of unrolling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use descend_benchmarks::baselines;
+use gpu_sim::{Gpu, LaunchConfig};
+
+fn ablation(c: &mut Criterion) {
+    let (n, bs) = (1 << 15, 512);
+    let data: Vec<f64> = (0..n).map(|i| (i % 11) as f64).collect();
+    let cfg = LaunchConfig::default();
+    let mut group = c.benchmark_group("reduce-loop-ablation");
+    group.sample_size(10);
+    for (name, kernel) in [
+        ("unrolled", baselines::reduce(n, bs)),
+        ("looped", baselines::reduce_looped(n, bs)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new();
+                let inp = gpu.alloc_f64(&data);
+                let out = gpu.alloc_f64(&vec![0.0; n / bs]);
+                let stats = gpu
+                    .launch(
+                        &kernel,
+                        [(n / bs) as u64, 1, 1],
+                        [bs as u64, 1, 1],
+                        &[inp, out],
+                        &cfg,
+                    )
+                    .expect("clean");
+                stats.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Compiler-throughput benches: how fast the Descend pipeline itself is
+//! (parse + type/borrow check + lower + CUDA emission) on the benchmark
+//! programs. Not a paper figure, but useful to track the cost of the
+//! extended borrow checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use descend_benchmarks::sources;
+use descend_compiler::Compiler;
+
+fn compile_benches(c: &mut Criterion) {
+    let compiler = Compiler::new();
+    let cases: Vec<(&str, String)> = vec![
+        ("reduce", sources::reduce(8192)),
+        ("transpose", sources::transpose(256)),
+        ("scan", sources::scan_blocks(8192)),
+        ("matmul", sources::matmul(128)),
+    ];
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for (name, src) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| compiler.compile_source(src).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_benches);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the paper's Figure 8: one group per benchmark,
+//! measuring the simulated execution of the Descend-compiled kernel and
+//! the handwritten CUDA baseline on the same workload.
+//!
+//! Criterion measures the *simulator's wall time*, which tracks the
+//! modeled work; the authoritative Figure 8 metric is the modeled cycle
+//! count printed by the `figure8` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use descend_benchmarks::{run_benchmark, BenchKind};
+use gpu_sim::LaunchConfig;
+
+/// Small footprints so `cargo bench` stays quick; the binary sweeps the
+/// full small/medium/large range.
+fn bench_param(kind: BenchKind) -> usize {
+    match kind {
+        BenchKind::Reduce => 1 << 15,
+        BenchKind::Transpose => 128,
+        BenchKind::Scan => 1 << 14,
+        BenchKind::Matmul => 64,
+    }
+}
+
+fn figure8(c: &mut Criterion) {
+    let cfg = LaunchConfig::default();
+    for kind in [
+        BenchKind::Reduce,
+        BenchKind::Transpose,
+        BenchKind::Scan,
+        BenchKind::Matmul,
+    ] {
+        let mut group = c.benchmark_group(kind.name());
+        group.sample_size(10);
+        let param = bench_param(kind);
+        group.bench_with_input(
+            BenchmarkId::new("descend-vs-cuda", param),
+            &param,
+            |b, &p| {
+                b.iter(|| {
+                    let r = run_benchmark(kind, p, 42, &cfg);
+                    assert!(r.descend_cycles > 0 && r.cuda_cycles > 0);
+                    r.descend_over_cuda()
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, figure8);
+criterion_main!(benches);

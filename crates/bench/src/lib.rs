@@ -1,0 +1,33 @@
+//! Benchmark harness for the Figure 8 reproduction.
+//!
+//! - `cargo run --release -p descend-bench --bin figure8` regenerates the
+//!   paper's Figure 8 table (relative runtimes, Descend vs handwritten
+//!   CUDA, four benchmarks x three footprints).
+//! - `cargo bench -p descend-bench` runs the Criterion benches: one group
+//!   per paper benchmark (simulated execution of both versions), compiler
+//!   throughput, and the loop-unrolling ablation.
+
+use descend_benchmarks::{run_benchmark, BenchKind, BenchResult};
+use gpu_sim::LaunchConfig;
+
+/// Runs one benchmark `runs` times with distinct seeds and returns the
+/// median-by-cycles result (cycles are deterministic per seed; seeds only
+/// vary the input data).
+pub fn median_result(
+    kind: BenchKind,
+    param: usize,
+    runs: usize,
+    cfg: &LaunchConfig,
+) -> BenchResult {
+    assert!(runs >= 1);
+    let mut results: Vec<BenchResult> = (0..runs)
+        .map(|r| run_benchmark(kind, param, 0xC0FFEE + r as u64, cfg))
+        .collect();
+    results.sort_by_key(|r| r.descend_cycles);
+    results.swap_remove(results.len() / 2)
+}
+
+/// Formats a ratio as the figure's bar value.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.3}")
+}

@@ -1,0 +1,28 @@
+//! The paper's evaluation benchmarks (Section 5 / Figure 8).
+//!
+//! Four benchmarks, each in two versions measured on the same simulator:
+//!
+//! 1. **Descend**: a program in Descend source (generated for the
+//!    requested size by [`sources`]), compiled by this repository's
+//!    compiler;
+//! 2. **CUDA baseline**: a handwritten kernel in simulator IR
+//!    ([`baselines`]) transcribing the canonical CUDA implementation with
+//!    the same optimizations and access patterns — the role the authors'
+//!    handwritten CUDA played.
+//!
+//! [`runner`] executes both on identical workloads, validates their
+//! results against scalar references ([`crate::reference`]), and reports modeled
+//! cycles; the Figure 8 harness prints the relative runtimes.
+//!
+//! Footprints are scaled down from the paper's 256 MB–1 GB to interpreter
+//! scale (see DESIGN.md); the *relative* measurements the figure reports
+//! are preserved.
+
+pub mod baselines;
+pub mod reference;
+pub mod runner;
+pub mod sources;
+
+pub use runner::{
+    footprints, run_benchmark, BenchKind, BenchResult, SizeClass, ALL_BENCHMARKS,
+};

@@ -1,0 +1,82 @@
+//! Scalar reference implementations used to validate both the Descend
+//! and baseline kernels.
+
+/// Per-block sums (block size `bs`).
+pub fn block_sums(data: &[f64], bs: usize) -> Vec<f64> {
+    data.chunks(bs).map(|c| c.iter().sum()).collect()
+}
+
+/// Matrix transposition of an `n`x`n` row-major matrix.
+pub fn transpose(data: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            out[c * n + r] = data[r * n + c];
+        }
+    }
+    out
+}
+
+/// Inclusive prefix sum.
+pub fn inclusive_scan(data: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0.0;
+    for v in data {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Row-major `n`x`n` matrix product.
+pub fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for r in 0..n {
+        for k in 0..n {
+            let av = a[r * n + k];
+            if av == 0.0 {
+                continue;
+            }
+            for col in 0..n {
+                c[r * n + col] += av * b[k * n + col];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sums_basic() {
+        assert_eq!(block_sums(&[1.0, 2.0, 3.0, 4.0], 2), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let n = 8;
+        let data: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        assert_eq!(transpose(&transpose(&data, n), n), data);
+    }
+
+    #[test]
+    fn scan_basic() {
+        assert_eq!(
+            inclusive_scan(&[1.0, 2.0, 3.0]),
+            vec![1.0, 3.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 4;
+        let mut id = vec![0.0; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        assert_eq!(matmul(&a, &id, n), a);
+    }
+}

@@ -1,0 +1,236 @@
+//! Descend source generators for the four benchmarks.
+//!
+//! Sizes are substituted into the source text (the paper's Descend
+//! supports nat polymorphism; our checker monomorphizes at instantiation,
+//! so generating the instantiated source is equivalent and keeps the
+//! corpus readable).
+
+/// Block size used by the 1-D benchmarks (reduction and scan).
+pub const BLOCK_SIZE: usize = 512;
+
+/// The parallel reduction: each 512-thread block tree-reduces its
+/// partition into `out[block]`.
+pub fn reduce(n: usize) -> String {
+    assert!(n % BLOCK_SIZE == 0, "n must be a multiple of {BLOCK_SIZE}");
+    let nb = n / BLOCK_SIZE;
+    let bs = BLOCK_SIZE;
+    let half = bs / 2;
+    format!(
+        r#"
+fn reduce(inp: & gpu.global [f64; {n}], out: &uniq gpu.global [f64; {nb}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        let tmp = alloc::<gpu.shared, [f64; {bs}]>();
+        sched(X) thread in block {{
+            tmp[[thread]] = (*inp).group::<{bs}>[[block]][[thread]];
+        }}
+        sync;
+        for k in halving({half}) {{
+            split(X) block at k {{
+                active => {{
+                    sched(X) t in active {{
+                        tmp.split::<k>.fst[[t]] = tmp.split::<k>.fst[[t]]
+                            + tmp.split::<k>.snd.split::<k>.fst[[t]];
+                    }}
+                }},
+                inactive => {{ }}
+            }}
+            sync;
+        }}
+        split(X) block at 1 {{
+            first => {{
+                sched(X) t in first {{
+                    (*out)[[block]] = tmp.split::<1>.fst[[t]];
+                }}
+            }},
+            rest => {{ }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// The tiled matrix transposition of the paper's Listing 2: 32x32 tiles
+/// staged through shared memory by 32x8-thread blocks.
+pub fn transpose(n: usize) -> String {
+    assert!(n % 32 == 0, "n must be a multiple of 32");
+    let nb = n / 32;
+    format!(
+        r#"
+view tiles<h: nat, w: nat> = group::<h>.map(map(group::<w>)).map(transpose);
+
+fn transpose(input: & gpu.global [[f64; {n}]; {n}],
+             output: &uniq gpu.global [[f64; {n}]; {n}])
+-[grid: gpu.grid<XY<{nb},{nb}>, XY<32,8>>]-> () {{
+    sched(Y,X) block in grid {{
+        let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+        sched(Y,X) thread in block {{
+            for i in [0..4] {{
+                tmp.group::<8>[i][[thread]] =
+                    (*input).tiles::<32,32>.transpose[[block]].group::<8>[i][[thread]];
+            }}
+            sync;
+            for i in [0..4] {{
+                (*output).tiles::<32,32>[[block]].group::<8>[i][[thread]] =
+                    tmp.transpose.group::<8>[i][[thread]];
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Kernel 1 of the scan: a per-block Hillis-Steele inclusive scan with
+/// explicit double buffering (one `split`+`sync` round per doubling
+/// stride), also writing each block's total into `sums`.
+pub fn scan_blocks(n: usize) -> String {
+    assert!(n % BLOCK_SIZE == 0, "n must be a multiple of {BLOCK_SIZE}");
+    let nb = n / BLOCK_SIZE;
+    let bs = BLOCK_SIZE;
+    let steps = bs.trailing_zeros() as usize;
+    let mut body = String::new();
+    for i in 0..steps {
+        let k = 1usize << i;
+        let (src, dst) = if i % 2 == 0 {
+            ("buf_a", "buf_b")
+        } else {
+            ("buf_b", "buf_a")
+        };
+        let rest = bs - k;
+        body.push_str(&format!(
+            r#"
+        split(X) block at {k} {{
+            low{i} => {{
+                sched(X) t in low{i} {{
+                    {dst}.split::<{k}>.fst[[t]] = {src}.split::<{k}>.fst[[t]];
+                }}
+            }},
+            high{i} => {{
+                sched(X) t in high{i} {{
+                    {dst}.split::<{k}>.snd[[t]] = {src}.split::<{k}>.snd[[t]]
+                        + {src}.split::<{rest}>.fst[[t]];
+                }}
+            }}
+        }}
+        sync;
+"#
+        ));
+    }
+    let last = if steps % 2 == 0 { "buf_a" } else { "buf_b" };
+    let bs1 = bs - 1;
+    format!(
+        r#"
+fn scan_blocks(io: &uniq gpu.global [f64; {n}], sums: &uniq gpu.global [f64; {nb}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        let buf_a = alloc::<gpu.shared, [f64; {bs}]>();
+        let buf_b = alloc::<gpu.shared, [f64; {bs}]>();
+        sched(X) thread in block {{
+            buf_a[[thread]] = (*io).group::<{bs}>[[block]][[thread]];
+        }}
+        sync;
+{body}
+        sched(X) thread in block {{
+            (*io).group::<{bs}>[[block]][[thread]] = {last}[[thread]];
+        }}
+        split(X) block at {bs1} {{
+            most => {{ }},
+            top => {{
+                sched(X) t in top {{
+                    (*sums)[[block]] = {last}.split::<{bs1}>.snd[[t]];
+                }}
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Kernel 2 of the scan: adds each block's exclusive offset to its
+/// partition.
+pub fn scan_add_offsets(n: usize) -> String {
+    let nb = n / BLOCK_SIZE;
+    let bs = BLOCK_SIZE;
+    format!(
+        r#"
+fn add_offsets(io: &uniq gpu.global [f64; {n}], offsets: & gpu.global [f64; {nb}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        sched(X) thread in block {{
+            (*io).group::<{bs}>[[block]][[thread]] =
+                (*io).group::<{bs}>[[block]][[thread]] + (*offsets)[[block]];
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Tiled matrix multiplication: each 32x32-thread block computes one
+/// 32x32 tile of C, staging A and B tiles through shared memory.
+pub fn matmul(n: usize) -> String {
+    assert!(n % 32 == 0, "n must be a multiple of 32");
+    let nb = n / 32;
+    format!(
+        r#"
+view tiles<h: nat, w: nat> = group::<h>.map(map(group::<w>)).map(transpose);
+
+fn matmul(a: & gpu.global [[f64; {n}]; {n}], b: & gpu.global [[f64; {n}]; {n}],
+          c: &uniq gpu.global [[f64; {n}]; {n}])
+-[grid: gpu.grid<XY<{nb},{nb}>, XY<32,32>>]-> () {{
+    sched(Y,X) block in grid {{
+        let a_tile = alloc::<gpu.shared, [[f64; 32]; 32]>();
+        let b_tile = alloc::<gpu.shared, [[f64; 32]; 32]>();
+        sched(Y,X) thread in block {{
+            let mut acc = 0.0;
+            for t in [0..{nb}] {{
+                a_tile[[thread]] = (*a).tiles::<32,32>[[block.Y]][t][[thread]];
+                b_tile[[thread]] = (*b).tiles::<32,32>[t][[block.X]][[thread]];
+                sync;
+                for k in [0..32] {{
+                    acc = acc + a_tile[[thread.Y]][k] * b_tile[k][[thread.X]];
+                }}
+                sync;
+            }}
+            (*c).tiles::<32,32>[[block]][[thread]] = acc;
+        }}
+    }}
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sources_parse() {
+        for src in [
+            reduce(2048),
+            transpose(128),
+            scan_blocks(1024),
+            scan_add_offsets(1024),
+            matmul(64),
+        ] {
+            descend_compiler::Compiler::new()
+                .compile_source(&src)
+                .unwrap_or_else(|e| panic!("generated source fails to compile: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn scan_step_count_matches_log2() {
+        let src = scan_blocks(1024);
+        assert_eq!(src.matches("split(X) block at").count(), 9 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn reduce_rejects_unaligned_size() {
+        let _ = reduce(1000);
+    }
+}

@@ -1,0 +1,426 @@
+//! CUDA C++ source emission.
+//!
+//! Produces the text a real Descend compiler would hand to `nvcc`. The
+//! output is golden-tested against the paper's benchmark kernels; we
+//! cannot run it (no NVIDIA toolchain in this reproduction — see
+//! DESIGN.md), but its index expressions are byte-for-byte the ones the
+//! simulator executes, via the shared lowering.
+
+use crate::ir_gen::{idx_to_expr, CodegenError};
+use descend_places::lower_scalar_access;
+use descend_typeck::{
+    CheckedProgram, ElabExpr, ElabStmt, HostStmt, MemKind, MonoKernel, ScalarKind,
+};
+use descend_ast::term::{BinOp, UnOp};
+use descend_ast::ty::DimCompo;
+use descend_exec::Space;
+use std::fmt::Write as _;
+
+fn cuda_ty(k: ScalarKind) -> &'static str {
+    k.cuda_name()
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn coord_name(space: Space, dim: DimCompo) -> &'static str {
+    match (space, dim) {
+        (Space::Block, DimCompo::X) => "blockIdx.x",
+        (Space::Block, DimCompo::Y) => "blockIdx.y",
+        (Space::Block, DimCompo::Z) => "blockIdx.z",
+        (Space::Thread, DimCompo::X) => "threadIdx.x",
+        (Space::Thread, DimCompo::Y) => "threadIdx.y",
+        (Space::Thread, DimCompo::Z) => "threadIdx.z",
+    }
+}
+
+/// Renders an IR expression as C++ (used for the index expressions so the
+/// CUDA text matches the simulated lowering exactly).
+fn ir_expr_to_cpp(e: &gpu_sim::ir::Expr, k: &MonoKernel, out: &mut String) {
+    use gpu_sim::ir::{Axis, Expr};
+    match e {
+        Expr::LitI(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::LitF(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        Expr::LitB(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::BlockIdx(a) => {
+            let _ = write!(out, "blockIdx.{}", axis_name(*a));
+        }
+        Expr::ThreadIdx(a) => {
+            let _ = write!(out, "threadIdx.{}", axis_name(*a));
+        }
+        Expr::BlockDim(a) => {
+            let _ = write!(out, "blockDim.{}", axis_name(*a));
+        }
+        Expr::GridDim(a) => {
+            let _ = write!(out, "gridDim.{}", axis_name(*a));
+        }
+        Expr::Local(i) => {
+            let _ = write!(out, "l{i}");
+        }
+        Expr::LoadGlobal { buf, idx } => {
+            let _ = write!(out, "{}[", k.params[*buf].name);
+            ir_expr_to_cpp(idx, k, out);
+            out.push(']');
+        }
+        Expr::LoadShared { buf, idx } => {
+            let _ = write!(out, "{}[", k.shared[*buf].name);
+            ir_expr_to_cpp(idx, k, out);
+            out.push(']');
+        }
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            ir_expr_to_cpp(a, k, out);
+            let _ = write!(out, " {} ", ir_binop(*op));
+            ir_expr_to_cpp(b, k, out);
+            out.push(')');
+        }
+        Expr::Un(op, a) => {
+            out.push_str(match op {
+                gpu_sim::ir::UnOp::Neg => "-",
+                gpu_sim::ir::UnOp::Not => "!",
+            });
+            out.push('(');
+            ir_expr_to_cpp(a, k, out);
+            out.push(')');
+        }
+    }
+
+    fn axis_name(a: Axis) -> &'static str {
+        match a {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+
+    fn ir_binop(op: gpu_sim::ir::BinOp) -> &'static str {
+        use gpu_sim::ir::BinOp::*;
+        match op {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            Min => "min",
+            Max => "max",
+        }
+    }
+}
+
+struct CudaCx<'k> {
+    kernel: &'k MonoKernel,
+    /// Rendered name per live local (uniquified on rebinding).
+    local_names: std::collections::HashMap<String, String>,
+    decl_counter: usize,
+}
+
+impl CudaCx<'_> {
+    fn expr(&self, e: &ElabExpr, out: &mut String) -> Result<(), CodegenError> {
+        match e {
+            ElabExpr::Lit(kind, v) => match kind {
+                ScalarKind::F64 => {
+                    let _ = write!(out, "{v:?}");
+                }
+                ScalarKind::F32 => {
+                    let _ = write!(out, "{v:?}f");
+                }
+                ScalarKind::I32 => {
+                    let _ = write!(out, "{}", *v as i64);
+                }
+                ScalarKind::Bool => {
+                    let _ = write!(out, "{}", *v != 0.0);
+                }
+            },
+            ElabExpr::Local(name) => {
+                let n = self
+                    .local_names
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?;
+                out.push_str(n);
+            }
+            ElabExpr::Load(a) => {
+                self.access(a, out)?;
+            }
+            ElabExpr::Binary(op, x, y) => {
+                out.push('(');
+                self.expr(x, out)?;
+                let _ = write!(out, " {} ", binop_cpp(*op));
+                self.expr(y, out)?;
+                out.push(')');
+            }
+            ElabExpr::Unary(op, x) => {
+                out.push_str(match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                });
+                out.push('(');
+                self.expr(x, out)?;
+                out.push(')');
+            }
+        }
+        Ok(())
+    }
+
+    fn access(
+        &self,
+        a: &descend_typeck::ElabAccess,
+        out: &mut String,
+    ) -> Result<(), CodegenError> {
+        let name = match a.mem {
+            MemKind::GlobalParam(i) => &self.kernel.params[i].name,
+            MemKind::Shared(i) => &self.kernel.shared[i].name,
+        };
+        let idx = lower_scalar_access(&a.path, &a.root_dims)
+            .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+        let idx = idx_to_expr(&idx)?;
+        let _ = write!(out, "{name}[");
+        ir_expr_to_cpp(&idx, self.kernel, out);
+        out.push(']');
+        Ok(())
+    }
+
+    fn stmts(
+        &mut self,
+        body: &[ElabStmt],
+        out: &mut String,
+        level: usize,
+    ) -> Result<(), CodegenError> {
+        for s in body {
+            match s {
+                ElabStmt::Local { name, elem, init } => {
+                    let rendered = if self.local_names.contains_key(name) {
+                        self.decl_counter += 1;
+                        format!("{name}_{}", self.decl_counter)
+                    } else {
+                        name.clone()
+                    };
+                    indent(out, level);
+                    let _ = write!(out, "{} {} = ", cuda_ty(*elem), rendered);
+                    self.local_names.insert(name.clone(), rendered);
+                    self.expr(init, out)?;
+                    out.push_str(";\n");
+                }
+                ElabStmt::AssignLocal { name, value } => {
+                    indent(out, level);
+                    let n = self
+                        .local_names
+                        .get(name)
+                        .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?
+                        .clone();
+                    let _ = write!(out, "{n} = ");
+                    self.expr(value, out)?;
+                    out.push_str(";\n");
+                }
+                ElabStmt::Store { access, value } => {
+                    indent(out, level);
+                    self.access(access, out)?;
+                    out.push_str(" = ");
+                    self.expr(value, out)?;
+                    out.push_str(";\n");
+                }
+                ElabStmt::Split {
+                    space,
+                    dim,
+                    threshold,
+                    fst,
+                    snd,
+                } => {
+                    indent(out, level);
+                    let _ = writeln!(
+                        out,
+                        "if ({} < {threshold}) {{",
+                        coord_name(*space, *dim)
+                    );
+                    self.stmts(fst, out, level + 1)?;
+                    indent(out, level);
+                    if snd.is_empty() {
+                        out.push_str("}\n");
+                    } else {
+                        out.push_str("} else {\n");
+                        self.stmts(snd, out, level + 1)?;
+                        indent(out, level);
+                        out.push_str("}\n");
+                    }
+                }
+                ElabStmt::Sync => {
+                    indent(out, level);
+                    out.push_str("__syncthreads();\n");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn binop_cpp(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Emits CUDA C++ for one kernel.
+///
+/// # Errors
+///
+/// Propagates lowering failures (see [`CodegenError`]).
+pub fn kernel_to_cuda(k: &MonoKernel) -> Result<String, CodegenError> {
+    let mut out = String::new();
+    let _ = write!(out, "__global__ void {}(", k.name);
+    for (i, p) in k.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if p.uniq {
+            let _ = write!(out, "{}* {}", cuda_ty(p.elem), p.name);
+        } else {
+            let _ = write!(out, "const {}* {}", cuda_ty(p.elem), p.name);
+        }
+    }
+    out.push_str(") {\n");
+    for s in &k.shared {
+        indent(&mut out, 1);
+        let total: u64 = s.dims.iter().product();
+        let _ = writeln!(out, "__shared__ {} {}[{}];", cuda_ty(s.elem), s.name, total);
+    }
+    let mut cx = CudaCx {
+        kernel: k,
+        local_names: std::collections::HashMap::new(),
+        decl_counter: 0,
+    };
+    cx.stmts(&k.body, &mut out, 1)?;
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Emits the host-side C++ for one host function.
+///
+/// # Errors
+///
+/// Never fails today; returns `Result` for symmetry with the kernels.
+pub fn host_fn_to_cuda(
+    name: &str,
+    stmts: &[HostStmt],
+    kernels: &[MonoKernel],
+) -> Result<String, CodegenError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "void {name}() {{");
+    // Track element type and length per variable for sizes.
+    let mut sizes: std::collections::HashMap<&str, (ScalarKind, u64)> =
+        std::collections::HashMap::new();
+    for s in stmts {
+        indent(&mut out, 1);
+        match s {
+            HostStmt::AllocCpu { name, elem, len } => {
+                sizes.insert(name, (*elem, *len));
+                let t = cuda_ty(*elem);
+                let _ = writeln!(
+                    out,
+                    "{t}* {name} = ({t}*)calloc({len}, sizeof({t}));"
+                );
+            }
+            HostStmt::AllocGpu { name, elem, len } => {
+                sizes.insert(name, (*elem, *len));
+                let t = cuda_ty(*elem);
+                let _ = writeln!(
+                    out,
+                    "{t}* {name}; cudaMalloc(&{name}, {len} * sizeof({t})); cudaMemset({name}, 0, {len} * sizeof({t}));"
+                );
+            }
+            HostStmt::AllocGpuCopy { name, src } => {
+                let (elem, len) = sizes.get(src.as_str()).copied().unwrap_or((
+                    ScalarKind::F64,
+                    0,
+                ));
+                sizes.insert(name, (elem, len));
+                let t = cuda_ty(elem);
+                let _ = writeln!(
+                    out,
+                    "{t}* {name}; cudaMalloc(&{name}, {len} * sizeof({t})); cudaMemcpy({name}, {src}, {len} * sizeof({t}), cudaMemcpyHostToDevice);"
+                );
+            }
+            HostStmt::CopyToHost { dst, src } => {
+                let (elem, len) =
+                    sizes.get(dst.as_str()).copied().unwrap_or((ScalarKind::F64, 0));
+                let t = cuda_ty(elem);
+                let _ = writeln!(
+                    out,
+                    "cudaMemcpy({dst}, {src}, {len} * sizeof({t}), cudaMemcpyDeviceToHost);"
+                );
+            }
+            HostStmt::CopyToGpu { dst, src } => {
+                let (elem, len) =
+                    sizes.get(dst.as_str()).copied().unwrap_or((ScalarKind::F64, 0));
+                let t = cuda_ty(elem);
+                let _ = writeln!(
+                    out,
+                    "cudaMemcpy({dst}, {src}, {len} * sizeof({t}), cudaMemcpyHostToDevice);"
+                );
+            }
+            HostStmt::Launch { kernel, args } => {
+                let k = &kernels[*kernel];
+                let _ = writeln!(
+                    out,
+                    "{}<<<dim3({}, {}, {}), dim3({}, {}, {})>>>({});",
+                    k.name,
+                    k.grid_dim[0],
+                    k.grid_dim[1],
+                    k.grid_dim[2],
+                    k.block_dim[0],
+                    k.block_dim[1],
+                    k.block_dim[2],
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Emits a complete CUDA C++ translation unit: all kernels followed by
+/// all host functions.
+///
+/// # Errors
+///
+/// Propagates lowering failures.
+pub fn program_to_cuda(checked: &CheckedProgram) -> Result<String, CodegenError> {
+    let mut out = String::from("#include <cuda_runtime.h>\n#include <cstdlib>\n\n");
+    for k in &checked.kernels {
+        out.push_str(&kernel_to_cuda(k)?);
+        out.push('\n');
+    }
+    for (name, stmts) in &checked.host_fns {
+        out.push_str(&host_fn_to_cuda(name, stmts, &checked.kernels)?);
+        out.push('\n');
+    }
+    Ok(out)
+}

@@ -1,0 +1,242 @@
+//! Lowering of elaborated kernels to the simulator IR.
+
+use descend_ast::term::{BinOp as AstBinOp, UnOp as AstUnOp};
+use descend_ast::ty::DimCompo;
+use descend_exec::Space;
+use descend_places::{lower_scalar_access, Coord, IdxExpr};
+use descend_typeck::{ElabExpr, ElabStmt, MonoKernel, ScalarKind};
+use gpu_sim::ir::{Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Lowering errors. A type-checked kernel should always lower; failures
+/// indicate elaboration bugs or intentionally unsupported constructs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CodegenError {
+    /// A place path could not be lowered to a flat index.
+    Lowering(String),
+    /// An unresolved local variable.
+    UnknownLocal(String),
+    /// A loop variable survived unrolling (should not happen).
+    ResidualVar(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Lowering(m) => write!(f, "cannot lower access: {m}"),
+            CodegenError::UnknownLocal(n) => write!(f, "unknown local `{n}`"),
+            CodegenError::ResidualVar(n) => {
+                write!(f, "nat variable `{n}` survived unrolling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Maps a scalar kind to the IR element type.
+pub fn elem_ty(k: ScalarKind) -> ElemTy {
+    match k {
+        ScalarKind::F64 => ElemTy::F64,
+        ScalarKind::F32 => ElemTy::F32,
+        ScalarKind::I32 => ElemTy::I32,
+        ScalarKind::Bool => ElemTy::Bool,
+    }
+}
+
+fn axis(d: DimCompo) -> Axis {
+    match d {
+        DimCompo::X => Axis::X,
+        DimCompo::Y => Axis::Y,
+        DimCompo::Z => Axis::Z,
+    }
+}
+
+/// Converts a lowered index expression to an IR expression.
+pub fn idx_to_expr(idx: &IdxExpr) -> Result<Expr, CodegenError> {
+    Ok(match idx {
+        IdxExpr::Const(v) => Expr::LitI(*v as i64),
+        IdxExpr::Var(x) => return Err(CodegenError::ResidualVar(x.clone())),
+        IdxExpr::Coord(Coord { space, dim, offset }) => {
+            let base = match space {
+                Space::Block => Expr::BlockIdx(axis(*dim)),
+                Space::Thread => Expr::ThreadIdx(axis(*dim)),
+            };
+            match offset.as_lit() {
+                Some(0) => base,
+                Some(o) => Expr::sub(base, Expr::LitI(o as i64)),
+                None => {
+                    return Err(CodegenError::Lowering(format!(
+                        "non-literal coordinate offset `{offset}`"
+                    )))
+                }
+            }
+        }
+        IdxExpr::Add(a, b) => Expr::add(idx_to_expr(a)?, idx_to_expr(b)?),
+        IdxExpr::Sub(a, b) => Expr::sub(idx_to_expr(a)?, idx_to_expr(b)?),
+        IdxExpr::Mul(a, b) => Expr::mul(idx_to_expr(a)?, idx_to_expr(b)?),
+    })
+}
+
+fn bin_op(op: AstBinOp) -> BinOp {
+    match op {
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+        AstBinOp::Mod => BinOp::Mod,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::Le => BinOp::Le,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::Ge => BinOp::Ge,
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::Ne => BinOp::Ne,
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Or => BinOp::Or,
+    }
+}
+
+fn un_op(op: AstUnOp) -> UnOp {
+    match op {
+        AstUnOp::Neg => UnOp::Neg,
+        AstUnOp::Not => UnOp::Not,
+    }
+}
+
+struct LowerCx {
+    /// Live name -> local slot (rebinding allocates a fresh slot).
+    locals: HashMap<String, usize>,
+    next_slot: usize,
+}
+
+impl LowerCx {
+    fn expr(&self, e: &ElabExpr) -> Result<Expr, CodegenError> {
+        Ok(match e {
+            ElabExpr::Lit(kind, v) => match kind {
+                ScalarKind::F64 | ScalarKind::F32 => Expr::LitF(*v),
+                ScalarKind::I32 => Expr::LitI(*v as i64),
+                ScalarKind::Bool => Expr::LitB(*v != 0.0),
+            },
+            ElabExpr::Local(name) => Expr::Local(
+                *self
+                    .locals
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?,
+            ),
+            ElabExpr::Load(access) => {
+                let idx = lower_scalar_access(&access.path, &access.root_dims)
+                    .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+                let idx = Box::new(idx_to_expr(&idx)?);
+                match access.mem {
+                    descend_typeck::MemKind::GlobalParam(i) => {
+                        Expr::LoadGlobal { buf: i, idx }
+                    }
+                    descend_typeck::MemKind::Shared(i) => Expr::LoadShared { buf: i, idx },
+                }
+            }
+            ElabExpr::Binary(op, a, b) => {
+                Expr::bin(bin_op(*op), self.expr(a)?, self.expr(b)?)
+            }
+            ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(self.expr(a)?)),
+        })
+    }
+
+    fn stmts(&mut self, body: &[ElabStmt]) -> Result<Vec<Stmt>, CodegenError> {
+        let mut out = Vec::new();
+        for s in body {
+            match s {
+                ElabStmt::Local { name, init, .. } => {
+                    let init = self.expr(init)?;
+                    let slot = self.next_slot;
+                    self.next_slot += 1;
+                    self.locals.insert(name.clone(), slot);
+                    out.push(Stmt::SetLocal(slot, init));
+                }
+                ElabStmt::AssignLocal { name, value } => {
+                    let value = self.expr(value)?;
+                    let slot = *self
+                        .locals
+                        .get(name)
+                        .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?;
+                    out.push(Stmt::SetLocal(slot, value));
+                }
+                ElabStmt::Store { access, value } => {
+                    let value = self.expr(value)?;
+                    let idx = lower_scalar_access(&access.path, &access.root_dims)
+                        .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+                    let idx = idx_to_expr(&idx)?;
+                    out.push(match access.mem {
+                        descend_typeck::MemKind::GlobalParam(i) => Stmt::StoreGlobal {
+                            buf: i,
+                            idx,
+                            value,
+                        },
+                        descend_typeck::MemKind::Shared(i) => Stmt::StoreShared {
+                            buf: i,
+                            idx,
+                            value,
+                        },
+                    });
+                }
+                ElabStmt::Split {
+                    space,
+                    dim,
+                    threshold,
+                    fst,
+                    snd,
+                } => {
+                    let coord = match space {
+                        Space::Block => Expr::BlockIdx(axis(*dim)),
+                        Space::Thread => Expr::ThreadIdx(axis(*dim)),
+                    };
+                    let cond = Expr::lt(coord, Expr::LitI(*threshold as i64));
+                    let then_s = self.stmts(fst)?;
+                    let else_s = self.stmts(snd)?;
+                    out.push(Stmt::If {
+                        cond,
+                        then_s,
+                        else_s,
+                    });
+                }
+                ElabStmt::Sync => out.push(Stmt::Barrier),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Lowers one elaborated kernel to the simulator IR.
+///
+/// # Errors
+///
+/// See [`CodegenError`]; does not occur for kernels produced by the type
+/// checker from supported programs.
+pub fn kernel_to_ir(k: &MonoKernel) -> Result<KernelIr, CodegenError> {
+    let mut cx = LowerCx {
+        locals: HashMap::new(),
+        next_slot: 0,
+    };
+    let body = cx.stmts(&k.body)?;
+    Ok(KernelIr {
+        name: k.name.clone(),
+        params: k
+            .params
+            .iter()
+            .map(|p| ParamDecl {
+                elem: elem_ty(p.elem),
+                len: p.dims.iter().product(),
+                writable: p.uniq,
+            })
+            .collect(),
+        shared: k
+            .shared
+            .iter()
+            .map(|s| SharedDecl {
+                elem: elem_ty(s.elem),
+                len: s.dims.iter().product(),
+            })
+            .collect(),
+        body,
+    })
+}

@@ -1,0 +1,31 @@
+//! Code generation: from elaborated kernels to the simulator IR and to
+//! CUDA C++ source text.
+//!
+//! The paper's Section 5 describes the translation: `sched` dissolves
+//! into the SPMD kernel model (the bound execution-resource variables
+//! become `blockIdx`/`threadIdx`), selects and views compile into raw
+//! index arithmetic by the reverse-order transformation implemented in
+//! [`descend_places::lower_scalar_access`], `split` becomes a coordinate
+//! condition, and `sync` becomes `__syncthreads()`.
+//!
+//! Both backends consume the same [`MonoKernel`]s, so the CUDA text and
+//! the simulated kernel are two renderings of one lowering.
+
+pub mod cuda;
+pub mod ir_gen;
+
+pub use cuda::{host_fn_to_cuda, kernel_to_cuda, program_to_cuda};
+pub use ir_gen::{kernel_to_ir, CodegenError};
+
+use descend_typeck::MonoKernel;
+
+/// Convenience: lowers every kernel of a checked program to IR.
+///
+/// # Errors
+///
+/// Propagates the first lowering failure (see [`CodegenError`]).
+pub fn all_kernels_to_ir(
+    kernels: &[MonoKernel],
+) -> Result<Vec<gpu_sim::KernelIr>, CodegenError> {
+    kernels.iter().map(kernel_to_ir).collect()
+}

@@ -1,0 +1,124 @@
+//! `descendc` — the Descend command-line compiler.
+//!
+//! ```text
+//! descendc check  <file.descend>           type-check only
+//! descendc cuda   <file.descend>           emit the CUDA C++ translation unit
+//! descendc run    <file.descend> [--fn f]  run a host function on the simulator
+//! descendc kernels <file.descend>          list compiled kernel instances
+//! ```
+//!
+//! `run` executes with the dynamic race detector enabled and prints the
+//! final CPU buffers and per-launch statistics.
+
+use descend_compiler::Compiler;
+use gpu_sim::LaunchConfig;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: descendc <check|cuda|run|kernels> <file.descend> [--fn NAME]\n\
+         \n\
+         check    type-check and report diagnostics\n\
+         cuda     emit the CUDA C++ translation unit to stdout\n\
+         run      execute a host function on the simulated GPU (default: main)\n\
+         kernels  list compiled kernel instances and their launch shapes"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return usage(),
+    };
+    let host_fn = args
+        .iter()
+        .position(|a| a == "--fn")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("main");
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match Compiler::new().compile_source(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "check" => {
+            println!(
+                "ok: {} kernel instance(s), {} host function(s)",
+                compiled.kernels.len(),
+                compiled.checked.host_fns.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "cuda" => {
+            print!("{}", compiled.cuda_source);
+            ExitCode::SUCCESS
+        }
+        "kernels" => {
+            for k in &compiled.kernels {
+                let m = &k.mono;
+                println!(
+                    "{}  grid ({}, {}, {})  block ({}, {}, {})  params {}  shared {}",
+                    m.name,
+                    m.grid_dim[0],
+                    m.grid_dim[1],
+                    m.grid_dim[2],
+                    m.block_dim[0],
+                    m.block_dim[1],
+                    m.block_dim[2],
+                    m.params.len(),
+                    m.shared.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let cfg = LaunchConfig {
+                detect_races: true,
+                ..LaunchConfig::default()
+            };
+            match compiled.run_host(host_fn, &HashMap::new(), &cfg) {
+                Ok(run) => {
+                    let mut names: Vec<_> = run.cpu.keys().collect();
+                    names.sort();
+                    for name in names {
+                        let data = &run.cpu[name];
+                        let preview: Vec<String> =
+                            data.iter().take(8).map(|v| format!("{v}")).collect();
+                        println!(
+                            "{name}: [{}{}] ({} elements)",
+                            preview.join(", "),
+                            if data.len() > 8 { ", ..." } else { "" },
+                            data.len()
+                        );
+                    }
+                    for (i, s) in run.launches.iter().enumerate() {
+                        println!(
+                            "launch {i}: {} cycles, {} global transactions, {} barriers",
+                            s.cycles, s.global_transactions, s.barriers
+                        );
+                    }
+                    println!("total modeled cycles: {}", run.total_cycles());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

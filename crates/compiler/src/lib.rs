@@ -1,0 +1,322 @@
+//! The Descend compiler driver.
+//!
+//! Ties the pipeline together: parsing ([`descend_parser`]), type checking
+//! and extended borrow checking ([`descend_typeck`]), and code generation
+//! ([`descend_codegen`]) to both CUDA C++ text and the simulator IR.
+//! A small host interpreter executes the elaborated host functions against
+//! the simulated GPU, making `.descend` programs runnable end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use descend_compiler::Compiler;
+//!
+//! let src = r#"
+//!     fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+//!         sched(X) block in grid {
+//!             sched(X) thread in block {
+//!                 (*v).group::<32>[[block]][[thread]] =
+//!                     (*v).group::<32>[[block]][[thread]] * 3.0;
+//!             }
+//!         }
+//!     }
+//!
+//!     fn main() -[t: cpu.thread]-> () {
+//!         let h = alloc::<cpu.mem, [f64; 64]>();
+//!         let d = gpu_alloc_copy(&h);
+//!         scale<<<X<2>, X<32>>>>(&uniq d);
+//!         copy_mem_to_host(&uniq h, &d);
+//!     }
+//! "#;
+//! let compiled = Compiler::new().compile_source(src).expect("compiles");
+//! let mut inputs = std::collections::HashMap::new();
+//! inputs.insert("h".to_string(), vec![2.0; 64]);
+//! let run = compiled.run_host("main", &inputs, &Default::default()).expect("runs");
+//! assert_eq!(run.cpu["h"], vec![6.0; 64]);
+//! ```
+
+use descend_ast::term::Program;
+use descend_codegen::{kernel_to_cuda, kernel_to_ir, program_to_cuda, CodegenError};
+use descend_typeck::{check_program, CheckedProgram, HostStmt, MonoKernel, ScalarKind, TypeError};
+use gpu_sim::device::BufId;
+use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats, SimError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which pipeline stage failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Lexing/parsing.
+    Parse,
+    /// Type checking / borrow checking.
+    Type,
+    /// Lowering to IR or CUDA.
+    Codegen,
+}
+
+/// A compilation error with a pre-rendered, paper-style diagnostic.
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    /// The failing stage.
+    pub stage: Stage,
+    /// The rendered diagnostic (with source snippet for type errors).
+    pub rendered: String,
+    /// The structured type error, when `stage == Stage::Type`.
+    pub type_error: Option<TypeError>,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rendered.trim_end())
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One compiled kernel instance: elaboration, IR, and CUDA text.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// The monomorphized, elaborated kernel.
+    pub mono: MonoKernel,
+    /// The simulator IR.
+    pub ir: KernelIr,
+    /// The CUDA C++ rendering.
+    pub cuda: String,
+}
+
+/// The result of compiling a program.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The parsed AST.
+    pub ast: Program,
+    /// The type checker's elaborated output.
+    pub checked: CheckedProgram,
+    /// All kernel instances.
+    pub kernels: Vec<CompiledKernel>,
+    /// The complete CUDA C++ translation unit (kernels + host functions).
+    pub cuda_source: String,
+}
+
+/// The compiler.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {}
+
+impl Compiler {
+    /// Creates a compiler with default options.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Compiles Descend source text through the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// A [`CompileError`] carrying a rendered diagnostic for the first
+    /// parse, type, or lowering failure.
+    pub fn compile_source(&self, src: &str) -> Result<Compiled, CompileError> {
+        let ast = descend_parser::parse(src).map_err(|e| CompileError {
+            stage: Stage::Parse,
+            rendered: descend_diag::Diagnostic::new("syntax error", e.span, e.msg.clone())
+                .render(src),
+            type_error: None,
+        })?;
+        self.compile_ast(ast, src)
+    }
+
+    /// Compiles an already parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile_source`], minus parse errors.
+    pub fn compile_ast(&self, ast: Program, src: &str) -> Result<Compiled, CompileError> {
+        let checked = check_program(&ast).map_err(|e| CompileError {
+            stage: Stage::Type,
+            rendered: e.diag.render(src),
+            type_error: Some(e),
+        })?;
+        let mut kernels = Vec::new();
+        for mk in &checked.kernels {
+            let ir = kernel_to_ir(mk).map_err(|e| codegen_err(&e))?;
+            let cuda = kernel_to_cuda(mk).map_err(|e| codegen_err(&e))?;
+            kernels.push(CompiledKernel {
+                mono: mk.clone(),
+                ir,
+                cuda,
+            });
+        }
+        let cuda_source = program_to_cuda(&checked).map_err(|e| codegen_err(&e))?;
+        Ok(Compiled {
+            ast,
+            checked,
+            kernels,
+            cuda_source,
+        })
+    }
+}
+
+fn codegen_err(e: &CodegenError) -> CompileError {
+    CompileError {
+        stage: Stage::Codegen,
+        rendered: format!("error: {e}"),
+        type_error: None,
+    }
+}
+
+/// Errors from running a compiled program's host function.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The named host function does not exist.
+    NoSuchHostFn(String),
+    /// A provided input does not match an allocation.
+    BadInput(String),
+    /// A simulation failure (race, divergence, out of bounds, ...).
+    Sim(SimError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NoSuchHostFn(n) => write!(f, "no host function `{n}`"),
+            RunError::BadInput(m) => write!(f, "bad input: {m}"),
+            RunError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> RunError {
+        RunError::Sim(e)
+    }
+}
+
+/// The observable result of a host-function run.
+#[derive(Clone, Debug, Default)]
+pub struct HostRun {
+    /// Final contents of every CPU buffer.
+    pub cpu: HashMap<String, Vec<f64>>,
+    /// Per-launch statistics, in launch order.
+    pub launches: Vec<LaunchStats>,
+}
+
+impl HostRun {
+    /// Total modeled cycles across all launches.
+    pub fn total_cycles(&self) -> u64 {
+        self.launches.iter().map(|s| s.cycles).sum()
+    }
+}
+
+impl Compiled {
+    /// Looks up a compiled kernel by mangled instance name.
+    pub fn kernel(&self, name: &str) -> Option<&CompiledKernel> {
+        self.kernels.iter().find(|k| k.mono.name == name)
+    }
+
+    /// Runs a host function against the simulated GPU.
+    ///
+    /// `inputs` optionally seeds CPU allocations by variable name (the
+    /// allocation is zero-initialized otherwise). Only f64 buffers are
+    /// supported by the host interpreter, which covers all benchmark
+    /// programs.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_host(
+        &self,
+        name: &str,
+        inputs: &HashMap<String, Vec<f64>>,
+        cfg: &LaunchConfig,
+    ) -> Result<HostRun, RunError> {
+        let stmts = self
+            .checked
+            .host_fn(name)
+            .ok_or_else(|| RunError::NoSuchHostFn(name.to_string()))?;
+        let mut gpu = Gpu::new();
+        let mut cpu: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut dev: HashMap<String, BufId> = HashMap::new();
+        let mut run = HostRun::default();
+        for s in stmts {
+            match s {
+                HostStmt::AllocCpu { name, elem, len } => {
+                    require_f64(*elem, name)?;
+                    let mut data = vec![0.0f64; *len as usize];
+                    if let Some(init) = inputs.get(name) {
+                        if init.len() != data.len() {
+                            return Err(RunError::BadInput(format!(
+                                "input `{name}` has {} elements, allocation has {}",
+                                init.len(),
+                                data.len()
+                            )));
+                        }
+                        data.copy_from_slice(init);
+                    }
+                    cpu.insert(name.clone(), data);
+                }
+                HostStmt::AllocGpu { name, elem, len } => {
+                    require_f64(*elem, name)?;
+                    let id = gpu.alloc_f64(&vec![0.0; *len as usize]);
+                    dev.insert(name.clone(), id);
+                }
+                HostStmt::AllocGpuCopy { name, src } => {
+                    let data = cpu.get(src).ok_or_else(|| {
+                        RunError::BadInput(format!("`{src}` is not a CPU buffer"))
+                    })?;
+                    let id = gpu.alloc_f64(data);
+                    dev.insert(name.clone(), id);
+                }
+                HostStmt::CopyToHost { dst, src } => {
+                    let id = *dev.get(src).ok_or_else(|| {
+                        RunError::BadInput(format!("`{src}` is not a GPU buffer"))
+                    })?;
+                    let data = gpu.read_f64(id);
+                    let slot = cpu.get_mut(dst).ok_or_else(|| {
+                        RunError::BadInput(format!("`{dst}` is not a CPU buffer"))
+                    })?;
+                    *slot = data;
+                }
+                HostStmt::CopyToGpu { dst, src } => {
+                    let id = *dev.get(dst).ok_or_else(|| {
+                        RunError::BadInput(format!("`{dst}` is not a GPU buffer"))
+                    })?;
+                    let data = cpu.get(src).ok_or_else(|| {
+                        RunError::BadInput(format!("`{src}` is not a CPU buffer"))
+                    })?;
+                    gpu.write_f64(id, data);
+                }
+                HostStmt::Launch { kernel, args } => {
+                    let ck = &self.kernels[*kernel];
+                    let bufs: Vec<BufId> = args
+                        .iter()
+                        .map(|a| {
+                            dev.get(a).copied().ok_or_else(|| {
+                                RunError::BadInput(format!("`{a}` is not a GPU buffer"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let stats = gpu.launch(
+                        &ck.ir,
+                        ck.mono.grid_dim,
+                        ck.mono.block_dim,
+                        &bufs,
+                        cfg,
+                    )?;
+                    run.launches.push(stats);
+                }
+            }
+        }
+        run.cpu = cpu;
+        Ok(run)
+    }
+}
+
+fn require_f64(elem: ScalarKind, name: &str) -> Result<(), RunError> {
+    if elem == ScalarKind::F64 {
+        Ok(())
+    } else {
+        Err(RunError::BadInput(format!(
+            "host buffer `{name}` is not f64; the host interpreter only supports f64"
+        )))
+    }
+}

@@ -1,0 +1,201 @@
+//! Diagnostics rendering.
+//!
+//! Renders compiler errors in the style of the paper's Section 2 examples:
+//!
+//! ```text
+//! error: conflicting memory access
+//!   --> 4:13
+//!    |
+//!  4 |             arr[[thread]] = arr.rev[[thread]];
+//!    |             ^^^^^^^^^^^^^ cannot select memory because of
+//!    |  a conflicting prior selection here
+//!   --> 4:29
+//!    |
+//!  4 |             arr[[thread]] = arr.rev[[thread]];
+//!    |                             ------------------
+//! ```
+//!
+//! A [`Diagnostic`] carries a headline, a primary labelled span, and any
+//! number of secondary labelled spans (rendered with dashes, like rustc's
+//! secondary labels).
+
+use descend_ast::Span;
+use std::fmt;
+
+/// A labelled source span inside a diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Label {
+    /// The span being pointed at.
+    pub span: Span,
+    /// The message attached to the span.
+    pub message: String,
+}
+
+/// A structured compiler diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Headline, e.g. `conflicting memory access`.
+    pub title: String,
+    /// The primary label (rendered with carets `^^^`).
+    pub primary: Label,
+    /// Secondary labels (rendered with dashes `---`).
+    pub secondary: Vec<Label>,
+    /// Optional free-form help text.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with a primary label.
+    pub fn new(title: impl Into<String>, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            title: title.into(),
+            primary: Label {
+                span,
+                message: message.into(),
+            },
+            secondary: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Adds a secondary label.
+    pub fn with_secondary(
+        mut self,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        self.secondary.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Adds a help note.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the diagnostic against the source text.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.title));
+        render_label(&mut out, source, &self.primary, '^');
+        for l in &self.secondary {
+            render_label(&mut out, source, l, '-');
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("  = help: {h}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {} ({})", self.title, self.primary.message)
+    }
+}
+
+/// Computes 1-based line/column of a byte offset.
+fn line_col(source: &str, offset: u32) -> (usize, usize) {
+    let offset = (offset as usize).min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+fn render_label(out: &mut String, source: &str, label: &Label, marker: char) {
+    let (line, col) = line_col(source, label.span.start);
+    out.push_str(&format!("  --> {line}:{col}\n"));
+    let line_text = source.lines().nth(line - 1).unwrap_or("");
+    let gutter = format!("{line}");
+    let pad = " ".repeat(gutter.len());
+    out.push_str(&format!(" {pad} |\n"));
+    out.push_str(&format!(" {gutter} | {line_text}\n"));
+    let span_len = (label.span.len() as usize).max(1);
+    // Clamp the marker run to the end of the line.
+    let avail = line_text.chars().count().saturating_sub(col - 1).max(1);
+    let run = span_len.min(avail);
+    let markers: String = std::iter::repeat(marker).take(run).collect();
+    out.push_str(&format!(
+        " {pad} | {}{} {}\n",
+        " ".repeat(col - 1),
+        markers,
+        label.message
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_primary_caret() {
+        let src = "let x = y;\nlet z = w;";
+        let d = Diagnostic::new("mismatched types", Span::new(8, 9), "expected `i32`");
+        let r = d.render(src);
+        assert!(r.contains("error: mismatched types"));
+        assert!(r.contains("--> 1:9"));
+        assert!(r.contains("let x = y;"));
+        assert!(r.contains("^ expected `i32`"));
+    }
+
+    #[test]
+    fn renders_secondary_dashes() {
+        let src = "a[[thread]] = a.rev[[thread]];";
+        let d = Diagnostic::new(
+            "conflicting memory access",
+            Span::new(0, 11),
+            "cannot select memory because of a conflicting prior selection here",
+        )
+        .with_secondary(Span::new(14, 29), "prior selection");
+        let r = d.render(src);
+        assert!(r.contains("^^^^^^^^^^^"));
+        assert!(r.contains("---------------"));
+        assert!(r.contains("prior selection"));
+    }
+
+    #[test]
+    fn line_col_multiline() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn help_is_rendered() {
+        let d = Diagnostic::new("barrier not allowed here", Span::new(0, 4), "`sync` here")
+            .with_help("barriers must be reached by every thread of the block");
+        let r = d.render("sync;");
+        assert!(r.contains("= help: barriers"));
+    }
+
+    #[test]
+    fn dummy_span_renders_without_panic() {
+        let d = Diagnostic::new("oops", Span::DUMMY, "here");
+        let r = d.render("");
+        assert!(r.contains("error: oops"));
+    }
+
+    #[test]
+    fn marker_clamped_to_line_end() {
+        let src = "short";
+        let d = Diagnostic::new("x", Span::new(0, 100), "m");
+        let r = d.render(src);
+        assert!(r.contains("^^^^^ m"));
+    }
+}

@@ -1,0 +1,741 @@
+//! Execution resources: the algebra of grids, blocks and threads.
+//!
+//! This crate implements the paper's Figure 2: an execution resource is
+//! either the CPU thread or the GPU grid refined by a sequence of
+//! `.forall(dim)` (schedule over all sub-resources along a dimension) and
+//! `.split(pos, dim).fst/.snd` (partition into two independent groups)
+//! operations. Figure 1 of the paper visualizes exactly these shapes.
+//!
+//! Operations first refine *block space* (the arrangement of blocks in the
+//! grid); once every declared block dimension has been scheduled, further
+//! operations refine *thread space* (the threads within each block). The
+//! type checker uses this algebra for:
+//!
+//! - tracking which resource executes each statement (`T-Sched`),
+//! - the *narrowing* check: a unique access must select once for every
+//!   [`ForallLevel`] introduced below the owner of the accessed memory,
+//! - distinctness of split branches,
+//! - the barrier legality rule (no `sync` under a thread-space split).
+
+use descend_ast::ty::{Dim, DimCompo, ExecTy};
+use descend_ast::Nat;
+use std::fmt;
+
+/// Which half of a split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first part: coordinates `[0, pos)`.
+    Fst,
+    /// The second part: coordinates `[pos, extent)`.
+    Snd,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Fst => write!(f, "fst"),
+            Side::Snd => write!(f, "snd"),
+        }
+    }
+}
+
+/// A refinement operation on an execution resource.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOp {
+    /// `.forall(d)`: schedule over all sub-resources along dimension `d`.
+    Forall(DimCompo),
+    /// `.split(pos, d).side`: restrict to one part of a partition of
+    /// dimension `d` at position `pos`.
+    Split {
+        /// Split dimension.
+        dim: DimCompo,
+        /// Split position.
+        pos: Nat,
+        /// Which part was selected.
+        side: Side,
+    },
+}
+
+impl ExecOp {
+    fn same(&self, other: &ExecOp) -> bool {
+        match (self, other) {
+            (ExecOp::Forall(a), ExecOp::Forall(b)) => a == b,
+            (
+                ExecOp::Split { dim: d1, pos: p1, side: s1 },
+                ExecOp::Split { dim: d2, pos: p2, side: s2 },
+            ) => d1 == d2 && p1.equal(p2) && s1 == s2,
+            _ => false,
+        }
+    }
+}
+
+/// The base of an execution resource.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecBase {
+    /// A single CPU thread.
+    CpuThread,
+    /// A GPU grid with block arrangement `blocks` and per-block thread
+    /// arrangement `threads`.
+    GpuGrid {
+        /// Shape of the block arrangement.
+        blocks: Dim,
+        /// Shape of the threads within each block.
+        threads: Dim,
+    },
+}
+
+/// The space an operation applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Space {
+    /// The arrangement of blocks within the grid.
+    Block,
+    /// The arrangement of threads within a block.
+    Thread,
+}
+
+/// One `forall` level of an execution resource: scheduling over a
+/// dimension with a known extent. Unique accesses must *select* once per
+/// level introduced below the owner of the accessed memory (narrowing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForallLevel {
+    /// Index of the corresponding [`ExecOp::Forall`] in [`ExecExpr::ops`].
+    pub op_index: usize,
+    /// Whether the level schedules blocks or threads.
+    pub space: Space,
+    /// The scheduled dimension.
+    pub dim: DimCompo,
+    /// Number of sub-resources at this level (after narrowing splits).
+    pub extent: Nat,
+}
+
+/// Errors from constructing execution resources.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// Scheduling or splitting a dimension the shape does not declare.
+    MissingDim {
+        /// The missing dimension.
+        dim: DimCompo,
+        /// The space in which it was missing.
+        space: Space,
+    },
+    /// Scheduling a dimension that was already scheduled.
+    AlreadyScheduled(DimCompo, Space),
+    /// Refining a fully scheduled resource (a single thread).
+    NothingToSchedule,
+    /// Refining the CPU thread, which has no sub-resources.
+    CpuHasNoHierarchy,
+    /// A split position that provably exceeds the dimension extent.
+    SplitOutOfRange {
+        /// The requested position.
+        pos: Nat,
+        /// The available extent.
+        extent: Nat,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingDim { dim, space } => write!(
+                f,
+                "cannot schedule over dimension {dim}: the {} shape does not declare it",
+                match space {
+                    Space::Block => "block",
+                    Space::Thread => "thread",
+                }
+            ),
+            ExecError::AlreadyScheduled(d, _) => {
+                write!(f, "dimension {d} has already been scheduled")
+            }
+            ExecError::NothingToSchedule => {
+                write!(f, "execution resource is a single thread; nothing to schedule")
+            }
+            ExecError::CpuHasNoHierarchy => {
+                write!(f, "cpu.thread has no execution hierarchy to schedule over")
+            }
+            ExecError::SplitOutOfRange { pos, extent } => {
+                write!(f, "split position {pos} exceeds extent {extent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// An execution resource: a base refined by a sequence of operations
+/// (paper Figure 2).
+///
+/// # Examples
+///
+/// ```
+/// use descend_ast::ty::{Dim, DimCompo};
+/// use descend_exec::ExecExpr;
+///
+/// // Figure 1 of the paper: a grid of 2x2x1 blocks of 4x4x4 threads.
+/// let grid = ExecExpr::grid(Dim::xyz(2u64, 2u64, 1u64), Dim::xyz(4u64, 4u64, 4u64));
+/// let blocks = grid
+///     .forall(DimCompo::X).unwrap()
+///     .forall(DimCompo::Z).unwrap();
+/// assert_eq!(blocks.forall_levels().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecExpr {
+    /// The base resource.
+    pub base: ExecBase,
+    /// Refinement operations, applied left to right.
+    pub ops: Vec<ExecOp>,
+}
+
+/// The per-dimension scheduling state within one space.
+#[derive(Clone, Debug, PartialEq)]
+struct DimState {
+    /// Remaining extent (narrowed by splits).
+    extent: Nat,
+    /// Consumed by a forall.
+    scheduled: bool,
+}
+
+/// Scheduling state of both spaces, derived by replaying ops.
+#[derive(Clone, Debug, PartialEq)]
+struct State {
+    block: Vec<(DimCompo, DimState)>,
+    thread: Vec<(DimCompo, DimState)>,
+}
+
+impl State {
+    fn space_done(&self, space: Space) -> bool {
+        let dims = match space {
+            Space::Block => &self.block,
+            Space::Thread => &self.thread,
+        };
+        dims.iter().all(|(_, s)| s.scheduled)
+    }
+
+    fn current_space(&self) -> Option<Space> {
+        if !self.space_done(Space::Block) {
+            Some(Space::Block)
+        } else if !self.space_done(Space::Thread) {
+            Some(Space::Thread)
+        } else {
+            None
+        }
+    }
+
+    fn dim_state(&mut self, space: Space, dim: DimCompo) -> Option<&mut DimState> {
+        let dims = match space {
+            Space::Block => &mut self.block,
+            Space::Thread => &mut self.thread,
+        };
+        dims.iter_mut().find(|(d, _)| *d == dim).map(|(_, s)| s)
+    }
+}
+
+impl ExecExpr {
+    /// The CPU thread resource.
+    pub fn cpu_thread() -> ExecExpr {
+        ExecExpr {
+            base: ExecBase::CpuThread,
+            ops: Vec::new(),
+        }
+    }
+
+    /// A full GPU grid.
+    pub fn grid(blocks: Dim, threads: Dim) -> ExecExpr {
+        ExecExpr {
+            base: ExecBase::GpuGrid { blocks, threads },
+            ops: Vec::new(),
+        }
+    }
+
+    /// Replays the operations to compute the scheduling state.
+    ///
+    /// Construction via [`ExecExpr::forall`]/[`ExecExpr::split`] validates
+    /// each op, so replay cannot fail on values built through this API.
+    fn state(&self) -> Result<State, ExecError> {
+        let (bd, td) = match &self.base {
+            ExecBase::CpuThread => {
+                return if self.ops.is_empty() {
+                    Ok(State {
+                        block: Vec::new(),
+                        thread: Vec::new(),
+                    })
+                } else {
+                    Err(ExecError::CpuHasNoHierarchy)
+                };
+            }
+            ExecBase::GpuGrid { blocks, threads } => (blocks, threads),
+        };
+        let to_states = |d: &Dim| {
+            d.components()
+                .map(|(c, n)| {
+                    (
+                        c,
+                        DimState {
+                            extent: n.clone(),
+                            scheduled: false,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut st = State {
+            block: to_states(bd),
+            thread: to_states(td),
+        };
+        for op in &self.ops {
+            let space = st.current_space().ok_or(ExecError::NothingToSchedule)?;
+            match op {
+                ExecOp::Forall(d) => {
+                    let ds = st
+                        .dim_state(space, *d)
+                        .ok_or(ExecError::MissingDim { dim: *d, space })?;
+                    if ds.scheduled {
+                        return Err(ExecError::AlreadyScheduled(*d, space));
+                    }
+                    ds.scheduled = true;
+                }
+                ExecOp::Split { dim, pos, side } => {
+                    let ds = st
+                        .dim_state(space, *dim)
+                        .ok_or(ExecError::MissingDim { dim: *dim, space })?;
+                    if ds.scheduled {
+                        return Err(ExecError::AlreadyScheduled(*dim, space));
+                    }
+                    if let (Some(p), Some(e)) = (pos.as_lit(), ds.extent.as_lit()) {
+                        if p > e {
+                            return Err(ExecError::SplitOutOfRange {
+                                pos: pos.clone(),
+                                extent: ds.extent.clone(),
+                            });
+                        }
+                    }
+                    ds.extent = match side {
+                        Side::Fst => pos.clone(),
+                        Side::Snd => ds.extent.clone() - pos.clone(),
+                    };
+                }
+            }
+        }
+        Ok(st)
+    }
+
+    /// The space the *next* operation would refine, or `None` for a fully
+    /// scheduled (single-thread) resource.
+    pub fn current_space(&self) -> Option<Space> {
+        self.state().ok().and_then(|s| s.current_space())
+    }
+
+    /// Extends the resource with `.forall(dim)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dimension is missing from the current
+    /// space's shape, was already scheduled, or if the resource has no
+    /// hierarchy left to schedule.
+    pub fn forall(&self, dim: DimCompo) -> Result<ExecExpr, ExecError> {
+        let mut next = self.clone();
+        next.ops.push(ExecOp::Forall(dim));
+        next.state()?;
+        Ok(next)
+    }
+
+    /// Extends the resource with `.split(pos, dim).side`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecExpr::forall`], plus a provably
+    /// out-of-range split position.
+    pub fn split(&self, dim: DimCompo, pos: Nat, side: Side) -> Result<ExecExpr, ExecError> {
+        let mut next = self.clone();
+        next.ops.push(ExecOp::Split { dim, pos, side });
+        next.state()?;
+        Ok(next)
+    }
+
+    /// The extent that dimension `dim` of the current space would offer to
+    /// the next operation (after narrowing by previous splits).
+    pub fn remaining_extent(&self, dim: DimCompo) -> Option<Nat> {
+        let st = self.state().ok()?;
+        let space = st.current_space()?;
+        let dims = match space {
+            Space::Block => &st.block,
+            Space::Thread => &st.thread,
+        };
+        dims.iter()
+            .find(|(d, s)| *d == dim && !s.scheduled)
+            .map(|(_, s)| s.extent.clone())
+    }
+
+    /// All forall levels in order of introduction.
+    pub fn forall_levels(&self) -> Vec<ForallLevel> {
+        let mut levels = Vec::new();
+        let mut prefix = ExecExpr {
+            base: self.base.clone(),
+            ops: Vec::new(),
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            if let ExecOp::Forall(d) = op {
+                let space = prefix
+                    .current_space()
+                    .expect("validated exec has a space for every op");
+                let extent = prefix
+                    .remaining_extent(*d)
+                    .expect("validated exec has an extent for every forall");
+                levels.push(ForallLevel {
+                    op_index: i,
+                    space,
+                    dim: *d,
+                    extent,
+                });
+            }
+            prefix.ops.push(op.clone());
+        }
+        levels
+    }
+
+    /// The forall levels introduced by this resource beyond the given
+    /// prefix resource (used for narrowing: the levels between the owner
+    /// of a memory object and the accessing resource).
+    ///
+    /// Returns `None` if `owner` is not a prefix of `self`.
+    pub fn levels_beyond(&self, owner: &ExecExpr) -> Option<Vec<ForallLevel>> {
+        if !owner.is_prefix_of(self) {
+            return None;
+        }
+        Some(
+            self.forall_levels()
+                .into_iter()
+                .filter(|l| l.op_index >= owner.ops.len())
+                .collect(),
+        )
+    }
+
+    /// Whether `self` is a prefix of `other` (i.e. `other` is a
+    /// sub-resource of `self`, or the same resource).
+    pub fn is_prefix_of(&self, other: &ExecExpr) -> bool {
+        self.base == other.base
+            && self.ops.len() <= other.ops.len()
+            && self
+                .ops
+                .iter()
+                .zip(&other.ops)
+                .all(|(a, b)| a.same(b))
+    }
+
+    /// Whether two resources denote provably disjoint sets of executors:
+    /// they share a common prefix and then diverge at a split into
+    /// different sides (same dimension, same position).
+    pub fn definitely_disjoint(&self, other: &ExecExpr) -> bool {
+        if self.base != other.base {
+            // Resources from different bases never co-execute a kernel.
+            return true;
+        }
+        for (a, b) in self.ops.iter().zip(&other.ops) {
+            if a.same(b) {
+                continue;
+            }
+            return match (a, b) {
+                (
+                    ExecOp::Split { dim: d1, pos: p1, side: s1 },
+                    ExecOp::Split { dim: d2, pos: p2, side: s2 },
+                ) => d1 == d2 && p1.equal(p2) && s1 != s2,
+                _ => false,
+            };
+        }
+        false
+    }
+
+    /// Whether the thread space contains a split anywhere in the op
+    /// sequence. A barrier (`sync`) is only legal when it does not — every
+    /// thread of the block must reach the barrier (paper Section 2.2).
+    pub fn thread_space_has_split(&self) -> bool {
+        let mut prefix = ExecExpr {
+            base: self.base.clone(),
+            ops: Vec::new(),
+        };
+        for op in &self.ops {
+            let space = prefix.current_space();
+            if matches!(op, ExecOp::Split { .. }) && space == Some(Space::Thread) {
+                return true;
+            }
+            prefix.ops.push(op.clone());
+        }
+        false
+    }
+
+    /// The execution level of this resource, for checking function
+    /// annotations: a grid while block space is not fully scheduled, a
+    /// block once it is, a thread once both spaces are.
+    pub fn level(&self) -> ExecTy {
+        match &self.base {
+            ExecBase::CpuThread => ExecTy::CpuThread,
+            ExecBase::GpuGrid { blocks, threads } => {
+                let st = self.state().expect("validated exec expression");
+                if !st.space_done(Space::Block) {
+                    ExecTy::GpuGrid(blocks.clone(), threads.clone())
+                } else if !st.space_done(Space::Thread) {
+                    ExecTy::GpuBlock(threads.clone())
+                } else {
+                    ExecTy::GpuThread
+                }
+            }
+        }
+    }
+
+    /// Number of executors denoted by one instance of this resource:
+    /// the product of all *unscheduled* extents (scheduled dimensions
+    /// denote separate instances).
+    pub fn instance_size(&self) -> Option<u64> {
+        let st = self.state().ok()?;
+        let mut total = 1u64;
+        for (_, s) in st.block.iter().chain(st.thread.iter()) {
+            if !s.scheduled {
+                total *= s.extent.as_lit()?;
+            }
+        }
+        Some(total)
+    }
+
+    /// Structural equality up to nat normalization.
+    pub fn same(&self, other: &ExecExpr) -> bool {
+        let base_same = match (&self.base, &other.base) {
+            (ExecBase::CpuThread, ExecBase::CpuThread) => true,
+            (
+                ExecBase::GpuGrid { blocks: b1, threads: t1 },
+                ExecBase::GpuGrid { blocks: b2, threads: t2 },
+            ) => b1.same(b2) && t1.same(t2),
+            _ => false,
+        };
+        base_same
+            && self.ops.len() == other.ops.len()
+            && self.ops.iter().zip(&other.ops).all(|(a, b)| a.same(b))
+    }
+}
+
+impl fmt::Display for ExecExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.base {
+            ExecBase::CpuThread => write!(f, "cpu.thread")?,
+            ExecBase::GpuGrid { blocks, threads } => {
+                write!(f, "gpu.grid<{blocks},{threads}>")?
+            }
+        }
+        for op in &self.ops {
+            match op {
+                ExecOp::Forall(d) => write!(f, ".forall({d})")?,
+                ExecOp::Split { dim, pos, side } => {
+                    write!(f, ".split({pos}, {dim}).{side}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_grid() -> ExecExpr {
+        // gpu.grid<XYZ<2,2,1>, XYZ<4,4,4>> from Figure 1 of the paper.
+        ExecExpr::grid(Dim::xyz(2u64, 2u64, 1u64), Dim::xyz(4u64, 4u64, 4u64))
+    }
+
+    #[test]
+    fn figure_1a_full_grid() {
+        let g = fig1_grid();
+        assert_eq!(g.instance_size(), Some(2 * 2 * 4 * 4 * 4));
+        assert!(matches!(g.level(), ExecTy::GpuGrid(..)));
+        assert_eq!(g.current_space(), Some(Space::Block));
+    }
+
+    #[test]
+    fn figure_1b_forall_x_forall_z() {
+        // Scheduling in X and Z leaves groups of two blocks (the Y column).
+        let e = fig1_grid()
+            .forall(DimCompo::X)
+            .unwrap()
+            .forall(DimCompo::Z)
+            .unwrap();
+        assert_eq!(e.instance_size(), Some(2 * 4 * 4 * 4));
+        let levels = e.forall_levels();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].dim, DimCompo::X);
+        assert_eq!(levels[0].space, Space::Block);
+        assert_eq!(levels[0].extent.as_lit(), Some(2));
+        assert_eq!(levels[1].dim, DimCompo::Z);
+        assert_eq!(levels[1].extent.as_lit(), Some(1));
+    }
+
+    #[test]
+    fn figure_1c_split_then_forall() {
+        // .forall(X).forall(Z).split(1, Y).fst.forall(Y): a single block.
+        let e = fig1_grid()
+            .forall(DimCompo::X)
+            .unwrap()
+            .forall(DimCompo::Z)
+            .unwrap()
+            .split(DimCompo::Y, Nat::lit(1), Side::Fst)
+            .unwrap()
+            .forall(DimCompo::Y)
+            .unwrap();
+        // All block dims are scheduled; each instance is one whole block.
+        assert!(matches!(e.level(), ExecTy::GpuBlock(_)));
+        assert_eq!(e.instance_size(), Some(4 * 4 * 4));
+        // The Y forall level has extent 1 (narrowed by the split).
+        let levels = e.forall_levels();
+        assert_eq!(levels[2].extent.as_lit(), Some(1));
+        assert_eq!(
+            e.to_string(),
+            "gpu.grid<XYZ<2,2,1>,XYZ<4,4,4>>.forall(X).forall(Z).split(1, Y).fst.forall(Y)"
+        );
+    }
+
+    #[test]
+    fn block_space_then_thread_space() {
+        let g = ExecExpr::grid(Dim::x(32u64), Dim::x(64u64));
+        let blocks = g.forall(DimCompo::X).unwrap();
+        assert!(matches!(blocks.level(), ExecTy::GpuBlock(_)));
+        assert_eq!(blocks.current_space(), Some(Space::Thread));
+        let threads = blocks.forall(DimCompo::X).unwrap();
+        assert!(matches!(threads.level(), ExecTy::GpuThread));
+        assert_eq!(threads.current_space(), None);
+        assert_eq!(threads.instance_size(), Some(1));
+    }
+
+    #[test]
+    fn missing_dim_rejected() {
+        let g = ExecExpr::grid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64));
+        let err = g.forall(DimCompo::Z).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::MissingDim {
+                dim: DimCompo::Z,
+                space: Space::Block
+            }
+        ));
+    }
+
+    #[test]
+    fn double_schedule_rejected() {
+        let g = ExecExpr::grid(Dim::x(4u64), Dim::x(4u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let t = b.forall(DimCompo::X).unwrap();
+        // Both spaces fully scheduled: one more forall is an error.
+        assert_eq!(
+            t.forall(DimCompo::X).unwrap_err(),
+            ExecError::NothingToSchedule
+        );
+    }
+
+    #[test]
+    fn cpu_thread_has_no_hierarchy() {
+        let c = ExecExpr::cpu_thread();
+        assert_eq!(
+            c.forall(DimCompo::X).unwrap_err(),
+            ExecError::CpuHasNoHierarchy
+        );
+        assert_eq!(c.level(), ExecTy::CpuThread);
+        assert_eq!(c.instance_size(), Some(1));
+    }
+
+    #[test]
+    fn split_out_of_range_rejected() {
+        let g = ExecExpr::grid(Dim::x(4u64), Dim::x(32u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let err = b.split(DimCompo::X, Nat::lit(64), Side::Fst).unwrap_err();
+        assert!(matches!(err, ExecError::SplitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn split_narrows_extent() {
+        let g = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let fst = b.split(DimCompo::X, Nat::lit(32), Side::Fst).unwrap();
+        assert_eq!(
+            fst.remaining_extent(DimCompo::X).unwrap().as_lit(),
+            Some(32)
+        );
+        let snd = b.split(DimCompo::X, Nat::lit(24), Side::Snd).unwrap();
+        assert_eq!(
+            snd.remaining_extent(DimCompo::X).unwrap().as_lit(),
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn split_branches_are_disjoint() {
+        let g = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let fst = b.split(DimCompo::X, Nat::lit(32), Side::Fst).unwrap();
+        let snd = b.split(DimCompo::X, Nat::lit(32), Side::Snd).unwrap();
+        assert!(fst.definitely_disjoint(&snd));
+        assert!(snd.definitely_disjoint(&fst));
+        // Different positions are not provably disjoint.
+        let other = b.split(DimCompo::X, Nat::lit(16), Side::Snd).unwrap();
+        assert!(!fst.definitely_disjoint(&other));
+        // A resource is not disjoint from its own sub-resources.
+        let sub = fst.forall(DimCompo::X).unwrap();
+        assert!(!fst.definitely_disjoint(&sub));
+        assert!(fst.is_prefix_of(&sub));
+        assert!(!sub.is_prefix_of(&fst));
+    }
+
+    #[test]
+    fn sync_legality_via_thread_space_split() {
+        let g = ExecExpr::grid(Dim::x(2u64), Dim::x(64u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let t = b.forall(DimCompo::X).unwrap();
+        assert!(!t.thread_space_has_split());
+        // The paper's Section 2.2 example: split(X) block at 32 { sync }.
+        let branch = b.split(DimCompo::X, Nat::lit(32), Side::Fst).unwrap();
+        assert!(branch.thread_space_has_split());
+        let branch_threads = branch.forall(DimCompo::X).unwrap();
+        assert!(branch_threads.thread_space_has_split());
+        // A *block-space* split does not endanger barriers.
+        let block_split = g.split(DimCompo::X, Nat::lit(1), Side::Fst).unwrap();
+        assert!(!block_split.thread_space_has_split());
+    }
+
+    #[test]
+    fn levels_beyond_owner() {
+        let g = ExecExpr::grid(Dim::x(4u64), Dim::x(32u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let t = b.forall(DimCompo::X).unwrap();
+        // Owned by the grid: both levels must be covered.
+        assert_eq!(t.levels_beyond(&g).unwrap().len(), 2);
+        // Owned by the block: only the thread level.
+        let lv = t.levels_beyond(&b).unwrap();
+        assert_eq!(lv.len(), 1);
+        assert_eq!(lv[0].space, Space::Thread);
+        assert_eq!(lv[0].extent.as_lit(), Some(32));
+        // Not a prefix: no answer.
+        let other = g.split(DimCompo::X, Nat::lit(2), Side::Fst).unwrap();
+        assert!(t.levels_beyond(&other).is_none());
+    }
+
+    #[test]
+    fn two_dim_scheduling_order() {
+        // sched(Y,X) over blocks XY<64,64>: forall(Y) then forall(X).
+        let g = ExecExpr::grid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64));
+        let b = g.forall(DimCompo::Y).unwrap().forall(DimCompo::X).unwrap();
+        let levels = b.forall_levels();
+        assert_eq!(levels[0].dim, DimCompo::Y);
+        assert_eq!(levels[0].extent.as_lit(), Some(64));
+        assert_eq!(levels[1].dim, DimCompo::X);
+        assert!(matches!(b.level(), ExecTy::GpuBlock(_)));
+        let t = b.forall(DimCompo::Y).unwrap().forall(DimCompo::X).unwrap();
+        let tl = t.forall_levels();
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl[2].space, Space::Thread);
+        assert_eq!(tl[2].extent.as_lit(), Some(8));
+        assert_eq!(tl[3].extent.as_lit(), Some(32));
+    }
+
+    #[test]
+    fn same_up_to_nat_normalization() {
+        let a = ExecExpr::grid(Dim::x(Nat::var("n") * Nat::lit(1)), Dim::x(32u64));
+        let b = ExecExpr::grid(Dim::x(Nat::var("n")), Dim::x(32u64));
+        assert!(a.same(&b));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests on the execution-resource algebra: the structural
+//! relations the borrow checker relies on must behave like the set
+//! relations they model.
+
+use descend_ast::ty::{Dim, DimCompo};
+use descend_ast::Nat;
+use descend_exec::{ExecExpr, Side};
+use proptest::prelude::*;
+
+/// A random well-formed refinement of a 2x2 grid of 8x4 threads.
+fn arb_exec() -> impl Strategy<Value = ExecExpr> {
+    proptest::collection::vec((0u8..4, 0u64..8, proptest::bool::ANY), 0..6).prop_map(
+        |ops| {
+            let mut e = ExecExpr::grid(Dim::xy(2u64, 2u64), Dim::xy(8u64, 4u64));
+            for (kind, pos, side) in ops {
+                let dim = if kind % 2 == 0 { DimCompo::X } else { DimCompo::Y };
+                match kind {
+                    0 | 1 => {
+                        if let Ok(next) = e.forall(dim) {
+                            e = next;
+                        }
+                    }
+                    _ => {
+                        let side = if side { Side::Fst } else { Side::Snd };
+                        if let Some(extent) =
+                            e.remaining_extent(dim).and_then(|n| n.as_lit())
+                        {
+                            if extent > 1 {
+                                let p = 1 + pos % (extent - 1);
+                                if let Ok(next) = e.split(dim, Nat::lit(p), side) {
+                                    e = next;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            e
+        },
+    )
+}
+
+proptest! {
+    /// Disjointness is irreflexive and symmetric.
+    #[test]
+    fn disjointness_is_symmetric(a in arb_exec(), b in arb_exec()) {
+        prop_assert!(!a.definitely_disjoint(&a));
+        prop_assert_eq!(a.definitely_disjoint(&b), b.definitely_disjoint(&a));
+    }
+
+    /// The prefix relation is reflexive and transitive, and prefixes are
+    /// never disjoint from their extensions.
+    #[test]
+    fn prefix_relation_laws(a in arb_exec()) {
+        prop_assert!(a.is_prefix_of(&a));
+        if let Ok(ext) = a.forall(DimCompo::X) {
+            prop_assert!(a.is_prefix_of(&ext));
+            prop_assert!(!a.definitely_disjoint(&ext));
+            prop_assert!(!ext.definitely_disjoint(&a));
+        }
+    }
+
+    /// Splitting any resource yields disjoint siblings whose instance
+    /// sizes partition the parent's.
+    #[test]
+    fn split_partitions(a in arb_exec(), pos_seed in 1u64..8) {
+        for dim in [DimCompo::X, DimCompo::Y] {
+            let Some(extent) = a.remaining_extent(dim).and_then(|n| n.as_lit()) else {
+                continue;
+            };
+            if extent <= 1 {
+                continue;
+            }
+            let p = 1 + pos_seed % (extent - 1);
+            let fst = a.split(dim, Nat::lit(p), Side::Fst).unwrap();
+            let snd = a.split(dim, Nat::lit(p), Side::Snd).unwrap();
+            prop_assert!(fst.definitely_disjoint(&snd));
+            let (sa, sf, ss) = (
+                a.instance_size().unwrap(),
+                fst.instance_size().unwrap(),
+                snd.instance_size().unwrap(),
+            );
+            prop_assert_eq!(sa, sf + ss, "split must partition the executors");
+        }
+    }
+
+    /// Forall levels beyond a prefix plus levels of the prefix equal the
+    /// levels of the whole.
+    #[test]
+    fn levels_beyond_is_complement(a in arb_exec()) {
+        if let Ok(ext) = a.forall(DimCompo::Y) {
+            let total = ext.forall_levels().len();
+            let beyond = ext.levels_beyond(&a).unwrap().len();
+            let own = a.forall_levels().len();
+            prop_assert_eq!(total, beyond + own);
+        }
+    }
+
+    /// `same` is an equivalence compatible with display.
+    #[test]
+    fn same_matches_display(a in arb_exec(), b in arb_exec()) {
+        prop_assert!(a.same(&a));
+        if a.same(&b) {
+            prop_assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The device: buffers, launches, and the block execution loop.
+
+use crate::cost::{CostAccumulator, CostModel, LaunchStats};
+use crate::interp::{self, AccessRec, InterpError, ThreadState, ThreadStop};
+use crate::ir::{ElemTy, KernelIr};
+use crate::race::{RaceDetector, RaceReport};
+use std::fmt;
+
+/// A buffer handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufId(pub usize);
+
+/// Launch options.
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    /// Detect data races dynamically (slower; used by tests).
+    pub detect_races: bool,
+    /// The cost model.
+    pub cost: CostModel,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> LaunchConfig {
+        LaunchConfig {
+            detect_races: false,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Simulation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Not every thread of a block reached the same barrier
+    /// (CUDA-undefined behavior, reported deterministically here).
+    BarrierDivergence {
+        /// Offending block (linear id).
+        block: u64,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A dynamic data race (only with [`LaunchConfig::detect_races`]).
+    DataRace(RaceReport),
+    /// Out-of-bounds access.
+    OutOfBounds {
+        /// Offending block (linear id).
+        block: u64,
+        /// Description.
+        detail: String,
+    },
+    /// Dynamic evaluation error (type confusion, division by zero, ...).
+    Eval(String),
+    /// Launch arguments do not match the kernel's parameters.
+    BadLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BarrierDivergence { block, detail } => {
+                write!(f, "barrier divergence in block {block}: {detail}")
+            }
+            SimError::DataRace(r) => write!(f, "{r}"),
+            SimError::OutOfBounds { block, detail } => {
+                write!(f, "out of bounds in block {block}: {detail}")
+            }
+            SimError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SimError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct Buffer {
+    elem: ElemTy,
+    data: Vec<u64>,
+}
+
+/// The simulated GPU: owns global-memory buffers and runs kernels.
+#[derive(Default)]
+pub struct Gpu {
+    buffers: Vec<Buffer>,
+}
+
+impl Gpu {
+    /// A fresh device with no buffers.
+    pub fn new() -> Gpu {
+        Gpu::default()
+    }
+
+    /// Allocates a global f64 buffer initialized from a slice.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> BufId {
+        self.buffers.push(Buffer {
+            elem: ElemTy::F64,
+            data: data.iter().map(|v| v.to_bits()).collect(),
+        });
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Allocates a zero-initialized buffer.
+    pub fn alloc_zeroed(&mut self, elem: ElemTy, len: usize) -> BufId {
+        let zero = match elem {
+            ElemTy::F64 | ElemTy::F32 => 0f64.to_bits(),
+            ElemTy::I32 => 0,
+            ElemTy::Bool => 0,
+        };
+        self.buffers.push(Buffer {
+            elem,
+            data: vec![zero; len],
+        });
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// Reads a buffer back as f64 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer id is invalid or not a float buffer.
+    pub fn read_f64(&self, id: BufId) -> Vec<f64> {
+        let b = &self.buffers[id.0];
+        assert!(
+            matches!(b.elem, ElemTy::F64 | ElemTy::F32),
+            "buffer {id:?} is not a float buffer"
+        );
+        b.data.iter().map(|bits| f64::from_bits(*bits)).collect()
+    }
+
+    /// Overwrites a buffer's contents with f64 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer id is invalid or the length differs.
+    pub fn write_f64(&mut self, id: BufId, data: &[f64]) {
+        let b = &mut self.buffers[id.0];
+        assert_eq!(b.data.len(), data.len(), "length mismatch");
+        for (dst, v) in b.data.iter_mut().zip(data) {
+            *dst = v.to_bits();
+        }
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self, id: BufId) -> usize {
+        self.buffers[id.0].data.len()
+    }
+
+    /// Whether a buffer is empty.
+    pub fn is_empty(&self, id: BufId) -> bool {
+        self.buffers[id.0].data.is_empty()
+    }
+
+    /// Launches a kernel over `grid_dim` blocks of `block_dim` threads.
+    ///
+    /// Blocks execute sequentially (the simulation is deterministic);
+    /// within a block, threads run in barrier-separated rounds. Returns
+    /// modeled performance statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadLaunch`] for argument mismatches, and the runtime
+    /// errors documented on [`SimError`].
+    pub fn launch(
+        &mut self,
+        kernel: &KernelIr,
+        grid_dim: [u64; 3],
+        block_dim: [u64; 3],
+        args: &[BufId],
+        cfg: &LaunchConfig,
+    ) -> Result<LaunchStats, SimError> {
+        if args.len() != kernel.params.len() {
+            return Err(SimError::BadLaunch(format!(
+                "kernel `{}` expects {} buffers, got {}",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (arg, p)) in args.iter().zip(&kernel.params).enumerate() {
+            let b = self
+                .buffers
+                .get(arg.0)
+                .ok_or_else(|| SimError::BadLaunch(format!("invalid buffer for arg {i}")))?;
+            if b.elem != p.elem {
+                return Err(SimError::BadLaunch(format!(
+                    "arg {i}: element type mismatch ({:?} vs {:?})",
+                    b.elem, p.elem
+                )));
+            }
+            if b.data.len() as u64 != p.len {
+                return Err(SimError::BadLaunch(format!(
+                    "arg {i}: kernel `{}` assumes {} elements, buffer has {}",
+                    kernel.name,
+                    p.len,
+                    b.data.len()
+                )));
+            }
+        }
+        let threads_per_block = (block_dim[0] * block_dim[1] * block_dim[2]) as usize;
+        if threads_per_block == 0 || grid_dim.iter().any(|d| *d == 0) {
+            return Err(SimError::BadLaunch("empty grid or block".into()));
+        }
+        let (code, local_count) = interp::prepare(kernel);
+        let weights = interp::weights(&code);
+        let global_elems: Vec<ElemTy> = kernel.params.iter().map(|p| p.elem).collect();
+        let shared_elems: Vec<ElemTy> = kernel.shared.iter().map(|s| s.elem).collect();
+
+        // Move the argument buffers' data out temporarily so the
+        // interpreter can view them as one slice (restored afterwards).
+        let mut global: Vec<Vec<u64>> = args
+            .iter()
+            .map(|a| std::mem::take(&mut self.buffers[a.0].data))
+            .collect();
+
+        let mut cost = CostAccumulator::new(cfg.cost.clone());
+        let mut races = RaceDetector::new();
+        let result = self.run_grid(
+            &code,
+            &weights,
+            local_count,
+            kernel,
+            grid_dim,
+            block_dim,
+            threads_per_block,
+            &mut global,
+            &global_elems,
+            &shared_elems,
+            &mut cost,
+            cfg.detect_races.then_some(&mut races),
+        );
+        // Restore buffers even on error.
+        for (a, data) in args.iter().zip(global) {
+            self.buffers[a.0].data = data;
+        }
+        result?;
+        if let Some(r) = races.race {
+            return Err(SimError::DataRace(r));
+        }
+        Ok(cost.finish())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_grid(
+        &mut self,
+        code: &[interp::Instr],
+        weights: &[u64],
+        local_count: usize,
+        kernel: &KernelIr,
+        grid_dim: [u64; 3],
+        block_dim: [u64; 3],
+        threads_per_block: usize,
+        global: &mut [Vec<u64>],
+        global_elems: &[ElemTy],
+        shared_elems: &[ElemTy],
+        cost: &mut CostAccumulator,
+        mut races: Option<&mut RaceDetector>,
+    ) -> Result<(), SimError> {
+        let mut log: Vec<AccessRec> = Vec::new();
+        let mut instr_before: Vec<u64> = vec![0; threads_per_block];
+        let mut instr_delta: Vec<u64> = vec![0; threads_per_block];
+        for bz in 0..grid_dim[2] {
+            for by in 0..grid_dim[1] {
+                for bx in 0..grid_dim[0] {
+                    let block_lin =
+                        (bz * grid_dim[1] + by) * grid_dim[0] + bx;
+                    let mut shared: Vec<Vec<u64>> = kernel
+                        .shared
+                        .iter()
+                        .map(|s| vec![0u64; s.len as usize])
+                        .collect();
+                    let mut states: Vec<ThreadState> = (0..threads_per_block)
+                        .map(|_| ThreadState::new(local_count))
+                        .collect();
+                    instr_before.iter_mut().for_each(|v| *v = 0);
+                    loop {
+                        log.clear();
+                        let mut stops: Vec<Option<usize>> =
+                            Vec::with_capacity(threads_per_block);
+                        let mut any_running = false;
+                        for tid in 0..threads_per_block {
+                            let st = &mut states[tid];
+                            if st.done {
+                                stops.push(None);
+                                continue;
+                            }
+                            any_running = true;
+                            let t = tid as u64;
+                            let tx = t % block_dim[0];
+                            let ty = (t / block_dim[0]) % block_dim[1];
+                            let tz = t / (block_dim[0] * block_dim[1]);
+                            let mut env = interp::ThreadEnv {
+                                thread: [tx, ty, tz],
+                                block: [bx, by, bz],
+                                block_dim,
+                                grid_dim,
+                                tid: tid as u32,
+                                global,
+                                global_elems,
+                                shared: &mut shared,
+                                shared_elems,
+                                log: &mut log,
+                            };
+                            let stop = interp::run_thread(code, weights, st, &mut env)
+                                .map_err(|e| lift_err(e, block_lin))?;
+                            stops.push(match stop {
+                                ThreadStop::Barrier(pc) => Some(pc),
+                                ThreadStop::Done => None,
+                            });
+                        }
+                        if !any_running {
+                            break;
+                        }
+                        // Cost and race bookkeeping for the interval.
+                        for tid in 0..threads_per_block {
+                            instr_delta[tid] =
+                                states[tid].instr_count - instr_before[tid];
+                            instr_before[tid] = states[tid].instr_count;
+                        }
+                        let at_barrier = stops.iter().flatten().count();
+                        let had_barrier = at_barrier > 0;
+                        cost.interval(
+                            &log,
+                            &instr_delta,
+                            global_elems,
+                            shared_elems,
+                            had_barrier,
+                        );
+                        if let Some(r) = races.as_deref_mut() {
+                            r.interval(block_lin as u32, &log);
+                        }
+                        // Barrier consistency: every thread must be at the
+                        // same barrier, or every thread must be done.
+                        if had_barrier {
+                            let finished =
+                                stops.iter().filter(|s| s.is_none()).count();
+                            if finished > 0 {
+                                return Err(SimError::BarrierDivergence {
+                                    block: block_lin,
+                                    detail: format!(
+                                        "{at_barrier} thread(s) wait at a barrier while {finished} already finished"
+                                    ),
+                                });
+                            }
+                            let first = stops[0];
+                            if stops.iter().any(|s| *s != first) {
+                                return Err(SimError::BarrierDivergence {
+                                    block: block_lin,
+                                    detail: "threads wait at different barriers".into(),
+                                });
+                            }
+                        }
+                    }
+                    cost.end_block();
+                    if let Some(r) = races.as_deref_mut() {
+                        r.end_block();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn lift_err(e: InterpError, block: u64) -> SimError {
+    match e {
+        InterpError::OutOfBounds { what, idx, len, pc } => SimError::OutOfBounds {
+            block,
+            detail: format!("{what}: index {idx} >= len {len} (pc {pc})"),
+        },
+        InterpError::Eval(m) => SimError::Eval(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+
+    fn scale_kernel(n: u64) -> KernelIr {
+        KernelIr {
+            name: "scale".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: n,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::global_x(),
+                value: Expr::mul(
+                    Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::global_x()),
+                    },
+                    Expr::LitF(3.0),
+                ),
+            }],
+        }
+    }
+
+    #[test]
+    fn scale_multi_block() {
+        let mut gpu = Gpu::new();
+        let data: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let buf = gpu.alloc_f64(&data);
+        gpu.launch(
+            &scale_kernel(128),
+            [4, 1, 1],
+            [32, 1, 1],
+            &[buf],
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+        let out = gpu.read_f64(buf);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as f64) * 3.0);
+        }
+    }
+
+    #[test]
+    fn wrong_buffer_size_rejected() {
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&[0.0; 64]);
+        let err = gpu
+            .launch(
+                &scale_kernel(128),
+                [4, 1, 1],
+                [32, 1, 1],
+                &[buf],
+                &LaunchConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadLaunch(_)));
+    }
+
+    /// The paper's Section 2.2 barrier bug: `if (threadIdx.x < 32)
+    /// __syncthreads();` with 64 threads per block.
+    #[test]
+    fn partial_barrier_is_divergence() {
+        let kernel = KernelIr {
+            name: "bad_sync".into(),
+            params: vec![],
+            shared: vec![],
+            body: vec![Stmt::If {
+                cond: Expr::lt(Expr::thread_idx(Axis::X), Expr::LitI(32)),
+                then_s: vec![Stmt::Barrier],
+                else_s: vec![],
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let err = gpu
+            .launch(&kernel, [1, 1, 1], [64, 1, 1], &[], &LaunchConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::BarrierDivergence { .. }));
+        // With 32 threads per block it is fine.
+        gpu.launch(&kernel, [1, 1, 1], [32, 1, 1], &[], &LaunchConfig::default())
+            .unwrap();
+    }
+
+    #[test]
+    fn threads_waiting_at_different_barriers_diverge() {
+        let kernel = KernelIr {
+            name: "two_barriers".into(),
+            params: vec![],
+            shared: vec![],
+            body: vec![Stmt::If {
+                cond: Expr::lt(Expr::thread_idx(Axis::X), Expr::LitI(16)),
+                then_s: vec![Stmt::Barrier],
+                else_s: vec![Stmt::Barrier],
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let err = gpu
+            .launch(&kernel, [1, 1, 1], [32, 1, 1], &[], &LaunchConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::BarrierDivergence { .. }));
+    }
+
+    /// The rev_per_block race from the paper's Section 2.2, in IR form:
+    /// `a[tid] = a[bs - 1 - tid]` without a barrier.
+    #[test]
+    fn rev_race_detected_dynamically() {
+        let bs = 32i64;
+        let kernel = KernelIr {
+            name: "rev_race".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 32,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::thread_idx(Axis::X),
+                value: Expr::LoadGlobal {
+                    buf: 0,
+                    idx: Box::new(Expr::sub(
+                        Expr::LitI(bs - 1),
+                        Expr::thread_idx(Axis::X),
+                    )),
+                },
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..32).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = LaunchConfig {
+            detect_races: true,
+            ..LaunchConfig::default()
+        };
+        let err = gpu
+            .launch(&kernel, [1, 1, 1], [32, 1, 1], &[buf], &cfg)
+            .unwrap_err();
+        assert!(matches!(err, SimError::DataRace(_)));
+    }
+
+    /// The corrected version stages through shared memory with a barrier.
+    #[test]
+    fn rev_with_barrier_is_clean_and_correct() {
+        let kernel = KernelIr {
+            name: "rev_ok".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 32,
+                writable: true,
+            }],
+            shared: vec![SharedDecl {
+                elem: ElemTy::F64,
+                len: 32,
+            }],
+            body: vec![
+                Stmt::StoreShared {
+                    buf: 0,
+                    idx: Expr::thread_idx(Axis::X),
+                    value: Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::sub(
+                            Expr::LitI(31),
+                            Expr::thread_idx(Axis::X),
+                        )),
+                    },
+                },
+                Stmt::Barrier,
+                Stmt::StoreGlobal {
+                    buf: 0,
+                    idx: Expr::thread_idx(Axis::X),
+                    value: Expr::LoadShared {
+                        buf: 0,
+                        idx: Box::new(Expr::thread_idx(Axis::X)),
+                    },
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..32).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = LaunchConfig {
+            detect_races: true,
+            ..LaunchConfig::default()
+        };
+        let stats = gpu
+            .launch(&kernel, [1, 1, 1], [32, 1, 1], &[buf], &cfg)
+            .unwrap();
+        let out = gpu.read_f64(buf);
+        for i in 0..32 {
+            assert_eq!(out[i], (31 - i) as f64);
+        }
+        assert_eq!(stats.barriers, 1);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_not_ub() {
+        let kernel = KernelIr {
+            name: "oob".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 16,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::global_x(),
+                value: Expr::LitF(1.0),
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&[0.0; 16]);
+        // 2 blocks x 16 threads = 32 > 16 elements: the paper's
+        // "launched with more threads than elements" bug.
+        let err = gpu
+            .launch(&kernel, [2, 1, 1], [16, 1, 1], &[buf], &LaunchConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn buffers_restored_after_error() {
+        let kernel = KernelIr {
+            name: "oob".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 4,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(100),
+                value: Expr::LitF(1.0),
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&[5.0; 4]);
+        let _ = gpu.launch(&kernel, [1, 1, 1], [1, 1, 1], &[buf], &LaunchConfig::default());
+        assert_eq!(gpu.read_f64(buf), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&[1.0; 128]);
+        let stats = gpu
+            .launch(
+                &scale_kernel(128),
+                [4, 1, 1],
+                [32, 1, 1],
+                &[buf],
+                &LaunchConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(stats.blocks, 4);
+        // One load + one store per thread.
+        assert_eq!(stats.global_accesses, 256);
+        // Fully coalesced: 2 segments per warp access x 2 x 4 blocks.
+        assert_eq!(stats.global_transactions, 16);
+    }
+}

@@ -1,0 +1,790 @@
+//! Bytecode compilation and the resumable per-thread interpreter.
+//!
+//! Structured IR is flattened to a small bytecode whose only control
+//! transfers are jumps, so that a thread can be suspended at a barrier and
+//! resumed later. A block executes in *rounds*: every thread runs until
+//! its next barrier (or completion); the round ends with a consistency
+//! check — if some threads are at a barrier while others finished, or two
+//! threads wait at different barriers, the launch reports barrier
+//! divergence (the behavior CUDA leaves undefined, see paper Section 2.2).
+
+use crate::ir::{Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, Stmt, UnOp};
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Float (f64 and f32 are both computed in f64).
+    F(f64),
+    /// Integer.
+    I(i64),
+    /// Boolean.
+    B(bool),
+}
+
+impl Value {
+    /// Raw bit representation for storage in buffers.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::F(v) => v.to_bits(),
+            Value::I(v) => v as u64,
+            Value::B(v) => u64::from(v),
+        }
+    }
+
+    /// Converts the value to the bit pattern of the given element type,
+    /// applying C-style numeric conversions (an integer stored to a float
+    /// buffer becomes that float, and vice versa with truncation).
+    ///
+    /// # Errors
+    ///
+    /// Boolean/number confusion is reported rather than coerced.
+    pub fn to_elem_bits(self, elem: crate::ir::ElemTy) -> Result<u64, String> {
+        use crate::ir::ElemTy;
+        Ok(match (elem, self) {
+            (ElemTy::F64 | ElemTy::F32, Value::F(v)) => v.to_bits(),
+            (ElemTy::F64 | ElemTy::F32, Value::I(v)) => (v as f64).to_bits(),
+            (ElemTy::I32, Value::I(v)) => v as u64,
+            (ElemTy::I32, Value::F(v)) => (v as i64) as u64,
+            (ElemTy::Bool, Value::B(v)) => u64::from(v),
+            (e, v) => return Err(format!("cannot store {v:?} into a {e:?} buffer")),
+        })
+    }
+
+    /// Reconstructs a value from bits given the element type.
+    pub fn from_bits(bits: u64, elem: crate::ir::ElemTy) -> Value {
+        use crate::ir::ElemTy;
+        match elem {
+            ElemTy::F64 | ElemTy::F32 => Value::F(f64::from_bits(bits)),
+            ElemTy::I32 => Value::I(bits as i64),
+            ElemTy::Bool => Value::B(bits != 0),
+        }
+    }
+
+    fn as_index(self) -> Result<u64, String> {
+        match self {
+            Value::I(v) if v >= 0 => Ok(v as u64),
+            Value::I(v) => Err(format!("negative index {v}")),
+            other => Err(format!("index is not an integer: {other:?}")),
+        }
+    }
+
+    fn truthy(self) -> Result<bool, String> {
+        match self {
+            Value::B(b) => Ok(b),
+            other => Err(format!("condition is not a boolean: {other:?}")),
+        }
+    }
+}
+
+/// Flat bytecode instruction.
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// Assign a local.
+    SetLocal(usize, Expr),
+    /// Store to global memory.
+    StoreGlobal {
+        /// Parameter index.
+        buf: usize,
+        /// Element index.
+        idx: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Store to shared memory.
+    StoreShared {
+        /// Shared allocation index.
+        buf: usize,
+        /// Element index.
+        idx: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Conditional jump (taken when the condition is false).
+    JumpIfFalse(Expr, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Block-wide barrier.
+    Barrier,
+    /// End of kernel.
+    Halt,
+}
+
+/// Compiles structured statements to bytecode.
+pub fn compile(body: &[Stmt]) -> Vec<Instr> {
+    let mut code = Vec::new();
+    emit(body, &mut code);
+    code.push(Instr::Halt);
+    code
+}
+
+fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
+    for s in stmts {
+        match s {
+            Stmt::SetLocal(i, e) => code.push(Instr::SetLocal(*i, e.clone())),
+            Stmt::StoreGlobal { buf, idx, value } => code.push(Instr::StoreGlobal {
+                buf: *buf,
+                idx: idx.clone(),
+                value: value.clone(),
+            }),
+            Stmt::StoreShared { buf, idx, value } => code.push(Instr::StoreShared {
+                buf: *buf,
+                idx: idx.clone(),
+                value: value.clone(),
+            }),
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let jif = code.len();
+                code.push(Instr::Jump(0)); // placeholder for JumpIfFalse
+                emit(then_s, code);
+                if else_s.is_empty() {
+                    let end = code.len();
+                    code[jif] = Instr::JumpIfFalse(cond.clone(), end);
+                } else {
+                    let jend = code.len();
+                    code.push(Instr::Jump(0)); // placeholder
+                    let else_start = code.len();
+                    code[jif] = Instr::JumpIfFalse(cond.clone(), else_start);
+                    emit(else_s, code);
+                    let end = code.len();
+                    code[jend] = Instr::Jump(end);
+                }
+            }
+            Stmt::Loop {
+                var,
+                init,
+                cmp,
+                bound,
+                step,
+                body,
+            } => {
+                code.push(Instr::SetLocal(*var, init.clone()));
+                let head = code.len();
+                let cond = loop_cond(*var, *cmp, bound.clone());
+                let jexit = code.len();
+                code.push(Instr::Jump(0)); // placeholder
+                emit(body, code);
+                code.push(Instr::SetLocal(*var, loop_update(*var, *step)));
+                code.push(Instr::Jump(head));
+                let end = code.len();
+                code[jexit] = Instr::JumpIfFalse(cond, end);
+            }
+            Stmt::Barrier => code.push(Instr::Barrier),
+        }
+    }
+}
+
+fn loop_cond(var: usize, cmp: LoopCmp, bound: Expr) -> Expr {
+    let op = match cmp {
+        LoopCmp::Lt => BinOp::Lt,
+        LoopCmp::Le => BinOp::Le,
+        LoopCmp::Gt => BinOp::Gt,
+        LoopCmp::Ge => BinOp::Ge,
+    };
+    Expr::bin(op, Expr::Local(var), bound)
+}
+
+fn loop_update(var: usize, step: LoopStep) -> Expr {
+    match step {
+        LoopStep::Add(c) => Expr::add(Expr::Local(var), Expr::LitI(c)),
+        LoopStep::Mul(c) => Expr::mul(Expr::Local(var), Expr::LitI(c)),
+        LoopStep::Div(c) => Expr::bin(BinOp::Div, Expr::Local(var), Expr::LitI(c)),
+    }
+}
+
+/// One logged memory access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessRec {
+    /// Bytecode pc of the instruction (groups warp lanes for coalescing).
+    pub pc: u32,
+    /// Global (true) or shared (false) memory.
+    pub global: bool,
+    /// Buffer / shared allocation index.
+    pub buf: u32,
+    /// Element index.
+    pub idx: u64,
+    /// Write (true) or read (false).
+    pub write: bool,
+    /// Linear thread id within the block.
+    pub tid: u32,
+}
+
+/// Why a thread stopped in a round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThreadStop {
+    /// Reached a barrier at the given pc.
+    Barrier(usize),
+    /// Ran to completion.
+    Done,
+}
+
+/// Per-thread interpreter state.
+#[derive(Clone, Debug)]
+pub struct ThreadState {
+    /// Program counter.
+    pub pc: usize,
+    /// Local slots.
+    pub locals: Vec<Value>,
+    /// Completed.
+    pub done: bool,
+    /// Executed instruction count (for the cost model).
+    pub instr_count: u64,
+}
+
+impl ThreadState {
+    /// Fresh state with `n` locals.
+    pub fn new(n: usize) -> ThreadState {
+        ThreadState {
+            pc: 0,
+            locals: vec![Value::I(0); n],
+            done: false,
+            instr_count: 0,
+        }
+    }
+}
+
+/// Execution environment of one thread within one block.
+pub struct ThreadEnv<'a> {
+    /// Thread coordinates `(x, y, z)`.
+    pub thread: [u64; 3],
+    /// Block coordinates `(x, y, z)`.
+    pub block: [u64; 3],
+    /// Threads per block.
+    pub block_dim: [u64; 3],
+    /// Blocks per grid.
+    pub grid_dim: [u64; 3],
+    /// Linear thread id within the block.
+    pub tid: u32,
+    /// Global buffers (bit patterns).
+    pub global: &'a mut [Vec<u64>],
+    /// Element types of the global buffers.
+    pub global_elems: &'a [crate::ir::ElemTy],
+    /// Shared allocations of this block (bit patterns).
+    pub shared: &'a mut [Vec<u64>],
+    /// Element types of the shared allocations.
+    pub shared_elems: &'a [crate::ir::ElemTy],
+    /// Access log of the current interval.
+    pub log: &'a mut Vec<AccessRec>,
+}
+
+impl ThreadEnv<'_> {
+    fn axis(&self, coords: [u64; 3], a: Axis) -> i64 {
+        (match a {
+            Axis::X => coords[0],
+            Axis::Y => coords[1],
+            Axis::Z => coords[2],
+        }) as i64
+    }
+}
+
+/// Interpreter errors (mapped to [`crate::SimError`] by the device).
+#[derive(Clone, Debug, PartialEq)]
+pub enum InterpError {
+    /// Index past the end of a buffer.
+    OutOfBounds {
+        /// Buffer kind and index description.
+        what: String,
+        /// Offending element index.
+        idx: u64,
+        /// Buffer length.
+        len: u64,
+        /// Bytecode pc.
+        pc: usize,
+    },
+    /// Dynamic type error or other evaluation failure.
+    Eval(String),
+}
+
+type IResult<T> = Result<T, InterpError>;
+
+fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResult<Value> {
+    Ok(match e {
+        Expr::LitF(v) => Value::F(*v),
+        Expr::LitI(v) => Value::I(*v),
+        Expr::LitB(v) => Value::B(*v),
+        Expr::BlockIdx(a) => Value::I(env.axis(env.block, *a)),
+        Expr::ThreadIdx(a) => Value::I(env.axis(env.thread, *a)),
+        Expr::BlockDim(a) => Value::I(env.axis(env.block_dim, *a)),
+        Expr::GridDim(a) => Value::I(env.axis(env.grid_dim, *a)),
+        Expr::Local(i) => *st
+            .locals
+            .get(*i)
+            .ok_or_else(|| InterpError::Eval(format!("local {i} out of range")))?,
+        Expr::LoadGlobal { buf, idx } => {
+            let i = eval(idx, st, env, pc)?
+                .as_index()
+                .map_err(InterpError::Eval)?;
+            let b = env
+                .global
+                .get(*buf)
+                .ok_or_else(|| InterpError::Eval(format!("global buffer {buf} missing")))?;
+            if i >= b.len() as u64 {
+                return Err(InterpError::OutOfBounds {
+                    what: format!("global buffer {buf}"),
+                    idx: i,
+                    len: b.len() as u64,
+                    pc,
+                });
+            }
+            env.log.push(AccessRec {
+                pc: pc as u32,
+                global: true,
+                buf: *buf as u32,
+                idx: i,
+                write: false,
+                tid: env.tid,
+            });
+            Value::from_bits(b[i as usize], env.global_elems[*buf])
+        }
+        Expr::LoadShared { buf, idx } => {
+            let i = eval(idx, st, env, pc)?
+                .as_index()
+                .map_err(InterpError::Eval)?;
+            let b = env
+                .shared
+                .get(*buf)
+                .ok_or_else(|| InterpError::Eval(format!("shared buffer {buf} missing")))?;
+            if i >= b.len() as u64 {
+                return Err(InterpError::OutOfBounds {
+                    what: format!("shared buffer {buf}"),
+                    idx: i,
+                    len: b.len() as u64,
+                    pc,
+                });
+            }
+            env.log.push(AccessRec {
+                pc: pc as u32,
+                global: false,
+                buf: *buf as u32,
+                idx: i,
+                write: false,
+                tid: env.tid,
+            });
+            Value::from_bits(b[i as usize], env.shared_elems[*buf])
+        }
+        Expr::Bin(op, a, b) => {
+            let va = eval(a, st, env, pc)?;
+            let vb = eval(b, st, env, pc)?;
+            apply_bin(*op, va, vb).map_err(InterpError::Eval)?
+        }
+        Expr::Un(op, a) => {
+            let v = eval(a, st, env, pc)?;
+            match (op, v) {
+                (UnOp::Neg, Value::F(x)) => Value::F(-x),
+                (UnOp::Neg, Value::I(x)) => Value::I(-x),
+                (UnOp::Not, Value::B(x)) => Value::B(!x),
+                (o, v) => {
+                    return Err(InterpError::Eval(format!(
+                        "cannot apply {o:?} to {v:?}"
+                    )))
+                }
+            }
+        }
+    })
+}
+
+fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
+    use BinOp::*;
+    use Value::*;
+    Ok(match (op, a, b) {
+        (Add, F(x), F(y)) => F(x + y),
+        (Sub, F(x), F(y)) => F(x - y),
+        (Mul, F(x), F(y)) => F(x * y),
+        (Div, F(x), F(y)) => F(x / y),
+        (Min, F(x), F(y)) => F(x.min(y)),
+        (Max, F(x), F(y)) => F(x.max(y)),
+        (Add, I(x), I(y)) => I(x + y),
+        (Sub, I(x), I(y)) => I(x - y),
+        (Mul, I(x), I(y)) => I(x * y),
+        (Div, I(x), I(y)) => {
+            if y == 0 {
+                return Err("integer division by zero".into());
+            }
+            I(x / y)
+        }
+        (Mod, I(x), I(y)) => {
+            if y == 0 {
+                return Err("modulo by zero".into());
+            }
+            I(x % y)
+        }
+        (Min, I(x), I(y)) => I(x.min(y)),
+        (Max, I(x), I(y)) => I(x.max(y)),
+        (Lt, F(x), F(y)) => B(x < y),
+        (Le, F(x), F(y)) => B(x <= y),
+        (Gt, F(x), F(y)) => B(x > y),
+        (Ge, F(x), F(y)) => B(x >= y),
+        (Eq, F(x), F(y)) => B(x == y),
+        (Ne, F(x), F(y)) => B(x != y),
+        (Lt, I(x), I(y)) => B(x < y),
+        (Le, I(x), I(y)) => B(x <= y),
+        (Gt, I(x), I(y)) => B(x > y),
+        (Ge, I(x), I(y)) => B(x >= y),
+        (Eq, I(x), I(y)) => B(x == y),
+        (Ne, I(x), I(y)) => B(x != y),
+        (And, B(x), B(y)) => B(x && y),
+        (Or, B(x), B(y)) => B(x || y),
+        (Eq, B(x), B(y)) => B(x == y),
+        (Ne, B(x), B(y)) => B(x != y),
+        (o, x, y) => return Err(format!("type error: {x:?} {o:?} {y:?}")),
+    })
+}
+
+/// Runs one thread until its next barrier or completion.
+///
+/// # Errors
+///
+/// Propagates out-of-bounds accesses and dynamic type errors.
+pub fn run_thread(
+    code: &[Instr],
+    weights: &[u64],
+    st: &mut ThreadState,
+    env: &mut ThreadEnv<'_>,
+) -> IResult<ThreadStop> {
+    loop {
+        let pc = st.pc;
+        let w = weights[pc];
+        match &code[pc] {
+            Instr::SetLocal(i, e) => {
+                let v = eval(e, st, env, pc)?;
+                if *i >= st.locals.len() {
+                    return Err(InterpError::Eval(format!("local {i} out of range")));
+                }
+                st.locals[*i] = v;
+                st.pc += 1;
+            }
+            Instr::StoreGlobal { buf, idx, value } => {
+                let i = eval(idx, st, env, pc)?
+                    .as_index()
+                    .map_err(InterpError::Eval)?;
+                let v = eval(value, st, env, pc)?;
+                let b = env
+                    .global
+                    .get_mut(*buf)
+                    .ok_or_else(|| InterpError::Eval(format!("global buffer {buf} missing")))?;
+                if i >= b.len() as u64 {
+                    return Err(InterpError::OutOfBounds {
+                        what: format!("global buffer {buf}"),
+                        idx: i,
+                        len: b.len() as u64,
+                        pc,
+                    });
+                }
+                b[i as usize] = v
+                    .to_elem_bits(env.global_elems[*buf])
+                    .map_err(InterpError::Eval)?;
+                env.log.push(AccessRec {
+                    pc: pc as u32,
+                    global: true,
+                    buf: *buf as u32,
+                    idx: i,
+                    write: true,
+                    tid: env.tid,
+                });
+                st.pc += 1;
+            }
+            Instr::StoreShared { buf, idx, value } => {
+                let i = eval(idx, st, env, pc)?
+                    .as_index()
+                    .map_err(InterpError::Eval)?;
+                let v = eval(value, st, env, pc)?;
+                let b = env
+                    .shared
+                    .get_mut(*buf)
+                    .ok_or_else(|| InterpError::Eval(format!("shared buffer {buf} missing")))?;
+                if i >= b.len() as u64 {
+                    return Err(InterpError::OutOfBounds {
+                        what: format!("shared buffer {buf}"),
+                        idx: i,
+                        len: b.len() as u64,
+                        pc,
+                    });
+                }
+                b[i as usize] = v
+                    .to_elem_bits(env.shared_elems[*buf])
+                    .map_err(InterpError::Eval)?;
+                env.log.push(AccessRec {
+                    pc: pc as u32,
+                    global: false,
+                    buf: *buf as u32,
+                    idx: i,
+                    write: true,
+                    tid: env.tid,
+                });
+                st.pc += 1;
+            }
+            Instr::JumpIfFalse(cond, target) => {
+                let c = eval(cond, st, env, pc)?.truthy().map_err(InterpError::Eval)?;
+                st.pc = if c { pc + 1 } else { *target };
+            }
+            Instr::Jump(target) => st.pc = *target,
+            Instr::Barrier => {
+                st.instr_count += w;
+                st.pc += 1;
+                return Ok(ThreadStop::Barrier(pc));
+            }
+            Instr::Halt => {
+                st.done = true;
+                return Ok(ThreadStop::Done);
+            }
+        }
+        st.instr_count += w;
+    }
+}
+
+/// Convenience: compiles and returns bytecode plus the local count.
+pub fn prepare(kernel: &KernelIr) -> (Vec<Instr>, usize) {
+    (compile(&kernel.body), kernel.local_count())
+}
+
+/// Number of expression nodes (models arithmetic cost per instruction).
+fn expr_weight(e: &Expr) -> u64 {
+    match e {
+        Expr::LitF(_)
+        | Expr::LitI(_)
+        | Expr::LitB(_)
+        | Expr::BlockIdx(_)
+        | Expr::ThreadIdx(_)
+        | Expr::BlockDim(_)
+        | Expr::GridDim(_)
+        | Expr::Local(_) => 1,
+        Expr::LoadGlobal { idx, .. } | Expr::LoadShared { idx, .. } => 1 + expr_weight(idx),
+        Expr::Bin(_, a, b) => 1 + expr_weight(a) + expr_weight(b),
+        Expr::Un(_, a) => 1 + expr_weight(a),
+    }
+}
+
+/// Per-instruction cost weights: one cycle per instruction plus one per
+/// expression node, computed statically so the interpreter stays lean.
+pub fn weights(code: &[Instr]) -> Vec<u64> {
+    code.iter()
+        .map(|i| match i {
+            Instr::SetLocal(_, e) => 1 + expr_weight(e),
+            Instr::StoreGlobal { idx, value, .. } | Instr::StoreShared { idx, value, .. } => {
+                1 + expr_weight(idx) + expr_weight(value)
+            }
+            Instr::JumpIfFalse(c, _) => 1 + expr_weight(c),
+            Instr::Jump(_) => 1,
+            Instr::Barrier => 1,
+            Instr::Halt => 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ElemTy;
+
+    fn env_1d<'a>(
+        tid: u64,
+        global: &'a mut [Vec<u64>],
+        elems: &'a [ElemTy],
+        shared: &'a mut [Vec<u64>],
+        shared_elems: &'a [ElemTy],
+        log: &'a mut Vec<AccessRec>,
+    ) -> ThreadEnv<'a> {
+        ThreadEnv {
+            thread: [tid, 0, 0],
+            block: [0, 0, 0],
+            block_dim: [32, 1, 1],
+            grid_dim: [1, 1, 1],
+            tid: tid as u32,
+            global,
+            global_elems: elems,
+            shared,
+            shared_elems,
+            log,
+        }
+    }
+
+    #[test]
+    fn straight_line_store() {
+        let body = vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::thread_idx(Axis::X),
+            value: Expr::LitF(7.0),
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 32]];
+        let elems = [ElemTy::F64];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(0);
+        let mut env = env_1d(3, &mut global, &elems, &mut shared, &selems, &mut log);
+        let stop = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        assert_eq!(stop, ThreadStop::Done);
+        assert_eq!(f64::from_bits(global[0][3]), 7.0);
+        assert_eq!(log.len(), 1);
+        assert!(log[0].write);
+    }
+
+    #[test]
+    fn loop_sums() {
+        // local1 = 0; for local0 in 0..10 { local1 += local0 } store local1.
+        let body = vec![
+            Stmt::SetLocal(1, Expr::LitI(0)),
+            Stmt::Loop {
+                var: 0,
+                init: Expr::LitI(0),
+                cmp: LoopCmp::Lt,
+                bound: Expr::LitI(10),
+                step: LoopStep::Add(1),
+                body: vec![Stmt::SetLocal(
+                    1,
+                    Expr::add(Expr::Local(1), Expr::Local(0)),
+                )],
+            },
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::Local(1),
+            },
+        ];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 1]];
+        let elems = [ElemTy::I32];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(2);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        assert_eq!(global[0][0] as i64, 45);
+    }
+
+    #[test]
+    fn halving_loop() {
+        // count iterations of k = 8; k >= 1; k /= 2.
+        let body = vec![
+            Stmt::SetLocal(1, Expr::LitI(0)),
+            Stmt::Loop {
+                var: 0,
+                init: Expr::LitI(8),
+                cmp: LoopCmp::Ge,
+                bound: Expr::LitI(1),
+                step: LoopStep::Div(2),
+                body: vec![Stmt::SetLocal(
+                    1,
+                    Expr::add(Expr::Local(1), Expr::LitI(1)),
+                )],
+            },
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::Local(1),
+            },
+        ];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 1]];
+        let elems = [ElemTy::I32];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(2);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        assert_eq!(global[0][0] as i64, 4); // 8, 4, 2, 1
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let body = vec![Stmt::If {
+            cond: Expr::lt(Expr::thread_idx(Axis::X), Expr::LitI(16)),
+            then_s: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::thread_idx(Axis::X),
+                value: Expr::LitF(1.0),
+            }],
+            else_s: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::thread_idx(Axis::X),
+                value: Expr::LitF(2.0),
+            }],
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 32]];
+        let elems = [ElemTy::F64];
+        for t in [3u64, 20u64] {
+            let mut shared: Vec<Vec<u64>> = vec![];
+            let selems: [ElemTy; 0] = [];
+            let mut log = Vec::new();
+            let mut st = ThreadState::new(0);
+            let mut env = env_1d(t, &mut global, &elems, &mut shared, &selems, &mut log);
+            run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        }
+        assert_eq!(f64::from_bits(global[0][3]), 1.0);
+        assert_eq!(f64::from_bits(global[0][20]), 2.0);
+    }
+
+    #[test]
+    fn barrier_suspends_and_resumes() {
+        let body = vec![
+            Stmt::SetLocal(0, Expr::LitI(1)),
+            Stmt::Barrier,
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::Local(0),
+            },
+        ];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 1]];
+        let elems = [ElemTy::I32];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(1);
+        {
+            let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+            let stop = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+            assert!(matches!(stop, ThreadStop::Barrier(_)));
+            assert!(!st.done);
+        }
+        {
+            let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+            let stop = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+            assert_eq!(stop, ThreadStop::Done);
+        }
+        assert_eq!(global[0][0] as i64, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let body = vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::LitI(99),
+            value: Expr::LitF(0.0),
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 4]];
+        let elems = [ElemTy::F64];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(0);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        let err = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { idx: 99, len: 4, .. }));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let body = vec![Stmt::SetLocal(
+            0,
+            Expr::bin(BinOp::Div, Expr::LitI(1), Expr::LitI(0)),
+        )];
+        let code = compile(&body);
+        let mut global: Vec<Vec<u64>> = vec![];
+        let elems: [ElemTy; 0] = [];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(1);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        assert!(run_thread(&code, &weights(&code), &mut st, &mut env).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! A deterministic CUDA-like GPU simulator.
+//!
+//! This crate is the hardware substitute for the paper's evaluation (the
+//! authors used a Tesla P100; see DESIGN.md for the substitution
+//! argument). It executes kernels written in a small structured IR with
+//! CUDA semantics:
+//!
+//! - a grid of blocks of threads ([`ir`]), with `blockIdx`/`threadIdx`,
+//!   global memory buffers and per-block shared memory;
+//! - block-wide barriers with **divergence detection**: if not every
+//!   thread of a block reaches the same barrier, the launch fails the way
+//!   CUDA makes it undefined behavior ([`interp`]);
+//! - a dynamic **data-race detector** that logs accesses between barriers
+//!   (and across blocks for global memory) and reports conflicting pairs
+//!   ([`race`]) — the executable oracle against which the static checker
+//!   is validated;
+//! - a **performance cost model** counting exactly the quantities that
+//!   dominate real GPU kernel runtime: coalesced global-memory
+//!   transactions per warp, shared-memory bank conflicts, executed
+//!   instructions, and barriers, scheduled over a multi-SM device
+//!   ([`cost`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::ir::*;
+//! use gpu_sim::{Gpu, LaunchConfig};
+//!
+//! // out[i] = in[i] * 2 over one block of 32 threads.
+//! let kernel = KernelIr {
+//!     name: "double".into(),
+//!     params: vec![
+//!         ParamDecl { elem: ElemTy::F64, len: 32, writable: false },
+//!         ParamDecl { elem: ElemTy::F64, len: 32, writable: true },
+//!     ],
+//!     shared: vec![],
+//!     body: vec![Stmt::StoreGlobal {
+//!         buf: 1,
+//!         idx: Expr::thread_idx(Axis::X),
+//!         value: Expr::bin(
+//!             BinOp::Mul,
+//!             Expr::LoadGlobal { buf: 0, idx: Box::new(Expr::thread_idx(Axis::X)) },
+//!             Expr::LitF(2.0),
+//!         ),
+//!     }],
+//! };
+//! let mut gpu = Gpu::default();
+//! let a = gpu.alloc_f64(&[1.0; 32]);
+//! let b = gpu.alloc_f64(&[0.0; 32]);
+//! let stats = gpu
+//!     .launch(&kernel, [1, 1, 1], [32, 1, 1], &[a, b], &LaunchConfig::default())
+//!     .unwrap();
+//! assert_eq!(gpu.read_f64(b)[0], 2.0);
+//! assert!(stats.cycles > 0);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod interp;
+pub mod ir;
+pub mod race;
+
+pub use cost::{CostModel, LaunchStats};
+pub use device::{Gpu, LaunchConfig, SimError};
+pub use ir::{Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};

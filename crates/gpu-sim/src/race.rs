@@ -1,0 +1,286 @@
+//! Dynamic data-race detection.
+//!
+//! The detector consumes the access log of each barrier interval and
+//! reports a race when two *different* threads of a block touch the same
+//! location between two consecutive barriers with at least one write
+//! (barriers are the only intra-block ordering, so schedule order within
+//! an interval is meaningless — this makes detection independent of the
+//! interpreter's thread serialization). Global memory is additionally
+//! checked *across blocks* over the whole kernel, because no barrier
+//! orders different blocks.
+//!
+//! This is the executable oracle used to validate Descend's static
+//! borrow checker: every program the checker accepts must come out clean,
+//! and the buggy CUDA kernels from the paper's Sections 1 and 2
+//! (transcribed to the IR) must be flagged.
+
+use crate::interp::AccessRec;
+use std::collections::HashMap;
+
+/// A detected race.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaceReport {
+    /// Global (true) or shared (false) memory.
+    pub global: bool,
+    /// Buffer index.
+    pub buf: u32,
+    /// Element index.
+    pub idx: u64,
+    /// Whether the conflict is between two different blocks (else between
+    /// two threads of the same block within one barrier interval).
+    pub cross_block: bool,
+    /// The two conflicting parties (thread ids, or block ids if
+    /// `cross_block`).
+    pub parties: (u32, u32),
+    /// Whether both conflicting accesses are writes.
+    pub write_write: bool,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data race on {} buffer {} at element {} between {} {} and {} ({})",
+            if self.global { "global" } else { "shared" },
+            self.buf,
+            self.idx,
+            if self.cross_block { "blocks" } else { "threads" },
+            self.parties.0,
+            self.parties.1,
+            if self.write_write {
+                "write-write"
+            } else {
+                "read-write"
+            }
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CellState {
+    writer: Option<u32>,
+    multi_writer: bool,
+    reader: Option<u32>,
+    other_reader: bool,
+}
+
+impl CellState {
+    fn read(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if let Some(w) = self.writer {
+            if w != who {
+                return Some((w, who, false));
+            }
+        }
+        match self.reader {
+            None => self.reader = Some(who),
+            Some(r) if r != who => self.other_reader = true,
+            _ => {}
+        }
+        None
+    }
+
+    fn write(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if let Some(w) = self.writer {
+            if w != who || self.multi_writer {
+                return Some((w, who, true));
+            }
+        }
+        if let Some(r) = self.reader {
+            if r != who || self.other_reader {
+                return Some((r, who, false));
+            }
+        }
+        match self.writer {
+            None => self.writer = Some(who),
+            Some(w) if w != who => self.multi_writer = true,
+            _ => {}
+        }
+        None
+    }
+}
+
+/// Accumulates accesses and detects races.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    /// Intra-block, per-interval state (cleared at each barrier).
+    interval: HashMap<(bool, u32, u64), CellState>,
+    /// Cross-block, whole-kernel state over global memory, keyed by
+    /// buffer/element, parties are block ids.
+    global: HashMap<(u32, u64), CellState>,
+    /// First detected race (detection is not short-circuiting per
+    /// interval, but one report suffices).
+    pub race: Option<RaceReport>,
+}
+
+impl RaceDetector {
+    /// Creates an empty detector.
+    pub fn new() -> RaceDetector {
+        RaceDetector::default()
+    }
+
+    /// Feeds one barrier interval of a block's access log.
+    ///
+    /// `block_id` is the linear block id (for cross-block checking).
+    pub fn interval(&mut self, block_id: u32, accesses: &[AccessRec]) {
+        for a in accesses {
+            // Intra-block check within the interval.
+            let cell = self
+                .interval
+                .entry((a.global, a.buf, a.idx))
+                .or_default();
+            let conflict = if a.write {
+                cell.write(a.tid)
+            } else {
+                cell.read(a.tid)
+            };
+            if let Some((p1, p2, ww)) = conflict {
+                self.race.get_or_insert(RaceReport {
+                    global: a.global,
+                    buf: a.buf,
+                    idx: a.idx,
+                    cross_block: false,
+                    parties: (p1, p2),
+                    write_write: ww,
+                });
+            }
+            // Cross-block check for global memory (whole kernel).
+            if a.global {
+                let gcell = self.global.entry((a.buf, a.idx)).or_default();
+                let conflict = if a.write {
+                    gcell.write(block_id)
+                } else {
+                    gcell.read(block_id)
+                };
+                if let Some((p1, p2, ww)) = conflict {
+                    if p1 != p2 {
+                        self.race.get_or_insert(RaceReport {
+                            global: true,
+                            buf: a.buf,
+                            idx: a.idx,
+                            cross_block: true,
+                            parties: (p1, p2),
+                            write_write: ww,
+                        });
+                    }
+                }
+            }
+        }
+        // The barrier closes the interval.
+        self.interval.clear();
+    }
+
+    /// Finishes a block: closes any open interval state.
+    pub fn end_block(&mut self) {
+        self.interval.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(global: bool, idx: u64, write: bool, tid: u32) -> AccessRec {
+        AccessRec {
+            pc: 0,
+            global,
+            buf: 0,
+            idx,
+            write,
+            tid,
+        }
+    }
+
+    #[test]
+    fn distinct_elements_are_clean() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 0, true, 0), acc(false, 1, true, 1)]);
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn write_write_same_element_races() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 5, true, 0), acc(false, 5, true, 1)]);
+        let r = d.race.expect("race detected");
+        assert!(r.write_write);
+        assert!(!r.cross_block);
+        assert_eq!(r.idx, 5);
+    }
+
+    #[test]
+    fn read_write_same_element_races() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 7, false, 2), acc(false, 7, true, 3)]);
+        let r = d.race.expect("race detected");
+        assert!(!r.write_write);
+    }
+
+    #[test]
+    fn same_thread_rmw_is_fine() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 7, false, 2), acc(false, 7, true, 2)]);
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn barrier_separates_intervals() {
+        let mut d = RaceDetector::new();
+        // Thread 0 writes, barrier, thread 1 reads: ordered, no race.
+        d.interval(0, &[acc(false, 3, true, 0)]);
+        d.interval(0, &[acc(false, 3, false, 1)]);
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn shared_reads_are_replicable() {
+        let mut d = RaceDetector::new();
+        d.interval(
+            0,
+            &[
+                acc(false, 0, false, 0),
+                acc(false, 0, false, 1),
+                acc(false, 0, false, 2),
+            ],
+        );
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn cross_block_global_write_races_despite_barriers() {
+        let mut d = RaceDetector::new();
+        // Block 0 writes global element 9 in one interval; block 1 writes
+        // it later: barriers do not synchronize blocks.
+        d.interval(0, &[acc(true, 9, true, 0)]);
+        d.end_block();
+        d.interval(1, &[acc(true, 9, true, 0)]);
+        let r = d.race.expect("cross-block race detected");
+        assert!(r.cross_block);
+        assert_eq!(r.parties, (0, 1));
+    }
+
+    #[test]
+    fn cross_block_disjoint_writes_clean() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(true, 0, true, 0)]);
+        d.end_block();
+        d.interval(1, &[acc(true, 1, true, 0)]);
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn same_block_rereads_across_intervals_clean() {
+        let mut d = RaceDetector::new();
+        d.interval(3, &[acc(true, 4, true, 0)]);
+        d.interval(3, &[acc(true, 4, false, 5)]);
+        assert!(d.race.is_none(), "same block, barrier between");
+    }
+
+    #[test]
+    fn first_race_is_kept() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 1, true, 0), acc(false, 1, true, 1)]);
+        let first = d.race.clone().unwrap();
+        d.interval(0, &[acc(false, 2, true, 0), acc(false, 2, true, 1)]);
+        assert_eq!(d.race.unwrap(), first);
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulator semantics beyond the unit tests: built-in index registers,
+//! arithmetic coverage, 2-D blocks and warp layout, and stats sanity.
+
+use gpu_sim::ir::*;
+use gpu_sim::{Gpu, LaunchConfig};
+
+fn run_store(kernel: KernelIr, grid: [u64; 3], block: [u64; 3], len: usize) -> Vec<f64> {
+    let mut gpu = Gpu::new();
+    let b = gpu.alloc_f64(&vec![0.0; len]);
+    gpu.launch(&kernel, grid, block, &[b], &LaunchConfig::default())
+        .expect("runs");
+    gpu.read_f64(b)
+}
+
+#[test]
+fn block_and_grid_dims_are_visible() {
+    // out[0] = gridDim.x * 1000 + blockDim.y (single thread).
+    let kernel = KernelIr {
+        name: "dims".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 1,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![Stmt::If {
+            cond: Expr::bin(
+                BinOp::And,
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::add(Expr::BlockIdx(Axis::X), Expr::ThreadIdx(Axis::X)),
+                    Expr::LitI(0),
+                ),
+                Expr::bin(BinOp::Eq, Expr::ThreadIdx(Axis::Y), Expr::LitI(0)),
+            ),
+            then_s: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::add(
+                    Expr::mul(Expr::GridDim(Axis::X), Expr::LitI(1000)),
+                    Expr::BlockDim(Axis::Y),
+                ),
+            }],
+            else_s: vec![],
+        }],
+    };
+    let out = run_store(kernel, [3, 1, 1], [4, 2, 1], 1);
+    assert_eq!(out[0] as i64, 3 * 1000 + 2);
+}
+
+#[test]
+fn min_max_neg_not_evaluate() {
+    let kernel = KernelIr {
+        name: "ops".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 4,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::bin(BinOp::Min, Expr::LitF(3.0), Expr::LitF(-2.0)),
+            },
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(1),
+                value: Expr::bin(BinOp::Max, Expr::LitF(3.0), Expr::LitF(-2.0)),
+            },
+            Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::LitI(2),
+                value: Expr::Un(UnOp::Neg, Box::new(Expr::LitF(7.5))),
+            },
+            Stmt::If {
+                cond: Expr::Un(UnOp::Not, Box::new(Expr::LitB(false))),
+                then_s: vec![Stmt::StoreGlobal {
+                    buf: 0,
+                    idx: Expr::LitI(3),
+                    value: Expr::LitF(1.0),
+                }],
+                else_s: vec![],
+            },
+        ],
+    };
+    let out = run_store(kernel, [1, 1, 1], [1, 1, 1], 4);
+    assert_eq!(out, vec![-2.0, 3.0, -7.5, 1.0]);
+}
+
+#[test]
+fn two_dimensional_blocks_linearize_row_major() {
+    // out[ty * 8 + tx] = ty * 8 + tx over an 8x4 block.
+    let kernel = KernelIr {
+        name: "grid2d".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 32,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::add(
+                Expr::mul(Expr::ThreadIdx(Axis::Y), Expr::LitI(8)),
+                Expr::ThreadIdx(Axis::X),
+            ),
+            value: Expr::add(
+                Expr::mul(Expr::ThreadIdx(Axis::Y), Expr::LitI(8)),
+                Expr::ThreadIdx(Axis::X),
+            ),
+        }],
+    };
+    let out = run_store(kernel, [1, 1, 1], [8, 4, 1], 32);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v as usize, i);
+    }
+}
+
+/// Warps are formed over the linear thread id: a 32x8 block has 8 warps,
+/// each one row. Row-contiguous f64 accesses coalesce to 2 segments per
+/// warp.
+#[test]
+fn warp_layout_follows_linear_tid() {
+    let kernel = KernelIr {
+        name: "rows".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 256,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::add(
+                Expr::mul(Expr::ThreadIdx(Axis::Y), Expr::LitI(32)),
+                Expr::ThreadIdx(Axis::X),
+            ),
+            value: Expr::LitF(1.0),
+        }],
+    };
+    let mut gpu = Gpu::new();
+    let b = gpu.alloc_f64(&vec![0.0; 256]);
+    let stats = gpu
+        .launch(&kernel, [1, 1, 1], [32, 8, 1], &[b], &LaunchConfig::default())
+        .unwrap();
+    // 8 warps x 2 segments (32 f64 = 256 B).
+    assert_eq!(stats.global_transactions, 16);
+}
+
+/// Column-major access from the same block is strided: every lane its own
+/// segment.
+#[test]
+fn strided_2d_access_is_not_coalesced() {
+    let kernel = KernelIr {
+        name: "cols".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 1024,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 0,
+            // out[tx * 32 + ty]: lanes of a warp (fixed ty, varying tx)
+            // hit stride-32 addresses.
+            idx: Expr::add(
+                Expr::mul(Expr::ThreadIdx(Axis::X), Expr::LitI(32)),
+                Expr::ThreadIdx(Axis::Y),
+            ),
+            value: Expr::LitF(1.0),
+        }],
+    };
+    let mut gpu = Gpu::new();
+    let b = gpu.alloc_f64(&vec![0.0; 1024]);
+    let stats = gpu
+        .launch(&kernel, [1, 1, 1], [32, 32, 1], &[b], &LaunchConfig::default())
+        .unwrap();
+    // 32 warps x 32 segments.
+    assert_eq!(stats.global_transactions, 1024);
+}
+
+/// The transpose staging pattern is the textbook case the cost model must
+/// distinguish: reading rows (coalesced) vs columns (strided) of global
+/// memory differs by an order of magnitude in transactions.
+#[test]
+fn cost_model_separates_good_and_bad_transpose() {
+    let n = 64usize;
+    let coalesced = KernelIr {
+        name: "row_copy".into(),
+        params: vec![
+            ParamDecl {
+                elem: ElemTy::F64,
+                len: (n * n) as u64,
+                writable: false,
+            },
+            ParamDecl {
+                elem: ElemTy::F64,
+                len: (n * n) as u64,
+                writable: true,
+            },
+        ],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 1,
+            idx: Expr::add(
+                Expr::mul(Expr::global_along(Axis::Y), Expr::LitI(n as i64)),
+                Expr::global_x(),
+            ),
+            value: Expr::LoadGlobal {
+                buf: 0,
+                idx: Box::new(Expr::add(
+                    Expr::mul(Expr::global_along(Axis::Y), Expr::LitI(n as i64)),
+                    Expr::global_x(),
+                )),
+            },
+        }],
+    };
+    let naive_transpose = KernelIr {
+        name: "naive_transpose".into(),
+        params: coalesced.params.clone(),
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 1,
+            // out[x * n + y] = in[y * n + x]: the write is strided.
+            idx: Expr::add(
+                Expr::mul(Expr::global_x(), Expr::LitI(n as i64)),
+                Expr::global_along(Axis::Y),
+            ),
+            value: Expr::LoadGlobal {
+                buf: 0,
+                idx: Box::new(Expr::add(
+                    Expr::mul(Expr::global_along(Axis::Y), Expr::LitI(n as i64)),
+                    Expr::global_x(),
+                )),
+            },
+        }],
+    };
+    let mut cycles = Vec::new();
+    for k in [&coalesced, &naive_transpose] {
+        let mut gpu = Gpu::new();
+        let a = gpu.alloc_f64(&vec![1.0; n * n]);
+        let b = gpu.alloc_f64(&vec![0.0; n * n]);
+        let stats = gpu
+            .launch(
+                k,
+                [(n / 32) as u64, (n / 8) as u64, 1],
+                [32, 8, 1],
+                &[a, b],
+                &LaunchConfig::default(),
+            )
+            .unwrap();
+        cycles.push(stats.cycles);
+    }
+    assert!(
+        cycles[1] > cycles[0] * 3,
+        "naive transpose ({}) should cost much more than row copy ({})",
+        cycles[1],
+        cycles[0]
+    );
+}

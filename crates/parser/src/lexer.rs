@@ -1,0 +1,428 @@
+//! The Descend lexer.
+//!
+//! Produces a flat token stream with byte spans. Multi-character operators
+//! are lexed greedily except for angle brackets: `<` and `>` are always
+//! emitted as single tokens so that nested generic arguments and the
+//! `<<<...>>>` launch syntax can be disambiguated by the parser (the same
+//! strategy C++ and Rust use for `>>`).
+
+use descend_ast::Span;
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Float literal (always contains a `.`), with optional `f32` suffix
+    /// captured by [`TokenKind::FloatF32`].
+    Float(f64),
+    /// Float literal with `f32` suffix.
+    FloatF32(f32),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `=>`
+    FatArrow,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `+=`
+    PlusEq,
+    /// `-`
+    Minus,
+    /// `-=`
+    MinusEq,
+    /// `*`
+    Star,
+    /// `*=`
+    StarEq,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `@`
+    At,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::Float(v) => write!(f, "`{v}`"),
+            TokenKind::FloatF32(v) => write!(f, "`{v}f32`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBrack => write!(f, "`[`"),
+            TokenKind::RBrack => write!(f, "`]`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::ColonColon => write!(f, "`::`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::FatArrow => write!(f, "`=>`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::PlusEq => write!(f, "`+=`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::MinusEq => write!(f, "`-=`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::StarEq => write!(f, "`*=`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::At => write!(f, "`@`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Byte span in the source.
+    pub span: Span,
+}
+
+/// A lexing error: an unexpected character or malformed literal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Location of the offending character.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.msg, self.span)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for characters outside the language or
+/// malformed numeric literals.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let push = |tokens: &mut Vec<Token>, kind: TokenKind, start: usize, end: usize| {
+        tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, end as u32),
+        });
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push(
+                    &mut tokens,
+                    TokenKind::Ident(src[start..i].to_string()),
+                    start,
+                    i,
+                );
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A float only if `.` is followed by a digit (so `0..4`
+                // stays an integer followed by `..`).
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Optional `f32` suffix.
+                    if src[i..].starts_with("f32") {
+                        let text = &src[start..i];
+                        let v: f32 = text.parse().map_err(|_| LexError {
+                            msg: format!("malformed float literal `{text}`"),
+                            span: Span::new(start as u32, i as u32),
+                        })?;
+                        i += 3;
+                        push(&mut tokens, TokenKind::FloatF32(v), start, i);
+                    } else {
+                        let text = &src[start..i];
+                        let v: f64 = text.parse().map_err(|_| LexError {
+                            msg: format!("malformed float literal `{text}`"),
+                            span: Span::new(start as u32, i as u32),
+                        })?;
+                        push(&mut tokens, TokenKind::Float(v), start, i);
+                    }
+                } else {
+                    let text = &src[start..i];
+                    let v: u64 = text.parse().map_err(|_| LexError {
+                        msg: format!("integer literal `{text}` out of range"),
+                        span: Span::new(start as u32, i as u32),
+                    })?;
+                    push(&mut tokens, TokenKind::Int(v), start, i);
+                }
+            }
+            _ => {
+                let start = i;
+                let two = |j: usize| -> &str {
+                    let end = (j + 2).min(src.len());
+                    &src[j..end]
+                };
+                let (kind, len) = match two(i) {
+                    "::" => (TokenKind::ColonColon, 2),
+                    ".." => (TokenKind::DotDot, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::NotEq, 2),
+                    "=>" => (TokenKind::FatArrow, 2),
+                    "->" => (TokenKind::Arrow, 2),
+                    "+=" => (TokenKind::PlusEq, 2),
+                    "-=" => (TokenKind::MinusEq, 2),
+                    "*=" => (TokenKind::StarEq, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::AmpAmp, 2),
+                    "||" => (TokenKind::PipePipe, 2),
+                    _ => {
+                        let kind = match c {
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '{' => TokenKind::LBrace,
+                            '}' => TokenKind::RBrace,
+                            '[' => TokenKind::LBrack,
+                            ']' => TokenKind::RBrack,
+                            '<' => TokenKind::Lt,
+                            '>' => TokenKind::Gt,
+                            ',' => TokenKind::Comma,
+                            ';' => TokenKind::Semi,
+                            ':' => TokenKind::Colon,
+                            '.' => TokenKind::Dot,
+                            '=' => TokenKind::Eq,
+                            '+' => TokenKind::Plus,
+                            '-' => TokenKind::Minus,
+                            '*' => TokenKind::Star,
+                            '/' => TokenKind::Slash,
+                            '%' => TokenKind::Percent,
+                            '&' => TokenKind::Amp,
+                            '!' => TokenKind::Bang,
+                            '@' => TokenKind::At,
+                            other => {
+                                return Err(LexError {
+                                    msg: format!("unexpected character `{other}`"),
+                                    span: Span::new(start as u32, start as u32 + 1),
+                                })
+                            }
+                        };
+                        (kind, 1)
+                    }
+                };
+                i += len;
+                push(&mut tokens, kind, start, i);
+            }
+        }
+    }
+    push(&mut tokens, TokenKind::Eof, src.len(), src.len());
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_ints() {
+        assert_eq!(
+            kinds("foo 42 bar_1"),
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Int(42),
+                TokenKind::Ident("bar_1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        assert_eq!(
+            kinds("0..4"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(4),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(
+            kinds("3.0 2.5f32"),
+            vec![TokenKind::Float(3.0), TokenKind::FloatF32(2.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn angle_brackets_stay_single() {
+        // `>>>>` must lex as four `>` so the parser can close X<N> then the
+        // launch bracket.
+        let ks = kinds("f::<N><<<X<1>,X<2>>>>(a)");
+        let gts = ks.iter().filter(|k| **k == TokenKind::Gt).count();
+        let lts = ks.iter().filter(|k| **k == TokenKind::Lt).count();
+        assert_eq!(gts, 6);
+        assert_eq!(lts, 6);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds(":: == != => -> += -= *= <= >= && || .."),
+            vec![
+                TokenKind::ColonColon,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::FatArrow,
+                TokenKind::Arrow,
+                TokenKind::PlusEq,
+                TokenKind::MinusEq,
+                TokenKind::StarEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::DotDot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment here\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_bytes() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(tokenize("a $ b").is_err());
+    }
+
+    #[test]
+    fn double_bracket_select_tokens() {
+        assert_eq!(
+            kinds("a[[t]]"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LBrack,
+                TokenKind::LBrack,
+                TokenKind::Ident("t".into()),
+                TokenKind::RBrack,
+                TokenKind::RBrack,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

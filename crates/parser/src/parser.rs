@@ -1,0 +1,1414 @@
+//! Recursive-descent parser producing [`descend_ast`] trees.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use descend_ast::term::*;
+use descend_ast::ty::*;
+use descend_ast::{Nat, Span};
+use std::fmt;
+
+/// A parse error with location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Location of the offending token.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete Descend program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        msg: e.msg,
+        span: e.span,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            msg: msg.into(),
+            span: self.span(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Span> {
+        if *self.peek() == kind {
+            let s = self.span();
+            self.bump();
+            Ok(s)
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(i) if i == s)
+    }
+
+    fn eat_kw(&mut self, s: &str) -> bool {
+        if self.peek_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, s: &str) -> PResult<()> {
+        if self.eat_kw(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`, found {}", self.peek()))
+        }
+    }
+
+    // ---------------------------------------------------------------- items
+
+    fn program(&mut self) -> PResult<Program> {
+        let mut items = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            if self.peek_ident("fn") {
+                items.push(Item::Fn(self.fn_def()?));
+            } else if self.peek_ident("view") {
+                items.push(Item::View(self.view_def()?));
+            } else if self.peek_ident("const") {
+                items.push(Item::Const(self.const_def()?));
+            } else {
+                return self.err(format!(
+                    "expected `fn`, `view` or `const`, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn const_def(&mut self) -> PResult<ConstDef> {
+        let start = self.span();
+        self.expect_kw("const")?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect_kw("nat")?;
+        self.expect(TokenKind::Eq)?;
+        let value = self.nat()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ConstDef {
+            name,
+            value,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn view_def(&mut self) -> PResult<ViewDef> {
+        let start = self.span();
+        self.expect_kw("view")?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(TokenKind::Lt) {
+            loop {
+                let p = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                self.expect_kw("nat")?;
+                params.push(p);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt)?;
+        }
+        self.expect(TokenKind::Eq)?;
+        let body = self.view_chain()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ViewDef {
+            name,
+            params,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn view_chain(&mut self) -> PResult<Vec<ViewApp>> {
+        let mut apps = vec![self.view_app()?];
+        while self.eat(TokenKind::Dot) {
+            apps.push(self.view_app()?);
+        }
+        Ok(apps)
+    }
+
+    fn view_app(&mut self) -> PResult<ViewApp> {
+        let name = self.ident()?;
+        let mut nat_args = Vec::new();
+        if *self.peek() == TokenKind::ColonColon && *self.peek_at(1) == TokenKind::Lt {
+            self.bump();
+            self.bump();
+            loop {
+                nat_args.push(self.nat()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt)?;
+        }
+        let mut view_args = Vec::new();
+        if self.eat(TokenKind::LParen) {
+            loop {
+                view_args.extend(self.view_chain()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(ViewApp {
+            name,
+            nat_args,
+            view_args,
+        })
+    }
+
+    fn fn_def(&mut self) -> PResult<FnDef> {
+        let start = self.span();
+        self.expect_kw("fn")?;
+        let name = self.ident()?;
+        let mut generics = Vec::new();
+        if self.eat(TokenKind::Lt) {
+            loop {
+                let p = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let kind = match self.ident()?.as_str() {
+                    "nat" => Kind::Nat,
+                    "dty" => Kind::DataTy,
+                    "mem" => Kind::Memory,
+                    other => return self.err(format!("unknown kind `{other}`")),
+                };
+                generics.push((p, kind));
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt)?;
+        }
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.data_ty()?;
+                params.push(ParamDecl { name: pname, ty });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        // -[name: exec]->
+        self.expect(TokenKind::Minus)?;
+        self.expect(TokenKind::LBrack)?;
+        let exec_name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let exec_ty = self.exec_ty()?;
+        self.expect(TokenKind::RBrack)?;
+        self.expect(TokenKind::Arrow)?;
+        let ret = self.data_ty()?;
+        let mut where_clauses = Vec::new();
+        if self.eat_kw("where") {
+            loop {
+                where_clauses.push(self.nat_constraint()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.block()?;
+        Ok(FnDef {
+            sig: FnSig {
+                name,
+                generics,
+                params,
+                exec_name,
+                exec_ty,
+                ret,
+                where_clauses,
+            },
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn nat_constraint(&mut self) -> PResult<NatConstraint> {
+        let lhs = self.nat()?;
+        if self.eat(TokenKind::EqEq) {
+            let rhs = self.nat()?;
+            // `a % b == 0` is the divisibility constraint.
+            if let (Nat::Mod(a, b), Some(0)) = (&lhs, rhs.as_lit()) {
+                return Ok(NatConstraint::Divides((**a).clone(), (**b).clone()));
+            }
+            Ok(NatConstraint::Eq(lhs, rhs))
+        } else if self.eat(TokenKind::Ge) {
+            Ok(NatConstraint::Ge(lhs, self.nat()?))
+        } else {
+            self.err("expected `==` or `>=` in where clause")
+        }
+    }
+
+    // ---------------------------------------------------------------- types
+
+    fn exec_ty(&mut self) -> PResult<ExecTy> {
+        let head = self.ident()?;
+        self.expect(TokenKind::Dot)?;
+        let tail = self.ident()?;
+        match (head.as_str(), tail.as_str()) {
+            ("cpu", "thread") => Ok(ExecTy::CpuThread),
+            ("gpu", "grid") | ("gpu", "Grid") => {
+                self.expect(TokenKind::Lt)?;
+                let blocks = self.dim()?;
+                self.expect(TokenKind::Comma)?;
+                let threads = self.dim()?;
+                self.expect(TokenKind::Gt)?;
+                Ok(ExecTy::GpuGrid(blocks, threads))
+            }
+            _ => self.err(format!("unknown execution level `{head}.{tail}`")),
+        }
+    }
+
+    fn dim(&mut self) -> PResult<Dim> {
+        let letters = self.ident()?;
+        let mut compos = Vec::new();
+        for ch in letters.chars() {
+            let c = match ch {
+                'X' => DimCompo::X,
+                'Y' => DimCompo::Y,
+                'Z' => DimCompo::Z,
+                other => return self.err(format!("invalid dimension letter `{other}`")),
+            };
+            if compos.contains(&c) {
+                return self.err(format!("dimension `{letters}` repeats component {c}"));
+            }
+            compos.push(c);
+        }
+        if compos.is_empty() {
+            return self.err("empty dimension");
+        }
+        self.expect(TokenKind::Lt)?;
+        let mut sizes = Vec::new();
+        loop {
+            sizes.push(self.nat()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Gt)?;
+        if sizes.len() != compos.len() {
+            return self.err(format!(
+                "dimension `{letters}` expects {} sizes, found {}",
+                compos.len(),
+                sizes.len()
+            ));
+        }
+        Ok(Dim::new(compos.into_iter().zip(sizes).collect()))
+    }
+
+    fn dim_compo(&mut self) -> PResult<DimCompo> {
+        match self.ident()?.as_str() {
+            "X" => Ok(DimCompo::X),
+            "Y" => Ok(DimCompo::Y),
+            "Z" => Ok(DimCompo::Z),
+            other => self.err(format!("expected dimension X, Y or Z, found `{other}`")),
+        }
+    }
+
+    fn memory(&mut self) -> PResult<Memory> {
+        let head = self.ident()?;
+        if self.eat(TokenKind::Dot) {
+            let tail = self.ident()?;
+            match (head.as_str(), tail.as_str()) {
+                ("cpu", "mem") => Ok(Memory::CpuMem),
+                ("gpu", "global") => Ok(Memory::GpuGlobal),
+                ("gpu", "shared") => Ok(Memory::GpuShared),
+                _ => self.err(format!("unknown memory space `{head}.{tail}`")),
+            }
+        } else {
+            Ok(Memory::Ident(head))
+        }
+    }
+
+    fn data_ty(&mut self) -> PResult<DataTy> {
+        let mut ty = self.data_ty_primary()?;
+        if self.eat(TokenKind::At) {
+            let mem = self.memory()?;
+            ty = DataTy::At(Box::new(ty), mem);
+        }
+        Ok(ty)
+    }
+
+    fn data_ty_primary(&mut self) -> PResult<DataTy> {
+        match self.peek().clone() {
+            TokenKind::Amp => {
+                self.bump();
+                let uniq = self.eat_kw("uniq");
+                let mem = self.memory()?;
+                let inner = self.data_ty_primary()?;
+                Ok(DataTy::Ref(
+                    if uniq { RefKind::Uniq } else { RefKind::Shrd },
+                    mem,
+                    Box::new(inner),
+                ))
+            }
+            TokenKind::LBrack => {
+                self.bump();
+                let elem = self.data_ty_primary()?;
+                self.expect(TokenKind::Semi)?;
+                let n = self.nat()?;
+                self.expect(TokenKind::RBrack)?;
+                Ok(DataTy::Array(Box::new(elem), n))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.eat(TokenKind::RParen) {
+                    return Ok(DataTy::unit());
+                }
+                let mut parts = vec![self.data_ty_primary()?];
+                while self.eat(TokenKind::Comma) {
+                    parts.push(self.data_ty_primary()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                if parts.len() == 1 {
+                    Ok(parts.pop().expect("non-empty"))
+                } else {
+                    Ok(DataTy::Tuple(parts))
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(match name.as_str() {
+                    "i32" => DataTy::Scalar(ScalarTy::I32),
+                    "i64" => DataTy::Scalar(ScalarTy::I64),
+                    "u32" => DataTy::Scalar(ScalarTy::U32),
+                    "f32" => DataTy::Scalar(ScalarTy::F32),
+                    "f64" => DataTy::Scalar(ScalarTy::F64),
+                    "bool" => DataTy::Scalar(ScalarTy::Bool),
+                    _ => DataTy::Ident(name),
+                })
+            }
+            other => self.err(format!("expected a type, found {other}")),
+        }
+    }
+
+    // ----------------------------------------------------------------- nats
+
+    fn nat(&mut self) -> PResult<Nat> {
+        let mut lhs = self.nat_term()?;
+        loop {
+            if self.eat(TokenKind::Plus) {
+                lhs = lhs + self.nat_term()?;
+            } else if self.eat(TokenKind::Minus) {
+                lhs = lhs - self.nat_term()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn nat_term(&mut self) -> PResult<Nat> {
+        let mut lhs = self.nat_atom()?;
+        loop {
+            if self.eat(TokenKind::Star) {
+                lhs = lhs * self.nat_atom()?;
+            } else if self.eat(TokenKind::Slash) {
+                lhs = lhs / self.nat_atom()?;
+            } else if self.eat(TokenKind::Percent) {
+                lhs = lhs % self.nat_atom()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn nat_atom(&mut self) -> PResult<Nat> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Nat::Lit(v))
+            }
+            TokenKind::Ident(x) => {
+                self.bump();
+                Ok(Nat::Var(x))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let n = self.nat()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(n)
+            }
+            other => self.err(format!("expected a nat expression, found {other}")),
+        }
+    }
+
+    // ----------------------------------------------------------- statements
+
+    fn block(&mut self) -> PResult<Block> {
+        let start = self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+            while self.eat(TokenKind::Semi) {}
+        }
+        let end = self.expect(TokenKind::RBrace)?;
+        Ok(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    /// Requires a `;` after simple statements unless the block closes.
+    fn stmt_terminator(&mut self) -> PResult<()> {
+        if self.eat(TokenKind::Semi) || *self.peek() == TokenKind::RBrace {
+            Ok(())
+        } else {
+            self.err(format!("expected `;`, found {}", self.peek()))
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let start = self.span();
+        if self.peek_ident("let") {
+            self.bump();
+            let mutable = self.eat_kw("mut");
+            let name = self.ident()?;
+            let ty = if self.eat(TokenKind::Colon) {
+                Some(self.data_ty()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Eq)?;
+            let init = self.expr()?;
+            self.stmt_terminator()?;
+            return Ok(Stmt {
+                kind: StmtKind::Let {
+                    name,
+                    mutable,
+                    ty,
+                    init,
+                },
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.peek_ident("sched") {
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let mut dims = vec![self.dim_compo()?];
+            while self.eat(TokenKind::Comma) {
+                dims.push(self.dim_compo()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let exec = self.ident()?;
+            let body = self.block()?;
+            return Ok(Stmt {
+                kind: StmtKind::Sched {
+                    dims,
+                    var,
+                    exec,
+                    body,
+                },
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.peek_ident("split") {
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let dim = self.dim_compo()?;
+            self.expect(TokenKind::RParen)?;
+            let exec = self.ident()?;
+            self.expect_kw("at")?;
+            let pos = self.nat()?;
+            self.expect(TokenKind::LBrace)?;
+            let fst_var = self.ident()?;
+            self.expect(TokenKind::FatArrow)?;
+            let fst_body = self.block()?;
+            self.expect(TokenKind::Comma)?;
+            let snd_var = self.ident()?;
+            self.expect(TokenKind::FatArrow)?;
+            let snd_body = self.block()?;
+            self.eat(TokenKind::Comma);
+            self.expect(TokenKind::RBrace)?;
+            return Ok(Stmt {
+                kind: StmtKind::SplitExec {
+                    dim,
+                    exec,
+                    pos,
+                    fst_var,
+                    fst_body,
+                    snd_var,
+                    snd_body,
+                },
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.peek_ident("for") {
+            self.bump();
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let range = if self.eat(TokenKind::LBrack) {
+                let lo = self.nat()?;
+                self.expect(TokenKind::DotDot)?;
+                let hi = self.nat()?;
+                self.expect(TokenKind::RBrack)?;
+                NatRange::Range { lo, hi }
+            } else if self.eat_kw("halving") {
+                self.expect(TokenKind::LParen)?;
+                let from = self.nat()?;
+                self.expect(TokenKind::RParen)?;
+                NatRange::Halving { from }
+            } else if self.eat_kw("doubling") {
+                self.expect(TokenKind::LParen)?;
+                let from = self.nat()?;
+                self.expect(TokenKind::Comma)?;
+                let limit = self.nat()?;
+                self.expect(TokenKind::RParen)?;
+                NatRange::Doubling { from, limit }
+            } else {
+                return self.err("expected `[lo..hi]`, `halving(..)` or `doubling(..)`");
+            };
+            let body = self.block()?;
+            return Ok(Stmt {
+                kind: StmtKind::ForNat { var, range, body },
+                span: start.to(self.prev_span()),
+            });
+        }
+        if self.peek_ident("sync") {
+            self.bump();
+            self.stmt_terminator()?;
+            return Ok(Stmt {
+                kind: StmtKind::Sync,
+                span: start.to(self.prev_span()),
+            });
+        }
+        if *self.peek() == TokenKind::LBrace {
+            let b = self.block()?;
+            return Ok(Stmt {
+                kind: StmtKind::Scope(b),
+                span: start.to(self.prev_span()),
+            });
+        }
+        // Expression or assignment.
+        let e = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(None),
+            TokenKind::PlusEq => Some(Some(BinOp::Add)),
+            TokenKind::MinusEq => Some(Some(BinOp::Sub)),
+            TokenKind::StarEq => Some(Some(BinOp::Mul)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let ExprKind::Place(place) = e.kind else {
+                return self.err("left-hand side of assignment must be a place expression");
+            };
+            self.bump();
+            let value = self.expr()?;
+            self.stmt_terminator()?;
+            return Ok(Stmt {
+                kind: StmtKind::Assign { place, op, value },
+                span: start.to(self.prev_span()),
+            });
+        }
+        self.stmt_terminator()?;
+        Ok(Stmt {
+            kind: StmtKind::Expr(e),
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> PResult<Expr> {
+        let mut lhs = self.expr_and()?;
+        while self.eat(TokenKind::PipePipe) {
+            let rhs = self.expr_and()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> PResult<Expr> {
+        let mut lhs = self.expr_cmp()?;
+        while self.eat(TokenKind::AmpAmp) {
+            let rhs = self.expr_cmp()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn expr_cmp(&mut self) -> PResult<Expr> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr_add()?;
+            let span = lhs.span.to(rhs.span);
+            return Ok(Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn expr_add(&mut self) -> PResult<Expr> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_mul()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    fn expr_mul(&mut self) -> PResult<Expr> {
+        let mut lhs = self.expr_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.expr_unary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+    }
+
+    fn expr_unary(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        if self.eat(TokenKind::Minus) {
+            let inner = self.expr_unary()?;
+            let span = start.to(inner.span);
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)),
+                span,
+            });
+        }
+        if self.eat(TokenKind::Bang) {
+            let inner = self.expr_unary()?;
+            let span = start.to(inner.span);
+            return Ok(Expr {
+                kind: ExprKind::Unary(UnOp::Not, Box::new(inner)),
+                span,
+            });
+        }
+        self.expr_primary()
+    }
+
+    fn expr_primary(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Lit(Lit::I32(v as i64)),
+                    span: start,
+                })
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Lit(Lit::F64(v)),
+                    span: start,
+                })
+            }
+            TokenKind::FloatF32(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Lit(Lit::F32(v)),
+                    span: start,
+                })
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let uniq = self.eat_kw("uniq");
+                let place = self.place()?;
+                Ok(Expr {
+                    kind: ExprKind::Borrow { uniq, place },
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::Star => {
+                // A bare dereference place: *p (with suffixes).
+                let place = self.place()?;
+                Ok(Expr {
+                    kind: ExprKind::Place(place),
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::LParen => {
+                if *self.peek_at(1) == TokenKind::Star {
+                    // (*p).suffixes — a place.
+                    let place = self.place()?;
+                    return Ok(Expr {
+                        kind: ExprKind::Place(place),
+                        span: start.to(self.prev_span()),
+                    });
+                }
+                self.bump();
+                if self.eat(TokenKind::RParen) {
+                    return Ok(Expr {
+                        kind: ExprKind::Lit(Lit::Unit),
+                        span: start.to(self.prev_span()),
+                    });
+                }
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name == "true" || name == "false" {
+                    self.bump();
+                    return Ok(Expr {
+                        kind: ExprKind::Lit(Lit::Bool(name == "true")),
+                        span: start,
+                    });
+                }
+                if name == "alloc" {
+                    self.bump();
+                    self.expect(TokenKind::ColonColon)?;
+                    self.expect(TokenKind::Lt)?;
+                    let mem = self.memory()?;
+                    self.expect(TokenKind::Comma)?;
+                    let ty = self.data_ty()?;
+                    self.expect(TokenKind::Gt)?;
+                    self.expect(TokenKind::LParen)?;
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(Expr {
+                        kind: ExprKind::Alloc { mem, ty },
+                        span: start.to(self.prev_span()),
+                    });
+                }
+                // Call, launch, or place.
+                let has_nat_args =
+                    *self.peek_at(1) == TokenKind::ColonColon && *self.peek_at(2) == TokenKind::Lt;
+                if has_nat_args {
+                    // Look ahead past the nat argument list to decide
+                    // between call/launch and a view on a place. We parse
+                    // speculatively and reset on failure.
+                    let save = self.pos;
+                    self.bump(); // name
+                    self.bump(); // ::
+                    self.bump(); // <
+                    let mut nat_args = Vec::new();
+                    let args_ok = (|| -> PResult<()> {
+                        loop {
+                            nat_args.push(self.nat()?);
+                            if !self.eat(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::Gt)?;
+                        Ok(())
+                    })();
+                    if args_ok.is_ok() {
+                        if *self.peek() == TokenKind::LParen {
+                            return self.finish_call(name, nat_args, start);
+                        }
+                        if self.peek_launch() {
+                            return self.finish_launch(name, nat_args, start);
+                        }
+                    }
+                    self.pos = save;
+                }
+                if *self.peek_at(1) == TokenKind::LParen {
+                    self.bump();
+                    return self.finish_call(name, Vec::new(), start);
+                }
+                if *self.peek_at(1) == TokenKind::Lt
+                    && *self.peek_at(2) == TokenKind::Lt
+                    && *self.peek_at(3) == TokenKind::Lt
+                {
+                    self.bump();
+                    return self.finish_launch(name, Vec::new(), start);
+                }
+                let place = self.place()?;
+                Ok(Expr {
+                    kind: ExprKind::Place(place),
+                    span: start.to(self.prev_span()),
+                })
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+
+    fn peek_launch(&self) -> bool {
+        *self.peek() == TokenKind::Lt
+            && *self.peek_at(1) == TokenKind::Lt
+            && *self.peek_at(2) == TokenKind::Lt
+    }
+
+    fn finish_call(&mut self, name: String, nat_args: Vec<Nat>, start: Span) -> PResult<Expr> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Expr {
+            kind: ExprKind::Call {
+                name,
+                nat_args,
+                args,
+            },
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn finish_launch(&mut self, name: String, nat_args: Vec<Nat>, start: Span) -> PResult<Expr> {
+        for _ in 0..3 {
+            self.expect(TokenKind::Lt)?;
+        }
+        let grid_dim = self.dim()?;
+        self.expect(TokenKind::Comma)?;
+        let block_dim = self.dim()?;
+        for _ in 0..3 {
+            self.expect(TokenKind::Gt)?;
+        }
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Expr {
+            kind: ExprKind::Launch {
+                name,
+                nat_args,
+                grid_dim,
+                block_dim,
+                args,
+            },
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    // --------------------------------------------------------------- places
+
+    fn place(&mut self) -> PResult<PlaceExpr> {
+        let start = self.span();
+        let mut place = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                PlaceExpr {
+                    kind: PlaceExprKind::Ident(name),
+                    span: start,
+                }
+            }
+            TokenKind::Star => {
+                self.bump();
+                let inner = self.place_atom()?;
+                PlaceExpr {
+                    kind: PlaceExprKind::Deref(Box::new(inner)),
+                    span: start.to(self.prev_span()),
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                self.expect(TokenKind::Star)?;
+                let inner = self.place()?;
+                self.expect(TokenKind::RParen)?;
+                PlaceExpr {
+                    kind: PlaceExprKind::Deref(Box::new(inner)),
+                    span: start.to(self.prev_span()),
+                }
+            }
+            other => return self.err(format!("expected a place expression, found {other}")),
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let name = self.ident()?;
+                    match name.as_str() {
+                        "fst" => {
+                            place = PlaceExpr {
+                                kind: PlaceExprKind::Proj(Box::new(place), 0),
+                                span: start.to(self.prev_span()),
+                            };
+                        }
+                        "snd" => {
+                            place = PlaceExpr {
+                                kind: PlaceExprKind::Proj(Box::new(place), 1),
+                                span: start.to(self.prev_span()),
+                            };
+                        }
+                        _ => {
+                            // A view application.
+                            self.pos -= 1; // un-consume the name
+                            let app = self.view_app()?;
+                            place = PlaceExpr {
+                                kind: PlaceExprKind::View(Box::new(place), app),
+                                span: start.to(self.prev_span()),
+                            };
+                        }
+                    }
+                }
+                TokenKind::LBrack => {
+                    if *self.peek_at(1) == TokenKind::LBrack {
+                        // Select [[exec]] or [[exec.D]].
+                        self.bump();
+                        self.bump();
+                        let exec = self.ident()?;
+                        let dim = if self.eat(TokenKind::Dot) {
+                            Some(self.dim_compo()?)
+                        } else {
+                            None
+                        };
+                        self.expect(TokenKind::RBrack)?;
+                        self.expect(TokenKind::RBrack)?;
+                        place = PlaceExpr {
+                            kind: PlaceExprKind::Select(Box::new(place), exec, dim),
+                            span: start.to(self.prev_span()),
+                        };
+                    } else {
+                        self.bump();
+                        let n = self.nat()?;
+                        self.expect(TokenKind::RBrack)?;
+                        place = PlaceExpr {
+                            kind: PlaceExprKind::Index(Box::new(place), n),
+                            span: start.to(self.prev_span()),
+                        };
+                    }
+                }
+                _ => return Ok(place),
+            }
+        }
+    }
+
+    fn place_atom(&mut self) -> PResult<PlaceExpr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(PlaceExpr {
+                    kind: PlaceExprKind::Ident(name),
+                    span: start,
+                })
+            }
+            TokenKind::Star => {
+                self.bump();
+                let inner = self.place_atom()?;
+                Ok(PlaceExpr {
+                    kind: PlaceExprKind::Deref(Box::new(inner)),
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                self.expect(TokenKind::Star)?;
+                let inner = self.place()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(PlaceExpr {
+                    kind: PlaceExprKind::Deref(Box::new(inner)),
+                    span: start.to(self.prev_span()),
+                })
+            }
+            other => self.err(format!("expected a place, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descend_ast::pretty;
+
+    #[test]
+    fn parses_const() {
+        let p = parse("const N: nat = 32 * 4;").unwrap();
+        match &p.items[0] {
+            Item::Const(c) => {
+                assert_eq!(c.name, "N");
+                assert_eq!(c.value.as_lit(), Some(128));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_view_def_from_paper() {
+        let p = parse(
+            "view group_by_row<row_size: nat, num_rows: nat> = group::<row_size/num_rows>.map(transpose);",
+        )
+        .unwrap();
+        match &p.items[0] {
+            Item::View(v) => {
+                assert_eq!(v.name, "group_by_row");
+                assert_eq!(v.params, vec!["row_size", "num_rows"]);
+                assert_eq!(v.body.len(), 2);
+                assert_eq!(v.body[0].name, "group");
+                assert_eq!(v.body[1].name, "map");
+                assert_eq!(v.body[1].view_args[0].name, "transpose");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_2_transpose_shape() {
+        let src = r#"
+fn transpose(input: & gpu.global [[f64;2048];2048],
+             output: &uniq gpu.global [[f64;2048];2048])
+-[grid: gpu.grid<XY<64,64>, XY<32,8>>]-> () {
+    sched(Y,X) block in grid {
+        let tmp = alloc::<gpu.shared, [[f64; 32]; 32]>();
+        sched(Y,X) thread in block {
+            for i in [0..4] {
+                tmp.group::<8>[i][[thread]] =
+                    input.tiles::<32,32>.transpose[[block]].group::<8>[i][[thread]];
+            }
+            sync;
+            for i in [0..4] {
+                output.tiles::<32,32>[[block]].group::<8>[i][[thread]] =
+                    tmp.transpose.group::<8>[i][[thread]];
+            }
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("transpose").unwrap();
+        assert_eq!(f.sig.params.len(), 2);
+        assert!(matches!(f.sig.exec_ty, ExecTy::GpuGrid(..)));
+        assert_eq!(f.body.stmts.len(), 1);
+        match &f.body.stmts[0].kind {
+            StmtKind::Sched { dims, var, body, .. } => {
+                assert_eq!(dims, &[DimCompo::Y, DimCompo::X]);
+                assert_eq!(var, "block");
+                assert_eq!(body.stmts.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_launch_with_nat_args() {
+        let src = r#"
+fn host() -[t: cpu.thread]-> () {
+    scale_vec::<1024><<<X<32>, X<32>>>>(&uniq d_vec);
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("host").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Launch {
+                    name,
+                    nat_args,
+                    grid_dim,
+                    block_dim,
+                    args,
+                } => {
+                    assert_eq!(name, "scale_vec");
+                    assert_eq!(nat_args.len(), 1);
+                    assert!(grid_dim.same(&Dim::x(32u64)));
+                    assert!(block_dim.same(&Dim::x(32u64)));
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_split_with_sync_like_paper_error_example() {
+        let src = r#"
+fn kernel(a: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        split(X) block at 32 {
+            first => { sync; },
+            second => { }
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("kernel").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Sched { body, .. } => match &body.stmts[0].kind {
+                StmtKind::SplitExec {
+                    dim,
+                    pos,
+                    fst_var,
+                    fst_body,
+                    snd_var,
+                    ..
+                } => {
+                    assert_eq!(*dim, DimCompo::X);
+                    assert_eq!(pos.as_lit(), Some(32));
+                    assert_eq!(fst_var, "first");
+                    assert_eq!(snd_var, "second");
+                    assert!(matches!(fst_body.stmts[0].kind, StmtKind::Sync));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_per_dim_select_and_compound_assign() {
+        let src = r#"
+fn k(a: &uniq gpu.global [[f64;64];64]) -[grid: gpu.grid<XY<2,2>, XY<32,32>>]-> () {
+    sched(Y,X) block in grid {
+        sched(Y,X) thread in block {
+            let mut acc = 0.0;
+            acc += (*a).tiles::<32,32>[[block.Y]][[block.X]][[thread.Y]][[thread.X]];
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert!(p.fn_def("k").is_some());
+    }
+
+    #[test]
+    fn parses_where_clause() {
+        let src = r#"
+fn red<n: nat, nb: nat>(a: &uniq gpu.global [f64; n])
+-[grid: gpu.grid<X<nb>, X<512>>]-> () where n == nb * 512, n % 512 == 0 {
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("red").unwrap();
+        assert_eq!(f.sig.where_clauses.len(), 2);
+        assert!(matches!(f.sig.where_clauses[0], NatConstraint::Eq(..)));
+        assert!(matches!(f.sig.where_clauses[1], NatConstraint::Divides(..)));
+    }
+
+    #[test]
+    fn parses_halving_loop() {
+        let src = r#"
+fn f(a: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    for k in halving(32) {
+        sync;
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("f").unwrap();
+        assert!(matches!(
+            f.body.stmts[0].kind,
+            StmtKind::ForNat {
+                range: NatRange::Halving { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_host_intrinsics() {
+        let src = r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 1024]>();
+    let d = gpu_alloc_copy(&h);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("main").unwrap();
+        assert_eq!(f.body.stmts.len(), 3);
+        match &f.body.stmts[1].kind {
+            StmtKind::Let { init, .. } => {
+                assert!(matches!(init.kind, ExprKind::Call { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_requires_place_lhs() {
+        let src = r#"
+fn f() -[t: cpu.thread]-> () {
+    f() = 3.0;
+}
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn reports_unknown_memory() {
+        let src = "fn f(a: & gpu.weird [f64; 4]) -[t: cpu.thread]-> () { }";
+        let err = parse(src).unwrap_err();
+        assert!(err.msg.contains("unknown memory space"));
+    }
+
+    #[test]
+    fn pretty_print_roundtrip() {
+        let src = r#"
+const N: nat = 64;
+view halves<n: nat> = split::<n / 2>;
+fn scale(v: &uniq gpu.global [f64; N]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+"#;
+        let p1 = parse(src).unwrap();
+        let printed = pretty::program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("re-parse failed: {} in:\n{printed}", e.msg)
+        });
+        // Compare shapes (spans differ).
+        assert_eq!(p1.items.len(), p2.items.len());
+        let f1 = p1.fn_def("scale").unwrap();
+        let f2 = p2.fn_def("scale").unwrap();
+        assert_eq!(f1.sig.params.len(), f2.sig.params.len());
+        assert_eq!(f1.body.stmts.len(), f2.body.stmts.len());
+    }
+
+    #[test]
+    fn parses_scan_style_double_buffer() {
+        let src = r#"
+fn scan_block(io: &uniq gpu.global [f64; 512], aux: &uniq gpu.global [f64; 1])
+-[grid: gpu.grid<X<1>, X<512>>]-> () {
+    sched(X) block in grid {
+        let tmp_a = alloc::<gpu.shared, [f64; 512]>();
+        let tmp_b = alloc::<gpu.shared, [f64; 512]>();
+        sched(X) thread in block {
+            tmp_a[[thread]] = (*io)[[thread]];
+        }
+        sync;
+        split(X) block at 1 {
+            low => {
+                sched(X) t in low {
+                    tmp_b.split::<1>.fst[[t]] = tmp_a.split::<1>.fst[[t]];
+                }
+            },
+            high => {
+                sched(X) t in high {
+                    tmp_b.split::<1>.snd[[t]] = tmp_a.split::<1>.snd[[t]] + tmp_a.split::<511>.fst[[t]];
+                }
+            }
+        }
+        sync;
+    }
+}
+"#;
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn error_spans_are_meaningful() {
+        let err = parse("fn f( -[t: cpu.thread]-> () {}").unwrap_err();
+        assert!(err.span.start > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parser edge cases: precedence, ambiguity between generics/comparison/
+//! launch brackets, and error reporting.
+
+use descend_ast::term::*;
+use descend_ast::ty::*;
+use descend_parser::parse;
+
+fn parse_fn(body: &str) -> FnDef {
+    let src = format!(
+        "fn f(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {{ {body} }}"
+    );
+    parse(&src)
+        .unwrap_or_else(|e| panic!("{e} in: {src}"))
+        .fn_def("f")
+        .unwrap()
+        .clone()
+}
+
+#[test]
+fn nat_precedence_in_indices() {
+    let f = parse_fn("let x = v[2 + 3 * 4];");
+    let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    let ExprKind::Place(p) = &init.kind else { panic!() };
+    let PlaceExprKind::Index(_, n) = &p.kind else {
+        panic!()
+    };
+    assert_eq!(n.as_lit(), Some(14));
+}
+
+#[test]
+fn nat_parens_override_precedence() {
+    let f = parse_fn("let x = v[(2 + 3) * 4];");
+    let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    let ExprKind::Place(p) = &init.kind else { panic!() };
+    let PlaceExprKind::Index(_, n) = &p.kind else {
+        panic!()
+    };
+    assert_eq!(n.as_lit(), Some(20));
+}
+
+#[test]
+fn comparison_is_not_a_launch() {
+    // `a < b` must parse as a comparison even with calls around.
+    let f = parse_fn("let x = 1.0 < 2.0;");
+    let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert!(matches!(init.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+}
+
+#[test]
+fn nested_array_types_roundtrip() {
+    let src = r#"
+fn f(m: & gpu.global [[[f64; 2]; 3]; 4]) -[grid: gpu.grid<X<1>, X<1>>]-> () { }
+"#;
+    let p = parse(src).unwrap();
+    let f = p.fn_def("f").unwrap();
+    let DataTy::Ref(_, _, inner) = &f.sig.params[0].ty else {
+        panic!()
+    };
+    let DataTy::Array(a, n4) = &**inner else { panic!() };
+    assert_eq!(n4.as_lit(), Some(4));
+    let DataTy::Array(b, n3) = &**a else { panic!() };
+    assert_eq!(n3.as_lit(), Some(3));
+    let DataTy::Array(c, n2) = &**b else { panic!() };
+    assert_eq!(n2.as_lit(), Some(2));
+    assert!(matches!(&**c, DataTy::Scalar(ScalarTy::F64)));
+}
+
+#[test]
+fn tuple_and_unit_types() {
+    let src = r#"
+fn f(p: & cpu.mem (f64, i32)) -[t: cpu.thread]-> () { }
+"#;
+    let p = parse(src).unwrap();
+    let f = p.fn_def("f").unwrap();
+    let DataTy::Ref(_, _, inner) = &f.sig.params[0].ty else {
+        panic!()
+    };
+    assert!(matches!(&**inner, DataTy::Tuple(ts) if ts.len() == 2));
+    assert!(matches!(f.sig.ret, DataTy::Scalar(ScalarTy::Unit)));
+}
+
+#[test]
+fn memory_polymorphic_parameter_parses() {
+    let src = r#"
+fn f<m: mem>(p: & m [f64; 4]) -[t: cpu.thread]-> () { }
+"#;
+    let p = parse(src).unwrap();
+    let f = p.fn_def("f").unwrap();
+    assert_eq!(f.sig.generics[0].1, Kind::Memory);
+    let DataTy::Ref(_, mem, _) = &f.sig.params[0].ty else {
+        panic!()
+    };
+    assert_eq!(*mem, Memory::Ident("m".into()));
+}
+
+#[test]
+fn trailing_semicolons_are_flexible() {
+    // Statements may omit the semicolon before a closing brace (as the
+    // paper's listings do).
+    let f = parse_fn("(*v)[[thread]] = 1.0");
+    assert_eq!(f.body.stmts.len(), 1);
+    let f = parse_fn("(*v)[[thread]] = 1.0;;;");
+    assert_eq!(f.body.stmts.len(), 1);
+}
+
+#[test]
+fn deeply_chained_views_parse() {
+    let f = parse_fn(
+        "let x = (*v).group::<8>.map(transpose).map(map(reverse))[0][0][0];",
+    );
+    let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert!(matches!(init.kind, ExprKind::Place(_)));
+}
+
+#[test]
+fn error_unclosed_block() {
+    let err = parse("fn f() -[t: cpu.thread]-> () { let x = 1.0;").unwrap_err();
+    assert!(err.msg.contains("expected"));
+}
+
+#[test]
+fn error_bad_dimension_letters() {
+    let err = parse(
+        "fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<W<1>, X<4>>]-> () { }",
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("invalid dimension letter"), "{}", err.msg);
+}
+
+#[test]
+fn error_repeated_dimension() {
+    let err = parse(
+        "fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<XX<1,2>, X<4>>]-> () { }",
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("repeats"), "{}", err.msg);
+}
+
+#[test]
+fn negative_float_literals_via_unary() {
+    let f = parse_fn("let x = -1.5;");
+    let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    assert!(matches!(init.kind, ExprKind::Unary(UnOp::Neg, _)));
+}
+
+#[test]
+fn launch_without_nat_args_parses() {
+    let src = r#"
+fn main() -[t: cpu.thread]-> () {
+    k<<<XY<2,2>, XY<8,8>>>>(&uniq d);
+}
+"#;
+    let p = parse(src).unwrap();
+    let f = p.fn_def("main").unwrap();
+    let StmtKind::Expr(e) = &f.body.stmts[0].kind else {
+        panic!()
+    };
+    let ExprKind::Launch { grid_dim, .. } = &e.kind else {
+        panic!()
+    };
+    assert!(grid_dim.same(&Dim::xy(2u64, 2u64)));
+}
+
+#[test]
+fn view_args_accept_chains() {
+    let p = parse("view v2 = group::<4>.map(transpose.reverse);").unwrap();
+    let Item::View(v) = &p.items[1 - 1] else { panic!() };
+    assert_eq!(v.body[1].view_args.len(), 2, "map(a.b) flattens the chain");
+}
+
+#[test]
+fn const_arithmetic_with_forward_reference_fails() {
+    // Constants are evaluated in order; forward references are unbound.
+    let src = "const A: nat = B * 2;\nconst B: nat = 4;";
+    let parsed = parse(src).unwrap();
+    assert!(descend_typeck::check_program(&parsed).is_err());
+}
+
+#[test]
+fn nat_range_with_consts() {
+    let src = r#"
+const STEPS: nat = 4;
+fn f(v: &uniq gpu.global [f64; 256]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            for i in [0..STEPS] {
+                (*v).group::<4>[[thread]][i] = 1.0;
+            }
+        }
+    }
+}
+"#;
+    let p = parse(src).unwrap();
+    descend_typeck::check_program(&p).expect("const-bounded loops work");
+}

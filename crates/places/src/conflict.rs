@@ -1,0 +1,530 @@
+//! Syntactic overlap and conflict analysis.
+//!
+//! This module implements the two GPU-specific legs of the paper's
+//! `access_safety_check` (Section 4):
+//!
+//! 1. **Narrowing check** ([`narrowing_violation`]): a unique access by an
+//!    execution resource must *select* once for every forall level
+//!    introduced below the owner of the accessed memory — otherwise
+//!    multiple sibling resources would gain overlapping unique access
+//!    (the paper's Section 3.3 examples).
+//! 2. **Access conflict check** ([`may_race`]): a new access must not
+//!    conflict with a previously recorded access by a potentially
+//!    concurrent execution resource. Places are compared syntactically:
+//!    provably disjoint prefixes (distinct tuple projections, distinct
+//!    literal indices, non-overlapping split parts) rule a conflict out;
+//!    identical chains are safe precisely when their selects cover every
+//!    forall level on which two distinct executors could disagree; any
+//!    other shape is conservatively a conflict — exactly the reasoning
+//!    that rejects the paper's `arr[[thread]] = arr.rev[[thread]]`.
+
+use crate::path::{PathStep, PlacePath};
+use crate::view::ViewStep;
+use descend_ast::Span;
+use descend_exec::{ExecBase, ExecExpr, ForallLevel, Side};
+use std::fmt;
+
+/// Whether an access reads or writes (mirrors shared/unique borrows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Shared (read) access.
+    Shrd,
+    /// Unique (write) access.
+    Uniq,
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMode::Shrd => write!(f, "shrd"),
+            AccessMode::Uniq => write!(f, "uniq"),
+        }
+    }
+}
+
+/// A recorded memory access: the paper's access environment `A` maps
+/// execution resources to sets of these.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// The accessed place.
+    pub path: PlacePath,
+    /// Read or write.
+    pub mode: AccessMode,
+    /// The execution resource performing the access.
+    pub exec: ExecExpr,
+    /// Source location, for diagnostics.
+    pub span: Span,
+    /// Rendered place expression, for diagnostics.
+    pub display: String,
+}
+
+/// Result of a narrowing check: the forall levels that the access fails
+/// to select for.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MissingLevels {
+    /// Uncovered levels (in scheduling order).
+    pub missing: Vec<ForallLevel>,
+}
+
+/// Checks the narrowing rule for a unique access: every forall level of
+/// `exec` beyond the owner of the place's root must be covered by a
+/// select in the path.
+///
+/// Returns `None` if narrowing is satisfied, or the uncovered levels.
+/// Shared accesses never violate narrowing (reads may be replicated).
+pub fn narrowing_violation(
+    path: &PlacePath,
+    mode: AccessMode,
+    exec: &ExecExpr,
+) -> Option<MissingLevels> {
+    if mode == AccessMode::Shrd {
+        return None;
+    }
+    let levels = exec.levels_beyond(&path.owner)?;
+    let missing: Vec<ForallLevel> = levels
+        .into_iter()
+        .filter(|lvl| {
+            // A level with extent 1 has a single sub-resource; no
+            // distribution is needed.
+            if lvl.extent.as_lit() == Some(1) {
+                return false;
+            }
+            !path.selects().any(|sel| {
+                sel.level_index == lvl.op_index
+                    && exec_prefix_same(&sel.exec, exec, lvl.op_index)
+            })
+        })
+        .collect();
+    if missing.is_empty() {
+        None
+    } else {
+        Some(MissingLevels { missing })
+    }
+}
+
+/// Whether the op prefixes (up to and including `idx`) of two exec
+/// expressions coincide.
+fn exec_prefix_same(a: &ExecExpr, b: &ExecExpr, idx: usize) -> bool {
+    if a.ops.len() <= idx || b.ops.len() <= idx {
+        return false;
+    }
+    let pa = ExecExpr {
+        base: a.base.clone(),
+        ops: a.ops[..=idx].to_vec(),
+    };
+    let pb = ExecExpr {
+        base: b.base.clone(),
+        ops: b.ops[..=idx].to_vec(),
+    };
+    pa.same(&pb)
+}
+
+/// Outcome of comparing two steps during the pairwise walk.
+enum StepCmp {
+    /// Steps denote the same index transformation; continue walking.
+    Equal,
+    /// The regions reached through these steps are provably disjoint.
+    Disjoint,
+    /// Nothing can be concluded; conservatively overlapping.
+    Unknown,
+}
+
+fn compare_steps(a: &PathStep, b: &PathStep) -> StepCmp {
+    match (a, b) {
+        (PathStep::Deref, PathStep::Deref) => StepCmp::Equal,
+        (PathStep::Proj(i), PathStep::Proj(j)) => {
+            if i == j {
+                StepCmp::Equal
+            } else {
+                StepCmp::Disjoint
+            }
+        }
+        (PathStep::Index(n1), PathStep::Index(n2)) => {
+            if n1.equal(n2) {
+                StepCmp::Equal
+            } else if let (Some(a), Some(b)) = (n1.as_lit(), n2.as_lit()) {
+                debug_assert_ne!(a, b, "equal literals are nat-equal");
+                StepCmp::Disjoint
+            } else {
+                StepCmp::Unknown
+            }
+        }
+        (PathStep::Select(s1), PathStep::Select(s2)) => {
+            if s1.same_level(s2) {
+                StepCmp::Equal
+            } else {
+                StepCmp::Unknown
+            }
+        }
+        (PathStep::View(v1), PathStep::View(v2)) => compare_views(v1, v2),
+        _ => StepCmp::Unknown,
+    }
+}
+
+fn compare_views(a: &ViewStep, b: &ViewStep) -> StepCmp {
+    match (a, b) {
+        (
+            ViewStep::SplitPart { pos: p1, side: s1 },
+            ViewStep::SplitPart { pos: p2, side: s2 },
+        ) => {
+            if p1.equal(p2) && s1 == s2 {
+                return StepCmp::Equal;
+            }
+            // fst covers [0, p1), snd covers [p2, n): disjoint iff the fst
+            // bound does not exceed the snd bound.
+            let disjoint = match (s1, s2) {
+                (Side::Fst, Side::Snd) => {
+                    p1.equal(p2)
+                        || matches!((p1.as_lit(), p2.as_lit()), (Some(x), Some(y)) if x <= y)
+                }
+                (Side::Snd, Side::Fst) => {
+                    p1.equal(p2)
+                        || matches!((p1.as_lit(), p2.as_lit()), (Some(x), Some(y)) if y <= x)
+                }
+                _ => false,
+            };
+            if disjoint {
+                StepCmp::Disjoint
+            } else {
+                StepCmp::Unknown
+            }
+        }
+        _ => {
+            if a.same(b) {
+                StepCmp::Equal
+            } else {
+                StepCmp::Unknown
+            }
+        }
+    }
+}
+
+/// Whether two place paths may refer to overlapping memory regions,
+/// independent of which executors access them. Used for sequential
+/// (same-thread) borrow checking on the CPU side.
+///
+/// Conservative: `false` means provably disjoint.
+pub fn may_overlap(a: &PlacePath, b: &PlacePath) -> bool {
+    if a.root != b.root {
+        return false;
+    }
+    let common = a.steps.len().min(b.steps.len());
+    for i in 0..common {
+        match compare_steps(&a.steps[i], &b.steps[i]) {
+            StepCmp::Disjoint => return false,
+            StepCmp::Unknown => return true,
+            StepCmp::Equal => {}
+        }
+    }
+    true
+}
+
+/// Whether two accesses can constitute a data race: two *distinct*
+/// executors touching a common address, at least one writing.
+///
+/// The check is conservative (sound): `false` means provably race-free.
+pub fn may_race(a: &Access, b: &Access) -> bool {
+    if a.mode == AccessMode::Shrd && b.mode == AccessMode::Shrd {
+        return false;
+    }
+    // Distinct roots are distinct allocations.
+    if a.path.root != b.path.root {
+        return false;
+    }
+    // A single CPU thread executes sequentially.
+    if matches!(a.exec.base, ExecBase::CpuThread) && matches!(b.exec.base, ExecBase::CpuThread)
+    {
+        return false;
+    }
+    // Pairwise step walk.
+    let steps_a = &a.path.steps;
+    let steps_b = &b.path.steps;
+    let common = steps_a.len().min(steps_b.len());
+    for i in 0..common {
+        match compare_steps(&steps_a[i], &steps_b[i]) {
+            StepCmp::Disjoint => return false,
+            StepCmp::Unknown => return true,
+            StepCmp::Equal => {}
+        }
+    }
+    if steps_a.len() != steps_b.len() {
+        // One region contains the other: the shorter access touches the
+        // whole region for every executor. Distinct executors overlap
+        // unless the remaining steps cannot matter — be conservative.
+        return true;
+    }
+    // Identical chains: safe iff the selects cover every forall level on
+    // which two distinct executors could disagree while sharing the root
+    // instance, i.e. every level beyond the owner, in both exec contexts.
+    if !a.exec.same(&b.exec) {
+        // Same chain from different resources (e.g. both split branches
+        // writing the same half): selects cannot distinguish executors
+        // that disagree only on branch membership.
+        return true;
+    }
+    let Some(levels) = a.exec.levels_beyond(&a.path.owner) else {
+        // Owner is not a prefix (should not happen for well-scoped
+        // programs); be conservative.
+        return true;
+    };
+    let covered = |lvl: &ForallLevel| {
+        if lvl.extent.as_lit() == Some(1) {
+            return true;
+        }
+        a.path.selects().any(|sel| {
+            sel.level_index == lvl.op_index && exec_prefix_same(&sel.exec, &a.exec, lvl.op_index)
+        })
+    };
+    !levels.iter().all(covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::SelectStep;
+    use descend_ast::ty::{Dim, DimCompo};
+    use descend_ast::Nat;
+
+    fn setup_1d(blocks: u64, threads: u64) -> (ExecExpr, ExecExpr, ExecExpr) {
+        let g = ExecExpr::grid(Dim::x(blocks), Dim::x(threads));
+        let b = g.forall(DimCompo::X).unwrap();
+        let t = b.forall(DimCompo::X).unwrap();
+        (g, b, t)
+    }
+
+    fn sel(exec: &ExecExpr, level: usize) -> PathStep {
+        PathStep::Select(SelectStep {
+            exec: exec.clone(),
+            level_index: level,
+        })
+    }
+
+    fn access(path: PlacePath, mode: AccessMode, exec: &ExecExpr) -> Access {
+        let display = path.to_string();
+        Access {
+            path,
+            mode,
+            exec: exec.clone(),
+            span: Span::DUMMY,
+            display,
+        }
+    }
+
+    /// The paper's Section 2.2 example:
+    /// `arr[[thread]] = arr.rev[[thread]]` must be flagged.
+    #[test]
+    fn rev_per_block_race_detected() {
+        let (g, b, t) = setup_1d(4, 32);
+        let _ = b;
+        let mut write = PlacePath::new("arr", g.clone());
+        write.push(PathStep::Deref);
+        write.push(sel(&t, 0));
+        write.push(sel(&t, 1));
+        let mut read = PlacePath::new("arr", g.clone());
+        read.push(PathStep::Deref);
+        read.push(PathStep::View(ViewStep::Reverse { n: Nat::lit(32) }));
+        read.push(sel(&t, 0));
+        read.push(sel(&t, 1));
+        let w = access(write, AccessMode::Uniq, &t);
+        let r = access(read, AccessMode::Shrd, &t);
+        assert!(may_race(&w, &r));
+        assert!(may_race(&r, &w));
+    }
+
+    /// Identical fully-selected chains are race-free: each thread touches
+    /// its own element.
+    #[test]
+    fn identical_distributed_chains_are_safe() {
+        let (g, _, t) = setup_1d(4, 32);
+        let mut p = PlacePath::new("arr", g.clone());
+        p.push(PathStep::Deref);
+        p.push(PathStep::View(ViewStep::Group { k: Nat::lit(32) }));
+        p.push(sel(&t, 0));
+        p.push(sel(&t, 1));
+        let w = access(p.clone(), AccessMode::Uniq, &t);
+        let r = access(p, AccessMode::Shrd, &t);
+        assert!(!may_race(&w, &r));
+        assert!(!may_race(&w, &w.clone()));
+    }
+
+    #[test]
+    fn reads_never_race() {
+        let (g, _, t) = setup_1d(1, 32);
+        let mut a = PlacePath::new("arr", g.clone());
+        a.push(PathStep::Deref);
+        let mut b = PlacePath::new("arr", g.clone());
+        b.push(PathStep::Deref);
+        b.push(PathStep::View(ViewStep::Reverse { n: Nat::lit(32) }));
+        let ra = access(a, AccessMode::Shrd, &t);
+        let rb = access(b, AccessMode::Shrd, &t);
+        assert!(!may_race(&ra, &rb));
+    }
+
+    #[test]
+    fn different_roots_never_race() {
+        let (g, _, t) = setup_1d(1, 32);
+        let a = access(PlacePath::new("x", g.clone()), AccessMode::Uniq, &t);
+        let b = access(PlacePath::new("y", g.clone()), AccessMode::Uniq, &t);
+        assert!(!may_race(&a, &b));
+    }
+
+    #[test]
+    fn literal_indices_disjoint() {
+        let (g, _, t) = setup_1d(1, 32);
+        let mut a = PlacePath::new("x", g.clone());
+        a.push(PathStep::Index(Nat::lit(0)));
+        let mut b = PlacePath::new("x", g.clone());
+        b.push(PathStep::Index(Nat::lit(1)));
+        let wa = access(a, AccessMode::Uniq, &t);
+        let wb = access(b, AccessMode::Uniq, &t);
+        assert!(!may_race(&wa, &wb));
+    }
+
+    #[test]
+    fn split_halves_disjoint_but_same_half_races() {
+        let (_g, b, _) = setup_1d(1, 64);
+        let fst_branch = b.split(DimCompo::X, Nat::lit(32), Side::Fst).unwrap();
+        let snd_branch = b.split(DimCompo::X, Nat::lit(32), Side::Snd).unwrap();
+        let fst_t = fst_branch.forall(DimCompo::X).unwrap();
+        let snd_t = snd_branch.forall(DimCompo::X).unwrap();
+        // tmp owned by the block.
+        let mk = |side: Side, texec: &ExecExpr| {
+            let mut p = PlacePath::new("tmp", b.clone());
+            p.push(PathStep::View(ViewStep::SplitPart {
+                pos: Nat::lit(32),
+                side,
+            }));
+            p.push(sel(texec, 2));
+            access(p, AccessMode::Uniq, texec)
+        };
+        let w_fst = mk(Side::Fst, &fst_t);
+        let w_snd = mk(Side::Snd, &snd_t);
+        // Each branch writing its own half: fine.
+        assert!(!may_race(&w_fst, &w_snd));
+        // Both branches writing the SAME half: race.
+        let w_snd_on_fst = mk(Side::Fst, &snd_t);
+        assert!(may_race(&w_fst, &w_snd_on_fst));
+    }
+
+    /// The scan access pattern: the snd branch reads the shifted lower
+    /// region while writing the upper region of a different buffer; the
+    /// read of `src` overlaps the fst branch's read — both shared, fine —
+    /// but a write to src from the other branch must conflict.
+    #[test]
+    fn overlapping_split_regions_conflict() {
+        let (_g, b, _) = setup_1d(1, 64);
+        let fst_t = b
+            .split(DimCompo::X, Nat::lit(16), Side::Fst)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap();
+        let snd_t = b
+            .split(DimCompo::X, Nat::lit(16), Side::Snd)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap();
+        // fst writes src.split::<32>.fst (region [0,32)) — 16 threads on a
+        // 32-element region would fail select counts, but for the overlap
+        // analysis we only care about regions here.
+        let mut p1 = PlacePath::new("src", b.clone());
+        p1.push(PathStep::View(ViewStep::SplitPart {
+            pos: Nat::lit(32),
+            side: Side::Fst,
+        }));
+        p1.push(sel(&fst_t, 2));
+        // snd writes src.split::<16>.snd (region [16, 64)) — overlaps.
+        let mut p2 = PlacePath::new("src", b.clone());
+        p2.push(PathStep::View(ViewStep::SplitPart {
+            pos: Nat::lit(16),
+            side: Side::Snd,
+        }));
+        p2.push(sel(&snd_t, 2));
+        let a1 = access(p1, AccessMode::Uniq, &fst_t);
+        let a2 = access(p2, AccessMode::Uniq, &snd_t);
+        assert!(may_race(&a1, &a2));
+    }
+
+    #[test]
+    fn prefix_containment_races() {
+        // Reading the whole array while threads write elements: race.
+        let (g, _, t) = setup_1d(1, 32);
+        let _ = &g;
+        let mut whole = PlacePath::new("arr", g.clone());
+        whole.push(PathStep::Deref);
+        let mut eachw = PlacePath::new("arr", g.clone());
+        eachw.push(PathStep::Deref);
+        eachw.push(sel(&t, 0));
+        eachw.push(sel(&t, 1));
+        let r = access(whole, AccessMode::Shrd, &t);
+        let w = access(eachw, AccessMode::Uniq, &t);
+        assert!(may_race(&r, &w));
+    }
+
+    #[test]
+    fn cpu_accesses_are_sequential() {
+        let cpu = ExecExpr::cpu_thread();
+        let p = PlacePath::new("v", cpu.clone());
+        let a = access(p.clone(), AccessMode::Uniq, &cpu);
+        let b = access(p, AccessMode::Shrd, &cpu);
+        assert!(!may_race(&a, &b));
+    }
+
+    /// Narrowing: the paper's Section 3.3 listing.
+    #[test]
+    fn narrowing_violations_from_paper() {
+        let (g, b, t) = setup_1d(32, 32);
+        // Line 4: `&uniq *arr` at block level — no selects at all.
+        let mut p4 = PlacePath::new("arr", g.clone());
+        p4.push(PathStep::Deref);
+        let v = narrowing_violation(&p4, AccessMode::Uniq, &b).unwrap();
+        assert_eq!(v.missing.len(), 1);
+        // Line 6: `&uniq arr.group::<32>[[thread]]` — thread select only,
+        // block level uncovered.
+        let mut p6 = PlacePath::new("arr", g.clone());
+        p6.push(PathStep::Deref);
+        p6.push(PathStep::View(ViewStep::Group { k: Nat::lit(32) }));
+        p6.push(sel(&t, 1));
+        let v = narrowing_violation(&p6, AccessMode::Uniq, &t).unwrap();
+        assert_eq!(v.missing.len(), 1);
+        assert_eq!(v.missing[0].op_index, 0);
+        // Line 8: `arr.group::<32>[[block]][[thread]]` — correct.
+        let mut p8 = PlacePath::new("arr", g.clone());
+        p8.push(PathStep::Deref);
+        p8.push(PathStep::View(ViewStep::Group { k: Nat::lit(32) }));
+        p8.push(sel(&t, 0));
+        p8.push(sel(&t, 1));
+        assert!(narrowing_violation(&p8, AccessMode::Uniq, &t).is_none());
+    }
+
+    #[test]
+    fn narrowing_ignores_shared_access() {
+        let (g, _, t) = setup_1d(32, 32);
+        let mut p = PlacePath::new("arr", g.clone());
+        p.push(PathStep::Deref);
+        assert!(narrowing_violation(&p, AccessMode::Shrd, &t).is_none());
+    }
+
+    #[test]
+    fn narrowing_skips_unit_extent_levels() {
+        // A grid with a single block: the block level has extent 1 and
+        // needs no distribution.
+        let (g, _, t) = setup_1d(1, 32);
+        let mut p = PlacePath::new("arr", g.clone());
+        p.push(PathStep::Deref);
+        p.push(sel(&t, 1));
+        assert!(narrowing_violation(&p, AccessMode::Uniq, &t).is_none());
+    }
+
+    #[test]
+    fn narrowing_relative_to_owner() {
+        // tmp owned by the block: only the thread level must be covered.
+        let (_, b, t) = setup_1d(32, 32);
+        let mut p = PlacePath::new("tmp", b.clone());
+        p.push(sel(&t, 1));
+        assert!(narrowing_violation(&p, AccessMode::Uniq, &t).is_none());
+        // Without the select: violation.
+        let p2 = PlacePath::new("tmp", b);
+        let v = narrowing_violation(&p2, AccessMode::Uniq, &t).unwrap();
+        assert_eq!(v.missing.len(), 1);
+    }
+}

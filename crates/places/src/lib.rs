@@ -1,0 +1,25 @@
+//! Place expressions, views, overlap analysis, and index lowering.
+//!
+//! This crate implements the machinery behind the paper's Section 3.2 and
+//! the `access_safety_check` of Section 4:
+//!
+//! - [`view`]: the basic views (`group`, `transpose`, `reverse`, `split`,
+//!   `map`) of Listing 3, their typing (shape transformation), and the
+//!   expansion of user-defined composite views such as `group_by_row`;
+//! - [`path`]: *normalized place paths* — a root variable plus a sequence
+//!   of projection/deref/index/select/view steps with all names resolved;
+//! - [`conflict`]: the syntactic overlap analysis used for the narrowing
+//!   check and the access-conflict check of the extended borrow checker;
+//! - [`lower`]: compilation of views into raw index arithmetic, performed
+//!   in reverse order of application exactly as described in the paper's
+//!   Section 5.
+
+pub mod conflict;
+pub mod lower;
+pub mod path;
+pub mod view;
+
+pub use conflict::{may_overlap, may_race, narrowing_violation, Access, AccessMode};
+pub use lower::{lower_scalar_access, simplify_idx, Coord, IdxExpr};
+pub use path::{PathStep, PlacePath, SelectStep};
+pub use view::{apply_view, resolve_view_app, ViewDefs, ViewError, ViewStep};

@@ -1,0 +1,679 @@
+//! Views: safe, composable reshapes of arrays (paper Listing 3).
+//!
+//! A view transforms how an array is *accessed* without changing its
+//! memory layout. The basic views and their types are:
+//!
+//! ```text
+//! split<k, n, d>([[d; n]]) -> ([[d; k]], [[d; n-k]])   where n >= k
+//! group<k, n, d>([[d; n]]) -> [[ [[d; k]]; n/k ]]       where n % k == 0
+//! transpose<m, n, d>([[ [[d; n]]; m ]]) -> [[ [[d; m]]; n ]]
+//! reverse<n, d>([[d; n]]) -> [[d; n]]
+//! map<..>(v, [[d1; n]]) -> [[v(d1); n]]
+//! ```
+//!
+//! User-defined views (the paper's `view group_by_row<..> = ...`) expand
+//! into chains of basic views with their nat parameters substituted.
+
+use descend_ast::term::ViewApp;
+use descend_ast::ty::DataTy;
+use descend_ast::Nat;
+use descend_exec::Side;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resolved view step. Unlike the surface [`ViewApp`], every step is a
+/// basic view with concrete (possibly symbolic) nat parameters, and
+/// context-dependent parameters (such as the length for `reverse`) have
+/// been filled in from the array type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViewStep {
+    /// `group::<k>`: `[[d; n]] -> [[ [[d;k]]; n/k ]]`.
+    Group {
+        /// Elements per group.
+        k: Nat,
+    },
+    /// `transpose`: swap the outer two dimensions.
+    Transpose,
+    /// `reverse`: reverse the outer dimension (length captured at
+    /// resolution time; needed to lower `i -> n-1-i`).
+    Reverse {
+        /// Length of the reversed dimension.
+        n: Nat,
+    },
+    /// `split::<pos>` *before* projection: yields a tuple of two views.
+    /// Must be immediately projected with `.fst`/`.snd`.
+    SplitAt {
+        /// Split position.
+        pos: Nat,
+    },
+    /// A projected split: one of the two halves.
+    SplitPart {
+        /// Split position.
+        pos: Nat,
+        /// Which half.
+        side: Side,
+    },
+    /// `map(v)`: apply a view chain to every element.
+    Map(Vec<ViewStep>),
+}
+
+impl ViewStep {
+    /// Structural equality up to nat normalization.
+    pub fn same(&self, other: &ViewStep) -> bool {
+        match (self, other) {
+            (ViewStep::Group { k: a }, ViewStep::Group { k: b }) => a.equal(b),
+            (ViewStep::Transpose, ViewStep::Transpose) => true,
+            (ViewStep::Reverse { n: a }, ViewStep::Reverse { n: b }) => a.equal(b),
+            (ViewStep::SplitAt { pos: a }, ViewStep::SplitAt { pos: b }) => a.equal(b),
+            (
+                ViewStep::SplitPart { pos: a, side: s1 },
+                ViewStep::SplitPart { pos: b, side: s2 },
+            ) => a.equal(b) && s1 == s2,
+            (ViewStep::Map(a), ViewStep::Map(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Substitutes nat variables in all parameters.
+    pub fn subst_nats(&self, map: &dyn Fn(&str) -> Option<Nat>) -> ViewStep {
+        match self {
+            ViewStep::Group { k } => ViewStep::Group { k: k.subst(map) },
+            ViewStep::Transpose => ViewStep::Transpose,
+            ViewStep::Reverse { n } => ViewStep::Reverse { n: n.subst(map) },
+            ViewStep::SplitAt { pos } => ViewStep::SplitAt { pos: pos.subst(map) },
+            ViewStep::SplitPart { pos, side } => ViewStep::SplitPart {
+                pos: pos.subst(map),
+                side: *side,
+            },
+            ViewStep::Map(inner) => {
+                ViewStep::Map(inner.iter().map(|s| s.subst_nats(map)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for ViewStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewStep::Group { k } => write!(f, "group::<{k}>"),
+            ViewStep::Transpose => write!(f, "transpose"),
+            ViewStep::Reverse { .. } => write!(f, "reverse"),
+            ViewStep::SplitAt { pos } => write!(f, "split::<{pos}>"),
+            ViewStep::SplitPart { pos, side } => write!(f, "split::<{pos}>.{side}"),
+            ViewStep::Map(inner) => {
+                write!(f, "map(")?;
+                for (i, s) in inner.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Errors from resolving or applying views.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ViewError {
+    /// The view name is neither basic nor user-defined.
+    UnknownView(String),
+    /// Wrong number of nat arguments.
+    NatArity {
+        /// View name.
+        view: String,
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        found: usize,
+    },
+    /// Wrong number of view arguments (only `map` takes one chain).
+    ViewArity(String),
+    /// The view was applied to a non-array type.
+    NotAnArray(String),
+    /// `group::<k>` where `k` does not divide the array length.
+    NotDivisible {
+        /// Array length.
+        n: Nat,
+        /// Group size.
+        k: Nat,
+    },
+    /// `split::<pos>` where `pos` exceeds the array length.
+    SplitTooLarge {
+        /// Array length.
+        n: Nat,
+        /// Position.
+        pos: Nat,
+    },
+    /// `transpose` on an array whose elements are not arrays.
+    NotNested(String),
+    /// A `split` view that is not immediately projected.
+    UnprojectedSplit,
+    /// Size or divisibility could not be decided symbolically.
+    Undecidable(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            ViewError::NatArity {
+                view,
+                expected,
+                found,
+            } => write!(
+                f,
+                "view `{view}` expects {expected} nat argument(s), found {found}"
+            ),
+            ViewError::ViewArity(v) => {
+                write!(f, "view `{v}` applied to a wrong number of view arguments")
+            }
+            ViewError::NotAnArray(t) => write!(f, "cannot apply view to non-array type `{t}`"),
+            ViewError::NotDivisible { n, k } => {
+                write!(f, "cannot group array of size {n} into groups of {k}: {n} % {k} != 0")
+            }
+            ViewError::SplitTooLarge { n, pos } => {
+                write!(f, "cannot split array of size {n} at position {pos}")
+            }
+            ViewError::NotNested(t) => {
+                write!(f, "cannot transpose array with non-array elements `{t}`")
+            }
+            ViewError::UnprojectedSplit => {
+                write!(f, "a `split` view must be immediately projected with `.fst` or `.snd`")
+            }
+            ViewError::Undecidable(m) => write!(f, "cannot decide statically: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// The user-defined views in scope (name → parameters and body chain).
+#[derive(Clone, Debug, Default)]
+pub struct ViewDefs {
+    defs: HashMap<String, (Vec<String>, Vec<ViewApp>)>,
+}
+
+impl ViewDefs {
+    /// An empty registry.
+    pub fn new() -> ViewDefs {
+        ViewDefs::default()
+    }
+
+    /// Registers a user-defined view.
+    pub fn insert(&mut self, name: impl Into<String>, params: Vec<String>, body: Vec<ViewApp>) {
+        self.defs.insert(name.into(), (params, body));
+    }
+
+    /// Looks up a user-defined view.
+    pub fn get(&self, name: &str) -> Option<&(Vec<String>, Vec<ViewApp>)> {
+        self.defs.get(name)
+    }
+}
+
+/// Extracts element type and length from an array or array-view type.
+fn elem_and_len(ty: &DataTy) -> Result<(&DataTy, &Nat), ViewError> {
+    match ty {
+        DataTy::Array(e, n) | DataTy::ArrayView(e, n) => Ok((e, n)),
+        other => Err(ViewError::NotAnArray(other.to_string())),
+    }
+}
+
+/// Applies a single resolved view step to a type, producing the shape of
+/// the result. This is the typing of Listing 3.
+///
+/// # Errors
+///
+/// Returns a [`ViewError`] if the type does not fit the view (non-array,
+/// non-divisible group, out-of-range split, ...).
+pub fn apply_view(ty: &DataTy, step: &ViewStep) -> Result<DataTy, ViewError> {
+    match step {
+        ViewStep::Group { k } => {
+            let (elem, n) = elem_and_len(ty)?;
+            let rem = (n.clone() % k.clone()).as_lit();
+            match rem {
+                Some(0) => {}
+                Some(_) => {
+                    return Err(ViewError::NotDivisible {
+                        n: n.clone(),
+                        k: k.clone(),
+                    })
+                }
+                None => {
+                    return Err(ViewError::Undecidable(format!(
+                        "whether {n} % {k} == 0"
+                    )))
+                }
+            }
+            let groups = (n.clone() / k.clone()).simplify();
+            Ok(DataTy::ArrayView(
+                Box::new(DataTy::ArrayView(Box::new(elem.clone()), k.clone())),
+                groups,
+            ))
+        }
+        ViewStep::Transpose => {
+            let (elem, m) = elem_and_len(ty)?;
+            let (inner, n) = match elem {
+                DataTy::Array(e, n) | DataTy::ArrayView(e, n) => (e, n),
+                other => return Err(ViewError::NotNested(other.to_string())),
+            };
+            Ok(DataTy::ArrayView(
+                Box::new(DataTy::ArrayView(Box::new((**inner).clone()), m.clone())),
+                n.clone(),
+            ))
+        }
+        ViewStep::Reverse { n } => {
+            let (elem, len) = elem_and_len(ty)?;
+            debug_assert!(n.equal(len), "reverse length captured at resolution");
+            Ok(DataTy::ArrayView(Box::new(elem.clone()), len.clone()))
+        }
+        ViewStep::SplitAt { pos } => {
+            let (elem, n) = elem_and_len(ty)?;
+            if let (Some(p), Some(nn)) = (pos.as_lit(), n.as_lit()) {
+                if p > nn {
+                    return Err(ViewError::SplitTooLarge {
+                        n: n.clone(),
+                        pos: pos.clone(),
+                    });
+                }
+            }
+            let rest = (n.clone() - pos.clone()).simplify();
+            Ok(DataTy::Tuple(vec![
+                DataTy::ArrayView(Box::new(elem.clone()), pos.clone()),
+                DataTy::ArrayView(Box::new(elem.clone()), rest),
+            ]))
+        }
+        ViewStep::SplitPart { pos, side } => {
+            let (elem, n) = elem_and_len(ty)?;
+            let len = match side {
+                Side::Fst => pos.clone(),
+                Side::Snd => (n.clone() - pos.clone()).simplify(),
+            };
+            Ok(DataTy::ArrayView(Box::new(elem.clone()), len))
+        }
+        ViewStep::Map(inner) => {
+            let (elem, n) = elem_and_len(ty)?;
+            let mut t = elem.clone();
+            for s in inner {
+                t = apply_view(&t, s)?;
+            }
+            Ok(DataTy::ArrayView(Box::new(t), n.clone()))
+        }
+    }
+}
+
+/// Resolves a surface view application against the type it is applied to,
+/// producing the resolved steps and the result type.
+///
+/// Named views are expanded with their nat parameters substituted; the
+/// expansion is itself resolved left to right, threading the type.
+///
+/// # Errors
+///
+/// Returns a [`ViewError`] for unknown views, arity mismatches, and shape
+/// errors.
+pub fn resolve_view_app(
+    app: &ViewApp,
+    defs: &ViewDefs,
+    ty: &DataTy,
+) -> Result<(Vec<ViewStep>, DataTy), ViewError> {
+    let expect_nats = |n: usize| -> Result<(), ViewError> {
+        if app.nat_args.len() != n {
+            Err(ViewError::NatArity {
+                view: app.name.clone(),
+                expected: n,
+                found: app.nat_args.len(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    let expect_views = |n: usize| -> Result<(), ViewError> {
+        if app.view_args.len() != n {
+            Err(ViewError::ViewArity(app.name.clone()))
+        } else {
+            Ok(())
+        }
+    };
+    match app.name.as_str() {
+        "group" => {
+            expect_nats(1)?;
+            expect_views(0)?;
+            let step = ViewStep::Group {
+                k: app.nat_args[0].clone(),
+            };
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        "transpose" => {
+            expect_nats(0)?;
+            expect_views(0)?;
+            let step = ViewStep::Transpose;
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        "reverse" | "rev" => {
+            expect_nats(0)?;
+            expect_views(0)?;
+            let (_, n) = elem_and_len(ty)?;
+            let step = ViewStep::Reverse { n: n.clone() };
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        "split" => {
+            expect_nats(1)?;
+            expect_views(0)?;
+            let step = ViewStep::SplitAt {
+                pos: app.nat_args[0].clone(),
+            };
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        "map" => {
+            expect_nats(0)?;
+            if app.view_args.is_empty() {
+                return Err(ViewError::ViewArity("map".into()));
+            }
+            let (elem, _) = elem_and_len(ty)?;
+            let mut inner_steps = Vec::new();
+            let mut elem_ty = elem.clone();
+            for va in &app.view_args {
+                let (steps, out) = resolve_view_app(va, defs, &elem_ty)?;
+                inner_steps.extend(steps);
+                elem_ty = out;
+            }
+            let step = ViewStep::Map(inner_steps);
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        name => {
+            let (params, body) = defs
+                .get(name)
+                .ok_or_else(|| ViewError::UnknownView(name.to_string()))?;
+            if app.nat_args.len() != params.len() {
+                return Err(ViewError::NatArity {
+                    view: name.to_string(),
+                    expected: params.len(),
+                    found: app.nat_args.len(),
+                });
+            }
+            let substitution: HashMap<&str, Nat> = params
+                .iter()
+                .map(String::as_str)
+                .zip(app.nat_args.iter().cloned())
+                .collect();
+            let mut steps = Vec::new();
+            let mut cur = ty.clone();
+            for body_app in body {
+                let concrete = body_app.subst_nats(&|x| substitution.get(x).cloned());
+                let (s, out) = resolve_view_app(&concrete, defs, &cur)?;
+                steps.extend(s);
+                cur = out;
+            }
+            Ok((steps, cur))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_arr(n: u64) -> DataTy {
+        DataTy::array(DataTy::f64(), n)
+    }
+
+    fn f64_mat(rows: u64, cols: u64) -> DataTy {
+        DataTy::array(DataTy::array(DataTy::f64(), cols), rows)
+    }
+
+    fn shape(ty: &DataTy) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = ty;
+        loop {
+            match cur {
+                DataTy::Array(e, n) | DataTy::ArrayView(e, n) => {
+                    out.push(n.as_lit().expect("literal shape"));
+                    cur = e;
+                }
+                _ => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn group_typing_matches_listing_3() {
+        // group<8, 32, f64>: [[f64; 32]] -> [[ [[f64; 8]]; 4 ]]
+        let (steps, out) = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::lit(8)]),
+            &ViewDefs::new(),
+            &f64_arr(32),
+        )
+        .unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(shape(&out), vec![4, 8]);
+    }
+
+    #[test]
+    fn group_rejects_non_divisible() {
+        let err = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::lit(5)]),
+            &ViewDefs::new(),
+            &f64_arr(32),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::NotDivisible { .. }));
+    }
+
+    #[test]
+    fn transpose_typing_matches_listing_3() {
+        // transpose<m=8, n=32>: [[ [[f64;32]]; 8 ]] -> [[ [[f64;8]]; 32 ]]
+        let (_, out) = resolve_view_app(
+            &ViewApp::simple("transpose"),
+            &ViewDefs::new(),
+            &f64_mat(8, 32),
+        )
+        .unwrap();
+        assert_eq!(shape(&out), vec![32, 8]);
+    }
+
+    #[test]
+    fn transpose_requires_nested_arrays() {
+        let err =
+            resolve_view_app(&ViewApp::simple("transpose"), &ViewDefs::new(), &f64_arr(8))
+                .unwrap_err();
+        assert!(matches!(err, ViewError::NotNested(_)));
+    }
+
+    #[test]
+    fn reverse_preserves_shape() {
+        let (steps, out) =
+            resolve_view_app(&ViewApp::simple("reverse"), &ViewDefs::new(), &f64_arr(16))
+                .unwrap();
+        assert_eq!(shape(&out), vec![16]);
+        assert!(matches!(&steps[0], ViewStep::Reverse { n } if n.as_lit() == Some(16)));
+        // `rev` is an accepted alias.
+        resolve_view_app(&ViewApp::simple("rev"), &ViewDefs::new(), &f64_arr(16)).unwrap();
+    }
+
+    #[test]
+    fn split_produces_tuple_of_views() {
+        let (_, out) = resolve_view_app(
+            &ViewApp::with_nats("split", vec![Nat::lit(12)]),
+            &ViewDefs::new(),
+            &f64_arr(32),
+        )
+        .unwrap();
+        match out {
+            DataTy::Tuple(ts) => {
+                assert_eq!(shape(&ts[0]), vec![12]);
+                assert_eq!(shape(&ts[1]), vec![20]);
+            }
+            other => panic!("expected tuple, got {other}"),
+        }
+    }
+
+    #[test]
+    fn split_out_of_range_rejected() {
+        let err = resolve_view_app(
+            &ViewApp::with_nats("split", vec![Nat::lit(64)]),
+            &ViewDefs::new(),
+            &f64_arr(32),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::SplitTooLarge { .. }));
+    }
+
+    #[test]
+    fn map_applies_inner_view_to_elements() {
+        // map(group::<4>) on [[ [f64;8]; 2 ]] -> [[ [[ [[f64;4]]; 2]]; 2 ]]
+        let mut app = ViewApp::simple("map");
+        app.view_args
+            .push(ViewApp::with_nats("group", vec![Nat::lit(4)]));
+        let (_, out) = resolve_view_app(&app, &ViewDefs::new(), &f64_mat(2, 8)).unwrap();
+        assert_eq!(shape(&out), vec![2, 2, 4]);
+    }
+
+    #[test]
+    fn named_view_group_by_row_expands() {
+        // The paper: view group_by_row<row_size, num_rows> =
+        //     group::<row_size/num_rows>.map(transpose)
+        let mut defs = ViewDefs::new();
+        let mut map_transpose = ViewApp::simple("map");
+        map_transpose.view_args.push(ViewApp::simple("transpose"));
+        defs.insert(
+            "group_by_row",
+            vec!["row_size".into(), "num_rows".into()],
+            vec![
+                ViewApp::with_nats(
+                    "group",
+                    vec![Nat::var("row_size") / Nat::var("num_rows")],
+                ),
+                map_transpose,
+            ],
+        );
+        // Applied to a 32x32 matrix with <32, 4>: group::<8>.map(transpose)
+        // : (32, 32) -> (4, 8, 32) -> (4, 32, 8)
+        let (steps, out) = resolve_view_app(
+            &ViewApp::with_nats("group_by_row", vec![Nat::lit(32), Nat::lit(4)]),
+            &defs,
+            &f64_mat(32, 32),
+        )
+        .unwrap();
+        assert_eq!(shape(&out), vec![4, 32, 8]);
+        assert_eq!(steps.len(), 2);
+        assert!(matches!(&steps[0], ViewStep::Group { k } if k.as_lit() == Some(8)));
+        assert!(matches!(&steps[1], ViewStep::Map(_)));
+    }
+
+    #[test]
+    fn tiles_view_composes_to_tile_grid() {
+        // tiles<th, tw> = group::<th>.map(map(group::<tw>)).map(transpose)
+        // on a 2048x2048 matrix with 32x32 tiles: (64, 64, 32, 32).
+        let mut defs = ViewDefs::new();
+        let mut map_map_group = ViewApp::simple("map");
+        let mut inner_map = ViewApp::simple("map");
+        inner_map
+            .view_args
+            .push(ViewApp::with_nats("group", vec![Nat::var("tw")]));
+        map_map_group.view_args.push(inner_map);
+        let mut map_transpose = ViewApp::simple("map");
+        map_transpose.view_args.push(ViewApp::simple("transpose"));
+        defs.insert(
+            "tiles",
+            vec!["th".into(), "tw".into()],
+            vec![
+                ViewApp::with_nats("group", vec![Nat::var("th")]),
+                map_map_group,
+                map_transpose,
+            ],
+        );
+        let (_, out) = resolve_view_app(
+            &ViewApp::with_nats("tiles", vec![Nat::lit(32), Nat::lit(32)]),
+            &defs,
+            &f64_mat(2048, 2048),
+        )
+        .unwrap();
+        assert_eq!(shape(&out), vec![64, 64, 32, 32]);
+    }
+
+    #[test]
+    fn unknown_view_rejected() {
+        let err = resolve_view_app(
+            &ViewApp::simple("no_such_view"),
+            &ViewDefs::new(),
+            &f64_arr(8),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::UnknownView(_)));
+    }
+
+    #[test]
+    fn nat_arity_checked() {
+        let err = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::lit(2), Nat::lit(3)]),
+            &ViewDefs::new(),
+            &f64_arr(8),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::NatArity { .. }));
+    }
+
+    #[test]
+    fn view_on_scalar_rejected() {
+        let err = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::lit(2)]),
+            &ViewDefs::new(),
+            &DataTy::f64(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::NotAnArray(_)));
+    }
+
+    #[test]
+    fn view_step_same_modulo_nats() {
+        let a = ViewStep::Group {
+            k: Nat::var("n") / Nat::var("n"),
+        };
+        let b = ViewStep::Group { k: Nat::lit(1) };
+        assert!(a.same(&b));
+        assert!(!ViewStep::Transpose.same(&b));
+    }
+
+    #[test]
+    fn symbolic_group_with_divisible_size() {
+        // group::<k> on [f64; k*m] works symbolically.
+        let ty = DataTy::array(DataTy::f64(), Nat::var("k") * Nat::var("m"));
+        let (_, out) = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::var("k")]),
+            &ViewDefs::new(),
+            &ty,
+        )
+        .unwrap();
+        match &out {
+            DataTy::ArrayView(inner, groups) => {
+                assert!(groups.equal(&Nat::var("m")));
+                match &**inner {
+                    DataTy::ArrayView(_, k) => assert!(k.equal(&Nat::var("k"))),
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_group_undecidable_reported() {
+        let ty = DataTy::array(DataTy::f64(), Nat::var("n"));
+        let err = resolve_view_app(
+            &ViewApp::with_nats("group", vec![Nat::var("k")]),
+            &ViewDefs::new(),
+            &ty,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::Undecidable(_)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Host intrinsics: the memory-management API of the paper's Section 3.4.
+//!
+//! | Intrinsic | Paper counterpart |
+//! |---|---|
+//! | `alloc::<cpu.mem, [T; n]>()` | `CpuHeap::new([0; n])` |
+//! | `alloc::<gpu.global, [T; n]>()` | device-side scratch allocation |
+//! | `gpu_alloc_copy(&h)` | `GpuGlobal::alloc_copy(&h)` |
+//! | `copy_mem_to_host(&uniq h, &d)` | `copy_mem_to_host` |
+//! | `copy_mem_to_gpu(&uniq d, &h)` | the reverse transfer |
+//!
+//! All intrinsics are CPU-only; their argument types enforce the memory
+//! spaces, which is what turns the paper's swapped-`cudaMemcpy` bug into a
+//! compile-time `mismatched types` error.
+
+/// Names of the host intrinsics.
+pub const GPU_ALLOC_COPY: &str = "gpu_alloc_copy";
+/// See module docs.
+pub const COPY_MEM_TO_HOST: &str = "copy_mem_to_host";
+/// See module docs.
+pub const COPY_MEM_TO_GPU: &str = "copy_mem_to_gpu";
+
+/// Whether a call name is a host intrinsic.
+pub fn is_intrinsic(name: &str) -> bool {
+    matches!(name, GPU_ALLOC_COPY | COPY_MEM_TO_HOST | COPY_MEM_TO_GPU)
+}

@@ -1,0 +1,230 @@
+//! Elaborated output of the type checker.
+//!
+//! Checking a program produces, besides the safety verdict, a fully
+//! *elaborated* form that the code generators consume:
+//!
+//! - one [`MonoKernel`] per distinct kernel instantiation, with generics
+//!   substituted, for-nat loops unrolled, `sched` dissolved into the SPMD
+//!   model, `split` turned into coordinate conditions, and every memory
+//!   access normalized to a [`PlacePath`] ready for index lowering;
+//! - a list of [`HostStmt`]s describing the host program (allocations,
+//!   transfers and kernel launches) for the host interpreter.
+
+use descend_ast::ty::DimCompo;
+use descend_ast::{term::BinOp, term::UnOp, Nat};
+use descend_exec::Space;
+use descend_places::PlacePath;
+
+/// The scalar element kinds that reach code generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarKind {
+    /// 64-bit float.
+    F64,
+    /// 32-bit float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// Boolean.
+    Bool,
+}
+
+impl ScalarKind {
+    /// Size of one element in bytes (used by the simulator's memory and
+    /// coalescing model).
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ScalarKind::F64 => 8,
+            ScalarKind::F32 => 4,
+            ScalarKind::I32 => 4,
+            ScalarKind::Bool => 1,
+        }
+    }
+
+    /// The CUDA C++ spelling.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            ScalarKind::F64 => "double",
+            ScalarKind::F32 => "float",
+            ScalarKind::I32 => "int",
+            ScalarKind::Bool => "bool",
+        }
+    }
+}
+
+/// Where an elaborated access points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A kernel parameter in GPU global memory (with its parameter index).
+    GlobalParam(usize),
+    /// A shared-memory allocation (with its allocation index).
+    Shared(usize),
+}
+
+/// An elaborated memory access: a normalized path, the root array's
+/// dimensions, and the destination memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElabAccess {
+    /// The normalized place path (for index lowering).
+    pub path: PlacePath,
+    /// Root array dimension sizes, outermost first (all literal).
+    pub root_dims: Vec<Nat>,
+    /// Which memory the root lives in.
+    pub mem: MemKind,
+    /// Element scalar kind.
+    pub elem: ScalarKind,
+}
+
+/// An elaborated (right-hand side) expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ElabExpr {
+    /// Float/int/bool literal, as an f64 bit pattern plus kind.
+    Lit(ScalarKind, f64),
+    /// Read of a thread-private local.
+    Local(String),
+    /// Load from global or shared memory.
+    Load(ElabAccess),
+    /// Binary operation.
+    Binary(BinOp, Box<ElabExpr>, Box<ElabExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<ElabExpr>),
+}
+
+/// An elaborated kernel statement (SPMD: executed by every thread, with
+/// splits as coordinate conditions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ElabStmt {
+    /// Declare (and initialize) a thread-private scalar local.
+    Local {
+        /// Local name (unique per kernel).
+        name: String,
+        /// Element kind.
+        elem: ScalarKind,
+        /// Initializer.
+        init: ElabExpr,
+    },
+    /// Re-assign a mutable local.
+    AssignLocal {
+        /// Local name.
+        name: String,
+        /// New value.
+        value: ElabExpr,
+    },
+    /// Store to global or shared memory.
+    Store {
+        /// Destination access.
+        access: ElabAccess,
+        /// Stored value.
+        value: ElabExpr,
+    },
+    /// A split: threads (or blocks) below/above a coordinate threshold
+    /// take different branches.
+    Split {
+        /// Space of the split coordinate.
+        space: Space,
+        /// Dimension of the split coordinate.
+        dim: DimCompo,
+        /// Absolute threshold: `coord < threshold` takes `fst`.
+        threshold: u64,
+        /// Statements of the first part.
+        fst: Vec<ElabStmt>,
+        /// Statements of the second part.
+        snd: Vec<ElabStmt>,
+    },
+    /// Block-wide barrier.
+    Sync,
+}
+
+/// A shared-memory allocation of a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SharedAlloc {
+    /// Variable name.
+    pub name: String,
+    /// Element kind.
+    pub elem: ScalarKind,
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<u64>,
+}
+
+/// A kernel parameter (always a reference to a global-memory array).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelParam {
+    /// Parameter name.
+    pub name: String,
+    /// Element kind.
+    pub elem: ScalarKind,
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<u64>,
+    /// Whether the kernel may write through this parameter.
+    pub uniq: bool,
+}
+
+/// A monomorphized, elaborated GPU kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonoKernel {
+    /// Mangled instance name (`name` plus nat arguments).
+    pub name: String,
+    /// The source-level function name.
+    pub source_name: String,
+    /// Blocks per grid dimension `(x, y, z)`.
+    pub grid_dim: [u64; 3],
+    /// Threads per block dimension `(x, y, z)`.
+    pub block_dim: [u64; 3],
+    /// Parameters in declaration order.
+    pub params: Vec<KernelParam>,
+    /// Shared-memory allocations in declaration order.
+    pub shared: Vec<SharedAlloc>,
+    /// The elaborated SPMD body.
+    pub body: Vec<ElabStmt>,
+}
+
+/// An elaborated host statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HostStmt {
+    /// Allocate a zero-initialized CPU array.
+    AllocCpu {
+        /// Variable name.
+        name: String,
+        /// Element kind.
+        elem: ScalarKind,
+        /// Total element count.
+        len: u64,
+    },
+    /// Allocate a zero-initialized GPU global array.
+    AllocGpu {
+        /// Variable name.
+        name: String,
+        /// Element kind.
+        elem: ScalarKind,
+        /// Total element count.
+        len: u64,
+    },
+    /// Allocate a GPU array and copy a CPU array into it
+    /// (`GpuGlobal::alloc_copy`).
+    AllocGpuCopy {
+        /// Variable name.
+        name: String,
+        /// Source CPU variable.
+        src: String,
+    },
+    /// Copy device memory back to the host (`copy_mem_to_host`).
+    CopyToHost {
+        /// Destination CPU variable.
+        dst: String,
+        /// Source GPU variable.
+        src: String,
+    },
+    /// Copy host memory to the device (`copy_mem_to_gpu`).
+    CopyToGpu {
+        /// Destination GPU variable.
+        dst: String,
+        /// Source CPU variable.
+        src: String,
+    },
+    /// Launch a kernel instance.
+    Launch {
+        /// Index into [`crate::CheckedProgram::kernels`].
+        kernel: usize,
+        /// GPU buffer variable names passed as arguments, in order.
+        args: Vec<String>,
+    },
+}

@@ -1,0 +1,118 @@
+//! Type errors and their rendering as paper-style diagnostics.
+
+use descend_ast::Span;
+use descend_diag::Diagnostic;
+use std::fmt;
+
+/// The structured kind of a type error; tests match on this.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ErrorKind {
+    /// Two types that should match do not (also covers memory-space
+    /// mismatches, reproducing the paper's `copy_mem_to_host` example).
+    MismatchedTypes,
+    /// A conflicting memory access (potential data race).
+    ConflictingAccess,
+    /// A unique access without proper narrowing selects.
+    NarrowingViolation,
+    /// `sync` under a thread-space split (paper Section 2.2).
+    BarrierNotAllowed,
+    /// Dereferencing memory in the wrong execution context
+    /// (paper Section 2.3: `cpu.mem` on the GPU).
+    WrongExecutionContext,
+    /// Launch configuration does not match the kernel's annotation.
+    LaunchConfigMismatch,
+    /// Unknown variable, function, or view.
+    UnknownName,
+    /// Use of a moved value.
+    MovedValue,
+    /// Conflicting borrows.
+    BorrowConflict,
+    /// Writing through a shared reference or to an immutable binding.
+    NotWritable,
+    /// A view was misapplied (shape errors, arity, ...).
+    ViewMisapplied,
+    /// Select count mismatch: array extent differs from the execution
+    /// resource extent.
+    SelectSizeMismatch,
+    /// A `where` clause was violated at instantiation.
+    WhereClauseViolated,
+    /// Scheduling error (missing dimension, double scheduling, ...).
+    ScheduleError,
+    /// Shadowing is rejected to keep place roots unique.
+    Shadowing,
+    /// Arity mismatch in calls or generics.
+    ArityMismatch,
+    /// A feature the checker intentionally does not support.
+    Unsupported,
+    /// Index provably out of bounds.
+    OutOfBounds,
+    /// A nat that must be statically evaluated could not be.
+    NonStaticNat,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::MismatchedTypes => "mismatched types",
+            ErrorKind::ConflictingAccess => "conflicting memory access",
+            ErrorKind::NarrowingViolation => "narrowing violated",
+            ErrorKind::BarrierNotAllowed => "barrier not allowed here",
+            ErrorKind::WrongExecutionContext => "wrong execution context",
+            ErrorKind::LaunchConfigMismatch => "launch configuration mismatch",
+            ErrorKind::UnknownName => "unknown name",
+            ErrorKind::MovedValue => "use of moved value",
+            ErrorKind::BorrowConflict => "conflicting borrows",
+            ErrorKind::NotWritable => "cannot write to this place",
+            ErrorKind::ViewMisapplied => "view cannot be applied",
+            ErrorKind::SelectSizeMismatch => "select size mismatch",
+            ErrorKind::WhereClauseViolated => "where clause violated",
+            ErrorKind::ScheduleError => "invalid schedule",
+            ErrorKind::Shadowing => "shadowing is not allowed",
+            ErrorKind::ArityMismatch => "wrong number of arguments",
+            ErrorKind::Unsupported => "unsupported construct",
+            ErrorKind::OutOfBounds => "index out of bounds",
+            ErrorKind::NonStaticNat => "size is not statically known",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A type error: a structured kind plus a renderable diagnostic.
+#[derive(Clone, Debug)]
+pub struct TypeError {
+    /// The structured kind.
+    pub kind: ErrorKind,
+    /// The renderable diagnostic.
+    pub diag: Diagnostic,
+}
+
+impl TypeError {
+    /// Creates an error from a kind, span and primary message.
+    pub fn new(kind: ErrorKind, span: Span, msg: impl Into<String>) -> TypeError {
+        let title = kind.to_string();
+        TypeError {
+            kind,
+            diag: Diagnostic::new(title, span, msg),
+        }
+    }
+
+    /// Attaches a secondary label.
+    pub fn with_secondary(mut self, span: Span, msg: impl Into<String>) -> TypeError {
+        self.diag = self.diag.with_secondary(span, msg);
+        self
+    }
+
+    /// Attaches help text.
+    pub fn with_help(mut self, msg: impl Into<String>) -> TypeError {
+        self.diag = self.diag.with_help(msg);
+        self
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.diag.primary.message)
+    }
+}
+
+impl std::error::Error for TypeError {}

@@ -1,0 +1,41 @@
+//! The Descend type system (paper Section 4).
+//!
+//! The checker is *flow-sensitive*: it walks each function body once per
+//! monomorphic instantiation, threading
+//!
+//! - a local typing environment `Γl` (bindings, moves, borrows),
+//! - the current execution resource `e` (extended by `sched`/`split`),
+//! - and the access environment `A` mapping execution resources to the
+//!   place expressions they accessed (shared or unique),
+//!
+//! exactly as the typing judgement
+//! `Δ; Γg; Γl; Θ | ef : ε; e | A ⊢ t : δ ⊣ Γl' | A'` does.
+//!
+//! Every memory access runs the paper's `access_safety_check`:
+//!
+//! 1. **narrowing** ([`descend_places::narrowing_violation`]),
+//! 2. **access conflicts** ([`descend_places::may_race`]) against `A`,
+//! 3. **borrow checking** (Rust-style, on CPU and GPU alike).
+//!
+//! Barriers (`sync`) are rejected under thread-space splits and release
+//! the recorded accesses to shared memory, enabling the paper's
+//! communication-through-barrier pattern.
+//!
+//! ## Divergences from the paper (documented in DESIGN.md)
+//!
+//! - **Monomorphic checking**: generic functions are checked per
+//!   instantiation (like C++ templates). The paper checks polymorphically;
+//!   the same programs are accepted/rejected for every artifact
+//!   reproduced here, and `where` clauses are validated at instantiation.
+//! - **Static unrolling**: for-nat loops (whose ranges are static by
+//!   construction) are unrolled during checking and code generation,
+//!   mirroring `#pragma unroll` for such loops in CUDA practice.
+
+mod builtins;
+mod check;
+mod elab;
+mod error;
+
+pub use check::{check_program, CheckedProgram};
+pub use elab::{ElabAccess, ElabExpr, ElabStmt, HostStmt, KernelParam, MemKind, MonoKernel, ScalarKind, SharedAlloc};
+pub use error::{ErrorKind, TypeError};

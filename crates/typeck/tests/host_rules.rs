@@ -1,0 +1,295 @@
+//! Host-side (CPU) rules: moves, borrows, scopes, and the memory API —
+//! the plain-Rust layer of the paper's type system ("On the CPU, Descend
+//! implements exactly the same rules as Rust").
+
+use descend_typeck::{check_program, ErrorKind};
+
+fn check(src: &str) -> Result<descend_typeck::CheckedProgram, descend_typeck::TypeError> {
+    let prog = descend_parser::parse(src).expect("test sources parse");
+    check_program(&prog)
+}
+
+fn expect_err(src: &str, kind: ErrorKind) {
+    match check(src) {
+        Ok(_) => panic!("expected {kind:?}, but the program type-checked"),
+        Err(e) => assert_eq!(e.kind, kind, "wrong error: {e}"),
+    }
+}
+
+#[test]
+fn two_unique_borrows_conflict() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let r1 = &uniq h;
+    let r2 = &uniq h;
+}
+"#,
+        ErrorKind::BorrowConflict,
+    );
+}
+
+#[test]
+fn shared_then_unique_borrow_conflicts() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let r1 = &h;
+    let r2 = &uniq h;
+}
+"#,
+        ErrorKind::BorrowConflict,
+    );
+}
+
+#[test]
+fn two_shared_borrows_are_fine() {
+    check(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let r1 = &h;
+    let r2 = &h;
+}
+"#,
+    )
+    .expect("shared aliasing is allowed");
+}
+
+#[test]
+fn borrow_dies_at_scope_exit() {
+    check(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    {
+        let r1 = &uniq h;
+    }
+    let r2 = &uniq h;
+}
+"#,
+    )
+    .expect("the first borrow is released at scope exit");
+}
+
+#[test]
+fn using_buffer_while_uniquely_borrowed_conflicts() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let r = &uniq h;
+    let d = gpu_alloc_copy(&h);
+}
+"#,
+        ErrorKind::BorrowConflict,
+    );
+}
+
+#[test]
+fn move_then_borrow_is_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let h2 = h;
+    let r = &h;
+}
+"#,
+        ErrorKind::MovedValue,
+    );
+}
+
+#[test]
+fn moved_value_usable_through_new_name() {
+    check(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let h2 = h;
+    let d = gpu_alloc_copy(&h2);
+}
+"#,
+    )
+    .expect("ownership transferred to h2");
+}
+
+#[test]
+fn gpu_alloc_copy_requires_cpu_source() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let d1 = alloc::<gpu.global, [f64; 16]>();
+    let d2 = gpu_alloc_copy(&d1);
+}
+"#,
+        ErrorKind::MismatchedTypes,
+    );
+}
+
+#[test]
+fn copy_requires_unique_destination() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let d = gpu_alloc_copy(&h);
+    copy_mem_to_host(&h, &d);
+}
+"#,
+        ErrorKind::NotWritable,
+    );
+}
+
+#[test]
+fn copy_size_mismatch_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let big = alloc::<cpu.mem, [f64; 32]>();
+    let d = gpu_alloc_copy(&h);
+    copy_mem_to_host(&uniq big, &d);
+}
+"#,
+        ErrorKind::MismatchedTypes,
+    );
+}
+
+#[test]
+fn sync_on_cpu_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    sync;
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn sched_on_cpu_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    sched(X) x in t { }
+}
+"#,
+        ErrorKind::ScheduleError,
+    );
+}
+
+#[test]
+fn shared_alloc_on_cpu_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let s = alloc::<gpu.shared, [f64; 16]>();
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn gpu_global_alloc_on_gpu_rejected() {
+    expect_err(
+        r#"
+fn k(v: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        let d = alloc::<gpu.global, [f64; 32]>();
+    }
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn intrinsics_cannot_run_on_gpu() {
+    expect_err(
+        r#"
+fn k(v: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        copy_mem_to_host(&uniq v, &v);
+    }
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn launch_from_gpu_rejected() {
+    expect_err(
+        r#"
+fn other(v: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+}
+
+fn k(v: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        other<<<X<1>, X<32>>>>(&uniq v);
+    }
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn deref_gpu_buffer_on_host_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let d = gpu_alloc_copy(&h);
+    let r = &d;
+    let x = (*r)[0];
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+#[test]
+fn host_scalar_locals_and_reads() {
+    check(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 16]>();
+    let x = h[0];
+    let mut y = x + 1.0;
+    y = y * 2.0;
+}
+"#,
+    )
+    .expect("host scalar computation is allowed");
+}
+
+#[test]
+fn assignment_to_immutable_host_local_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    let x = 1.0;
+    x = 2.0;
+}
+"#,
+        ErrorKind::NotWritable,
+    );
+}
+
+#[test]
+fn unknown_call_rejected() {
+    expect_err(
+        r#"
+fn main() -[t: cpu.thread]-> () {
+    frobnicate();
+}
+"#,
+        ErrorKind::UnknownName,
+    );
+}

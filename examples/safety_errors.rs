@@ -1,0 +1,143 @@
+//! The paper's Section 2 and 3 rejection gallery: every class of bug the
+//! Descend type system catches at compile time, with rendered
+//! diagnostics.
+//!
+//! ```sh
+//! cargo run --example safety_errors
+//! ```
+
+use descend::compiler::{Compiler, Stage};
+
+struct Case {
+    title: &'static str,
+    paper: &'static str,
+    src: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        title: "data race: conflicting memory access",
+        paper: "Section 2.2, rev_per_block",
+        src: r#"
+fn rev_per_block(arr: &uniq gpu.global [f64; 2048])
+-[grid: gpu.grid<X<8>, X<256>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*arr).group::<256>[[block]][[thread]] =
+                (*arr).group::<256>[[block]].rev[[thread]];
+        }
+    }
+}
+"#,
+    },
+    Case {
+        title: "barrier not allowed here",
+        paper: "Section 2.2, sync under split",
+        src: r#"
+fn kernel(a: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        split(X) block at 32 {
+            first_32_threads => { sync; },
+            rest => { }
+        }
+    }
+}
+"#,
+    },
+    Case {
+        title: "mismatched memory spaces in copy",
+        paper: "Section 2.3, swapped cudaMemcpy arguments",
+        src: r#"
+fn main() -[t: cpu.thread]-> () {
+    let h_vec = alloc::<cpu.mem, [f64; 64]>();
+    let d_vec = gpu_alloc_copy(&h_vec);
+    copy_mem_to_host(&uniq d_vec, &h_vec);
+}
+"#,
+    },
+    Case {
+        title: "dereferencing CPU memory on the GPU",
+        paper: "Section 2.3, init_kernel",
+        src: r#"
+fn init_kernel(vec: & cpu.mem [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            let x = (*vec)[[thread]];
+        }
+    }
+}
+"#,
+    },
+    Case {
+        title: "launch configuration vs array size",
+        paper: "Section 2.3, scale_vec with SIZE instead of ELEMS",
+        src: r#"
+const ELEMS: nat = 64;
+const SIZE: nat = 512;
+
+fn scale_vec<n: nat>(vec: &uniq gpu.global [f64; n])
+-[grid: gpu.grid<X<1>, X<n>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*vec)[[thread]] = (*vec)[[thread]] * 3.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; ELEMS]>();
+    let d = gpu_alloc_copy(&h);
+    scale_vec::<SIZE><<<X<1>, X<SIZE>>>>(&uniq d);
+}
+"#,
+    },
+    Case {
+        title: "narrowing violated: block borrows the whole array",
+        paper: "Section 3.3, line 4",
+        src: r#"
+fn kernel(arr: &uniq gpu.global [f32; 1024]) -[grd: gpu.Grid<X<32>, X<32>>]-> () {
+    sched(X) block in grd {
+        let in_borrow = &uniq *arr;
+    }
+}
+"#,
+    },
+    Case {
+        title: "narrowing violated: thread select without block select",
+        paper: "Section 3.3, line 6",
+        src: r#"
+fn kernel(arr: &uniq gpu.global [f32; 1024]) -[grd: gpu.Grid<X<32>, X<32>>]-> () {
+    sched(X) block in grd {
+        sched(X) thread in block {
+            let grp = &uniq (*arr).group::<32>[[thread]];
+        }
+    }
+}
+"#,
+    },
+];
+
+fn main() {
+    let compiler = Compiler::new();
+    let mut rejected = 0;
+    for case in CASES {
+        println!("──────────────────────────────────────────────────────────");
+        println!("{} ({})", case.title, case.paper);
+        println!();
+        match compiler.compile_source(case.src) {
+            Ok(_) => println!("UNEXPECTED: the program compiled!"),
+            Err(e) => {
+                assert_eq!(e.stage, Stage::Type, "rejected by the type system");
+                rejected += 1;
+                println!("{e}");
+            }
+        }
+        println!();
+    }
+    println!("──────────────────────────────────────────────────────────");
+    println!(
+        "{rejected}/{} unsafe programs rejected at compile time.",
+        CASES.len()
+    );
+    assert_eq!(rejected, CASES.len());
+}

@@ -1,0 +1,54 @@
+//! The paper's Listing 2: tiled matrix transposition with views.
+//!
+//! ```sh
+//! cargo run --example transpose
+//! ```
+//!
+//! Demonstrates the memory views (`tiles`, `group`, `transpose`), the
+//! hierarchical scheduling over a 2-D grid, shared-memory staging with a
+//! barrier — and shows the generated CUDA kernel, whose index expressions
+//! come out of the reverse-order view lowering of the paper's Section 5.
+
+use descend::benchmarks::sources;
+use descend::codegen::kernel_to_ir;
+use descend::sim::{Gpu, LaunchConfig};
+use descend::compiler::Compiler;
+
+fn main() {
+    let n = 256usize;
+    let src = sources::transpose(n);
+    println!("=== Descend source (Listing 2, size {n}) ===\n{src}");
+
+    let compiled = Compiler::new()
+        .compile_source(&src)
+        .unwrap_or_else(|e| panic!("compilation failed:\n{e}"));
+    let kernel = &compiled.kernels[0];
+    println!("=== Generated CUDA kernel ===\n{}", kernel.cuda);
+
+    // Execute on the simulator with the dynamic race detector on.
+    let ir = kernel_to_ir(&kernel.mono).expect("lowers");
+    let mut gpu = Gpu::new();
+    let data: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+    let inp = gpu.alloc_f64(&data);
+    let out = gpu.alloc_f64(&vec![0.0; n * n]);
+    let cfg = LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    };
+    let nb = (n / 32) as u64;
+    let stats = gpu
+        .launch(&ir, [nb, nb, 1], [32, 8, 1], &[inp, out], &cfg)
+        .expect("statically safe kernels run clean");
+    let result = gpu.read_f64(out);
+    for r in 0..n {
+        for c in 0..n {
+            assert_eq!(result[r * n + c], data[c * n + r]);
+        }
+    }
+    println!("=== Execution ===");
+    println!("transposed a {n}x{n} matrix correctly; no data race detected");
+    println!(
+        "modeled cycles: {}, global transactions: {}, shared-memory replays: {}",
+        stats.cycles, stats.global_transactions, stats.shared_replays
+    );
+}

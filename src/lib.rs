@@ -1,0 +1,46 @@
+//! # Descend: a safe GPU systems programming language, in Rust
+//!
+//! This crate is the facade of a from-scratch reproduction of
+//! *Descend: A Safe GPU Systems Programming Language* (PLDI 2024).
+//! It re-exports the compiler pipeline and the GPU simulator substrate:
+//!
+//! - [`ast`]: syntax trees, symbolic nats, types ([`descend_ast`]),
+//! - [`parser`]: lexer and parser ([`descend_parser`]),
+//! - [`exec`]: execution-resource algebra ([`descend_exec`]),
+//! - [`places`]: place expressions, views, overlap checking ([`descend_places`]),
+//! - [`typeck`]: the type system and extended borrow checker ([`descend_typeck`]),
+//! - [`diag`]: diagnostics rendering ([`descend_diag`]),
+//! - [`codegen`]: CUDA C++ emission and kernel-IR lowering ([`descend_codegen`]),
+//! - [`compiler`]: the driver tying the phases together ([`descend_compiler`]),
+//! - [`sim`]: the GPU simulator ([`gpu_sim`]),
+//! - [`benchmarks`]: the paper's evaluation programs ([`descend_benchmarks`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use descend::compiler::Compiler;
+//!
+//! let source = r#"
+//!     fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+//!         sched(X) block in grid {
+//!             sched(X) thread in block {
+//!                 (*v).group::<32>[[block]][[thread]] =
+//!                     (*v).group::<32>[[block]][[thread]] * 3.0
+//!             }
+//!         }
+//!     }
+//! "#;
+//! let compiled = Compiler::new().compile_source(source).expect("type checks");
+//! assert_eq!(compiled.kernels.len(), 1);
+//! ```
+
+pub use descend_ast as ast;
+pub use descend_benchmarks as benchmarks;
+pub use descend_codegen as codegen;
+pub use descend_compiler as compiler;
+pub use descend_diag as diag;
+pub use descend_exec as exec;
+pub use descend_parser as parser;
+pub use descend_places as places;
+pub use descend_typeck as typeck;
+pub use gpu_sim as sim;

@@ -1,0 +1,124 @@
+//! Drives the `.descend` source corpus under `examples/descend/`:
+//! every top-level file must compile and (when it has a `main` host
+//! function) run cleanly on the simulator with the race detector on;
+//! every file under `fail/` must be rejected with the diagnostic named in
+//! its first-line `//~` marker.
+
+use descend::compiler::Compiler;
+use descend::sim::LaunchConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/descend")
+}
+
+fn descend_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir:?}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "descend"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_compiles_and_runs() {
+    let files = descend_files(&corpus_dir());
+    assert!(files.len() >= 5, "corpus should have several programs");
+    let compiler = Compiler::new();
+    let cfg = LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    };
+    for f in files {
+        let src = std::fs::read_to_string(&f).unwrap();
+        let compiled = compiler
+            .compile_source(&src)
+            .unwrap_or_else(|e| panic!("{f:?} failed to compile:\n{e}"));
+        assert!(
+            !compiled.kernels.is_empty(),
+            "{f:?} should define at least one kernel"
+        );
+        if compiled.checked.host_fn("main").is_some() {
+            compiled
+                .run_host("main", &HashMap::new(), &cfg)
+                .unwrap_or_else(|e| panic!("{f:?} failed to run: {e}"));
+        }
+    }
+}
+
+#[test]
+fn fail_corpus_is_rejected_with_expected_diagnostics() {
+    let files = descend_files(&corpus_dir().join("fail"));
+    assert!(files.len() >= 5, "fail corpus should have several programs");
+    let compiler = Compiler::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f).unwrap();
+        let expected = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//~"))
+            .unwrap_or_else(|| panic!("{f:?} is missing its `//~` marker"))
+            .trim()
+            .to_string();
+        let err = compiler
+            .compile_source(&src)
+            .err()
+            .unwrap_or_else(|| panic!("{f:?} compiled but should be rejected"));
+        let kind = err
+            .type_error
+            .as_ref()
+            .unwrap_or_else(|| panic!("{f:?} failed outside the type system"))
+            .kind
+            .to_string();
+        assert_eq!(
+            kind, expected,
+            "{f:?}: expected `{expected}`, got `{kind}`\n{err}"
+        );
+    }
+}
+
+/// The 3-D block-space split program writes each plane exactly once with
+/// the right value (validates the Figure 1c shapes end to end).
+#[test]
+fn block_split_3d_planes_are_correct() {
+    let src =
+        std::fs::read_to_string(corpus_dir().join("block_split_3d.descend")).unwrap();
+    let compiled = Compiler::new().compile_source(&src).expect("compiles");
+    let cfg = LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    };
+    let run = compiled
+        .run_host("main", &HashMap::new(), &cfg)
+        .expect("runs clean");
+    let h = &run.cpu["h"];
+    assert_eq!(h.len(), 256);
+    assert!(h[..128].iter().all(|v| *v == 1.0), "plane 0 written by lo");
+    assert!(h[128..].iter().all(|v| *v == 2.0), "plane 1 written by hi");
+}
+
+/// The dot-product corpus program computes correct block partials.
+#[test]
+fn dot_product_is_correct() {
+    let src = std::fs::read_to_string(corpus_dir().join("dot.descend")).unwrap();
+    let compiled = Compiler::new().compile_source(&src).expect("compiles");
+    let a: Vec<f64> = (0..2048).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let b: Vec<f64> = (0..2048).map(|i| ((i % 5) as f64) * 0.25).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("ha".to_string(), a.clone());
+    inputs.insert("hb".to_string(), b.clone());
+    let cfg = LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    };
+    let run = compiled.run_host("main", &inputs, &cfg).expect("runs");
+    let out = &run.cpu["hout"];
+    for blk in 0..4 {
+        let expect: f64 = (blk * 512..(blk + 1) * 512).map(|i| a[i] * b[i]).sum();
+        assert!((out[blk] - expect).abs() < 1e-9, "block {blk}");
+    }
+}

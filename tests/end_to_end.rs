@@ -1,0 +1,203 @@
+//! End-to-end integration tests across all crates, driven through the
+//! `descend` facade: source text in, verified simulated execution out.
+
+use descend::compiler::{Compiler, Stage};
+use descend::sim::LaunchConfig;
+use std::collections::HashMap;
+
+fn race_checked() -> LaunchConfig {
+    LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_scale_vector() {
+    let src = r#"
+fn scale(v: &uniq gpu.global [f64; 256]) -[grid: gpu.grid<X<8>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 256]>();
+    let d = gpu_alloc_copy(&h);
+    scale<<<X<8>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), (0..256).map(f64::from).collect());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    let out = &run.cpu["h"];
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, i as f64 * 3.0);
+    }
+    assert_eq!(run.launches.len(), 1);
+    assert!(run.total_cycles() > 0);
+}
+
+#[test]
+fn cuda_translation_unit_contains_everything() {
+    let src = r#"
+fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = 1.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 64]>();
+    let d = gpu_alloc_copy(&h);
+    k<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let cuda = &compiled.cuda_source;
+    assert!(cuda.contains("#include <cuda_runtime.h>"));
+    assert!(cuda.contains("__global__ void k(double* v)"));
+    assert!(cuda.contains("void main() {"));
+    assert!(cuda.contains("cudaMalloc"));
+    assert!(cuda.contains("cudaMemcpyHostToDevice"));
+    assert!(cuda.contains("k<<<dim3(2, 1, 1), dim3(32, 1, 1)>>>(d);"));
+    assert!(cuda.contains("cudaMemcpyDeviceToHost"));
+}
+
+#[test]
+fn parse_errors_are_rendered_with_snippets() {
+    let err = Compiler::new()
+        .compile_source("fn f( -[t: cpu.thread]-> () {}")
+        .unwrap_err();
+    assert_eq!(err.stage, Stage::Parse);
+    assert!(err.rendered.contains("error: syntax error"));
+    assert!(err.rendered.contains("-->"));
+}
+
+#[test]
+fn type_errors_carry_structured_kind_and_snippet() {
+    let src = r#"
+fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v)[[thread]] = (*v).rev[[thread]];
+        }
+    }
+}
+"#;
+    let err = Compiler::new().compile_source(src).unwrap_err();
+    assert_eq!(err.stage, Stage::Type);
+    let te = err.type_error.as_ref().expect("structured error");
+    assert_eq!(te.kind, descend::typeck::ErrorKind::ConflictingAccess);
+    assert!(err.rendered.contains("conflicting memory access"));
+    assert!(err.rendered.contains("(*v)[[thread]] = (*v).rev[[thread]];"));
+    assert!(err.rendered.contains("prior access"));
+}
+
+#[test]
+fn multiple_kernels_and_instantiations() {
+    let src = r#"
+fn fill<n: nat, c: nat>(v: &uniq gpu.global [f64; n])
+-[grid: gpu.grid<X<c>, X<32>>]-> () where n == c * 32 {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = 1.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h1 = alloc::<cpu.mem, [f64; 64]>();
+    let d1 = gpu_alloc_copy(&h1);
+    fill::<64, 2><<<X<2>, X<32>>>>(&uniq d1);
+    let h2 = alloc::<cpu.mem, [f64; 128]>();
+    let d2 = gpu_alloc_copy(&h2);
+    fill::<128, 4><<<X<4>, X<32>>>>(&uniq d2);
+    copy_mem_to_host(&uniq h1, &d1);
+    copy_mem_to_host(&uniq h2, &d2);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    assert_eq!(compiled.kernels.len(), 2, "two distinct instantiations");
+    assert!(compiled.kernel("fill__64_2").is_some());
+    assert!(compiled.kernel("fill__128_4").is_some());
+    let run = compiled
+        .run_host("main", &HashMap::new(), &race_checked())
+        .expect("runs");
+    assert_eq!(run.cpu["h1"], vec![1.0; 64]);
+    assert_eq!(run.cpu["h2"], vec![1.0; 128]);
+}
+
+#[test]
+fn copy_to_gpu_roundtrip() {
+    let src = r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 32]>();
+    let d = alloc::<gpu.global, [f64; 32]>();
+    copy_mem_to_gpu(&uniq d, &h);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), vec![4.25; 32]);
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    assert_eq!(run.cpu["h"], vec![4.25; 32]);
+}
+
+#[test]
+fn scoped_allocations_are_freed_and_rebindable() {
+    // `@`-values are freed at scope exit (the paper's Section 3.4); a
+    // later scope may reuse the name.
+    let src = r#"
+fn main() -[t: cpu.thread]-> () {
+    {
+        let h = alloc::<cpu.mem, [f64; 16]>();
+        let d = gpu_alloc_copy(&h);
+        copy_mem_to_host(&uniq h, &d);
+    }
+    {
+        let h = alloc::<cpu.mem, [f64; 16]>();
+    }
+}
+"#;
+    Compiler::new().compile_source(src).expect("compiles");
+}
+
+#[test]
+fn two_dimensional_blocks_with_nested_arrays() {
+    let src = r#"
+fn k(v: &uniq gpu.global [[[f64; 4]; 4]; 4])
+-[grid: gpu.grid<X<4>, XY<4,4>>]-> () {
+    sched(X) block in grid {
+        sched(Y,X) thread in block {
+            (*v)[[block]][[thread.Y]][[thread.X]] = 2.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [[[f64; 4]; 4]; 4]>();
+    let d = gpu_alloc_copy(&h);
+    k<<<X<4>, XY<4,4>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let run = compiled
+        .run_host("main", &HashMap::new(), &race_checked())
+        .expect("runs");
+    assert_eq!(run.cpu["h"], vec![2.0; 64]);
+}

@@ -1,0 +1,132 @@
+//! Threats-to-validity check: the Figure 8 parity result must be robust
+//! to the cost model's constants. If parity held only for one particular
+//! choice of cycle weights, the reproduction would be an artifact; here
+//! the ratio stays at parity across a sweep of global-memory cost,
+//! shared-memory cost, and SM counts.
+
+use descend::benchmarks::{run_benchmark, BenchKind};
+use descend::sim::cost::CostModel;
+use descend::sim::LaunchConfig;
+
+fn ratio_with(model: CostModel, kind: BenchKind, param: usize) -> f64 {
+    let cfg = LaunchConfig {
+        detect_races: false,
+        cost: model,
+    };
+    run_benchmark(kind, param, 99, &cfg).descend_over_cuda()
+}
+
+#[test]
+fn parity_is_robust_to_cost_constants() {
+    let variants = [
+        CostModel::default(),
+        CostModel {
+            global_cost: 8,
+            ..CostModel::default()
+        },
+        CostModel {
+            global_cost: 128,
+            shared_cost: 8,
+            ..CostModel::default()
+        },
+        CostModel {
+            num_sms: 4,
+            ..CostModel::default()
+        },
+        CostModel {
+            num_sms: 128,
+            barrier_cost: 64,
+            ..CostModel::default()
+        },
+    ];
+    for (i, model) in variants.into_iter().enumerate() {
+        for (kind, param) in [
+            (BenchKind::Reduce, 16384usize),
+            (BenchKind::Transpose, 128),
+            (BenchKind::Matmul, 64),
+        ] {
+            let r = ratio_with(model.clone(), kind, param);
+            assert!(
+                (0.9..=1.1).contains(&r),
+                "variant {i}, {:?}: ratio {r} escapes parity band",
+                kind
+            );
+        }
+    }
+}
+
+/// Conversely, the model must *not* be pattern-blind: under any variant,
+/// the buggy strided transpose (no shared staging) costs far more than
+/// the staged one — the cost difference Descend's views are designed to
+/// let programmers express.
+#[test]
+fn model_distinguishes_patterns_under_all_variants() {
+    use descend::benchmarks::baselines;
+    use descend::sim::Gpu;
+    let n = 128usize;
+    for model in [
+        CostModel::default(),
+        CostModel {
+            global_cost: 8,
+            ..CostModel::default()
+        },
+    ] {
+        let cfg = LaunchConfig {
+            detect_races: false,
+            cost: model,
+        };
+        // Staged transpose.
+        let staged = baselines::transpose(n);
+        let mut gpu = Gpu::new();
+        let a = gpu.alloc_f64(&vec![1.0; n * n]);
+        let b = gpu.alloc_f64(&vec![0.0; n * n]);
+        let staged_stats = gpu
+            .launch(
+                &staged,
+                [(n / 32) as u64, (n / 32) as u64, 1],
+                [32, 8, 1],
+                &[a, b],
+                &cfg,
+            )
+            .unwrap();
+        // Naive strided transpose (no staging): one thread per element.
+        use descend::sim::ir::*;
+        let naive = KernelIr {
+            name: "naive".into(),
+            params: staged.params.clone(),
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 1,
+                idx: Expr::add(
+                    Expr::mul(Expr::global_along(Axis::X), Expr::LitI(n as i64)),
+                    Expr::global_along(Axis::Y),
+                ),
+                value: Expr::LoadGlobal {
+                    buf: 0,
+                    idx: Box::new(Expr::add(
+                        Expr::mul(Expr::global_along(Axis::Y), Expr::LitI(n as i64)),
+                        Expr::global_along(Axis::X),
+                    )),
+                },
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let a = gpu.alloc_f64(&vec![1.0; n * n]);
+        let b = gpu.alloc_f64(&vec![0.0; n * n]);
+        let naive_stats = gpu
+            .launch(
+                &naive,
+                [(n / 32) as u64, (n / 8) as u64, 1],
+                [32, 8, 1],
+                &[a, b],
+                &cfg,
+            )
+            .unwrap();
+        assert!(
+            naive_stats.global_transactions > staged_stats.global_transactions * 3,
+            "staging must save transactions ({} vs {})",
+            naive_stats.global_transactions,
+            staged_stats.global_transactions
+        );
+    }
+}
