@@ -26,7 +26,9 @@ pub mod ty;
 pub use nat::Nat;
 pub use span::Span;
 pub use term::{
-    Block, ConstDef, Expr, ExprKind, FnDef, Item, Lit, NatRange, PlaceExpr, PlaceExprKind,
-    Program, Stmt, StmtKind, ViewApp, ViewDef,
+    Block, ConstDef, Expr, ExprKind, FnDef, Item, Lit, NatRange, PlaceExpr, PlaceExprKind, Program,
+    Stmt, StmtKind, ViewApp, ViewDef,
 };
-pub use ty::{DataTy, Dim, DimCompo, ExecTy, FnSig, Kind, Memory, NatConstraint, RefKind, ScalarTy};
+pub use ty::{
+    DataTy, Dim, DimCompo, ExecTy, FnSig, Kind, Memory, NatConstraint, RefKind, ScalarTy,
+};

@@ -101,19 +101,11 @@ impl Nat {
             Nat::Mul(a, b) => Ok(a.eval(env)? * b.eval(env)?),
             Nat::Div(a, b) => {
                 let (a, b) = (a.eval(env)?, b.eval(env)?);
-                if b == 0 {
-                    Err(NatError::DivisionByZero)
-                } else {
-                    Ok(a / b)
-                }
+                a.checked_div(b).ok_or(NatError::DivisionByZero)
             }
             Nat::Mod(a, b) => {
                 let (a, b) = (a.eval(env)?, b.eval(env)?);
-                if b == 0 {
-                    Err(NatError::DivisionByZero)
-                } else {
-                    Ok(a % b)
-                }
+                a.checked_rem(b).ok_or(NatError::DivisionByZero)
             }
         }
     }
@@ -169,7 +161,9 @@ impl Nat {
 
     /// Returns the literal value if the normal form is a constant.
     pub fn as_lit(&self) -> Option<u64> {
-        self.normalize().as_constant().and_then(|c| u64::try_from(c).ok())
+        self.normalize()
+            .as_constant()
+            .and_then(|c| u64::try_from(c).ok())
     }
 
     /// A simplified nat rebuilt from the normal form (used in diagnostics).
@@ -642,8 +636,7 @@ mod tests {
         for v in [0u64, 1, 7, 32, 33, 100] {
             for k in [1u64, 2, 3, 32] {
                 let lhs = Nat::lit(v);
-                let rhs =
-                    (Nat::lit(v) / Nat::lit(k)) * Nat::lit(k) + (Nat::lit(v) % Nat::lit(k));
+                let rhs = (Nat::lit(v) / Nat::lit(k)) * Nat::lit(k) + (Nat::lit(v) % Nat::lit(k));
                 assert!(lhs.equal(&rhs), "failed for v={v} k={k}");
             }
         }
@@ -664,10 +657,7 @@ mod tests {
 
     #[test]
     fn eval_unbound_errors() {
-        assert_eq!(
-            n("q").eval_closed(),
-            Err(NatError::UnboundVar("q".into()))
-        );
+        assert_eq!(n("q").eval_closed(), Err(NatError::UnboundVar("q".into())));
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn fn_def(out: &mut String, f: &FnDef) {
         let _ = write!(out, "{}: {}", p.name, p.ty);
     }
     out.push(')');
-    let _ = write!(out, " -[{}: {}]-> {}", f.sig.exec_name, f.sig.exec_ty, f.sig.ret);
+    let _ = write!(
+        out,
+        " -[{}: {}]-> {}",
+        f.sig.exec_name, f.sig.exec_ty, f.sig.ret
+    );
     if !f.sig.where_clauses.is_empty() {
         out.push_str(" where ");
         for (i, c) in f.sig.where_clauses.iter().enumerate() {
@@ -159,7 +163,7 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             snd_var,
             snd_body,
         } => {
-            let _ = write!(out, "split({dim}) {exec} at {pos} {{\n");
+            let _ = writeln!(out, "split({dim}) {exec} at {pos} {{");
             indent(out, level + 1);
             let _ = write!(out, "{fst_var} => ");
             block(out, fst_body, level + 1);

@@ -137,7 +137,10 @@ impl Dim {
     ///
     /// Panics if a component is repeated or if no components are given.
     pub fn new(components: Vec<(DimCompo, Nat)>) -> Dim {
-        assert!(!components.is_empty(), "dimension must declare at least one component");
+        assert!(
+            !components.is_empty(),
+            "dimension must declare at least one component"
+        );
         for (i, (c, _)) in components.iter().enumerate() {
             assert!(
                 components[i + 1..].iter().all(|(c2, _)| c2 != c),
@@ -200,11 +203,13 @@ impl Dim {
     /// Structural equality up to nat normalization.
     pub fn same(&self, other: &Dim) -> bool {
         use DimCompo::*;
-        [X, Y, Z].iter().all(|c| match (self.size(*c), other.size(*c)) {
-            (None, None) => true,
-            (Some(a), Some(b)) => a.equal(b),
-            _ => false,
-        })
+        [X, Y, Z]
+            .iter()
+            .all(|c| match (self.size(*c), other.size(*c)) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.equal(b),
+                _ => false,
+            })
     }
 
     /// Substitutes nat variables in all component sizes.
@@ -258,9 +263,7 @@ impl ExecTy {
     /// Structural equality up to nat normalization.
     pub fn same(&self, other: &ExecTy) -> bool {
         match (self, other) {
-            (ExecTy::CpuThread, ExecTy::CpuThread) | (ExecTy::GpuThread, ExecTy::GpuThread) => {
-                true
-            }
+            (ExecTy::CpuThread, ExecTy::CpuThread) | (ExecTy::GpuThread, ExecTy::GpuThread) => true,
             (ExecTy::GpuGrid(a1, b1), ExecTy::GpuGrid(a2, b2)) => a1.same(a2) && b1.same(b2),
             (ExecTy::GpuBlock(a), ExecTy::GpuBlock(b)) => a.same(b),
             _ => false,
@@ -391,9 +394,7 @@ impl DataTy {
     pub fn same_modulo_view(&self, other: &DataTy) -> bool {
         match (self, other) {
             (DataTy::Array(a, n) | DataTy::ArrayView(a, n), DataTy::ArrayView(b, m))
-            | (DataTy::ArrayView(a, n), DataTy::Array(b, m)) => {
-                a.same_modulo_view(b) && n.equal(m)
-            }
+            | (DataTy::ArrayView(a, n), DataTy::Array(b, m)) => a.same_modulo_view(b) && n.equal(m),
             (DataTy::Array(a, n), DataTy::Array(b, m)) => a.same_modulo_view(b) && n.equal(m),
             (DataTy::Tuple(a), DataTy::Tuple(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_modulo_view(y))
@@ -412,9 +413,7 @@ impl DataTy {
             DataTy::Scalar(_) | DataTy::Ident(_) => self.clone(),
             DataTy::Tuple(ts) => DataTy::Tuple(ts.iter().map(|t| t.subst_nats(map)).collect()),
             DataTy::Array(t, n) => DataTy::Array(Box::new(t.subst_nats(map)), n.subst(map)),
-            DataTy::ArrayView(t, n) => {
-                DataTy::ArrayView(Box::new(t.subst_nats(map)), n.subst(map))
-            }
+            DataTy::ArrayView(t, n) => DataTy::ArrayView(Box::new(t.subst_nats(map)), n.subst(map)),
             DataTy::Ref(k, m, t) => DataTy::Ref(*k, m.clone(), Box::new(t.subst_nats(map))),
             DataTy::At(t, m) => DataTy::At(Box::new(t.subst_nats(map)), m.clone()),
             DataTy::Dead(t) => DataTy::Dead(Box::new(t.subst_nats(map))),
@@ -484,10 +483,7 @@ impl NatConstraint {
     /// # Errors
     ///
     /// Propagates nat evaluation errors.
-    pub fn check(
-        &self,
-        env: &dyn Fn(&str) -> Option<u64>,
-    ) -> Result<bool, crate::nat::NatError> {
+    pub fn check(&self, env: &dyn Fn(&str) -> Option<u64>) -> Result<bool, crate::nat::NatError> {
         Ok(match self {
             NatConstraint::Eq(a, b) => a.eval(env)? == b.eval(env)?,
             NatConstraint::Ge(a, b) => a.eval(env)? >= b.eval(env)?,
@@ -624,8 +620,14 @@ mod tests {
     fn exec_ty_display_and_same() {
         let g = ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64));
         assert_eq!(g.to_string(), "gpu.grid<XY<64,64>,XY<32,8>>");
-        assert!(g.same(&ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 8u64))));
-        assert!(!g.same(&ExecTy::GpuGrid(Dim::xy(64u64, 64u64), Dim::xy(32u64, 4u64))));
+        assert!(g.same(&ExecTy::GpuGrid(
+            Dim::xy(64u64, 64u64),
+            Dim::xy(32u64, 8u64)
+        )));
+        assert!(!g.same(&ExecTy::GpuGrid(
+            Dim::xy(64u64, 64u64),
+            Dim::xy(32u64, 4u64)
+        )));
         assert!(g.on_gpu());
         assert!(!ExecTy::CpuThread.on_gpu());
     }
@@ -641,10 +643,7 @@ mod tests {
 
     #[test]
     fn dead_detection() {
-        let t = DataTy::Tuple(vec![
-            DataTy::f64(),
-            DataTy::Dead(Box::new(DataTy::f64())),
-        ]);
+        let t = DataTy::Tuple(vec![DataTy::f64(), DataTy::Dead(Box::new(DataTy::f64()))]);
         assert!(t.contains_dead());
         assert!(!DataTy::f64().contains_dead());
     }

@@ -46,7 +46,10 @@ fn main() {
         }
         println!();
     }
-    let mean = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    let mean = ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / ratios.len() as f64);
     let max_dev = ratios
         .iter()
         .map(|r| (r - 1.0).abs())

@@ -58,10 +58,7 @@ pub fn reduce(n: usize, bs: usize) -> KernelIr {
             idx: tid_x(),
             value: Expr::LoadGlobal {
                 buf: 0,
-                idx: Box::new(Expr::add(
-                    Expr::mul(bid_x(), lit(bs as i64)),
-                    tid_x(),
-                )),
+                idx: Box::new(Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x())),
             },
         },
         Stmt::Barrier,
@@ -121,10 +118,7 @@ pub fn reduce_looped(n: usize, bs: usize) -> KernelIr {
             idx: tid_x(),
             value: Expr::LoadGlobal {
                 buf: 0,
-                idx: Box::new(Expr::add(
-                    Expr::mul(bid_x(), lit(bs as i64)),
-                    tid_x(),
-                )),
+                idx: Box::new(Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x())),
             },
         },
         Stmt::Barrier,
@@ -185,10 +179,7 @@ pub fn transpose(n: usize) -> KernelIr {
         // tmp[(ty + j)*32 + tx] = in[(by*32 + ty + j)*n + bx*32 + tx];
         body.push(Stmt::StoreShared {
             buf: 0,
-            idx: Expr::add(
-                Expr::mul(Expr::add(tid_y(), lit(j)), lit(32)),
-                tid_x(),
-            ),
+            idx: Expr::add(Expr::mul(Expr::add(tid_y(), lit(j)), lit(32)), tid_x()),
             value: Expr::LoadGlobal {
                 buf: 0,
                 idx: Box::new(Expr::add(
@@ -240,10 +231,7 @@ pub fn transpose_buggy(n: usize) -> KernelIr {
         // Overwrite the staging store with the buggy index:
         // tmp[ty + j*32 + tx].
         if let Stmt::StoreShared { idx, .. } = &mut k.body[count] {
-            *idx = Expr::add(
-                Expr::add(tid_y(), lit(j * 32)),
-                tid_x(),
-            );
+            *idx = Expr::add(Expr::add(tid_y(), lit(j * 32)), tid_x());
         }
     }
     k
@@ -268,7 +256,7 @@ pub fn scan_blocks(n: usize, bs: usize) -> KernelIr {
     let steps = bs.trailing_zeros() as usize;
     for i in 0..steps {
         let k = 1i64 << i;
-        let (src, dst) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+        let (src, dst) = if i.is_multiple_of(2) { (0, 1) } else { (1, 0) };
         // if (tid >= k) dst[tid] = src[tid] + src[tid-k]; else dst[tid] = src[tid];
         body.push(Stmt::If {
             cond: Expr::bin(BinOp::Ge, tid_x(), lit(k)),
@@ -297,7 +285,7 @@ pub fn scan_blocks(n: usize, bs: usize) -> KernelIr {
         });
         body.push(Stmt::Barrier);
     }
-    let last = if steps % 2 == 0 { 0 } else { 1 };
+    let last = if steps.is_multiple_of(2) { 0 } else { 1 };
     body.push(Stmt::StoreGlobal {
         buf: 0,
         idx: gid,
@@ -394,10 +382,7 @@ pub fn matmul(n: usize) -> KernelIr {
                     Expr::mul(
                         Expr::LoadShared {
                             buf: 0,
-                            idx: Box::new(Expr::add(
-                                Expr::mul(tid_y(), lit(32)),
-                                lit(k),
-                            )),
+                            idx: Box::new(Expr::add(Expr::mul(tid_y(), lit(32)), lit(k))),
                         },
                         Expr::LoadShared {
                             buf: 1,
@@ -447,8 +432,14 @@ mod tests {
         let mut gpu = Gpu::new();
         let inp = gpu.alloc_f64(&data);
         let out = gpu.alloc_f64(&vec![0.0; n / bs]);
-        gpu.launch(&k, [(n / bs) as u64, 1, 1], [bs as u64, 1, 1], &[inp, out], &race_checked())
-            .unwrap();
+        gpu.launch(
+            &k,
+            [(n / bs) as u64, 1, 1],
+            [bs as u64, 1, 1],
+            &[inp, out],
+            &race_checked(),
+        )
+        .unwrap();
         let sums = gpu.read_f64(out);
         for b in 0..n / bs {
             let expect: f64 = data[b * bs..(b + 1) * bs].iter().sum();

@@ -23,6 +23,4 @@ pub mod reference;
 pub mod runner;
 pub mod sources;
 
-pub use runner::{
-    footprints, run_benchmark, BenchKind, BenchResult, SizeClass, ALL_BENCHMARKS,
-};
+pub use runner::{footprints, run_benchmark, BenchKind, BenchResult, SizeClass, ALL_BENCHMARKS};

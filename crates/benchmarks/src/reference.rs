@@ -63,10 +63,7 @@ mod tests {
 
     #[test]
     fn scan_basic() {
-        assert_eq!(
-            inclusive_scan(&[1.0, 2.0, 3.0]),
-            vec![1.0, 3.0, 6.0]
-        );
+        assert_eq!(inclusive_scan(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
     }
 
     #[test]

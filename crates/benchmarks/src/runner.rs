@@ -56,24 +56,60 @@ pub struct SizeClass {
 pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
     match kind {
         BenchKind::Reduce => [
-            SizeClass { name: "small", param: 1 << 18 },
-            SizeClass { name: "medium", param: 1 << 19 },
-            SizeClass { name: "large", param: 1 << 20 },
+            SizeClass {
+                name: "small",
+                param: 1 << 18,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 19,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 20,
+            },
         ],
         BenchKind::Transpose => [
-            SizeClass { name: "small", param: 256 },
-            SizeClass { name: "medium", param: 512 },
-            SizeClass { name: "large", param: 768 },
+            SizeClass {
+                name: "small",
+                param: 256,
+            },
+            SizeClass {
+                name: "medium",
+                param: 512,
+            },
+            SizeClass {
+                name: "large",
+                param: 768,
+            },
         ],
         BenchKind::Scan => [
-            SizeClass { name: "small", param: 1 << 17 },
-            SizeClass { name: "medium", param: 1 << 18 },
-            SizeClass { name: "large", param: 1 << 19 },
+            SizeClass {
+                name: "small",
+                param: 1 << 17,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 18,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 19,
+            },
         ],
         BenchKind::Matmul => [
-            SizeClass { name: "small", param: 64 },
-            SizeClass { name: "medium", param: 128 },
-            SizeClass { name: "large", param: 192 },
+            SizeClass {
+                name: "small",
+                param: 64,
+            },
+            SizeClass {
+                name: "medium",
+                param: 128,
+            },
+            SizeClass {
+                name: "large",
+                param: 192,
+            },
         ],
     }
 }
@@ -144,13 +180,7 @@ impl<'a> Launcher<'a> {
         }
     }
 
-    fn launch(
-        &mut self,
-        kernel: &KernelIr,
-        grid: [u64; 3],
-        block: [u64; 3],
-        args: &[BufId],
-    ) {
+    fn launch(&mut self, kernel: &KernelIr, grid: [u64; 3], block: [u64; 3], args: &[BufId]) {
         let stats = self
             .gpu
             .launch(kernel, grid, block, args, self.cfg)
@@ -167,12 +197,7 @@ impl<'a> Launcher<'a> {
 ///
 /// Both versions are validated against the scalar reference; a failure
 /// panics (the benchmarks are also exercised as tests).
-pub fn run_benchmark(
-    kind: BenchKind,
-    param: usize,
-    seed: u64,
-    cfg: &LaunchConfig,
-) -> BenchResult {
+pub fn run_benchmark(kind: BenchKind, param: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     match kind {
         BenchKind::Reduce => run_reduce(param, seed, cfg),
         BenchKind::Transpose => run_transpose(param, seed, cfg),
@@ -191,7 +216,12 @@ fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     let mut d = Launcher::new(cfg);
     let inp = d.gpu.alloc_f64(&data);
     let out = d.gpu.alloc_f64(&vec![0.0; nb]);
-    d.launch(&kernels[0], [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
+    d.launch(
+        &kernels[0],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[inp, out],
+    );
     assert_close(&d.gpu.read_f64(out), &expect, "descend reduce");
     // Baseline.
     let k = baselines::reduce(n, bs);
@@ -250,16 +280,30 @@ fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     let data = random_data(n, seed);
     let expect = reference::inclusive_scan(&data);
     // Descend version: two kernels in one program.
-    let src = format!("{}{}", sources::scan_blocks(n), sources::scan_add_offsets(n));
+    let src = format!(
+        "{}{}",
+        sources::scan_blocks(n),
+        sources::scan_add_offsets(n)
+    );
     let kernels = compile_kernels(&src);
     assert_eq!(kernels.len(), 2, "scan compiles to two kernels");
     let mut d = Launcher::new(cfg);
     let io = d.gpu.alloc_f64(&data);
     let sums = d.gpu.alloc_f64(&vec![0.0; nb]);
-    d.launch(&kernels[0], [nb as u64, 1, 1], [bs as u64, 1, 1], &[io, sums]);
+    d.launch(
+        &kernels[0],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[io, sums],
+    );
     let offsets = exclusive_scan(&d.gpu.read_f64(sums));
     let offs = d.gpu.alloc_f64(&offsets);
-    d.launch(&kernels[1], [nb as u64, 1, 1], [bs as u64, 1, 1], &[io, offs]);
+    d.launch(
+        &kernels[1],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[io, offs],
+    );
     assert_close(&d.gpu.read_f64(io), &expect, "descend scan");
     // Baseline.
     let k1 = baselines::scan_blocks(n, bs);

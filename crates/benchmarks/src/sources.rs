@@ -11,7 +11,10 @@ pub const BLOCK_SIZE: usize = 512;
 /// The parallel reduction: each 512-thread block tree-reduces its
 /// partition into `out[block]`.
 pub fn reduce(n: usize) -> String {
-    assert!(n % BLOCK_SIZE == 0, "n must be a multiple of {BLOCK_SIZE}");
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
     let nb = n / BLOCK_SIZE;
     let bs = BLOCK_SIZE;
     let half = bs / 2;
@@ -54,7 +57,7 @@ fn reduce(inp: & gpu.global [f64; {n}], out: &uniq gpu.global [f64; {nb}])
 /// The tiled matrix transposition of the paper's Listing 2: 32x32 tiles
 /// staged through shared memory by 32x8-thread blocks.
 pub fn transpose(n: usize) -> String {
-    assert!(n % 32 == 0, "n must be a multiple of 32");
+    assert!(n.is_multiple_of(32), "n must be a multiple of 32");
     let nb = n / 32;
     format!(
         r#"
@@ -86,14 +89,17 @@ fn transpose(input: & gpu.global [[f64; {n}]; {n}],
 /// explicit double buffering (one `split`+`sync` round per doubling
 /// stride), also writing each block's total into `sums`.
 pub fn scan_blocks(n: usize) -> String {
-    assert!(n % BLOCK_SIZE == 0, "n must be a multiple of {BLOCK_SIZE}");
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
     let nb = n / BLOCK_SIZE;
     let bs = BLOCK_SIZE;
     let steps = bs.trailing_zeros() as usize;
     let mut body = String::new();
     for i in 0..steps {
         let k = 1usize << i;
-        let (src, dst) = if i % 2 == 0 {
+        let (src, dst) = if i.is_multiple_of(2) {
             ("buf_a", "buf_b")
         } else {
             ("buf_b", "buf_a")
@@ -118,7 +124,11 @@ pub fn scan_blocks(n: usize) -> String {
 "#
         ));
     }
-    let last = if steps % 2 == 0 { "buf_a" } else { "buf_b" };
+    let last = if steps.is_multiple_of(2) {
+        "buf_a"
+    } else {
+        "buf_b"
+    };
     let bs1 = bs - 1;
     format!(
         r#"
@@ -172,7 +182,7 @@ fn add_offsets(io: &uniq gpu.global [f64; {n}], offsets: & gpu.global [f64; {nb}
 /// Tiled matrix multiplication: each 32x32-thread block computes one
 /// 32x32 tile of C, staging A and B tiles through shared memory.
 pub fn matmul(n: usize) -> String {
-    assert!(n % 32 == 0, "n must be a multiple of 32");
+    assert!(n.is_multiple_of(32), "n must be a multiple of 32");
     let nb = n / 32;
     format!(
         r#"

@@ -7,13 +7,13 @@
 //! simulator executes, via the shared lowering.
 
 use crate::ir_gen::{idx_to_expr, CodegenError};
+use descend_ast::term::{BinOp, UnOp};
+use descend_ast::ty::DimCompo;
+use descend_exec::Space;
 use descend_places::lower_scalar_access;
 use descend_typeck::{
     CheckedProgram, ElabExpr, ElabStmt, HostStmt, MemKind, MonoKernel, ScalarKind,
 };
-use descend_ast::term::{BinOp, UnOp};
-use descend_ast::ty::DimCompo;
-use descend_exec::Space;
 use std::fmt::Write as _;
 
 fn cuda_ty(k: ScalarKind) -> &'static str {
@@ -178,11 +178,7 @@ impl CudaCx<'_> {
         Ok(())
     }
 
-    fn access(
-        &self,
-        a: &descend_typeck::ElabAccess,
-        out: &mut String,
-    ) -> Result<(), CodegenError> {
+    fn access(&self, a: &descend_typeck::ElabAccess, out: &mut String) -> Result<(), CodegenError> {
         let name = match a.mem {
             MemKind::GlobalParam(i) => &self.kernel.params[i].name,
             MemKind::Shared(i) => &self.kernel.shared[i].name,
@@ -243,11 +239,7 @@ impl CudaCx<'_> {
                     snd,
                 } => {
                     indent(out, level);
-                    let _ = writeln!(
-                        out,
-                        "if ({} < {threshold}) {{",
-                        coord_name(*space, *dim)
-                    );
+                    let _ = writeln!(out, "if ({} < {threshold}) {{", coord_name(*space, *dim));
                     self.stmts(fst, out, level + 1)?;
                     indent(out, level);
                     if snd.is_empty() {
@@ -342,10 +334,7 @@ pub fn host_fn_to_cuda(
             HostStmt::AllocCpu { name, elem, len } => {
                 sizes.insert(name, (*elem, *len));
                 let t = cuda_ty(*elem);
-                let _ = writeln!(
-                    out,
-                    "{t}* {name} = ({t}*)calloc({len}, sizeof({t}));"
-                );
+                let _ = writeln!(out, "{t}* {name} = ({t}*)calloc({len}, sizeof({t}));");
             }
             HostStmt::AllocGpu { name, elem, len } => {
                 sizes.insert(name, (*elem, *len));
@@ -356,10 +345,10 @@ pub fn host_fn_to_cuda(
                 );
             }
             HostStmt::AllocGpuCopy { name, src } => {
-                let (elem, len) = sizes.get(src.as_str()).copied().unwrap_or((
-                    ScalarKind::F64,
-                    0,
-                ));
+                let (elem, len) = sizes
+                    .get(src.as_str())
+                    .copied()
+                    .unwrap_or((ScalarKind::F64, 0));
                 sizes.insert(name, (elem, len));
                 let t = cuda_ty(elem);
                 let _ = writeln!(
@@ -368,8 +357,10 @@ pub fn host_fn_to_cuda(
                 );
             }
             HostStmt::CopyToHost { dst, src } => {
-                let (elem, len) =
-                    sizes.get(dst.as_str()).copied().unwrap_or((ScalarKind::F64, 0));
+                let (elem, len) = sizes
+                    .get(dst.as_str())
+                    .copied()
+                    .unwrap_or((ScalarKind::F64, 0));
                 let t = cuda_ty(elem);
                 let _ = writeln!(
                     out,
@@ -377,8 +368,10 @@ pub fn host_fn_to_cuda(
                 );
             }
             HostStmt::CopyToGpu { dst, src } => {
-                let (elem, len) =
-                    sizes.get(dst.as_str()).copied().unwrap_or((ScalarKind::F64, 0));
+                let (elem, len) = sizes
+                    .get(dst.as_str())
+                    .copied()
+                    .unwrap_or((ScalarKind::F64, 0));
                 let t = cuda_ty(elem);
                 let _ = writeln!(
                     out,

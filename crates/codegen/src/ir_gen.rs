@@ -129,15 +129,11 @@ impl LowerCx {
                     .map_err(|e| CodegenError::Lowering(e.to_string()))?;
                 let idx = Box::new(idx_to_expr(&idx)?);
                 match access.mem {
-                    descend_typeck::MemKind::GlobalParam(i) => {
-                        Expr::LoadGlobal { buf: i, idx }
-                    }
+                    descend_typeck::MemKind::GlobalParam(i) => Expr::LoadGlobal { buf: i, idx },
                     descend_typeck::MemKind::Shared(i) => Expr::LoadShared { buf: i, idx },
                 }
             }
-            ElabExpr::Binary(op, a, b) => {
-                Expr::bin(bin_op(*op), self.expr(a)?, self.expr(b)?)
-            }
+            ElabExpr::Binary(op, a, b) => Expr::bin(bin_op(*op), self.expr(a)?, self.expr(b)?),
             ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(self.expr(a)?)),
         })
     }
@@ -167,16 +163,12 @@ impl LowerCx {
                         .map_err(|e| CodegenError::Lowering(e.to_string()))?;
                     let idx = idx_to_expr(&idx)?;
                     out.push(match access.mem {
-                        descend_typeck::MemKind::GlobalParam(i) => Stmt::StoreGlobal {
-                            buf: i,
-                            idx,
-                            value,
-                        },
-                        descend_typeck::MemKind::Shared(i) => Stmt::StoreShared {
-                            buf: i,
-                            idx,
-                            value,
-                        },
+                        descend_typeck::MemKind::GlobalParam(i) => {
+                            Stmt::StoreGlobal { buf: i, idx, value }
+                        }
+                        descend_typeck::MemKind::Shared(i) => {
+                            Stmt::StoreShared { buf: i, idx, value }
+                        }
                     });
                 }
                 ElabStmt::Split {

@@ -24,8 +24,6 @@ use descend_typeck::MonoKernel;
 /// # Errors
 ///
 /// Propagates the first lowering failure (see [`CodegenError`]).
-pub fn all_kernels_to_ir(
-    kernels: &[MonoKernel],
-) -> Result<Vec<gpu_sim::KernelIr>, CodegenError> {
+pub fn all_kernels_to_ir(kernels: &[MonoKernel]) -> Result<Vec<gpu_sim::KernelIr>, CodegenError> {
     kernels.iter().map(kernel_to_ir).collect()
 }

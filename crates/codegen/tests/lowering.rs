@@ -250,12 +250,8 @@ fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
     gpu.launch(&ir, [1, 1, 1], [64, 1, 1], &[buf], &race_checked())
         .unwrap();
     let out = gpu.read_f64(buf);
-    for i in 0..48 {
-        assert_eq!(out[i], 1.0);
-    }
-    for i in 48..64 {
-        assert_eq!(out[i], 2.0);
-    }
+    assert!(out[..48].iter().all(|v| *v == 1.0));
+    assert!(out[48..].iter().all(|v| *v == 2.0));
 }
 
 #[test]
@@ -272,14 +268,8 @@ fn every_checked_kernel_is_race_free_dynamically() {
                 .iter()
                 .map(|p| gpu.alloc_f64(&vec![1.0; p.len as usize]))
                 .collect();
-            gpu.launch(
-                &ir,
-                mk.grid_dim,
-                mk.block_dim,
-                &args,
-                &race_checked(),
-            )
-            .unwrap_or_else(|e| panic!("kernel {} raced: {e}", mk.name));
+            gpu.launch(&ir, mk.grid_dim, mk.block_dim, &args, &race_checked())
+                .unwrap_or_else(|e| panic!("kernel {} raced: {e}", mk.name));
         }
     }
 }

@@ -61,8 +61,9 @@ pub struct CompileError {
     pub stage: Stage,
     /// The rendered diagnostic (with source snippet for type errors).
     pub rendered: String,
-    /// The structured type error, when `stage == Stage::Type`.
-    pub type_error: Option<TypeError>,
+    /// The structured type error, when `stage == Stage::Type` (boxed to
+    /// keep the `Err` variant of the compile results small).
+    pub type_error: Option<Box<TypeError>>,
 }
 
 impl fmt::Display for CompileError {
@@ -132,7 +133,7 @@ impl Compiler {
         let checked = check_program(&ast).map_err(|e| CompileError {
             stage: Stage::Type,
             rendered: e.diag.render(src),
-            type_error: Some(e),
+            type_error: Some(Box::new(e)),
         })?;
         let mut kernels = Vec::new();
         for mk in &checked.kernels {
@@ -295,13 +296,8 @@ impl Compiled {
                             })
                         })
                         .collect::<Result<_, _>>()?;
-                    let stats = gpu.launch(
-                        &ck.ir,
-                        ck.mono.grid_dim,
-                        ck.mono.block_dim,
-                        &bufs,
-                        cfg,
-                    )?;
+                    let stats =
+                        gpu.launch(&ck.ir, ck.mono.grid_dim, ck.mono.block_dim, &bufs, cfg)?;
                     run.launches.push(stats);
                 }
             }

@@ -59,11 +59,7 @@ impl Diagnostic {
     }
 
     /// Adds a secondary label.
-    pub fn with_secondary(
-        mut self,
-        span: Span,
-        message: impl Into<String>,
-    ) -> Diagnostic {
+    pub fn with_secondary(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
         self.secondary.push(Label {
             span,
             message: message.into(),
@@ -129,7 +125,7 @@ fn render_label(out: &mut String, source: &str, label: &Label, marker: char) {
     // Clamp the marker run to the end of the line.
     let avail = line_text.chars().count().saturating_sub(col - 1).max(1);
     let run = span_len.min(avail);
-    let markers: String = std::iter::repeat(marker).take(run).collect();
+    let markers: String = std::iter::repeat_n(marker, run).collect();
     out.push_str(&format!(
         " {pad} | {}{} {}\n",
         " ".repeat(col - 1),

@@ -61,8 +61,16 @@ impl ExecOp {
         match (self, other) {
             (ExecOp::Forall(a), ExecOp::Forall(b)) => a == b,
             (
-                ExecOp::Split { dim: d1, pos: p1, side: s1 },
-                ExecOp::Split { dim: d2, pos: p2, side: s2 },
+                ExecOp::Split {
+                    dim: d1,
+                    pos: p1,
+                    side: s1,
+                },
+                ExecOp::Split {
+                    dim: d2,
+                    pos: p2,
+                    side: s2,
+                },
             ) => d1 == d2 && p1.equal(p2) && s1 == s2,
             _ => false,
         }
@@ -148,7 +156,10 @@ impl fmt::Display for ExecError {
                 write!(f, "dimension {d} has already been scheduled")
             }
             ExecError::NothingToSchedule => {
-                write!(f, "execution resource is a single thread; nothing to schedule")
+                write!(
+                    f,
+                    "execution resource is a single thread; nothing to schedule"
+                )
             }
             ExecError::CpuHasNoHierarchy => {
                 write!(f, "cpu.thread has no execution hierarchy to schedule over")
@@ -415,11 +426,7 @@ impl ExecExpr {
     pub fn is_prefix_of(&self, other: &ExecExpr) -> bool {
         self.base == other.base
             && self.ops.len() <= other.ops.len()
-            && self
-                .ops
-                .iter()
-                .zip(&other.ops)
-                .all(|(a, b)| a.same(b))
+            && self.ops.iter().zip(&other.ops).all(|(a, b)| a.same(b))
     }
 
     /// Whether two resources denote provably disjoint sets of executors:
@@ -436,8 +443,16 @@ impl ExecExpr {
             }
             return match (a, b) {
                 (
-                    ExecOp::Split { dim: d1, pos: p1, side: s1 },
-                    ExecOp::Split { dim: d2, pos: p2, side: s2 },
+                    ExecOp::Split {
+                        dim: d1,
+                        pos: p1,
+                        side: s1,
+                    },
+                    ExecOp::Split {
+                        dim: d2,
+                        pos: p2,
+                        side: s2,
+                    },
                 ) => d1 == d2 && p1.equal(p2) && s1 != s2,
                 _ => false,
             };
@@ -501,8 +516,14 @@ impl ExecExpr {
         let base_same = match (&self.base, &other.base) {
             (ExecBase::CpuThread, ExecBase::CpuThread) => true,
             (
-                ExecBase::GpuGrid { blocks: b1, threads: t1 },
-                ExecBase::GpuGrid { blocks: b2, threads: t2 },
+                ExecBase::GpuGrid {
+                    blocks: b1,
+                    threads: t1,
+                },
+                ExecBase::GpuGrid {
+                    blocks: b2,
+                    threads: t2,
+                },
             ) => b1.same(b2) && t1.same(t2),
             _ => false,
         };
@@ -516,16 +537,12 @@ impl fmt::Display for ExecExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.base {
             ExecBase::CpuThread => write!(f, "cpu.thread")?,
-            ExecBase::GpuGrid { blocks, threads } => {
-                write!(f, "gpu.grid<{blocks},{threads}>")?
-            }
+            ExecBase::GpuGrid { blocks, threads } => write!(f, "gpu.grid<{blocks},{threads}>")?,
         }
         for op in &self.ops {
             match op {
                 ExecOp::Forall(d) => write!(f, ".forall({d})")?,
-                ExecOp::Split { dim, pos, side } => {
-                    write!(f, ".split({pos}, {dim}).{side}")?
-                }
+                ExecOp::Split { dim, pos, side } => write!(f, ".split({pos}, {dim}).{side}")?,
             }
         }
         Ok(())

@@ -9,35 +9,35 @@ use proptest::prelude::*;
 
 /// A random well-formed refinement of a 2x2 grid of 8x4 threads.
 fn arb_exec() -> impl Strategy<Value = ExecExpr> {
-    proptest::collection::vec((0u8..4, 0u64..8, proptest::bool::ANY), 0..6).prop_map(
-        |ops| {
-            let mut e = ExecExpr::grid(Dim::xy(2u64, 2u64), Dim::xy(8u64, 4u64));
-            for (kind, pos, side) in ops {
-                let dim = if kind % 2 == 0 { DimCompo::X } else { DimCompo::Y };
-                match kind {
-                    0 | 1 => {
-                        if let Ok(next) = e.forall(dim) {
-                            e = next;
-                        }
+    proptest::collection::vec((0u8..4, 0u64..8, proptest::bool::ANY), 0..6).prop_map(|ops| {
+        let mut e = ExecExpr::grid(Dim::xy(2u64, 2u64), Dim::xy(8u64, 4u64));
+        for (kind, pos, side) in ops {
+            let dim = if kind % 2 == 0 {
+                DimCompo::X
+            } else {
+                DimCompo::Y
+            };
+            match kind {
+                0 | 1 => {
+                    if let Ok(next) = e.forall(dim) {
+                        e = next;
                     }
-                    _ => {
-                        let side = if side { Side::Fst } else { Side::Snd };
-                        if let Some(extent) =
-                            e.remaining_extent(dim).and_then(|n| n.as_lit())
-                        {
-                            if extent > 1 {
-                                let p = 1 + pos % (extent - 1);
-                                if let Ok(next) = e.split(dim, Nat::lit(p), side) {
-                                    e = next;
-                                }
+                }
+                _ => {
+                    let side = if side { Side::Fst } else { Side::Snd };
+                    if let Some(extent) = e.remaining_extent(dim).and_then(|n| n.as_lit()) {
+                        if extent > 1 {
+                            let p = 1 + pos % (extent - 1);
+                            if let Ok(next) = e.split(dim, Nat::lit(p), side) {
+                                e = next;
                             }
                         }
                     }
                 }
             }
-            e
-        },
-    )
+        }
+        e
+    })
 }
 
 proptest! {

@@ -130,16 +130,17 @@ impl CostAccumulator {
         // Group accesses by (warp, pc, occurrence) — the lanes of a warp
         // executing the same instruction the same number of times access
         // memory simultaneously.
+        // Key: (warp, pc, occurrence, is_global); value: (idx, write, buf)
+        // per participating lane.
+        type GroupKey = (u32, u32, u32, bool);
+        type LaneAccess = (u64, bool, u32);
         let mut occ: HashMap<(u32, u32), u32> = HashMap::new(); // (tid, pc) -> count
-        let mut groups: HashMap<(u32, u32, u32, bool), Vec<(u64, bool, u32)>> = HashMap::new();
+        let mut groups: HashMap<GroupKey, Vec<LaneAccess>> = HashMap::new();
         for a in accesses {
             let o = occ.entry((a.tid, a.pc)).or_insert(0);
             let key = (a.tid / warp, a.pc, *o, a.global);
             *o += 1;
-            groups
-                .entry(key)
-                .or_default()
-                .push((a.idx, a.write, a.buf));
+            groups.entry(key).or_default().push((a.idx, a.write, a.buf));
         }
         for ((_, _, _, is_global), members) in &groups {
             if *is_global {
@@ -271,9 +272,7 @@ mod tests {
         // f64 actually: element i hits banks (2i)%32 and (2i+1)%32; with
         // 32 threads two lanes share a bank pair => replay 2. Use f32 to
         // get the conflict-free case.
-        let accesses: Vec<_> = (0..32)
-            .map(|t| acc(0, false, t as u64, false, t))
-            .collect();
+        let accesses: Vec<_> = (0..32).map(|t| acc(0, false, t as u64, false, t)).collect();
         let mut c = CostAccumulator::new(CostModel::default());
         c.interval(&accesses, &vec![1u64; 32], &[], &[ElemTy::F32], false);
         c.end_block();

@@ -11,21 +11,12 @@ use std::fmt;
 pub struct BufId(pub usize);
 
 /// Launch options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct LaunchConfig {
     /// Detect data races dynamically (slower; used by tests).
     pub detect_races: bool,
     /// The cost model.
     pub cost: CostModel,
-}
-
-impl Default for LaunchConfig {
-    fn default() -> LaunchConfig {
-        LaunchConfig {
-            detect_races: false,
-            cost: CostModel::default(),
-        }
-    }
 }
 
 /// Simulation errors.
@@ -196,7 +187,7 @@ impl Gpu {
             }
         }
         let threads_per_block = (block_dim[0] * block_dim[1] * block_dim[2]) as usize;
-        if threads_per_block == 0 || grid_dim.iter().any(|d| *d == 0) {
+        if threads_per_block == 0 || grid_dim.contains(&0) {
             return Err(SimError::BadLaunch("empty grid or block".into()));
         }
         let (code, local_count) = interp::prepare(kernel);
@@ -260,8 +251,7 @@ impl Gpu {
         for bz in 0..grid_dim[2] {
             for by in 0..grid_dim[1] {
                 for bx in 0..grid_dim[0] {
-                    let block_lin =
-                        (bz * grid_dim[1] + by) * grid_dim[0] + bx;
+                    let block_lin = (bz * grid_dim[1] + by) * grid_dim[0] + bx;
                     let mut shared: Vec<Vec<u64>> = kernel
                         .shared
                         .iter()
@@ -273,11 +263,9 @@ impl Gpu {
                     instr_before.iter_mut().for_each(|v| *v = 0);
                     loop {
                         log.clear();
-                        let mut stops: Vec<Option<usize>> =
-                            Vec::with_capacity(threads_per_block);
+                        let mut stops: Vec<Option<usize>> = Vec::with_capacity(threads_per_block);
                         let mut any_running = false;
-                        for tid in 0..threads_per_block {
-                            let st = &mut states[tid];
+                        for (tid, st) in states.iter_mut().enumerate() {
                             if st.done {
                                 stops.push(None);
                                 continue;
@@ -311,27 +299,19 @@ impl Gpu {
                         }
                         // Cost and race bookkeeping for the interval.
                         for tid in 0..threads_per_block {
-                            instr_delta[tid] =
-                                states[tid].instr_count - instr_before[tid];
+                            instr_delta[tid] = states[tid].instr_count - instr_before[tid];
                             instr_before[tid] = states[tid].instr_count;
                         }
                         let at_barrier = stops.iter().flatten().count();
                         let had_barrier = at_barrier > 0;
-                        cost.interval(
-                            &log,
-                            &instr_delta,
-                            global_elems,
-                            shared_elems,
-                            had_barrier,
-                        );
+                        cost.interval(&log, &instr_delta, global_elems, shared_elems, had_barrier);
                         if let Some(r) = races.as_deref_mut() {
                             r.interval(block_lin as u32, &log);
                         }
                         // Barrier consistency: every thread must be at the
                         // same barrier, or every thread must be done.
                         if had_barrier {
-                            let finished =
-                                stops.iter().filter(|s| s.is_none()).count();
+                            let finished = stops.iter().filter(|s| s.is_none()).count();
                             if finished > 0 {
                                 return Err(SimError::BarrierDivergence {
                                     block: block_lin,
@@ -449,12 +429,24 @@ mod tests {
         };
         let mut gpu = Gpu::new();
         let err = gpu
-            .launch(&kernel, [1, 1, 1], [64, 1, 1], &[], &LaunchConfig::default())
+            .launch(
+                &kernel,
+                [1, 1, 1],
+                [64, 1, 1],
+                &[],
+                &LaunchConfig::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::BarrierDivergence { .. }));
         // With 32 threads per block it is fine.
-        gpu.launch(&kernel, [1, 1, 1], [32, 1, 1], &[], &LaunchConfig::default())
-            .unwrap();
+        gpu.launch(
+            &kernel,
+            [1, 1, 1],
+            [32, 1, 1],
+            &[],
+            &LaunchConfig::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -471,7 +463,13 @@ mod tests {
         };
         let mut gpu = Gpu::new();
         let err = gpu
-            .launch(&kernel, [1, 1, 1], [32, 1, 1], &[], &LaunchConfig::default())
+            .launch(
+                &kernel,
+                [1, 1, 1],
+                [32, 1, 1],
+                &[],
+                &LaunchConfig::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::BarrierDivergence { .. }));
     }
@@ -494,10 +492,7 @@ mod tests {
                 idx: Expr::thread_idx(Axis::X),
                 value: Expr::LoadGlobal {
                     buf: 0,
-                    idx: Box::new(Expr::sub(
-                        Expr::LitI(bs - 1),
-                        Expr::thread_idx(Axis::X),
-                    )),
+                    idx: Box::new(Expr::sub(Expr::LitI(bs - 1), Expr::thread_idx(Axis::X))),
                 },
             }],
         };
@@ -533,10 +528,7 @@ mod tests {
                     idx: Expr::thread_idx(Axis::X),
                     value: Expr::LoadGlobal {
                         buf: 0,
-                        idx: Box::new(Expr::sub(
-                            Expr::LitI(31),
-                            Expr::thread_idx(Axis::X),
-                        )),
+                        idx: Box::new(Expr::sub(Expr::LitI(31), Expr::thread_idx(Axis::X))),
                     },
                 },
                 Stmt::Barrier,
@@ -560,8 +552,8 @@ mod tests {
             .launch(&kernel, [1, 1, 1], [32, 1, 1], &[buf], &cfg)
             .unwrap();
         let out = gpu.read_f64(buf);
-        for i in 0..32 {
-            assert_eq!(out[i], (31 - i) as f64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (31 - i) as f64);
         }
         assert_eq!(stats.barriers, 1);
         assert!(stats.cycles > 0);
@@ -588,7 +580,13 @@ mod tests {
         // 2 blocks x 16 threads = 32 > 16 elements: the paper's
         // "launched with more threads than elements" bug.
         let err = gpu
-            .launch(&kernel, [2, 1, 1], [16, 1, 1], &[buf], &LaunchConfig::default())
+            .launch(
+                &kernel,
+                [2, 1, 1],
+                [16, 1, 1],
+                &[buf],
+                &LaunchConfig::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::OutOfBounds { .. }));
     }
@@ -611,7 +609,13 @@ mod tests {
         };
         let mut gpu = Gpu::new();
         let buf = gpu.alloc_f64(&[5.0; 4]);
-        let _ = gpu.launch(&kernel, [1, 1, 1], [1, 1, 1], &[buf], &LaunchConfig::default());
+        let _ = gpu.launch(
+            &kernel,
+            [1, 1, 1],
+            [1, 1, 1],
+            &[buf],
+            &LaunchConfig::default(),
+        );
         assert_eq!(gpu.read_f64(buf), vec![5.0; 4]);
     }
 

@@ -375,11 +375,7 @@ fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResu
                 (UnOp::Neg, Value::F(x)) => Value::F(-x),
                 (UnOp::Neg, Value::I(x)) => Value::I(-x),
                 (UnOp::Not, Value::B(x)) => Value::B(!x),
-                (o, v) => {
-                    return Err(InterpError::Eval(format!(
-                        "cannot apply {o:?} to {v:?}"
-                    )))
-                }
+                (o, v) => return Err(InterpError::Eval(format!("cannot apply {o:?} to {v:?}"))),
             }
         }
     })
@@ -516,7 +512,9 @@ pub fn run_thread(
                 st.pc += 1;
             }
             Instr::JumpIfFalse(cond, target) => {
-                let c = eval(cond, st, env, pc)?.truthy().map_err(InterpError::Eval)?;
+                let c = eval(cond, st, env, pc)?
+                    .truthy()
+                    .map_err(InterpError::Eval)?;
                 st.pc = if c { pc + 1 } else { *target };
             }
             Instr::Jump(target) => st.pc = *target,
@@ -633,10 +631,7 @@ mod tests {
                 cmp: LoopCmp::Lt,
                 bound: Expr::LitI(10),
                 step: LoopStep::Add(1),
-                body: vec![Stmt::SetLocal(
-                    1,
-                    Expr::add(Expr::Local(1), Expr::Local(0)),
-                )],
+                body: vec![Stmt::SetLocal(1, Expr::add(Expr::Local(1), Expr::Local(0)))],
             },
             Stmt::StoreGlobal {
                 buf: 0,
@@ -667,10 +662,7 @@ mod tests {
                 cmp: LoopCmp::Ge,
                 bound: Expr::LitI(1),
                 step: LoopStep::Div(2),
-                body: vec![Stmt::SetLocal(
-                    1,
-                    Expr::add(Expr::Local(1), Expr::LitI(1)),
-                )],
+                body: vec![Stmt::SetLocal(1, Expr::add(Expr::Local(1), Expr::LitI(1)))],
             },
             Stmt::StoreGlobal {
                 buf: 0,
@@ -768,7 +760,14 @@ mod tests {
         let mut st = ThreadState::new(0);
         let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
         let err = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap_err();
-        assert!(matches!(err, InterpError::OutOfBounds { idx: 99, len: 4, .. }));
+        assert!(matches!(
+            err,
+            InterpError::OutOfBounds {
+                idx: 99,
+                len: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

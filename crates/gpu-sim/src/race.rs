@@ -44,7 +44,11 @@ impl std::fmt::Display for RaceReport {
             if self.global { "global" } else { "shared" },
             self.buf,
             self.idx,
-            if self.cross_block { "blocks" } else { "threads" },
+            if self.cross_block {
+                "blocks"
+            } else {
+                "threads"
+            },
             self.parties.0,
             self.parties.1,
             if self.write_write {
@@ -124,10 +128,7 @@ impl RaceDetector {
     pub fn interval(&mut self, block_id: u32, accesses: &[AccessRec]) {
         for a in accesses {
             // Intra-block check within the interval.
-            let cell = self
-                .interval
-                .entry((a.global, a.buf, a.idx))
-                .or_default();
+            let cell = self.interval.entry((a.global, a.buf, a.idx)).or_default();
             let conflict = if a.write {
                 cell.write(a.tid)
             } else {

@@ -143,7 +143,13 @@ fn warp_layout_follows_linear_tid() {
     let mut gpu = Gpu::new();
     let b = gpu.alloc_f64(&vec![0.0; 256]);
     let stats = gpu
-        .launch(&kernel, [1, 1, 1], [32, 8, 1], &[b], &LaunchConfig::default())
+        .launch(
+            &kernel,
+            [1, 1, 1],
+            [32, 8, 1],
+            &[b],
+            &LaunchConfig::default(),
+        )
         .unwrap();
     // 8 warps x 2 segments (32 f64 = 256 B).
     assert_eq!(stats.global_transactions, 16);
@@ -175,7 +181,13 @@ fn strided_2d_access_is_not_coalesced() {
     let mut gpu = Gpu::new();
     let b = gpu.alloc_f64(&vec![0.0; 1024]);
     let stats = gpu
-        .launch(&kernel, [1, 1, 1], [32, 32, 1], &[b], &LaunchConfig::default())
+        .launch(
+            &kernel,
+            [1, 1, 1],
+            [32, 32, 1],
+            &[b],
+            &LaunchConfig::default(),
+        )
         .unwrap();
     // 32 warps x 32 segments.
     assert_eq!(stats.global_transactions, 1024);

@@ -194,9 +194,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 push(
@@ -311,11 +309,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -348,7 +342,11 @@ mod tests {
     fn float_literals() {
         assert_eq!(
             kinds("3.0 2.5f32"),
-            vec![TokenKind::Float(3.0), TokenKind::FloatF32(2.5), TokenKind::Eof]
+            vec![
+                TokenKind::Float(3.0),
+                TokenKind::FloatF32(2.5),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -1187,7 +1187,9 @@ fn transpose(input: & gpu.global [[f64;2048];2048],
         assert!(matches!(f.sig.exec_ty, ExecTy::GpuGrid(..)));
         assert_eq!(f.body.stmts.len(), 1);
         match &f.body.stmts[0].kind {
-            StmtKind::Sched { dims, var, body, .. } => {
+            StmtKind::Sched {
+                dims, var, body, ..
+            } => {
                 assert_eq!(dims, &[DimCompo::Y, DimCompo::X]);
                 assert_eq!(var, "block");
                 assert_eq!(body.stmts.len(), 2);
@@ -1364,9 +1366,8 @@ fn scale(v: &uniq gpu.global [f64; N]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
 "#;
         let p1 = parse(src).unwrap();
         let printed = pretty::program(&p1);
-        let p2 = parse(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {} in:\n{printed}", e.msg)
-        });
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {} in:\n{printed}", e.msg));
         // Compare shapes (spans differ).
         assert_eq!(p1.items.len(), p2.items.len());
         let f1 = p1.fn_def("scale").unwrap();

@@ -22,7 +22,9 @@ fn nat_precedence_in_indices() {
     let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
         panic!()
     };
-    let ExprKind::Place(p) = &init.kind else { panic!() };
+    let ExprKind::Place(p) = &init.kind else {
+        panic!()
+    };
     let PlaceExprKind::Index(_, n) = &p.kind else {
         panic!()
     };
@@ -35,7 +37,9 @@ fn nat_parens_override_precedence() {
     let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
         panic!()
     };
-    let ExprKind::Place(p) = &init.kind else { panic!() };
+    let ExprKind::Place(p) = &init.kind else {
+        panic!()
+    };
     let PlaceExprKind::Index(_, n) = &p.kind else {
         panic!()
     };
@@ -62,7 +66,9 @@ fn f(m: & gpu.global [[[f64; 2]; 3]; 4]) -[grid: gpu.grid<X<1>, X<1>>]-> () { }
     let DataTy::Ref(_, _, inner) = &f.sig.params[0].ty else {
         panic!()
     };
-    let DataTy::Array(a, n4) = &**inner else { panic!() };
+    let DataTy::Array(a, n4) = &**inner else {
+        panic!()
+    };
     assert_eq!(n4.as_lit(), Some(4));
     let DataTy::Array(b, n3) = &**a else { panic!() };
     assert_eq!(n3.as_lit(), Some(3));
@@ -111,9 +117,7 @@ fn trailing_semicolons_are_flexible() {
 
 #[test]
 fn deeply_chained_views_parse() {
-    let f = parse_fn(
-        "let x = (*v).group::<8>.map(transpose).map(map(reverse))[0][0][0];",
-    );
+    let f = parse_fn("let x = (*v).group::<8>.map(transpose).map(map(reverse))[0][0][0];");
     let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
         panic!()
     };
@@ -128,19 +132,15 @@ fn error_unclosed_block() {
 
 #[test]
 fn error_bad_dimension_letters() {
-    let err = parse(
-        "fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<W<1>, X<4>>]-> () { }",
-    )
-    .unwrap_err();
+    let err =
+        parse("fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<W<1>, X<4>>]-> () { }").unwrap_err();
     assert!(err.msg.contains("invalid dimension letter"), "{}", err.msg);
 }
 
 #[test]
 fn error_repeated_dimension() {
-    let err = parse(
-        "fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<XX<1,2>, X<4>>]-> () { }",
-    )
-    .unwrap_err();
+    let err =
+        parse("fn f(v: & gpu.global [f64; 4]) -[g: gpu.grid<XX<1,2>, X<4>>]-> () { }").unwrap_err();
     assert!(err.msg.contains("repeats"), "{}", err.msg);
 }
 
@@ -174,7 +174,9 @@ fn main() -[t: cpu.thread]-> () {
 #[test]
 fn view_args_accept_chains() {
     let p = parse("view v2 = group::<4>.map(transpose.reverse);").unwrap();
-    let Item::View(v) = &p.items[1 - 1] else { panic!() };
+    let Item::View(v) = &p.items[1 - 1] else {
+        panic!()
+    };
     assert_eq!(v.body[1].view_args.len(), 2, "map(a.b) flattens the chain");
 }
 

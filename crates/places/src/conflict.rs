@@ -90,8 +90,7 @@ pub fn narrowing_violation(
                 return false;
             }
             !path.selects().any(|sel| {
-                sel.level_index == lvl.op_index
-                    && exec_prefix_same(&sel.exec, exec, lvl.op_index)
+                sel.level_index == lvl.op_index && exec_prefix_same(&sel.exec, exec, lvl.op_index)
             })
         })
         .collect();
@@ -163,10 +162,7 @@ fn compare_steps(a: &PathStep, b: &PathStep) -> StepCmp {
 
 fn compare_views(a: &ViewStep, b: &ViewStep) -> StepCmp {
     match (a, b) {
-        (
-            ViewStep::SplitPart { pos: p1, side: s1 },
-            ViewStep::SplitPart { pos: p2, side: s2 },
-        ) => {
+        (ViewStep::SplitPart { pos: p1, side: s1 }, ViewStep::SplitPart { pos: p2, side: s2 }) => {
             if p1.equal(p2) && s1 == s2 {
                 return StepCmp::Equal;
             }
@@ -232,8 +228,7 @@ pub fn may_race(a: &Access, b: &Access) -> bool {
         return false;
     }
     // A single CPU thread executes sequentially.
-    if matches!(a.exec.base, ExecBase::CpuThread) && matches!(b.exec.base, ExecBase::CpuThread)
-    {
+    if matches!(a.exec.base, ExecBase::CpuThread) && matches!(b.exec.base, ExecBase::CpuThread) {
         return false;
     }
     // Pairwise step walk.

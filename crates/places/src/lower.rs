@@ -28,6 +28,7 @@ use descend_ast::ty::DimCompo;
 use descend_ast::Nat;
 use descend_exec::Space;
 use std::fmt;
+use std::ops::{Add, Mul, Sub};
 
 /// A coordinate source: which hardware index a select compiles to.
 ///
@@ -104,36 +105,6 @@ impl IdxExpr {
         }
     }
 
-    /// Smart constructor folding constants.
-    pub fn add(a: IdxExpr, b: IdxExpr) -> IdxExpr {
-        match (a, b) {
-            (IdxExpr::Const(0), x) | (x, IdxExpr::Const(0)) => x,
-            (IdxExpr::Const(x), IdxExpr::Const(y)) => IdxExpr::Const(x + y),
-            (a, b) => IdxExpr::Add(Box::new(a), Box::new(b)),
-        }
-    }
-
-    /// Smart constructor folding constants.
-    pub fn sub(a: IdxExpr, b: IdxExpr) -> IdxExpr {
-        match (a, b) {
-            (x, IdxExpr::Const(0)) => x,
-            (IdxExpr::Const(x), IdxExpr::Const(y)) => {
-                IdxExpr::Const(x.checked_sub(y).expect("index subtraction underflow"))
-            }
-            (a, b) => IdxExpr::Sub(Box::new(a), Box::new(b)),
-        }
-    }
-
-    /// Smart constructor folding constants.
-    pub fn mul(a: IdxExpr, b: IdxExpr) -> IdxExpr {
-        match (a, b) {
-            (IdxExpr::Const(1), x) | (x, IdxExpr::Const(1)) => x,
-            (IdxExpr::Const(0), _) | (_, IdxExpr::Const(0)) => IdxExpr::Const(0),
-            (IdxExpr::Const(x), IdxExpr::Const(y)) => IdxExpr::Const(x * y),
-            (a, b) => IdxExpr::Mul(Box::new(a), Box::new(b)),
-        }
-    }
-
     /// Evaluates the expression.
     ///
     /// `coords` supplies raw hardware coordinates; `vars` supplies values
@@ -153,10 +124,7 @@ impl IdxExpr {
             IdxExpr::Var(x) => vars(x).ok_or_else(|| format!("unbound index variable `{x}`")),
             IdxExpr::Coord(c) => {
                 let raw = coords(c.space, c.dim);
-                let off = c
-                    .offset
-                    .eval(&|x| vars(x))
-                    .map_err(|e| e.to_string())?;
+                let off = c.offset.eval(&|x| vars(x)).map_err(|e| e.to_string())?;
                 raw.checked_sub(off)
                     .ok_or_else(|| format!("negative branch-local coordinate: {raw} - {off}"))
             }
@@ -167,6 +135,45 @@ impl IdxExpr {
                     .ok_or_else(|| format!("negative index: {x} - {y}"))
             }
             IdxExpr::Mul(a, b) => Ok(a.eval(coords, vars)? * b.eval(coords, vars)?),
+        }
+    }
+}
+
+/// Smart constructor folding constants.
+impl std::ops::Add for IdxExpr {
+    type Output = IdxExpr;
+    fn add(self, rhs: IdxExpr) -> IdxExpr {
+        match (self, rhs) {
+            (IdxExpr::Const(0), x) | (x, IdxExpr::Const(0)) => x,
+            (IdxExpr::Const(x), IdxExpr::Const(y)) => IdxExpr::Const(x + y),
+            (a, b) => IdxExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+/// Smart constructor folding constants; panics on constant underflow.
+impl std::ops::Sub for IdxExpr {
+    type Output = IdxExpr;
+    fn sub(self, rhs: IdxExpr) -> IdxExpr {
+        match (self, rhs) {
+            (x, IdxExpr::Const(0)) => x,
+            (IdxExpr::Const(x), IdxExpr::Const(y)) => {
+                IdxExpr::Const(x.checked_sub(y).expect("index subtraction underflow"))
+            }
+            (a, b) => IdxExpr::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+/// Smart constructor folding constants.
+impl std::ops::Mul for IdxExpr {
+    type Output = IdxExpr;
+    fn mul(self, rhs: IdxExpr) -> IdxExpr {
+        match (self, rhs) {
+            (IdxExpr::Const(1), x) | (x, IdxExpr::Const(1)) => x,
+            (IdxExpr::Const(0), _) | (_, IdxExpr::Const(0)) => IdxExpr::Const(0),
+            (IdxExpr::Const(x), IdxExpr::Const(y)) => IdxExpr::Const(x * y),
+            (a, b) => IdxExpr::Mul(Box::new(a), Box::new(b)),
         }
     }
 }
@@ -242,9 +249,7 @@ fn nat_to_idx(n: &Nat) -> Result<IdxExpr, LowerError> {
             Nat::Add(a, b) => IdxExpr::add(conv(a)?, conv(b)?),
             Nat::Sub(a, b) => IdxExpr::sub(conv(a)?, conv(b)?),
             Nat::Mul(a, b) => IdxExpr::mul(conv(a)?, conv(b)?),
-            Nat::Div(..) | Nat::Mod(..) => {
-                return Err(LowerError::OpaqueNat(n.to_string()))
-            }
+            Nat::Div(..) | Nat::Mod(..) => return Err(LowerError::OpaqueNat(n.to_string())),
         })
     }
     conv(&s)
@@ -425,10 +430,7 @@ pub fn simplify_idx(e: IdxExpr) -> IdxExpr {
 ///
 /// Returns a [`LowerError`] if the access is not scalar, contains real
 /// tuple projections, or an unprojected split.
-pub fn lower_scalar_access(
-    path: &PlacePath,
-    root_dims: &[Nat],
-) -> Result<IdxExpr, LowerError> {
+pub fn lower_scalar_access(path: &PlacePath, root_dims: &[Nat]) -> Result<IdxExpr, LowerError> {
     let mut idx: Vec<IdxExpr> = Vec::new();
     for step in path.steps.iter().rev() {
         match step {
@@ -563,7 +565,9 @@ mod tests {
         // on (128, 128): [a][b][r][c] -> element (a*32+r, b*32+c).
         let steps = vec![
             ViewStep::Group { k: Nat::lit(32) },
-            ViewStep::Map(vec![ViewStep::Map(vec![ViewStep::Group { k: Nat::lit(32) }])]),
+            ViewStep::Map(vec![ViewStep::Map(vec![ViewStep::Group {
+                k: Nat::lit(32),
+            }])]),
             ViewStep::Map(vec![ViewStep::Transpose]),
         ];
         let mut p = PlacePath::new("m", ExecExpr::cpu_thread());
@@ -611,7 +615,13 @@ mod tests {
         let mut p = PlacePath::new("m", ExecExpr::cpu_thread());
         p.push(PathStep::Index(Nat::lit(0)));
         let err = lower_scalar_access(&p, &[Nat::lit(8), Nat::lit(8)]).unwrap_err();
-        assert!(matches!(err, LowerError::NotScalar { collected: 1, required: 2 }));
+        assert!(matches!(
+            err,
+            LowerError::NotScalar {
+                collected: 1,
+                required: 2
+            }
+        ));
     }
 
     #[test]
@@ -631,7 +641,10 @@ mod tests {
             IdxExpr::Const(5),
         );
         assert_eq!(e, IdxExpr::Const(17));
-        assert_eq!(IdxExpr::mul(IdxExpr::Const(0), IdxExpr::Var("x".into())), IdxExpr::Const(0));
+        assert_eq!(
+            IdxExpr::mul(IdxExpr::Const(0), IdxExpr::Var("x".into())),
+            IdxExpr::Const(0)
+        );
         assert_eq!(
             IdxExpr::add(IdxExpr::Const(0), IdxExpr::Var("x".into())),
             IdxExpr::Var("x".into())

@@ -40,8 +40,16 @@ impl SelectStep {
             && a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
                 (ExecOp::Forall(d1), ExecOp::Forall(d2)) => d1 == d2,
                 (
-                    ExecOp::Split { dim: d1, pos: p1, side: s1 },
-                    ExecOp::Split { dim: d2, pos: p2, side: s2 },
+                    ExecOp::Split {
+                        dim: d1,
+                        pos: p1,
+                        side: s1,
+                    },
+                    ExecOp::Split {
+                        dim: d2,
+                        pos: p2,
+                        side: s2,
+                    },
                 ) => d1 == d2 && p1.equal(p2) && s1 == s2,
                 _ => false,
             })

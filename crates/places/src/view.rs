@@ -82,7 +82,9 @@ impl ViewStep {
             ViewStep::Group { k } => ViewStep::Group { k: k.subst(map) },
             ViewStep::Transpose => ViewStep::Transpose,
             ViewStep::Reverse { n } => ViewStep::Reverse { n: n.subst(map) },
-            ViewStep::SplitAt { pos } => ViewStep::SplitAt { pos: pos.subst(map) },
+            ViewStep::SplitAt { pos } => ViewStep::SplitAt {
+                pos: pos.subst(map),
+            },
             ViewStep::SplitPart { pos, side } => ViewStep::SplitPart {
                 pos: pos.subst(map),
                 side: *side,
@@ -173,7 +175,10 @@ impl fmt::Display for ViewError {
             }
             ViewError::NotAnArray(t) => write!(f, "cannot apply view to non-array type `{t}`"),
             ViewError::NotDivisible { n, k } => {
-                write!(f, "cannot group array of size {n} into groups of {k}: {n} % {k} != 0")
+                write!(
+                    f,
+                    "cannot group array of size {n} into groups of {k}: {n} % {k} != 0"
+                )
             }
             ViewError::SplitTooLarge { n, pos } => {
                 write!(f, "cannot split array of size {n} at position {pos}")
@@ -182,7 +187,10 @@ impl fmt::Display for ViewError {
                 write!(f, "cannot transpose array with non-array elements `{t}`")
             }
             ViewError::UnprojectedSplit => {
-                write!(f, "a `split` view must be immediately projected with `.fst` or `.snd`")
+                write!(
+                    f,
+                    "a `split` view must be immediately projected with `.fst` or `.snd`"
+                )
             }
             ViewError::Undecidable(m) => write!(f, "cannot decide statically: {m}"),
         }
@@ -242,11 +250,7 @@ pub fn apply_view(ty: &DataTy, step: &ViewStep) -> Result<DataTy, ViewError> {
                         k: k.clone(),
                     })
                 }
-                None => {
-                    return Err(ViewError::Undecidable(format!(
-                        "whether {n} % {k} == 0"
-                    )))
-                }
+                None => return Err(ViewError::Undecidable(format!("whether {n} % {k} == 0"))),
             }
             let groups = (n.clone() / k.clone()).simplify();
             Ok(DataTy::ArrayView(
@@ -482,17 +486,15 @@ mod tests {
 
     #[test]
     fn transpose_requires_nested_arrays() {
-        let err =
-            resolve_view_app(&ViewApp::simple("transpose"), &ViewDefs::new(), &f64_arr(8))
-                .unwrap_err();
+        let err = resolve_view_app(&ViewApp::simple("transpose"), &ViewDefs::new(), &f64_arr(8))
+            .unwrap_err();
         assert!(matches!(err, ViewError::NotNested(_)));
     }
 
     #[test]
     fn reverse_preserves_shape() {
         let (steps, out) =
-            resolve_view_app(&ViewApp::simple("reverse"), &ViewDefs::new(), &f64_arr(16))
-                .unwrap();
+            resolve_view_app(&ViewApp::simple("reverse"), &ViewDefs::new(), &f64_arr(16)).unwrap();
         assert_eq!(shape(&out), vec![16]);
         assert!(matches!(&steps[0], ViewStep::Reverse { n } if n.as_lit() == Some(16)));
         // `rev` is an accepted alias.
@@ -548,10 +550,7 @@ mod tests {
             "group_by_row",
             vec!["row_size".into(), "num_rows".into()],
             vec![
-                ViewApp::with_nats(
-                    "group",
-                    vec![Nat::var("row_size") / Nat::var("num_rows")],
-                ),
+                ViewApp::with_nats("group", vec![Nat::var("row_size") / Nat::var("num_rows")]),
                 map_transpose,
             ],
         );

@@ -89,10 +89,9 @@ impl<'p> GlobalCx<'p> {
                     views.insert(v.name.clone(), v.params.clone(), v.body.clone());
                 }
                 Item::Const(c) => {
-                    let v = c
-                        .value
-                        .eval(&|x| consts.get(x).copied())
-                        .map_err(|e| TypeError::new(ErrorKind::NonStaticNat, c.span, e.to_string()))?;
+                    let v = c.value.eval(&|x| consts.get(x).copied()).map_err(|e| {
+                        TypeError::new(ErrorKind::NonStaticNat, c.span, e.to_string())
+                    })?;
                     consts.insert(c.name.clone(), v);
                 }
                 Item::Fn(_) => {}
@@ -178,7 +177,11 @@ impl<'p> GlobalCx<'p> {
         let tdim = subst_dim(tdim, &env, f.span)?;
         // Mark before checking to terminate recursion on self-launch.
         self.instantiated.insert(mangled.clone());
-        let mut fcx = FnCx::new(self, env.clone(), ExecExpr::grid(bdim.clone(), tdim.clone()));
+        let mut fcx = FnCx::new(
+            self,
+            env.clone(),
+            ExecExpr::grid(bdim.clone(), tdim.clone()),
+        );
         // Bind the execution resource and parameters.
         fcx.exec_bindings.insert(
             f.sig.exec_name.clone(),
@@ -371,11 +374,7 @@ fn scalar_kind(s: ScalarTy, span: Span) -> TResult<ScalarKind> {
 }
 
 fn dim_to_xyz(d: &Dim) -> [u64; 3] {
-    let get = |c: DimCompo| {
-        d.size(c)
-            .and_then(Nat::as_lit)
-            .unwrap_or(1)
-    };
+    let get = |c: DimCompo| d.size(c).and_then(Nat::as_lit).unwrap_or(1);
     [get(DimCompo::X), get(DimCompo::Y), get(DimCompo::Z)]
 }
 
@@ -770,9 +769,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                         .expect("introduced indices are forall levels")
                         .extent;
                     let (elem, len) = match &tp.ty {
-                        DataTy::Array(e, l) | DataTy::ArrayView(e, l) => {
-                            ((**e).clone(), l.clone())
-                        }
+                        DataTy::Array(e, l) | DataTy::ArrayView(e, l) => ((**e).clone(), l.clone()),
                         other => {
                             return Err(TypeError::new(
                                 ErrorKind::MismatchedTypes,
@@ -801,8 +798,10 @@ impl<'g, 'p> FnCx<'g, 'p> {
             PlaceExprKind::View(inner, app) => {
                 let mut tp = self.type_place(inner)?;
                 let app = app.subst_nats(&|x| self.nat_env.get(x).map(|v| Nat::lit(*v)));
-                let (steps, out_ty) = resolve_view_app(&app, &self.gcx.views, &tp.ty)
-                    .map_err(|e| TypeError::new(ErrorKind::ViewMisapplied, p.span, e.to_string()))?;
+                let (steps, out_ty) =
+                    resolve_view_app(&app, &self.gcx.views, &tp.ty).map_err(|e| {
+                        TypeError::new(ErrorKind::ViewMisapplied, p.span, e.to_string())
+                    })?;
                 for s in steps {
                     tp.path.push(PathStep::View(s));
                 }
@@ -910,10 +909,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
     fn type_expr(&mut self, e: &Expr) -> TResult<(DataTy, Option<ElabExpr>)> {
         match &e.kind {
             ExprKind::Lit(l) => Ok(match l {
-                Lit::F64(v) => (
-                    DataTy::f64(),
-                    Some(ElabExpr::Lit(ScalarKind::F64, *v)),
-                ),
+                Lit::F64(v) => (DataTy::f64(), Some(ElabExpr::Lit(ScalarKind::F64, *v))),
                 Lit::F32(v) => (
                     DataTy::f32(),
                     Some(ElabExpr::Lit(ScalarKind::F32, *v as f64)),
@@ -1020,7 +1016,9 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     UnOp::Neg => {
                         if !matches!(
                             ta,
-                            DataTy::Scalar(ScalarTy::F32 | ScalarTy::F64 | ScalarTy::I32 | ScalarTy::I64)
+                            DataTy::Scalar(
+                                ScalarTy::F32 | ScalarTy::F64 | ScalarTy::I32 | ScalarTy::I64
+                            )
                         ) {
                             return Err(TypeError::new(
                                 ErrorKind::MismatchedTypes,
@@ -1066,7 +1064,9 @@ impl<'g, 'p> FnCx<'g, 'p> {
             Some(BindKind::HostBuffer { mem }) => Ok(mem.clone()),
             Some(BindKind::SharedAlloc { .. }) => Ok(Memory::GpuShared),
             Some(BindKind::KernelParam { mem, .. }) => Ok(mem.clone()),
-            Some(BindKind::Alias { .. }) | Some(BindKind::LocalScalar) | Some(BindKind::Dead)
+            Some(BindKind::Alias { .. })
+            | Some(BindKind::LocalScalar)
+            | Some(BindKind::Dead)
             | None => Err(TypeError::new(
                 ErrorKind::Unsupported,
                 tp.span,
@@ -1271,10 +1271,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 })?;
                 // Absolute threshold: accumulated snd offsets plus pos.
                 let offset = split_offset(&self.exec, space, *dim);
-                let threshold = offset
-                    + pos
-                        .as_lit()
-                        .expect("substituted nats are literal");
+                let threshold = offset + pos.as_lit().expect("substituted nats are literal");
                 let fst_exec = self
                     .exec
                     .split(*dim, pos.clone(), Side::Fst)
@@ -1984,4 +1981,3 @@ fn whole_var_borrow(e: &Expr) -> Option<String> {
         _ => None,
     }
 }
-

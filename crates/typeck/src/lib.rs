@@ -37,5 +37,8 @@ mod elab;
 mod error;
 
 pub use check::{check_program, CheckedProgram};
-pub use elab::{ElabAccess, ElabExpr, ElabStmt, HostStmt, KernelParam, MemKind, MonoKernel, ScalarKind, SharedAlloc};
+pub use elab::{
+    ElabAccess, ElabExpr, ElabStmt, HostStmt, KernelParam, MemKind, MonoKernel, ScalarKind,
+    SharedAlloc,
+};
 pub use error::{ErrorKind, TypeError};

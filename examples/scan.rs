@@ -18,7 +18,11 @@ fn main() {
     let n = 4096usize;
     let bs = sources::BLOCK_SIZE;
     let nb = n / bs;
-    let src = format!("{}{}", sources::scan_blocks(n), sources::scan_add_offsets(n));
+    let src = format!(
+        "{}{}",
+        sources::scan_blocks(n),
+        sources::scan_add_offsets(n)
+    );
 
     let compiled = Compiler::new()
         .compile_source(&src)

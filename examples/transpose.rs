@@ -11,8 +11,8 @@
 
 use descend::benchmarks::sources;
 use descend::codegen::kernel_to_ir;
-use descend::sim::{Gpu, LaunchConfig};
 use descend::compiler::Compiler;
+use descend::sim::{Gpu, LaunchConfig};
 
 fn main() {
     let n = 256usize;

@@ -85,8 +85,7 @@ fn fail_corpus_is_rejected_with_expected_diagnostics() {
 /// the right value (validates the Figure 1c shapes end to end).
 #[test]
 fn block_split_3d_planes_are_correct() {
-    let src =
-        std::fs::read_to_string(corpus_dir().join("block_split_3d.descend")).unwrap();
+    let src = std::fs::read_to_string(corpus_dir().join("block_split_3d.descend")).unwrap();
     let compiled = Compiler::new().compile_source(&src).expect("compiles");
     let cfg = LaunchConfig {
         detect_races: true,
@@ -117,8 +116,9 @@ fn dot_product_is_correct() {
     };
     let run = compiled.run_host("main", &inputs, &cfg).expect("runs");
     let out = &run.cpu["hout"];
-    for blk in 0..4 {
+    assert_eq!(out.len(), 4, "one partial per block");
+    for (blk, got) in out.iter().enumerate() {
         let expect: f64 = (blk * 512..(blk + 1) * 512).map(|i| a[i] * b[i]).sum();
-        assert!((out[blk] - expect).abs() < 1e-9, "block {blk}");
+        assert!((got - expect).abs() < 1e-9, "block {blk}");
     }
 }

@@ -100,7 +100,9 @@ fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
     let te = err.type_error.as_ref().expect("structured error");
     assert_eq!(te.kind, descend::typeck::ErrorKind::ConflictingAccess);
     assert!(err.rendered.contains("conflicting memory access"));
-    assert!(err.rendered.contains("(*v)[[thread]] = (*v).rev[[thread]];"));
+    assert!(err
+        .rendered
+        .contains("(*v)[[thread]] = (*v).rev[[thread]];"));
     assert!(err.rendered.contains("prior access"));
 }
 

@@ -34,9 +34,7 @@ fn golden_transpose_structure() {
     let src = descend::benchmarks::sources::transpose(256);
     let cuda = kernel_cuda(&src, 0);
     // Signature, staging buffer, and barrier.
-    assert!(cuda.starts_with(
-        "__global__ void transpose(const double* input, double* output) {"
-    ));
+    assert!(cuda.starts_with("__global__ void transpose(const double* input, double* output) {"));
     assert!(cuda.contains("__shared__ double tmp[1024];"));
     assert!(cuda.contains("__syncthreads();"));
     // One staged copy per unrolled iteration (i = 0..4). Indices are in
@@ -62,9 +60,7 @@ fn golden_transpose_structure() {
 fn golden_reduce_structure() {
     let src = descend::benchmarks::sources::reduce(2048);
     let cuda = kernel_cuda(&src, 0);
-    assert!(cuda.starts_with(
-        "__global__ void reduce(const double* inp, double* out) {"
-    ));
+    assert!(cuda.starts_with("__global__ void reduce(const double* inp, double* out) {"));
     // The load is fully coalesced.
     assert!(cuda.contains("tmp[threadIdx.x] = inp[((blockIdx.x * 512) + threadIdx.x)];"));
     // The halving splits become coordinate conditions 256, 128, ..., 1.
@@ -86,9 +82,9 @@ fn golden_reduce_structure() {
 fn golden_matmul_structure() {
     let src = descend::benchmarks::sources::matmul(64);
     let cuda = kernel_cuda(&src, 0);
-    assert!(cuda.starts_with(
-        "__global__ void matmul(const double* a, const double* b, double* c) {"
-    ));
+    assert!(
+        cuda.starts_with("__global__ void matmul(const double* a, const double* b, double* c) {")
+    );
     assert!(cuda.contains("__shared__ double a_tile[1024];"));
     assert!(cuda.contains("__shared__ double b_tile[1024];"));
     assert!(cuda.contains("double acc = 0.0;"));
@@ -97,12 +93,12 @@ fn golden_matmul_structure() {
     assert!(cuda.contains(
         "a_tile[(threadIdx.x + (threadIdx.y * 32))] = a[(((blockIdx.y * 2048) + threadIdx.x) + (threadIdx.y * 64))];"
     ));
-    assert!(cuda.contains(
-        "a[((((blockIdx.y * 2048) + threadIdx.x) + (threadIdx.y * 64)) + 32)]"
-    ));
+    assert!(cuda.contains("a[((((blockIdx.y * 2048) + threadIdx.x) + (threadIdx.y * 64)) + 32)]"));
     // The accumulator update reads both tiles; B walks by rows of 32.
     assert!(cuda.contains("acc = (acc + (a_tile[(threadIdx.y * 32)] * b_tile[threadIdx.x]));"));
-    assert!(cuda.contains("acc = (acc + (a_tile[((threadIdx.y * 32) + 31)] * b_tile[(threadIdx.x + 992)]));"));
+    assert!(cuda.contains(
+        "acc = (acc + (a_tile[((threadIdx.y * 32) + 31)] * b_tile[(threadIdx.x + 992)]));"
+    ));
     // The result store targets the block's tile of c.
     assert!(cuda.contains(
         "c[((((blockIdx.x * 32) + (blockIdx.y * 2048)) + threadIdx.x) + (threadIdx.y * 64))] = acc;"

@@ -49,10 +49,19 @@ fn accepted_kernels_are_dynamically_clean() {
                     )
                 })
                 .collect();
-            gpu.launch(&ir, ck.mono.grid_dim, ck.mono.block_dim, &args, &race_checked())
-                .unwrap_or_else(|e| {
-                    panic!("statically accepted kernel `{}` failed dynamically: {e}", ck.mono.name)
-                });
+            gpu.launch(
+                &ir,
+                ck.mono.grid_dim,
+                ck.mono.block_dim,
+                &args,
+                &race_checked(),
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "statically accepted kernel `{}` failed dynamically: {e}",
+                    ck.mono.name
+                )
+            });
         }
     }
 }
@@ -99,7 +108,13 @@ fn barrier_bug_is_caught_both_ways() {
     };
     let mut gpu = Gpu::new();
     let err = gpu
-        .launch(&kernel, [1, 1, 1], [64, 1, 1], &[], &LaunchConfig::default())
+        .launch(
+            &kernel,
+            [1, 1, 1],
+            [64, 1, 1],
+            &[],
+            &LaunchConfig::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, SimError::BarrierDivergence { .. }));
 
@@ -143,7 +158,13 @@ fn oversized_launch_is_caught_both_ways() {
     let mut gpu = Gpu::new();
     let buf = gpu.alloc_f64(&vec![0.0; 64]);
     let err = gpu
-        .launch(&kernel, [1, 1, 1], [512, 1, 1], &[buf], &LaunchConfig::default())
+        .launch(
+            &kernel,
+            [1, 1, 1],
+            [512, 1, 1],
+            &[buf],
+            &LaunchConfig::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, SimError::OutOfBounds { .. }));
 
@@ -217,8 +238,8 @@ fn detector_catches_injected_shared_race() {
 /// Cross-block global write collisions are racy even with barriers.
 #[test]
 fn detector_catches_cross_block_race() {
-    use descend::sim::ir::{ElemTy, Expr, KernelIr, ParamDecl, Stmt};
     use descend::sim::ir::Axis;
+    use descend::sim::ir::{ElemTy, Expr, KernelIr, ParamDecl, Stmt};
     let kernel = KernelIr {
         name: "cross_block".into(),
         params: vec![ParamDecl {

@@ -3,12 +3,12 @@
 //! simplification, parser round-trips, and the race detector.
 
 use descend::ast::pretty;
+use descend::ast::ty::DimCompo;
 use descend::ast::Nat;
+use descend::exec::{ExecExpr, Space};
 use descend::places::{
     lower_scalar_access, simplify_idx, Coord, IdxExpr, PathStep, PlacePath, ViewStep,
 };
-use descend::exec::{ExecExpr, Space};
-use descend::ast::ty::DimCompo;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- nats
@@ -87,8 +87,9 @@ fn arb_view_chain(n: u64) -> impl Strategy<Value = Vec<ViewStep>> {
             match kind {
                 // group: only at depth 0 to keep the model simple.
                 0 if depth == 0 => {
-                    let divisors: Vec<u64> =
-                        (2..=len).filter(|d| len % d == 0 && *d < len).collect();
+                    let divisors: Vec<u64> = (2..=len)
+                        .filter(|d| len.is_multiple_of(*d) && *d < len)
+                        .collect();
                     if divisors.is_empty() {
                         continue;
                     }
