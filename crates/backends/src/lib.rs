@@ -1,0 +1,213 @@
+//! Multi-target code emission behind one shared lowering.
+//!
+//! The paper's Section 5 translation is deliberately target-agnostic:
+//! `sched` dissolves into an SPMD kernel, views become index arithmetic,
+//! `split` becomes a coordinate condition and `sync` a barrier. This
+//! crate factors the *rendering* of that translation behind the
+//! [`KernelBackend`] trait so one safe front end serves many GPU
+//! targets. Three backends ship today:
+//!
+//! - [`CudaBackend`] — CUDA C++ (`__global__`, `__shared__`,
+//!   `__syncthreads()`), byte-identical to the historical emitter,
+//! - [`OpenClBackend`] — OpenCL C (`__kernel`, `__local`,
+//!   `barrier(CLK_LOCAL_MEM_FENCE)`),
+//! - [`WgslBackend`] — WGSL compute shaders (`@compute`,
+//!   `var<workgroup>`, `workgroupBarrier()`; one module per kernel).
+//!
+//! # The trait contract
+//!
+//! A backend supplies *syntax only*: scalar-type spellings
+//! ([`KernelBackend::scalar_type`]), coordinate-builtin spellings
+//! ([`KernelBackend::builtin`]), literal formats
+//! ([`KernelBackend::literal`]), local-declaration shape
+//! ([`KernelBackend::local_decl`]), the barrier statement
+//! ([`KernelBackend::barrier`]), and the kernel/host-stub framing
+//! ([`KernelBackend::emit_kernel`], [`KernelBackend::emit_host_fn`]).
+//!
+//! Everything *semantic* is shared and non-overridable in practice:
+//! statement and expression bodies render through [`shared::BodyCx`],
+//! and — crucially — every memory-access index goes through
+//! [`shared::access_index_expr`], the single
+//! `lower_scalar_access` → `idx_to_expr` path that also feeds the
+//! simulator IR ([`descend_codegen::kernel_to_ir`]). No backend has its
+//! own copy of index-expression printing, so all targets stay
+//! structurally consistent with what the simulator executes; the
+//! cross-backend consistency test in the workspace root pins this.
+//!
+//! Adding a target (Metal, a PTX-like sim dialect, ...) means
+//! implementing the syntax hooks plus the two framing methods and
+//! registering the backend in [`all_backends`] — the lowering itself is
+//! untouched.
+//!
+//! # Example
+//!
+//! ```
+//! use descend_backends::{all_backends, backend_by_name};
+//!
+//! let names: Vec<&str> = all_backends().iter().map(|b| b.name()).collect();
+//! assert_eq!(names, ["cuda", "opencl", "wgsl"]);
+//! assert_eq!(backend_by_name("wgsl").unwrap().file_extension(), "wgsl");
+//! assert!(backend_by_name("metal").is_none());
+//! ```
+
+pub mod cuda;
+pub mod opencl;
+pub mod shared;
+pub mod wgsl;
+
+pub use cuda::CudaBackend;
+pub use opencl::OpenClBackend;
+pub use shared::{access_index_expr, ir_index_exprs, kernel_index_exprs, render_ir_expr, Builtin};
+pub use wgsl::WgslBackend;
+
+use descend_codegen::CodegenError;
+use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
+use gpu_sim::ir::Axis;
+
+/// A code-emission target.
+///
+/// Implementations provide target syntax; the semantics (index
+/// arithmetic, statement structure) come from the shared lowering in
+/// [`shared`]. See the crate docs for the full contract.
+pub trait KernelBackend {
+    /// The registry name (`"cuda"`, `"opencl"`, `"wgsl"`).
+    fn name(&self) -> &'static str;
+
+    /// Conventional source-file extension (without the dot).
+    fn file_extension(&self) -> &'static str;
+
+    /// Spelling of a scalar element type.
+    fn scalar_type(&self, k: ScalarKind) -> &'static str;
+
+    /// Spelling of a hardware coordinate builtin along an axis
+    /// (e.g. `blockIdx.x`, `get_group_id(0)`, `block_idx.x`).
+    fn builtin(&self, b: Builtin, axis: Axis) -> String;
+
+    /// The block-wide barrier statement, without indentation.
+    fn barrier(&self) -> &'static str;
+
+    /// Spelling of a scalar literal of the given kind.
+    fn literal(&self, kind: ScalarKind, v: f64) -> String;
+
+    /// A thread-private local declaration with initializer, without
+    /// indentation or trailing newline (e.g. `double x = 0.0;` or
+    /// `var x: f32 = 0.0;`).
+    fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String;
+
+    /// Wraps a rendered buffer *load* for targets whose buffer element
+    /// spelling differs from the value type (default: identity; WGSL
+    /// converts `u32`-carried bools back to `bool`).
+    fn load_conversion(&self, _elem: ScalarKind, text: String) -> String {
+        text
+    }
+
+    /// Wraps a rendered value about to be *stored* to a buffer
+    /// (default: identity; see [`KernelBackend::load_conversion`]).
+    fn store_conversion(&self, _elem: ScalarKind, text: String) -> String {
+        text
+    }
+
+    /// Renders one kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (see [`CodegenError`]).
+    fn emit_kernel(&self, k: &MonoKernel) -> Result<String, CodegenError>;
+
+    /// Renders the host-side stub for one host function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (see [`CodegenError`]).
+    fn emit_host_fn(
+        &self,
+        name: &str,
+        stmts: &[HostStmt],
+        kernels: &[MonoKernel],
+    ) -> Result<String, CodegenError>;
+
+    /// Target-specific translation-unit header (includes, pragmas,
+    /// narrowing notes); may inspect the program to decide what is
+    /// needed.
+    fn prelude(&self, checked: &CheckedProgram) -> String;
+
+    /// Renders a complete translation unit: prelude, all kernels, all
+    /// host stubs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (see [`CodegenError`]).
+    fn emit_program(&self, checked: &CheckedProgram) -> Result<String, CodegenError> {
+        let mut out = self.prelude(checked);
+        for k in &checked.kernels {
+            out.push_str(&self.emit_kernel(k)?);
+            out.push('\n');
+        }
+        for (name, stmts) in &checked.host_fns {
+            out.push_str(&self.emit_host_fn(name, stmts, &checked.kernels)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+/// The registry names, in registry order.
+pub const BACKEND_NAMES: &[&str] = &["cuda", "opencl", "wgsl"];
+
+/// All registered backends, in [`BACKEND_NAMES`] order.
+pub fn all_backends() -> Vec<Box<dyn KernelBackend>> {
+    vec![
+        Box::new(CudaBackend),
+        Box::new(OpenClBackend),
+        Box::new(WgslBackend),
+    ]
+}
+
+/// Looks up a backend by registry name.
+pub fn backend_by_name(name: &str) -> Option<Box<dyn KernelBackend>> {
+    match name {
+        "cuda" => Some(Box::new(CudaBackend)),
+        "opencl" => Some(Box::new(OpenClBackend)),
+        "wgsl" => Some(Box::new(WgslBackend)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let all = all_backends();
+        assert_eq!(all.len(), BACKEND_NAMES.len());
+        for (be, name) in all.iter().zip(BACKEND_NAMES) {
+            assert_eq!(be.name(), *name);
+            let found = backend_by_name(name).expect("registered");
+            assert_eq!(found.name(), *name);
+        }
+        assert!(backend_by_name("ptx").is_none());
+    }
+
+    #[test]
+    fn scalar_maps_cover_every_kind() {
+        for be in all_backends() {
+            for k in [
+                ScalarKind::F64,
+                ScalarKind::F32,
+                ScalarKind::I32,
+                ScalarKind::Bool,
+            ] {
+                assert!(!be.scalar_type(k).is_empty(), "{}/{k:?}", be.name());
+                assert!(!be.literal(k, 1.0).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_spellings_differ_per_target() {
+        assert_eq!(CudaBackend.barrier(), "__syncthreads();");
+        assert_eq!(OpenClBackend.barrier(), "barrier(CLK_LOCAL_MEM_FENCE);");
+        assert_eq!(WgslBackend.barrier(), "workgroupBarrier();");
+    }
+}

@@ -1,0 +1,215 @@
+//! The OpenCL C backend.
+//!
+//! Kernels render as `__kernel` functions with `__global` buffer
+//! parameters and `__local` staging arrays; `sync` becomes
+//! `barrier(CLK_LOCAL_MEM_FENCE)`. Host functions render as C stubs
+//! against the OpenCL runtime API (`clCreateBuffer`,
+//! `clEnqueueNDRangeKernel`, ...). Index expressions come from the
+//! shared lowering in [`crate::shared`], so they are structurally the
+//! ones the simulator executes — only the coordinate spellings
+//! (`get_group_id(0)` for `blockIdx.x`, ...) differ from CUDA.
+
+use crate::shared::{indent, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::KernelBackend;
+use descend_codegen::CodegenError;
+use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
+use gpu_sim::ir::Axis;
+use std::fmt::Write as _;
+
+/// The OpenCL C target.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenClBackend;
+
+/// Buffer element spelling at the kernel ABI boundary: `bool` is not a
+/// valid OpenCL kernel-argument or buffer element type, so bool buffers
+/// travel as `uchar` (locals keep `bool`).
+fn buffer_type(k: ScalarKind) -> &'static str {
+    match k {
+        ScalarKind::F64 => "double",
+        ScalarKind::F32 => "float",
+        ScalarKind::I32 => "int",
+        ScalarKind::Bool => "uchar",
+    }
+}
+
+fn axis_index(a: Axis) -> usize {
+    match a {
+        Axis::X => 0,
+        Axis::Y => 1,
+        Axis::Z => 2,
+    }
+}
+
+impl KernelBackend for OpenClBackend {
+    fn name(&self) -> &'static str {
+        "opencl"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "cl"
+    }
+
+    fn scalar_type(&self, k: ScalarKind) -> &'static str {
+        match k {
+            ScalarKind::F64 => "double",
+            ScalarKind::F32 => "float",
+            ScalarKind::I32 => "int",
+            ScalarKind::Bool => "bool",
+        }
+    }
+
+    fn builtin(&self, b: Builtin, axis: Axis) -> String {
+        let f = match b {
+            Builtin::BlockIdx => "get_group_id",
+            Builtin::ThreadIdx => "get_local_id",
+            Builtin::BlockDim => "get_local_size",
+            Builtin::GridDim => "get_num_groups",
+        };
+        format!("{f}({})", axis_index(axis))
+    }
+
+    fn barrier(&self) -> &'static str {
+        "barrier(CLK_LOCAL_MEM_FENCE);"
+    }
+
+    fn literal(&self, kind: ScalarKind, v: f64) -> String {
+        match kind {
+            ScalarKind::F64 => format!("{v:?}"),
+            ScalarKind::F32 => format!("{v:?}f"),
+            ScalarKind::I32 => format!("{}", v as i64),
+            ScalarKind::Bool => format!("{}", v != 0.0),
+        }
+    }
+
+    fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {
+        format!("{} {name} = {init};", self.scalar_type(elem))
+    }
+
+    fn emit_kernel(&self, k: &MonoKernel) -> Result<String, CodegenError> {
+        let mut out = String::new();
+        let _ = write!(out, "__kernel void {}(", k.name);
+        for (i, p) in k.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            if p.uniq {
+                let _ = write!(out, "__global {}* {}", buffer_type(p.elem), p.name);
+            } else {
+                let _ = write!(out, "__global const {}* {}", buffer_type(p.elem), p.name);
+            }
+        }
+        out.push_str(") {\n");
+        for s in &k.shared {
+            indent(&mut out, 1);
+            let total: u64 = s.dims.iter().product();
+            let _ = writeln!(
+                out,
+                "__local {} {}[{}];",
+                buffer_type(s.elem),
+                s.name,
+                total
+            );
+        }
+        BodyCx::new(self, k).stmts(&k.body, &mut out, 1)?;
+        out.push_str("}\n");
+        Ok(out)
+    }
+
+    fn emit_host_fn(
+        &self,
+        name: &str,
+        stmts: &[HostStmt],
+        kernels: &[MonoKernel],
+    ) -> Result<String, CodegenError> {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "/* Host stub; assumes a cl_context `ctx`, an in-order cl_command_queue `queue`,\n \
+             * and one cl_kernel `k_<name>` per kernel, built from this translation unit. */"
+        );
+        let _ = writeln!(out, "void {name}(void) {{");
+        let mut sizes = HostSizes::new();
+        for s in stmts {
+            sizes.record(s);
+            indent(&mut out, 1);
+            match s {
+                HostStmt::AllocCpu { name, elem, len } => {
+                    let t = buffer_type(*elem);
+                    let _ = writeln!(out, "{t}* {name} = ({t}*)calloc({len}, sizeof({t}));");
+                }
+                HostStmt::AllocGpu { name, elem, len } => {
+                    let t = buffer_type(*elem);
+                    let _ = writeln!(
+                        out,
+                        "cl_mem {name} = clCreateBuffer(ctx, CL_MEM_READ_WRITE, {len} * sizeof({t}), NULL, NULL); {{ {t} zero = 0; clEnqueueFillBuffer(queue, {name}, &zero, sizeof({t}), 0, {len} * sizeof({t}), 0, NULL, NULL); }}"
+                    );
+                }
+                HostStmt::AllocGpuCopy { name, src } => {
+                    let (elem, len) = sizes.get(src);
+                    let t = buffer_type(elem);
+                    let _ = writeln!(
+                        out,
+                        "cl_mem {name} = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, {len} * sizeof({t}), {src}, NULL);"
+                    );
+                }
+                HostStmt::CopyToHost { dst, src } => {
+                    let (elem, len) = sizes.get(dst);
+                    let t = buffer_type(elem);
+                    let _ = writeln!(
+                        out,
+                        "clEnqueueReadBuffer(queue, {src}, CL_TRUE, 0, {len} * sizeof({t}), {dst}, 0, NULL, NULL);"
+                    );
+                }
+                HostStmt::CopyToGpu { dst, src } => {
+                    let (elem, len) = sizes.get(dst);
+                    let t = buffer_type(elem);
+                    let _ = writeln!(
+                        out,
+                        "clEnqueueWriteBuffer(queue, {dst}, CL_TRUE, 0, {len} * sizeof({t}), {src}, 0, NULL, NULL);"
+                    );
+                }
+                HostStmt::Launch { kernel, args } => {
+                    let k = &kernels[*kernel];
+                    let mut set_args = String::new();
+                    for (i, a) in args.iter().enumerate() {
+                        let _ = write!(
+                            set_args,
+                            "clSetKernelArg(k_{}, {i}, sizeof(cl_mem), &{a}); ",
+                            k.name
+                        );
+                    }
+                    let gws = [
+                        k.grid_dim[0] * k.block_dim[0],
+                        k.grid_dim[1] * k.block_dim[1],
+                        k.grid_dim[2] * k.block_dim[2],
+                    ];
+                    let _ = writeln!(
+                        out,
+                        "{{ {set_args}size_t gws[3] = {{{}, {}, {}}}; size_t lws[3] = {{{}, {}, {}}}; clEnqueueNDRangeKernel(queue, k_{}, 3, NULL, gws, lws, 0, NULL, NULL); }}",
+                        gws[0],
+                        gws[1],
+                        gws[2],
+                        k.block_dim[0],
+                        k.block_dim[1],
+                        k.block_dim[2],
+                        k.name
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+
+    fn prelude(&self, checked: &CheckedProgram) -> String {
+        let mut out = String::new();
+        if checked
+            .kernels
+            .iter()
+            .any(|k| kernel_uses_scalar(k, ScalarKind::F64))
+        {
+            out.push_str("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n");
+        }
+        out
+    }
+}

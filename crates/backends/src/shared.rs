@@ -1,0 +1,493 @@
+//! The shared lowering layer every backend renders through.
+//!
+//! Index expressions are lowered exactly once, by
+//! [`descend_places::lower_scalar_access`] followed by
+//! [`descend_codegen::ir_gen::idx_to_expr`] — the same pipeline that
+//! produces the simulator IR. [`render_ir_expr`] then prints the lowered
+//! expression with backend-supplied coordinate spellings, so no backend
+//! owns a private copy of index-expression printing and every target's
+//! text is structurally the expression the simulator executes.
+
+use crate::KernelBackend;
+use descend_ast::term::BinOp as AstBinOp;
+use descend_ast::term::UnOp as AstUnOp;
+use descend_ast::ty::DimCompo;
+use descend_codegen::ir_gen::idx_to_expr;
+use descend_codegen::CodegenError;
+use descend_exec::Space;
+use descend_places::lower_scalar_access;
+use descend_typeck::{ElabAccess, ElabExpr, ElabStmt, HostStmt, MemKind, MonoKernel, ScalarKind};
+use gpu_sim::ir::{Axis, Expr, KernelIr, Stmt};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A hardware coordinate builtin, spelled per backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// The block (workgroup) index.
+    BlockIdx,
+    /// The thread (invocation) index within a block.
+    ThreadIdx,
+    /// The block (workgroup) size.
+    BlockDim,
+    /// The grid size in blocks (workgroups).
+    GridDim,
+}
+
+/// Writes `level` levels of 4-space indentation.
+pub fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+/// Lowers one elaborated access to its flat element-index expression.
+///
+/// This is the *only* path from accesses to index expressions in the
+/// emission layer; it is byte-for-byte the lowering the simulator IR is
+/// built from ([`descend_codegen::kernel_to_ir`]).
+///
+/// # Errors
+///
+/// Propagates lowering failures (see [`CodegenError`]).
+pub fn access_index_expr(a: &ElabAccess) -> Result<Expr, CodegenError> {
+    let idx = lower_scalar_access(&a.path, &a.root_dims)
+        .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+    idx_to_expr(&idx)
+}
+
+/// Maps an execution space to the coordinate builtin selecting it.
+pub fn space_builtin(space: Space) -> Builtin {
+    match space {
+        Space::Block => Builtin::BlockIdx,
+        Space::Thread => Builtin::ThreadIdx,
+    }
+}
+
+/// Maps a dimension component to a hardware axis.
+pub fn dim_axis(d: DimCompo) -> Axis {
+    match d {
+        DimCompo::X => Axis::X,
+        DimCompo::Y => Axis::Y,
+        DimCompo::Z => Axis::Z,
+    }
+}
+
+/// The lower-case component letter of an axis (`x`/`y`/`z`).
+pub fn axis_name(a: Axis) -> &'static str {
+    match a {
+        Axis::X => "x",
+        Axis::Y => "y",
+        Axis::Z => "z",
+    }
+}
+
+/// Whether a kernel touches the given scalar kind anywhere — parameters,
+/// shared staging, or thread-private locals (used by backends that need
+/// an extension pragma or a narrowing note for a kind).
+pub fn kernel_uses_scalar(k: &MonoKernel, kind: ScalarKind) -> bool {
+    fn body_has_local(body: &[ElabStmt], kind: ScalarKind) -> bool {
+        body.iter().any(|s| match s {
+            ElabStmt::Local { elem, .. } => *elem == kind,
+            ElabStmt::Split { fst, snd, .. } => {
+                body_has_local(fst, kind) || body_has_local(snd, kind)
+            }
+            _ => false,
+        })
+    }
+    k.params.iter().any(|p| p.elem == kind)
+        || k.shared.iter().any(|s| s.elem == kind)
+        || body_has_local(&k.body, kind)
+}
+
+fn ir_binop(op: gpu_sim::ir::BinOp) -> &'static str {
+    use gpu_sim::ir::BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Mod => "%",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Eq => "==",
+        Ne => "!=",
+        And => "&&",
+        Or => "||",
+        // Unreachable from index lowering; rendered as calls for the
+        // benefit of hand-built IR.
+        Min => "min",
+        Max => "max",
+    }
+}
+
+/// Renders an IR expression with the backend's coordinate and buffer
+/// spellings. Used for the index expressions, so every target's text
+/// matches the simulated lowering exactly.
+pub fn render_ir_expr(be: &dyn KernelBackend, e: &Expr, k: &MonoKernel, out: &mut String) {
+    match e {
+        Expr::LitI(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::LitF(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        Expr::LitB(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::BlockIdx(a) => out.push_str(&be.builtin(Builtin::BlockIdx, *a)),
+        Expr::ThreadIdx(a) => out.push_str(&be.builtin(Builtin::ThreadIdx, *a)),
+        Expr::BlockDim(a) => out.push_str(&be.builtin(Builtin::BlockDim, *a)),
+        Expr::GridDim(a) => out.push_str(&be.builtin(Builtin::GridDim, *a)),
+        Expr::Local(i) => {
+            let _ = write!(out, "l{i}");
+        }
+        Expr::LoadGlobal { buf, idx } => {
+            let _ = write!(out, "{}[", k.params[*buf].name);
+            render_ir_expr(be, idx, k, out);
+            out.push(']');
+        }
+        Expr::LoadShared { buf, idx } => {
+            let _ = write!(out, "{}[", k.shared[*buf].name);
+            render_ir_expr(be, idx, k, out);
+            out.push(']');
+        }
+        Expr::Bin(op @ (gpu_sim::ir::BinOp::Min | gpu_sim::ir::BinOp::Max), a, b) => {
+            let _ = write!(out, "{}(", ir_binop(*op));
+            render_ir_expr(be, a, k, out);
+            out.push_str(", ");
+            render_ir_expr(be, b, k, out);
+            out.push(')');
+        }
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            render_ir_expr(be, a, k, out);
+            let _ = write!(out, " {} ", ir_binop(*op));
+            render_ir_expr(be, b, k, out);
+            out.push(')');
+        }
+        Expr::Un(op, a) => {
+            out.push_str(match op {
+                gpu_sim::ir::UnOp::Neg => "-",
+                gpu_sim::ir::UnOp::Not => "!",
+            });
+            out.push('(');
+            render_ir_expr(be, a, k, out);
+            out.push(')');
+        }
+    }
+}
+
+fn binop_str(op: AstBinOp) -> &'static str {
+    match op {
+        AstBinOp::Add => "+",
+        AstBinOp::Sub => "-",
+        AstBinOp::Mul => "*",
+        AstBinOp::Div => "/",
+        AstBinOp::Mod => "%",
+        AstBinOp::Lt => "<",
+        AstBinOp::Le => "<=",
+        AstBinOp::Gt => ">",
+        AstBinOp::Ge => ">=",
+        AstBinOp::Eq => "==",
+        AstBinOp::Ne => "!=",
+        AstBinOp::And => "&&",
+        AstBinOp::Or => "||",
+    }
+}
+
+/// Renders elaborated kernel bodies through a backend's syntax hooks.
+///
+/// Statement structure (declaration-then-rename discipline, split
+/// conditions, barrier placement) is fixed here; the backend only
+/// chooses spellings. All accesses go through [`access_index_expr`].
+pub struct BodyCx<'a> {
+    be: &'a dyn KernelBackend,
+    kernel: &'a MonoKernel,
+    /// Rendered name per live local (uniquified on rebinding).
+    local_names: HashMap<String, String>,
+    decl_counter: usize,
+}
+
+impl<'a> BodyCx<'a> {
+    /// A fresh body context for one kernel.
+    pub fn new(be: &'a dyn KernelBackend, kernel: &'a MonoKernel) -> BodyCx<'a> {
+        BodyCx {
+            be,
+            kernel,
+            local_names: HashMap::new(),
+            decl_counter: 0,
+        }
+    }
+
+    fn expr(&self, e: &ElabExpr, out: &mut String) -> Result<(), CodegenError> {
+        match e {
+            ElabExpr::Lit(kind, v) => out.push_str(&self.be.literal(*kind, *v)),
+            ElabExpr::Local(name) => {
+                let n = self
+                    .local_names
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?;
+                out.push_str(n);
+            }
+            ElabExpr::Load(a) => {
+                let mut text = String::new();
+                self.access(a, &mut text)?;
+                out.push_str(&self.be.load_conversion(a.elem, text));
+            }
+            ElabExpr::Binary(op, x, y) => {
+                out.push('(');
+                self.expr(x, out)?;
+                let _ = write!(out, " {} ", binop_str(*op));
+                self.expr(y, out)?;
+                out.push(')');
+            }
+            ElabExpr::Unary(op, x) => {
+                out.push_str(match op {
+                    AstUnOp::Neg => "-",
+                    AstUnOp::Not => "!",
+                });
+                out.push('(');
+                self.expr(x, out)?;
+                out.push(')');
+            }
+        }
+        Ok(())
+    }
+
+    fn access(&self, a: &ElabAccess, out: &mut String) -> Result<(), CodegenError> {
+        let name = match a.mem {
+            MemKind::GlobalParam(i) => &self.kernel.params[i].name,
+            MemKind::Shared(i) => &self.kernel.shared[i].name,
+        };
+        let idx = access_index_expr(a)?;
+        let _ = write!(out, "{name}[");
+        render_ir_expr(self.be, &idx, self.kernel, out);
+        out.push(']');
+        Ok(())
+    }
+
+    /// Renders a statement list at the given indentation level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (see [`CodegenError`]).
+    pub fn stmts(
+        &mut self,
+        body: &[ElabStmt],
+        out: &mut String,
+        level: usize,
+    ) -> Result<(), CodegenError> {
+        for s in body {
+            match s {
+                ElabStmt::Local { name, elem, init } => {
+                    let rendered = if self.local_names.contains_key(name) {
+                        self.decl_counter += 1;
+                        format!("{name}_{}", self.decl_counter)
+                    } else {
+                        name.clone()
+                    };
+                    indent(out, level);
+                    // Render the initializer against the *previous*
+                    // binding before installing the new name, so a
+                    // shadowing `let x = x + ...` reads the old `x` —
+                    // matching the IR lowering, which binds the slot
+                    // after lowering the init.
+                    let mut init_text = String::new();
+                    self.expr(init, &mut init_text)?;
+                    self.local_names.insert(name.clone(), rendered.clone());
+                    out.push_str(&self.be.local_decl(*elem, &rendered, &init_text));
+                    out.push('\n');
+                }
+                ElabStmt::AssignLocal { name, value } => {
+                    indent(out, level);
+                    let n = self
+                        .local_names
+                        .get(name)
+                        .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?
+                        .clone();
+                    let _ = write!(out, "{n} = ");
+                    self.expr(value, out)?;
+                    out.push_str(";\n");
+                }
+                ElabStmt::Store { access, value } => {
+                    indent(out, level);
+                    self.access(access, out)?;
+                    out.push_str(" = ");
+                    let mut text = String::new();
+                    self.expr(value, &mut text)?;
+                    out.push_str(&self.be.store_conversion(access.elem, text));
+                    out.push_str(";\n");
+                }
+                ElabStmt::Split {
+                    space,
+                    dim,
+                    threshold,
+                    fst,
+                    snd,
+                } => {
+                    indent(out, level);
+                    let coord = self.be.builtin(space_builtin(*space), dim_axis(*dim));
+                    let _ = writeln!(out, "if ({coord} < {threshold}) {{");
+                    self.stmts(fst, out, level + 1)?;
+                    indent(out, level);
+                    if snd.is_empty() {
+                        out.push_str("}\n");
+                    } else {
+                        out.push_str("} else {\n");
+                        self.stmts(snd, out, level + 1)?;
+                        indent(out, level);
+                        out.push_str("}\n");
+                    }
+                }
+                ElabStmt::Sync => {
+                    indent(out, level);
+                    out.push_str(self.be.barrier());
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-variable element kind and length across a host function's
+/// statements — the single home for the bookkeeping every host-stub
+/// emitter needs (allocation sizes propagate through `gpu_alloc_copy`).
+#[derive(Default)]
+pub struct HostSizes {
+    sizes: HashMap<String, (ScalarKind, u64)>,
+}
+
+impl HostSizes {
+    /// A fresh, empty tracker.
+    pub fn new() -> HostSizes {
+        HostSizes::default()
+    }
+
+    /// Records the allocation a statement introduces, if any. Call once
+    /// per statement, in order, before rendering it.
+    pub fn record(&mut self, s: &HostStmt) {
+        match s {
+            HostStmt::AllocCpu { name, elem, len } | HostStmt::AllocGpu { name, elem, len } => {
+                self.sizes.insert(name.clone(), (*elem, *len));
+            }
+            HostStmt::AllocGpuCopy { name, src } => {
+                let inherited = self.get(src);
+                self.sizes.insert(name.clone(), inherited);
+            }
+            HostStmt::CopyToHost { .. } | HostStmt::CopyToGpu { .. } | HostStmt::Launch { .. } => {}
+        }
+    }
+
+    /// Element kind and length of a variable (`(F64, 0)` when unknown,
+    /// matching the historical emitters' fallback).
+    pub fn get(&self, name: &str) -> (ScalarKind, u64) {
+        self.sizes
+            .get(name)
+            .copied()
+            .unwrap_or((ScalarKind::F64, 0))
+    }
+}
+
+/// Collects the lowered index expression of every memory access in an
+/// elaborated kernel body (loads and stores, in syntactic order).
+///
+/// This is what the emitters print; comparing it against
+/// [`ir_index_exprs`] of the lowered [`KernelIr`] proves text and
+/// simulation share one lowering.
+///
+/// # Errors
+///
+/// Propagates lowering failures (see [`CodegenError`]).
+pub fn kernel_index_exprs(k: &MonoKernel) -> Result<Vec<Expr>, CodegenError> {
+    fn walk_expr(e: &ElabExpr, out: &mut Vec<Expr>) -> Result<(), CodegenError> {
+        match e {
+            ElabExpr::Lit(..) | ElabExpr::Local(_) => {}
+            ElabExpr::Load(a) => out.push(access_index_expr(a)?),
+            ElabExpr::Binary(_, x, y) => {
+                walk_expr(x, out)?;
+                walk_expr(y, out)?;
+            }
+            ElabExpr::Unary(_, x) => walk_expr(x, out)?,
+        }
+        Ok(())
+    }
+    fn walk_stmts(body: &[ElabStmt], out: &mut Vec<Expr>) -> Result<(), CodegenError> {
+        for s in body {
+            match s {
+                ElabStmt::Local { init, .. } => walk_expr(init, out)?,
+                ElabStmt::AssignLocal { value, .. } => walk_expr(value, out)?,
+                ElabStmt::Store { access, value } => {
+                    out.push(access_index_expr(access)?);
+                    walk_expr(value, out)?;
+                }
+                ElabStmt::Split { fst, snd, .. } => {
+                    walk_stmts(fst, out)?;
+                    walk_stmts(snd, out)?;
+                }
+                ElabStmt::Sync => {}
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk_stmts(&k.body, &mut out)?;
+    Ok(out)
+}
+
+/// Collects the index expression of every memory access in a simulator
+/// kernel (loads and stores).
+///
+/// Symmetric with [`kernel_index_exprs`]: each access contributes its
+/// index *as a unit*, without recursing into it — so the two collections
+/// compare as multisets even if a future lowering ever nests an access
+/// inside an index.
+pub fn ir_index_exprs(ir: &KernelIr) -> Vec<Expr> {
+    fn walk_expr(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::LoadGlobal { idx, .. } | Expr::LoadShared { idx, .. } => {
+                out.push((**idx).clone());
+            }
+            Expr::Bin(_, a, b) => {
+                walk_expr(a, out);
+                walk_expr(b, out);
+            }
+            Expr::Un(_, a) => walk_expr(a, out),
+            _ => {}
+        }
+    }
+    fn walk_stmts(body: &[Stmt], out: &mut Vec<Expr>) {
+        for s in body {
+            match s {
+                Stmt::SetLocal(_, e) => walk_expr(e, out),
+                Stmt::StoreGlobal { idx, value, .. } | Stmt::StoreShared { idx, value, .. } => {
+                    out.push(idx.clone());
+                    walk_expr(value, out);
+                }
+                Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
+                    walk_expr(cond, out);
+                    walk_stmts(then_s, out);
+                    walk_stmts(else_s, out);
+                }
+                Stmt::Loop {
+                    init, bound, body, ..
+                } => {
+                    walk_expr(init, out);
+                    walk_expr(bound, out);
+                    walk_stmts(body, out);
+                }
+                Stmt::Barrier => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk_stmts(&ir.body, &mut out);
+    out
+}

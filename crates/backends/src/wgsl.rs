@@ -1,0 +1,238 @@
+//! The WGSL (WebGPU Shading Language) backend.
+//!
+//! Each kernel renders as a standalone WGSL module: storage-buffer
+//! bindings at `@group(0)`, `var<workgroup>` staging arrays, and a
+//! `@compute` entry point whose `@workgroup_size` attribute carries the
+//! block shape. `blockIdx`/`threadIdx` become the `workgroup_id` and
+//! `local_invocation_id` builtins (declared as entry-point parameters
+//! `block_idx`/`thread_idx`), and `sync` becomes `workgroupBarrier()`.
+//!
+//! WGSL has no `f64`, so `f64` buffers and locals are narrowed to `f32`
+//! (flagged by a comment in the module header). Index expressions come
+//! from the shared lowering in [`crate::shared`] and are structurally
+//! the ones the simulator executes.
+//!
+//! Host functions have no WGSL spelling — the host side of WebGPU is
+//! JavaScript — so they render as a commented WebGPU sketch that keeps
+//! allocation sizes, dispatch shapes and copy directions reviewable.
+
+use crate::shared::{axis_name, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::KernelBackend;
+use descend_codegen::CodegenError;
+use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
+use gpu_sim::ir::Axis;
+use std::fmt::Write as _;
+
+/// The WGSL target.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WgslBackend;
+
+/// Buffer element spelling: `bool` is not host-shareable in WGSL, so
+/// bool storage/workgroup arrays travel as `u32` (locals keep `bool`).
+fn buffer_type(be: &WgslBackend, k: ScalarKind) -> &'static str {
+    match k {
+        ScalarKind::Bool => "u32",
+        other => be.scalar_type(other),
+    }
+}
+
+/// Narrowed element size in bytes on the WGSL side (`f64` -> `f32`).
+fn wgsl_size_bytes(k: ScalarKind) -> u64 {
+    match k {
+        ScalarKind::F64 | ScalarKind::F32 | ScalarKind::I32 | ScalarKind::Bool => 4,
+    }
+}
+
+/// The JavaScript typed-array constructor matching a (narrowed) scalar.
+fn typed_array(k: ScalarKind) -> &'static str {
+    match k {
+        ScalarKind::F64 | ScalarKind::F32 => "Float32Array",
+        ScalarKind::I32 => "Int32Array",
+        ScalarKind::Bool => "Uint32Array",
+    }
+}
+
+impl KernelBackend for WgslBackend {
+    fn name(&self) -> &'static str {
+        "wgsl"
+    }
+
+    fn file_extension(&self) -> &'static str {
+        "wgsl"
+    }
+
+    fn scalar_type(&self, k: ScalarKind) -> &'static str {
+        match k {
+            // WGSL has no f64; doubles are narrowed (see module docs).
+            ScalarKind::F64 => "f32",
+            ScalarKind::F32 => "f32",
+            ScalarKind::I32 => "i32",
+            ScalarKind::Bool => "bool",
+        }
+    }
+
+    fn builtin(&self, b: Builtin, axis: Axis) -> String {
+        let base = match b {
+            Builtin::BlockIdx => "block_idx",
+            Builtin::ThreadIdx => "thread_idx",
+            Builtin::BlockDim => "block_dim",
+            Builtin::GridDim => "grid_dim",
+        };
+        format!("{base}.{}", axis_name(axis))
+    }
+
+    fn barrier(&self) -> &'static str {
+        "workgroupBarrier();"
+    }
+
+    fn literal(&self, kind: ScalarKind, v: f64) -> String {
+        match kind {
+            // Abstract-typed literals; WGSL converts them to the
+            // surrounding f32/i32/u32 context.
+            ScalarKind::F64 | ScalarKind::F32 => format!("{v:?}"),
+            ScalarKind::I32 => format!("{}", v as i64),
+            ScalarKind::Bool => format!("{}", v != 0.0),
+        }
+    }
+
+    fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {
+        format!("var {name}: {} = {init};", self.scalar_type(elem))
+    }
+
+    fn load_conversion(&self, elem: ScalarKind, text: String) -> String {
+        // Bool buffers are carried as u32 (not host-shareable as bool);
+        // convert back at the use site.
+        if elem == ScalarKind::Bool {
+            format!("({text} != 0)")
+        } else {
+            text
+        }
+    }
+
+    fn store_conversion(&self, elem: ScalarKind, text: String) -> String {
+        if elem == ScalarKind::Bool {
+            format!("select(0u, 1u, {text})")
+        } else {
+            text
+        }
+    }
+
+    fn emit_kernel(&self, k: &MonoKernel) -> Result<String, CodegenError> {
+        let mut out = String::new();
+        let _ = writeln!(out, "// Kernel `{}` — standalone WGSL module.", k.name);
+        if kernel_uses_scalar(k, ScalarKind::F64) {
+            out.push_str("// note: f64 narrowed to f32 (WGSL has no f64).\n");
+        }
+        for (i, p) in k.params.iter().enumerate() {
+            let total: u64 = p.dims.iter().product();
+            let access = if p.uniq { "read_write" } else { "read" };
+            let _ = writeln!(
+                out,
+                "@group(0) @binding({i}) var<storage, {access}> {}: array<{}, {total}>;",
+                p.name,
+                buffer_type(self, p.elem)
+            );
+        }
+        for s in &k.shared {
+            let total: u64 = s.dims.iter().product();
+            let _ = writeln!(
+                out,
+                "var<workgroup> {}: array<{}, {total}>;",
+                s.name,
+                buffer_type(self, s.elem)
+            );
+        }
+        // `block_dim` has no runtime builtin in WGSL (the workgroup
+        // size is a compile-time attribute), so declare it as a module
+        // constant; every coordinate builtin the shared renderer can
+        // produce then names a declared identifier.
+        let _ = writeln!(
+            out,
+            "const block_dim: vec3<u32> = vec3<u32>({}, {}, {});",
+            k.block_dim[0], k.block_dim[1], k.block_dim[2]
+        );
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "@compute @workgroup_size({}, {}, {})",
+            k.block_dim[0], k.block_dim[1], k.block_dim[2]
+        );
+        let _ = writeln!(
+            out,
+            "fn {}(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocation_id) thread_idx: vec3<u32>, @builtin(num_workgroups) grid_dim: vec3<u32>) {{",
+            k.name
+        );
+        BodyCx::new(self, k).stmts(&k.body, &mut out, 1)?;
+        out.push_str("}\n");
+        Ok(out)
+    }
+
+    fn emit_host_fn(
+        &self,
+        name: &str,
+        stmts: &[HostStmt],
+        kernels: &[MonoKernel],
+    ) -> Result<String, CodegenError> {
+        let mut out = String::new();
+        let _ = writeln!(out, "// Host function `{name}` (WebGPU JavaScript sketch;");
+        out.push_str("// WGSL has no host side — sizes, dispatches and copies only):\n");
+        let mut sizes = HostSizes::new();
+        for s in stmts {
+            sizes.record(s);
+            match s {
+                HostStmt::AllocCpu { name, elem, len } => {
+                    let _ = writeln!(
+                        out,
+                        "//   const {name} = new {}({len});",
+                        typed_array(*elem)
+                    );
+                }
+                HostStmt::AllocGpu { name, elem, len } => {
+                    let _ = writeln!(
+                        out,
+                        "//   const {name} = device.createBuffer({{ size: {}, usage: STORAGE | COPY_SRC | COPY_DST }});",
+                        len * wgsl_size_bytes(*elem)
+                    );
+                }
+                HostStmt::AllocGpuCopy { name, src } => {
+                    let (elem, len) = sizes.get(src);
+                    let _ = writeln!(
+                        out,
+                        "//   const {name} = device.createBuffer({{ size: {}, usage: STORAGE | COPY_SRC | COPY_DST }});",
+                        len * wgsl_size_bytes(elem)
+                    );
+                    let _ = writeln!(out, "//   device.queue.writeBuffer({name}, 0, {src});");
+                }
+                HostStmt::CopyToHost { dst, src } => {
+                    let _ = writeln!(
+                        out,
+                        "//   await readBack({src}, {dst});  // staging copy + mapAsync"
+                    );
+                }
+                HostStmt::CopyToGpu { dst, src } => {
+                    let _ = writeln!(out, "//   device.queue.writeBuffer({dst}, 0, {src});");
+                }
+                HostStmt::Launch { kernel, args } => {
+                    let k = &kernels[*kernel];
+                    let _ = writeln!(
+                        out,
+                        "//   dispatch('{}', [{}, {}, {}], [{}]);  // workgroups x bindings",
+                        k.name,
+                        k.grid_dim[0],
+                        k.grid_dim[1],
+                        k.grid_dim[2],
+                        args.join(", ")
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn prelude(&self, _checked: &CheckedProgram) -> String {
+        String::from(
+            "// WGSL translation unit: one standalone module per kernel\n\
+             // (bindings restart at @group(0) @binding(0) in each section).\n\n",
+        )
+    }
+}

@@ -7,6 +7,9 @@
 //!   (the paper used 100 on real hardware; the simulator is deterministic
 //!   per seed, so seeds only vary the input data).
 //! - `FIGURE8_RACES=1`: enable the dynamic race detector (slower).
+//! - `FIGURE8_JSON=<path>`: additionally write the cycle counts as a
+//!   JSON array (one object per benchmark x footprint cell) for the
+//!   scheduled CI job's regression-tracking artifact.
 
 use descend_bench::{fmt_ratio, median_result};
 use descend_benchmarks::{footprints, ALL_BENCHMARKS};
@@ -29,11 +32,21 @@ fn main() {
         "benchmark", "size", "param", "descend-cycles", "cuda-cycles", "descend/cuda"
     );
     let mut ratios = Vec::new();
+    let mut json_cells = Vec::new();
     for kind in ALL_BENCHMARKS {
         for size in footprints(kind) {
             let r = median_result(kind, size.param, runs, &cfg);
             let ratio = r.descend_over_cuda();
             ratios.push(ratio);
+            json_cells.push(format!(
+                "  {{\"benchmark\": \"{}\", \"size\": \"{}\", \"param\": {}, \"descend_cycles\": {}, \"cuda_cycles\": {}, \"descend_over_cuda\": {}}}",
+                kind.name(),
+                size.name,
+                size.param,
+                r.descend_cycles,
+                r.cuda_cycles,
+                fmt_ratio(ratio)
+            ));
             println!(
                 "{:<10} {:>8} {:>10} {:>16} {:>14} {:>14}",
                 kind.name(),
@@ -45,6 +58,15 @@ fn main() {
             );
         }
         println!();
+    }
+    if let Ok(path) = std::env::var("FIGURE8_JSON") {
+        let json = format!("[\n{}\n]\n", json_cells.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write FIGURE8_JSON `{path}`: {e}");
+        } else {
+            println!("cycle-count JSON written to {path}");
+            println!();
+        }
     }
     let mean = ratios
         .iter()

@@ -154,7 +154,10 @@ fn assert_close(got: &[f64], want: &[f64], what: &str) {
 }
 
 fn compile_kernels(src: &str) -> Vec<KernelIr> {
-    let compiled = Compiler::new()
+    // IR only: the runner executes on the simulator and never reads the
+    // emitted backend text, so skip all text emission in this hot path.
+    let compiled = Compiler::with_backends(&[])
+        .expect("empty selection is valid")
         .compile_source(src)
         .unwrap_or_else(|e| panic!("benchmark source fails to compile: {e}"));
     compiled.kernels.iter().map(|k| k.ir.clone()).collect()

@@ -1,20 +1,23 @@
-//! Code generation: from elaborated kernels to the simulator IR and to
-//! CUDA C++ source text.
+//! Code generation: the shared lowering from elaborated kernels to the
+//! simulator IR.
 //!
 //! The paper's Section 5 describes the translation: `sched` dissolves
 //! into the SPMD kernel model (the bound execution-resource variables
 //! become `blockIdx`/`threadIdx`), selects and views compile into raw
 //! index arithmetic by the reverse-order transformation implemented in
 //! [`descend_places::lower_scalar_access`], `split` becomes a coordinate
-//! condition, and `sync` becomes `__syncthreads()`.
+//! condition, and `sync` becomes a barrier.
 //!
-//! Both backends consume the same [`MonoKernel`]s, so the CUDA text and
-//! the simulated kernel are two renderings of one lowering.
+//! This crate owns the *semantic* half of that translation — the
+//! [`kernel_to_ir`] lowering the simulator executes and the
+//! [`ir_gen::idx_to_expr`] index conversion. The *textual* half (CUDA
+//! C++, OpenCL C, WGSL) lives downstream in `descend_backends`, whose
+//! emitters render these same lowered index expressions, so every
+//! target's text and the simulated kernel are renderings of one
+//! lowering.
 
-pub mod cuda;
 pub mod ir_gen;
 
-pub use cuda::{host_fn_to_cuda, kernel_to_cuda, program_to_cuda};
 pub use ir_gen::{kernel_to_ir, CodegenError};
 
 use descend_typeck::MonoKernel;

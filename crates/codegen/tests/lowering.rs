@@ -2,7 +2,8 @@
 //! CUDA text, with the kernels executed on the simulator and checked for
 //! functional correctness against scalar references.
 
-use descend_codegen::{kernel_to_cuda, kernel_to_ir};
+use descend_backends::cuda::kernel_to_cuda;
+use descend_codegen::kernel_to_ir;
 use descend_typeck::check_program;
 use gpu_sim::{Gpu, LaunchConfig};
 

@@ -1,7 +1,8 @@
 //! Element-type coverage: f32 kernels flow through elaboration, IR
 //! lowering, CUDA emission and simulation just like f64.
 
-use descend_codegen::{kernel_to_cuda, kernel_to_ir};
+use descend_backends::cuda::kernel_to_cuda;
+use descend_codegen::kernel_to_ir;
 use descend_typeck::check_program;
 use gpu_sim::ir::ElemTy;
 use gpu_sim::{Gpu, LaunchConfig};

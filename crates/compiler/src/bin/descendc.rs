@@ -1,15 +1,22 @@
 //! `descendc` — the Descend command-line compiler.
 //!
 //! ```text
-//! descendc check  <file.descend>           type-check only
-//! descendc cuda   <file.descend>           emit the CUDA C++ translation unit
-//! descendc run    <file.descend> [--fn f]  run a host function on the simulator
-//! descendc kernels <file.descend>          list compiled kernel instances
+//! descendc check  <file.descend>                  type-check only
+//! descendc emit   <file.descend> [--emit=TARGETS] emit generated source
+//! descendc cuda   <file.descend>                  emit CUDA C++ (same as --emit=cuda)
+//! descendc run    <file.descend> [--fn f]         run a host function on the simulator
+//! descendc kernels <file.descend>                 list compiled kernel instances
 //! ```
+//!
+//! `TARGETS` is `cuda`, `opencl`, `wgsl`, a comma-separated list, or
+//! `all` (the default for `emit`). With a single target the translation
+//! unit prints bare; with several, each is preceded by a
+//! `// ==== backend: <name> ====` separator.
 //!
 //! `run` executes with the dynamic race detector enabled and prints the
 //! final CPU buffers and per-launch statistics.
 
+use descend_backends::BACKEND_NAMES;
 use descend_compiler::Compiler;
 use gpu_sim::LaunchConfig;
 use std::collections::HashMap;
@@ -17,14 +24,31 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: descendc <check|cuda|run|kernels> <file.descend> [--fn NAME]\n\
+        "usage: descendc <check|emit|cuda|run|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|all]\n\
          \n\
          check    type-check and report diagnostics\n\
+         emit     emit generated source to stdout (default --emit=all)\n\
          cuda     emit the CUDA C++ translation unit to stdout\n\
          run      execute a host function on the simulated GPU (default: main)\n\
          kernels  list compiled kernel instances and their launch shapes"
     );
     ExitCode::from(2)
+}
+
+/// Resolves an `--emit=` value to registry names, `None` on an unknown
+/// target.
+fn parse_targets(spec: &str) -> Option<Vec<&'static str>> {
+    if spec == "all" {
+        return Some(BACKEND_NAMES.to_vec());
+    }
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let name = BACKEND_NAMES.iter().find(|n| **n == part)?;
+        if !out.contains(name) {
+            out.push(*name);
+        }
+    }
+    (!out.is_empty()).then_some(out)
 }
 
 fn main() -> ExitCode {
@@ -39,6 +63,20 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("main");
+    let emit_spec = args.iter().find_map(|a| a.strip_prefix("--emit="));
+    let targets = match emit_spec {
+        Some(spec) => match parse_targets(spec) {
+            Some(t) => Some(t),
+            None => {
+                eprintln!(
+                    "error: unknown --emit target `{spec}` (use {}, a comma-separated list, or all)",
+                    BACKEND_NAMES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -46,7 +84,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match Compiler::new().compile_source(&src) {
+    // Only the emitting commands pay for text emission; check/run/kernels
+    // compile IR-only.
+    let selected: Vec<&str> = match (cmd, &targets) {
+        // `cuda` is documented as `--emit=cuda`; a contradictory flag is
+        // ignored rather than silently emitting another language.
+        ("cuda", _) => vec!["cuda"],
+        ("emit", Some(t)) => t.clone(),
+        ("emit", None) => BACKEND_NAMES.to_vec(),
+        _ => vec![],
+    };
+    let compiler = Compiler::with_backends(&selected).expect("targets are validated");
+    let compiled = match compiler.compile_source(&src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -62,8 +111,17 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        "cuda" => {
-            print!("{}", compiled.cuda_source);
+        "cuda" | "emit" => {
+            let many = selected.len() > 1;
+            for (i, name) in selected.iter().enumerate() {
+                if many {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("// ==== backend: {name} ====");
+                }
+                print!("{}", compiled.target_source(name).expect("registered"));
+            }
             ExitCode::SUCCESS
         }
         "kernels" => {

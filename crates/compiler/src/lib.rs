@@ -1,8 +1,9 @@
 //! The Descend compiler driver.
 //!
 //! Ties the pipeline together: parsing ([`descend_parser`]), type checking
-//! and extended borrow checking ([`descend_typeck`]), and code generation
-//! ([`descend_codegen`]) to both CUDA C++ text and the simulator IR.
+//! and extended borrow checking ([`descend_typeck`]), the shared lowering
+//! to the simulator IR ([`descend_codegen`]), and text emission for every
+//! registered backend ([`descend_backends`]: CUDA C++, OpenCL C, WGSL).
 //! A small host interpreter executes the elaborated host functions against
 //! the simulated GPU, making `.descend` programs runnable end to end.
 //!
@@ -29,6 +30,11 @@
 //!     }
 //! "#;
 //! let compiled = Compiler::new().compile_source(src).expect("compiles");
+//! // Every backend rendered the program from the one shared lowering.
+//! assert_eq!(
+//!     compiled.targets().keys().collect::<Vec<_>>(),
+//!     ["cuda", "opencl", "wgsl"]
+//! );
 //! let mut inputs = std::collections::HashMap::new();
 //! inputs.insert("h".to_string(), vec![2.0; 64]);
 //! let run = compiled.run_host("main", &inputs, &Default::default()).expect("runs");
@@ -36,11 +42,13 @@
 //! ```
 
 use descend_ast::term::Program;
-use descend_codegen::{kernel_to_cuda, kernel_to_ir, program_to_cuda, CodegenError};
+use descend_backends::{backend_by_name, KernelBackend, BACKEND_NAMES};
+use descend_codegen::ir_gen::elem_ty;
+use descend_codegen::{kernel_to_ir, CodegenError};
 use descend_typeck::{check_program, CheckedProgram, HostStmt, MonoKernel, ScalarKind, TypeError};
 use gpu_sim::device::BufId;
 use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats, SimError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Which pipeline stage failed.
@@ -50,7 +58,7 @@ pub enum Stage {
     Parse,
     /// Type checking / borrow checking.
     Type,
-    /// Lowering to IR or CUDA.
+    /// Lowering to IR or backend text.
     Codegen,
 }
 
@@ -74,15 +82,23 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
-/// One compiled kernel instance: elaboration, IR, and CUDA text.
+/// One compiled kernel instance: elaboration, IR, and per-backend text.
 #[derive(Clone, Debug)]
 pub struct CompiledKernel {
     /// The monomorphized, elaborated kernel.
     pub mono: MonoKernel,
     /// The simulator IR.
     pub ir: KernelIr,
-    /// The CUDA C++ rendering.
-    pub cuda: String,
+    /// Kernel text per selected backend, keyed by registry name.
+    pub targets: BTreeMap<String, String>,
+}
+
+impl CompiledKernel {
+    /// The CUDA C++ rendering — the historical primary target (empty
+    /// when the `cuda` backend is deselected).
+    pub fn cuda(&self) -> &str {
+        self.targets.get("cuda").map(String::as_str).unwrap_or("")
+    }
 }
 
 /// The result of compiling a program.
@@ -94,18 +110,55 @@ pub struct Compiled {
     pub checked: CheckedProgram,
     /// All kernel instances.
     pub kernels: Vec<CompiledKernel>,
-    /// The complete CUDA C++ translation unit (kernels + host functions).
-    pub cuda_source: String,
+    /// Complete translation units per selected backend, keyed by
+    /// registry name.
+    pub target_sources: BTreeMap<String, String>,
 }
 
 /// The compiler.
-#[derive(Clone, Debug, Default)]
-pub struct Compiler {}
+#[derive(Clone, Debug)]
+pub struct Compiler {
+    /// Selected backend registry names, validated at construction.
+    backend_names: Vec<String>,
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler {
+            backend_names: BACKEND_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
 
 impl Compiler {
-    /// Creates a compiler with default options.
+    /// Creates a compiler emitting every registered backend.
     pub fn new() -> Compiler {
         Compiler::default()
+    }
+
+    /// Creates a compiler emitting only the named backends
+    /// (`"cuda"`, `"opencl"`, `"wgsl"`).
+    ///
+    /// # Errors
+    ///
+    /// The first unknown backend name.
+    pub fn with_backends(names: &[&str]) -> Result<Compiler, String> {
+        for n in names {
+            if backend_by_name(n).is_none() {
+                return Err(format!(
+                    "unknown backend `{n}` (registered: {})",
+                    BACKEND_NAMES.join(", ")
+                ));
+            }
+        }
+        Ok(Compiler {
+            backend_names: names.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// The selected backend names, in emission order.
+    pub fn backends(&self) -> &[String] {
+        &self.backend_names
     }
 
     /// Compiles Descend source text through the whole pipeline.
@@ -135,22 +188,35 @@ impl Compiler {
             rendered: e.diag.render(src),
             type_error: Some(Box::new(e)),
         })?;
+        let backends: Vec<Box<dyn KernelBackend>> = self
+            .backend_names
+            .iter()
+            .map(|n| backend_by_name(n).expect("backend names are validated at construction"))
+            .collect();
         let mut kernels = Vec::new();
         for mk in &checked.kernels {
             let ir = kernel_to_ir(mk).map_err(|e| codegen_err(&e))?;
-            let cuda = kernel_to_cuda(mk).map_err(|e| codegen_err(&e))?;
+            let mut targets = BTreeMap::new();
+            for be in &backends {
+                let text = be.emit_kernel(mk).map_err(|e| codegen_err(&e))?;
+                targets.insert(be.name().to_string(), text);
+            }
             kernels.push(CompiledKernel {
                 mono: mk.clone(),
                 ir,
-                cuda,
+                targets,
             });
         }
-        let cuda_source = program_to_cuda(&checked).map_err(|e| codegen_err(&e))?;
+        let mut target_sources = BTreeMap::new();
+        for be in &backends {
+            let text = be.emit_program(&checked).map_err(|e| codegen_err(&e))?;
+            target_sources.insert(be.name().to_string(), text);
+        }
         Ok(Compiled {
             ast,
             checked,
             kernels,
-            cuda_source,
+            target_sources,
         })
     }
 }
@@ -195,7 +261,9 @@ impl From<SimError> for RunError {
 /// The observable result of a host-function run.
 #[derive(Clone, Debug, Default)]
 pub struct HostRun {
-    /// Final contents of every CPU buffer.
+    /// Final contents of every CPU buffer, as f64 values whatever the
+    /// buffer's element kind (f32 contents are quantized, i32 exact,
+    /// bool 0.0/1.0).
     pub cpu: HashMap<String, Vec<f64>>,
     /// Per-launch statistics, in launch order.
     pub launches: Vec<LaunchStats>,
@@ -214,12 +282,30 @@ impl Compiled {
         self.kernels.iter().find(|k| k.mono.name == name)
     }
 
+    /// Complete translation units per selected backend, keyed by
+    /// registry name (`"cuda"`, `"opencl"`, `"wgsl"`).
+    pub fn targets(&self) -> &BTreeMap<String, String> {
+        &self.target_sources
+    }
+
+    /// The translation unit for one backend, if it was selected.
+    pub fn target_source(&self, backend: &str) -> Option<&str> {
+        self.target_sources.get(backend).map(String::as_str)
+    }
+
+    /// The complete CUDA C++ translation unit — the historical primary
+    /// target (empty when the `cuda` backend is deselected).
+    pub fn cuda_source(&self) -> &str {
+        self.target_source("cuda").unwrap_or("")
+    }
+
     /// Runs a host function against the simulated GPU.
     ///
     /// `inputs` optionally seeds CPU allocations by variable name (the
-    /// allocation is zero-initialized otherwise). Only f64 buffers are
-    /// supported by the host interpreter, which covers all benchmark
-    /// programs.
+    /// allocation is zero-initialized otherwise). Buffers carry f64
+    /// values host-side whatever their kernel scalar kind: f32 inputs
+    /// are quantized on allocation, i32 truncated, bool tested against
+    /// zero — matching what the simulated kernel stores.
     ///
     /// # Errors
     ///
@@ -236,12 +322,12 @@ impl Compiled {
             .ok_or_else(|| RunError::NoSuchHostFn(name.to_string()))?;
         let mut gpu = Gpu::new();
         let mut cpu: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut cpu_elem: HashMap<String, ScalarKind> = HashMap::new();
         let mut dev: HashMap<String, BufId> = HashMap::new();
         let mut run = HostRun::default();
         for s in stmts {
             match s {
                 HostStmt::AllocCpu { name, elem, len } => {
-                    require_f64(*elem, name)?;
                     let mut data = vec![0.0f64; *len as usize];
                     if let Some(init) = inputs.get(name) {
                         if init.len() != data.len() {
@@ -253,25 +339,33 @@ impl Compiled {
                         }
                         data.copy_from_slice(init);
                     }
+                    // Quantize through the element kind so the host-side
+                    // view matches what the GPU will store (f32 rounding,
+                    // i32 truncation).
+                    let e = elem_ty(*elem);
+                    for v in &mut data {
+                        *v = gpu_sim::device::quantize_scalar(e, *v);
+                    }
                     cpu.insert(name.clone(), data);
+                    cpu_elem.insert(name.clone(), *elem);
                 }
                 HostStmt::AllocGpu { name, elem, len } => {
-                    require_f64(*elem, name)?;
-                    let id = gpu.alloc_f64(&vec![0.0; *len as usize]);
+                    let id = gpu.alloc_scalars(elem_ty(*elem), &vec![0.0; *len as usize]);
                     dev.insert(name.clone(), id);
                 }
                 HostStmt::AllocGpuCopy { name, src } => {
                     let data = cpu.get(src).ok_or_else(|| {
                         RunError::BadInput(format!("`{src}` is not a CPU buffer"))
                     })?;
-                    let id = gpu.alloc_f64(data);
+                    let elem = cpu_elem.get(src).copied().unwrap_or(ScalarKind::F64);
+                    let id = gpu.alloc_scalars(elem_ty(elem), data);
                     dev.insert(name.clone(), id);
                 }
                 HostStmt::CopyToHost { dst, src } => {
                     let id = *dev.get(src).ok_or_else(|| {
                         RunError::BadInput(format!("`{src}` is not a GPU buffer"))
                     })?;
-                    let data = gpu.read_f64(id);
+                    let data = gpu.read_scalars(id);
                     let slot = cpu.get_mut(dst).ok_or_else(|| {
                         RunError::BadInput(format!("`{dst}` is not a CPU buffer"))
                     })?;
@@ -284,7 +378,7 @@ impl Compiled {
                     let data = cpu.get(src).ok_or_else(|| {
                         RunError::BadInput(format!("`{src}` is not a CPU buffer"))
                     })?;
-                    gpu.write_f64(id, data);
+                    gpu.write_scalars(id, data);
                 }
                 HostStmt::Launch { kernel, args } => {
                     let ck = &self.kernels[*kernel];
@@ -304,15 +398,5 @@ impl Compiled {
         }
         run.cpu = cpu;
         Ok(run)
-    }
-}
-
-fn require_f64(elem: ScalarKind, name: &str) -> Result<(), RunError> {
-    if elem == ScalarKind::F64 {
-        Ok(())
-    } else {
-        Err(RunError::BadInput(format!(
-            "host buffer `{name}` is not f64; the host interpreter only supports f64"
-        )))
     }
 }

@@ -103,6 +103,46 @@ impl Gpu {
         BufId(self.buffers.len() - 1)
     }
 
+    /// Allocates a buffer of the given element type, initialized from
+    /// f64 values converted per element (f32 values are quantized, i32
+    /// truncated, bool tested against zero).
+    pub fn alloc_scalars(&mut self, elem: ElemTy, data: &[f64]) -> BufId {
+        self.buffers.push(Buffer {
+            elem,
+            data: data.iter().map(|v| scalar_to_bits(elem, *v)).collect(),
+        });
+        BufId(self.buffers.len() - 1)
+    }
+
+    /// A buffer's element type.
+    pub fn elem(&self, id: BufId) -> ElemTy {
+        self.buffers[id.0].elem
+    }
+
+    /// Reads a buffer back as f64 values, whatever its element type
+    /// (i32 elements convert exactly, bools to 0.0/1.0).
+    pub fn read_scalars(&self, id: BufId) -> Vec<f64> {
+        let b = &self.buffers[id.0];
+        b.data
+            .iter()
+            .map(|bits| bits_to_scalar(b.elem, *bits))
+            .collect()
+    }
+
+    /// Overwrites a buffer's contents from f64 values, converted per
+    /// the buffer's element type (see [`Gpu::alloc_scalars`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer id is invalid or the length differs.
+    pub fn write_scalars(&mut self, id: BufId, data: &[f64]) {
+        let b = &mut self.buffers[id.0];
+        assert_eq!(b.data.len(), data.len(), "length mismatch");
+        for (dst, v) in b.data.iter_mut().zip(data) {
+            *dst = scalar_to_bits(b.elem, *v);
+        }
+    }
+
     /// Reads a buffer back as f64 values.
     ///
     /// # Panics
@@ -337,6 +377,41 @@ impl Gpu {
             }
         }
         Ok(())
+    }
+}
+
+/// Converts an f64 host value to the bit pattern a buffer of the given
+/// element type stores (mirrors the interpreter's value encoding: float
+/// buffers hold f64 bits — f32 quantized — i32 buffers the value as
+/// sign-extended integer bits, bool buffers 0/1).
+fn scalar_to_bits(elem: ElemTy, v: f64) -> u64 {
+    match elem {
+        ElemTy::F64 => v.to_bits(),
+        ElemTy::F32 => ((v as f32) as f64).to_bits(),
+        ElemTy::I32 => ((v as i32) as i64) as u64,
+        ElemTy::Bool => u64::from(v != 0.0),
+    }
+}
+
+/// Rounds an f64 host value through a buffer element type: the value
+/// read back after storing it in a buffer of that type (f32 rounding,
+/// i32 truncation, bool normalization to 0.0/1.0).
+pub fn quantize_scalar(elem: ElemTy, v: f64) -> f64 {
+    bits_to_scalar(elem, scalar_to_bits(elem, v))
+}
+
+/// Inverse of [`scalar_to_bits`].
+fn bits_to_scalar(elem: ElemTy, bits: u64) -> f64 {
+    match elem {
+        ElemTy::F64 | ElemTy::F32 => f64::from_bits(bits),
+        ElemTy::I32 => (bits as i64) as f64,
+        ElemTy::Bool => {
+            if bits != 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
     }
 }
 
@@ -617,6 +692,63 @@ mod tests {
             &LaunchConfig::default(),
         );
         assert_eq!(gpu.read_f64(buf), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn scalar_buffers_round_trip_per_elem_type() {
+        let mut gpu = Gpu::new();
+        let f32b = gpu.alloc_scalars(ElemTy::F32, &[0.1, -2.5]);
+        assert_eq!(gpu.elem(f32b), ElemTy::F32);
+        // f32 quantization is applied on the way in.
+        assert_eq!(gpu.read_scalars(f32b), vec![(0.1f32) as f64, -2.5]);
+        let i32b = gpu.alloc_scalars(ElemTy::I32, &[7.9, -3.0]);
+        assert_eq!(gpu.read_scalars(i32b), vec![7.0, -3.0]);
+        gpu.write_scalars(i32b, &[1.0, 2.0]);
+        assert_eq!(gpu.read_scalars(i32b), vec![1.0, 2.0]);
+        let boolb = gpu.alloc_scalars(ElemTy::Bool, &[0.0, 5.0]);
+        assert_eq!(gpu.read_scalars(boolb), vec![0.0, 1.0]);
+        // f64 buffers are bit-exact.
+        let f64b = gpu.alloc_scalars(ElemTy::F64, &[0.1]);
+        assert_eq!(gpu.read_scalars(f64b), vec![0.1]);
+    }
+
+    /// An i32 kernel runs against an `alloc_scalars` buffer end to end.
+    #[test]
+    fn i32_buffer_executes_and_reads_back() {
+        let kernel = KernelIr {
+            name: "bump".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::I32,
+                len: 32,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![Stmt::StoreGlobal {
+                buf: 0,
+                idx: Expr::thread_idx(Axis::X),
+                value: Expr::add(
+                    Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::thread_idx(Axis::X)),
+                    },
+                    Expr::LitI(1),
+                ),
+            }],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_scalars(ElemTy::I32, &(0..32).map(f64::from).collect::<Vec<_>>());
+        gpu.launch(
+            &kernel,
+            [1, 1, 1],
+            [32, 1, 1],
+            &[buf],
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+        let out = gpu.read_scalars(buf);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i + 1) as f64);
+        }
     }
 
     #[test]

@@ -41,8 +41,12 @@ impl Value {
     pub fn to_elem_bits(self, elem: crate::ir::ElemTy) -> Result<u64, String> {
         use crate::ir::ElemTy;
         Ok(match (elem, self) {
-            (ElemTy::F64 | ElemTy::F32, Value::F(v)) => v.to_bits(),
-            (ElemTy::F64 | ElemTy::F32, Value::I(v)) => (v as f64).to_bits(),
+            (ElemTy::F64, Value::F(v)) => v.to_bits(),
+            // f32 buffers round on store, as the hardware would; reads
+            // widen back to f64.
+            (ElemTy::F32, Value::F(v)) => ((v as f32) as f64).to_bits(),
+            (ElemTy::F64, Value::I(v)) => (v as f64).to_bits(),
+            (ElemTy::F32, Value::I(v)) => ((v as f32) as f64).to_bits(),
             (ElemTy::I32, Value::I(v)) => v as u64,
             (ElemTy::I32, Value::F(v)) => (v as i64) as u64,
             (ElemTy::Bool, Value::B(v)) => u64::from(v),

@@ -24,7 +24,7 @@ fn main() {
     println!(
         "=== Generated CUDA kernel (first 40 lines) ===\n{}",
         compiled.kernels[0]
-            .cuda
+            .cuda()
             .lines()
             .take(40)
             .collect::<Vec<_>>()

@@ -35,7 +35,7 @@ fn main() {
         .compile_source(SRC)
         .unwrap_or_else(|e| panic!("compilation failed:\n{e}"));
 
-    println!("=== Generated CUDA C++ ===\n{}", compiled.cuda_source);
+    println!("=== Generated CUDA C++ ===\n{}", compiled.cuda_source());
 
     // Seed the host allocation and run the host program on the simulator.
     let mut inputs = HashMap::new();

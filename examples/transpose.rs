@@ -23,7 +23,7 @@ fn main() {
         .compile_source(&src)
         .unwrap_or_else(|e| panic!("compilation failed:\n{e}"));
     let kernel = &compiled.kernels[0];
-    println!("=== Generated CUDA kernel ===\n{}", kernel.cuda);
+    println!("=== Generated CUDA kernel ===\n{}", kernel.cuda());
 
     // Execute on the simulator with the dynamic race detector on.
     let ir = kernel_to_ir(&kernel.mono).expect("lowers");

@@ -10,7 +10,9 @@
 //! - [`places`]: place expressions, views, overlap checking ([`descend_places`]),
 //! - [`typeck`]: the type system and extended borrow checker ([`descend_typeck`]),
 //! - [`diag`]: diagnostics rendering ([`descend_diag`]),
-//! - [`codegen`]: CUDA C++ emission and kernel-IR lowering ([`descend_codegen`]),
+//! - [`codegen`]: the shared kernel-IR lowering ([`descend_codegen`]),
+//! - [`backends`]: multi-target emission — CUDA C++, OpenCL C, WGSL —
+//!   behind the `KernelBackend` trait ([`descend_backends`]),
 //! - [`compiler`]: the driver tying the phases together ([`descend_compiler`]),
 //! - [`sim`]: the GPU simulator ([`gpu_sim`]),
 //! - [`benchmarks`]: the paper's evaluation programs ([`descend_benchmarks`]).
@@ -35,6 +37,7 @@
 //! ```
 
 pub use descend_ast as ast;
+pub use descend_backends as backends;
 pub use descend_benchmarks as benchmarks;
 pub use descend_codegen as codegen;
 pub use descend_compiler as compiler;

@@ -1,0 +1,136 @@
+//! Cross-backend consistency: every backend's emitted text embeds the
+//! *same* lowered index expressions, and those expressions are exactly
+//! the ones the simulator IR executes.
+//!
+//! Two properties are pinned, over the whole `.descend` corpus and the
+//! paper's benchmark sources:
+//!
+//! 1. **One lowering.** The index expressions collected from the
+//!    elaborated kernel (via `shared::access_index_expr`, the path the
+//!    emitters print) equal, as a multiset, the index expressions inside
+//!    the simulator IR produced by `kernel_to_ir`.
+//! 2. **Every backend renders it.** For each backend, the per-backend
+//!    rendering of each lowered index expression appears verbatim in
+//!    that backend's kernel text — no emitter has a private index
+//!    printer that could drift.
+
+use descend::backends::{all_backends, ir_index_exprs, kernel_index_exprs, render_ir_expr};
+use descend::compiler::{Compiled, Compiler};
+use std::path::PathBuf;
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/descend");
+    let mut out: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "descend"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&p).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    for (name, src) in [
+        ("bench:reduce", descend::benchmarks::sources::reduce(2048)),
+        (
+            "bench:transpose",
+            descend::benchmarks::sources::transpose(256),
+        ),
+        ("bench:matmul", descend::benchmarks::sources::matmul(64)),
+        (
+            "bench:scan",
+            descend::benchmarks::sources::scan_blocks(1 << 12),
+        ),
+    ] {
+        out.push((name.to_string(), src));
+    }
+    out
+}
+
+fn check_program(name: &str, compiled: &Compiled) {
+    let backends = all_backends();
+    for ck in &compiled.kernels {
+        // Property 1: text-side and simulator-side index expressions are
+        // the same multiset (both come from lower_scalar_access +
+        // idx_to_expr; nothing else manufactures indices).
+        let text_side = kernel_index_exprs(&ck.mono).expect("lowering");
+        assert!(
+            !text_side.is_empty(),
+            "{name}/{}: kernel without memory accesses",
+            ck.mono.name
+        );
+        let mut text_keys: Vec<String> = text_side.iter().map(|e| format!("{e:?}")).collect();
+        let mut sim_keys: Vec<String> = ir_index_exprs(&ck.ir)
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect();
+        text_keys.sort();
+        sim_keys.sort();
+        assert_eq!(
+            text_keys, sim_keys,
+            "{name}/{}: emitted and simulated index expressions diverge",
+            ck.mono.name
+        );
+
+        // Property 2: each backend's kernel text contains its rendering
+        // of every lowered index expression.
+        for be in &backends {
+            let text = &ck.targets[be.name()];
+            for e in &text_side {
+                let mut rendered = String::new();
+                render_ir_expr(be.as_ref(), e, &ck.mono, &mut rendered);
+                assert!(
+                    text.contains(&format!("[{rendered}]")),
+                    "{name}/{}: backend `{}` text lacks index `{rendered}`:\n{text}",
+                    ck.mono.name,
+                    be.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_share_the_lowering_across_the_corpus() {
+    let compiler = Compiler::new();
+    let mut checked = 0;
+    for (name, src) in corpus_sources() {
+        let compiled = compiler
+            .compile_source(&src)
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{e}"));
+        check_program(&name, &compiled);
+        checked += compiled.kernels.len();
+    }
+    assert!(
+        checked >= 10,
+        "expected a real corpus, saw {checked} kernels"
+    );
+}
+
+/// Backend selection: a compiler restricted to one backend emits only
+/// that backend, and unknown names are rejected up front.
+#[test]
+fn backend_selection_is_validated_and_respected() {
+    let src = r#"
+fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+"#;
+    let wgsl_only = Compiler::with_backends(&["wgsl"]).expect("known backend");
+    let compiled = wgsl_only.compile_source(src).expect("compiles");
+    assert_eq!(compiled.targets().keys().collect::<Vec<_>>(), ["wgsl"]);
+    assert!(compiled.cuda_source().is_empty());
+    assert!(compiled.kernels[0].cuda().is_empty());
+    assert!(compiled.kernels[0].targets["wgsl"].contains("@compute"));
+
+    let err = Compiler::with_backends(&["metal"]).unwrap_err();
+    assert!(err.contains("unknown backend `metal`"), "{err}");
+}

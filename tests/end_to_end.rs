@@ -64,7 +64,7 @@ fn main() -[t: cpu.thread]-> () {
 }
 "#;
     let compiled = Compiler::new().compile_source(src).expect("compiles");
-    let cuda = &compiled.cuda_source;
+    let cuda = compiled.cuda_source();
     assert!(cuda.contains("#include <cuda_runtime.h>"));
     assert!(cuda.contains("__global__ void k(double* v)"));
     assert!(cuda.contains("void main() {"));

@@ -6,7 +6,7 @@ use descend::compiler::Compiler;
 
 fn kernel_cuda(src: &str, idx: usize) -> String {
     let compiled = Compiler::new().compile_source(src).expect("compiles");
-    compiled.kernels[idx].cuda.clone()
+    compiled.kernels[idx].cuda().to_string()
 }
 
 #[test]
@@ -133,8 +133,8 @@ void main() {
 }
 ";
     assert!(
-        compiled.cuda_source.contains(expected_host),
+        compiled.cuda_source().contains(expected_host),
         "host code mismatch:\n{}",
-        compiled.cuda_source
+        compiled.cuda_source()
     );
 }

@@ -1,0 +1,151 @@
+//! Golden tests for the OpenCL C backend, mirroring `golden_cuda.rs`:
+//! the generated kernels for the paper's benchmarks are snapshotted here
+//! and compared verbatim, so any unintended change to the lowering or
+//! the emitter is caught.
+
+use descend::compiler::Compiler;
+
+fn kernel_opencl(src: &str, idx: usize) -> String {
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    compiled.kernels[idx].targets["opencl"].clone()
+}
+
+#[test]
+fn golden_scale_vec() {
+    let src = r#"
+fn scale_vec(v: &uniq gpu.global [f64; 1024]) -[grid: gpu.grid<X<32>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+"#;
+    let expected = "\
+__kernel void scale_vec(__global double* v) {
+    v[((get_group_id(0) * 32) + get_local_id(0))] = (v[((get_group_id(0) * 32) + get_local_id(0))] * 3.0);
+}
+";
+    assert_eq!(kernel_opencl(src, 0), expected);
+}
+
+#[test]
+fn golden_transpose_structure() {
+    let src = descend::benchmarks::sources::transpose(256);
+    let cl = kernel_opencl(&src, 0);
+    // Signature, staging buffer, and barrier.
+    assert!(cl.starts_with(
+        "__kernel void transpose(__global const double* input, __global double* output) {"
+    ));
+    assert!(cl.contains("__local double tmp[1024];"));
+    assert!(cl.contains("barrier(CLK_LOCAL_MEM_FENCE);"));
+    // Same linear-normal-form indices as the CUDA rendering, with the
+    // OpenCL coordinate spellings substituted.
+    assert!(
+        cl.contains("input[((((get_group_id(0) * 8192) + (get_group_id(1) * 32)) + get_local_id(0)) + (get_local_id(1) * 256))]"),
+        "expected transposed tile read, got:\n{cl}"
+    );
+    assert!(
+        cl.contains("output[((((get_group_id(0) * 32) + (get_group_id(1) * 8192)) + get_local_id(0)) + (get_local_id(1) * 256))]"),
+        "expected straight tile write, got:\n{cl}"
+    );
+    // Shared-memory accesses: row-major write, transposed read.
+    assert!(cl.contains("tmp[(get_local_id(0) + (get_local_id(1) * 32))]"));
+    assert!(cl.contains("tmp[((get_local_id(0) * 32) + get_local_id(1))]"));
+}
+
+#[test]
+fn golden_reduce_structure() {
+    let src = descend::benchmarks::sources::reduce(2048);
+    let cl = kernel_opencl(&src, 0);
+    assert!(
+        cl.starts_with("__kernel void reduce(__global const double* inp, __global double* out) {")
+    );
+    // The load is fully coalesced.
+    assert!(cl.contains("tmp[get_local_id(0)] = inp[((get_group_id(0) * 512) + get_local_id(0))];"));
+    // The halving splits become coordinate conditions 256, 128, ..., 1.
+    for k in [256, 128, 64, 32, 16, 8, 4, 2, 1] {
+        assert!(
+            cl.contains(&format!("if (get_local_id(0) < {k}) {{")),
+            "missing split at {k}:\n{cl}"
+        );
+    }
+    assert!(cl.contains("tmp[(get_local_id(0) + 256)]"));
+    assert!(cl.contains("tmp[(get_local_id(0) + 1)]"));
+    // Final write of the block result.
+    assert!(cl.contains("out[get_group_id(0)] = tmp[get_local_id(0)];"));
+}
+
+#[test]
+fn golden_matmul_structure() {
+    let src = descend::benchmarks::sources::matmul(64);
+    let cl = kernel_opencl(&src, 0);
+    assert!(cl.starts_with(
+        "__kernel void matmul(__global const double* a, __global const double* b, __global double* c) {"
+    ));
+    assert!(cl.contains("__local double a_tile[1024];"));
+    assert!(cl.contains("__local double b_tile[1024];"));
+    assert!(cl.contains("double acc = 0.0;"));
+    assert!(cl.contains(
+        "a_tile[(get_local_id(0) + (get_local_id(1) * 32))] = a[(((get_group_id(1) * 2048) + get_local_id(0)) + (get_local_id(1) * 64))];"
+    ));
+    assert!(
+        cl.contains("acc = (acc + (a_tile[(get_local_id(1) * 32)] * b_tile[get_local_id(0)]));")
+    );
+    assert!(cl.contains(
+        "c[((((get_group_id(0) * 32) + (get_group_id(1) * 2048)) + get_local_id(0)) + (get_local_id(1) * 64))] = acc;"
+    ));
+}
+
+#[test]
+fn golden_host_code() {
+    let src = r#"
+fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = 0.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 64]>();
+    let d = gpu_alloc_copy(&h);
+    k<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let cl = compiled.target_source("opencl").expect("opencl selected");
+    // f64 anywhere in the unit pulls in the extension pragma.
+    assert!(cl.starts_with("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"));
+    let expected_host = "\
+void main(void) {
+    double* h = (double*)calloc(64, sizeof(double));
+    cl_mem d = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, 64 * sizeof(double), h, NULL);
+    { clSetKernelArg(k_k, 0, sizeof(cl_mem), &d); size_t gws[3] = {64, 1, 1}; size_t lws[3] = {32, 1, 1}; clEnqueueNDRangeKernel(queue, k_k, 3, NULL, gws, lws, 0, NULL, NULL); }
+    clEnqueueReadBuffer(queue, d, CL_TRUE, 0, 64 * sizeof(double), h, 0, NULL, NULL);
+}
+";
+    assert!(cl.contains(expected_host), "host code mismatch:\n{cl}");
+}
+
+/// A pure-f32 unit must not claim the fp64 extension.
+#[test]
+fn f32_unit_omits_fp64_pragma() {
+    let src = r#"
+fn fill(v: &uniq gpu.global [f32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = 1.5f32;
+        }
+    }
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let cl = compiled.target_source("opencl").unwrap();
+    assert!(!cl.contains("cl_khr_fp64"), "unexpected pragma:\n{cl}");
+    assert!(cl.contains("__global float* v"));
+    assert!(cl.contains("1.5f"));
+}

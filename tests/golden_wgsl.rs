@@ -1,0 +1,184 @@
+//! Golden tests for the WGSL backend, mirroring `golden_cuda.rs`: the
+//! generated modules for the paper's benchmarks are snapshotted here and
+//! compared verbatim, so any unintended change to the lowering or the
+//! emitter is caught.
+
+use descend::compiler::Compiler;
+
+fn kernel_wgsl(src: &str, idx: usize) -> String {
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    compiled.kernels[idx].targets["wgsl"].clone()
+}
+
+#[test]
+fn golden_scale_vec() {
+    let src = r#"
+fn scale_vec(v: &uniq gpu.global [f64; 1024]) -[grid: gpu.grid<X<32>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+"#;
+    let expected = "\
+// Kernel `scale_vec` — standalone WGSL module.
+// note: f64 narrowed to f32 (WGSL has no f64).
+@group(0) @binding(0) var<storage, read_write> v: array<f32, 1024>;
+const block_dim: vec3<u32> = vec3<u32>(32, 1, 1);
+
+@compute @workgroup_size(32, 1, 1)
+fn scale_vec(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocation_id) thread_idx: vec3<u32>, @builtin(num_workgroups) grid_dim: vec3<u32>) {
+    v[((block_idx.x * 32) + thread_idx.x)] = (v[((block_idx.x * 32) + thread_idx.x)] * 3.0);
+}
+";
+    assert_eq!(kernel_wgsl(src, 0), expected);
+}
+
+#[test]
+fn golden_transpose_structure() {
+    let src = descend::benchmarks::sources::transpose(256);
+    let w = kernel_wgsl(&src, 0);
+    // Bindings: read for the shared borrow, read_write for the unique one.
+    assert!(w.contains("@group(0) @binding(0) var<storage, read> input: array<f32, 65536>;"));
+    assert!(w.contains("@group(0) @binding(1) var<storage, read_write> output: array<f32, 65536>;"));
+    assert!(w.contains("var<workgroup> tmp: array<f32, 1024>;"));
+    assert!(w.contains("@compute @workgroup_size(32, 8, 1)"));
+    assert!(w.contains("workgroupBarrier();"));
+    // Same linear-normal-form indices as the CUDA rendering, with the
+    // WGSL coordinate spellings substituted.
+    assert!(
+        w.contains("input[((((block_idx.x * 8192) + (block_idx.y * 32)) + thread_idx.x) + (thread_idx.y * 256))]"),
+        "expected transposed tile read, got:\n{w}"
+    );
+    assert!(
+        w.contains("output[((((block_idx.x * 32) + (block_idx.y * 8192)) + thread_idx.x) + (thread_idx.y * 256))]"),
+        "expected straight tile write, got:\n{w}"
+    );
+    // Shared-memory accesses: row-major write, transposed read.
+    assert!(w.contains("tmp[(thread_idx.x + (thread_idx.y * 32))]"));
+    assert!(w.contains("tmp[((thread_idx.x * 32) + thread_idx.y)]"));
+}
+
+#[test]
+fn golden_reduce_structure() {
+    let src = descend::benchmarks::sources::reduce(2048);
+    let w = kernel_wgsl(&src, 0);
+    assert!(w.contains("@compute @workgroup_size(512, 1, 1)"));
+    assert!(w.contains("const block_dim: vec3<u32> = vec3<u32>(512, 1, 1);"));
+    assert!(w.contains(
+        "fn reduce(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocation_id) thread_idx: vec3<u32>, @builtin(num_workgroups) grid_dim: vec3<u32>) {"
+    ));
+    // The load is fully coalesced.
+    assert!(w.contains("tmp[thread_idx.x] = inp[((block_idx.x * 512) + thread_idx.x)];"));
+    // The halving splits become coordinate conditions 256, 128, ..., 1.
+    for k in [256, 128, 64, 32, 16, 8, 4, 2, 1] {
+        assert!(
+            w.contains(&format!("if (thread_idx.x < {k}) {{")),
+            "missing split at {k}:\n{w}"
+        );
+    }
+    assert!(w.contains("tmp[(thread_idx.x + 256)]"));
+    assert!(w.contains("tmp[(thread_idx.x + 1)]"));
+    // Final write of the block result.
+    assert!(w.contains("out[block_idx.x] = tmp[thread_idx.x];"));
+}
+
+#[test]
+fn golden_matmul_structure() {
+    let src = descend::benchmarks::sources::matmul(64);
+    let w = kernel_wgsl(&src, 0);
+    assert!(w.contains("var<workgroup> a_tile: array<f32, 1024>;"));
+    assert!(w.contains("var<workgroup> b_tile: array<f32, 1024>;"));
+    // Thread-private accumulator as a WGSL local.
+    assert!(w.contains("var acc: f32 = 0.0;"));
+    assert!(w.contains(
+        "a_tile[(thread_idx.x + (thread_idx.y * 32))] = a[(((block_idx.y * 2048) + thread_idx.x) + (thread_idx.y * 64))];"
+    ));
+    assert!(w.contains("acc = (acc + (a_tile[(thread_idx.y * 32)] * b_tile[thread_idx.x]));"));
+    assert!(w.contains(
+        "c[((((block_idx.x * 32) + (block_idx.y * 2048)) + thread_idx.x) + (thread_idx.y * 64))] = acc;"
+    ));
+}
+
+#[test]
+fn golden_host_sketch() {
+    let src = r#"
+fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = 0.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 64]>();
+    let d = gpu_alloc_copy(&h);
+    k<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let w = compiled.target_source("wgsl").expect("wgsl selected");
+    // The host side renders as a commented WebGPU sketch that keeps the
+    // sizes (64 f32 elements = 256 bytes) and dispatch shape reviewable.
+    assert!(w.contains("//   const h = new Float32Array(64);"));
+    assert!(w.contains(
+        "//   const d = device.createBuffer({ size: 256, usage: STORAGE | COPY_SRC | COPY_DST });"
+    ));
+    assert!(w.contains("//   device.queue.writeBuffer(d, 0, h);"));
+    assert!(w.contains("//   dispatch('k', [2, 1, 1], [d]);"));
+    assert!(w.contains("//   await readBack(d, h);"));
+    // Nothing outside comments on the host side: every host line of the
+    // unit is a `//` line.
+    let host_part = w.split("// Host function").nth(1).expect("host section");
+    for line in host_part.lines().skip(1) {
+        assert!(
+            line.is_empty() || line.starts_with("//"),
+            "host sketch leaked non-comment WGSL: {line}"
+        );
+    }
+}
+
+/// Bool buffers are not host-shareable in WGSL: they travel as `u32`,
+/// with conversions at the store site (and `!= 0` at loads).
+#[test]
+fn bool_buffers_travel_as_u32() {
+    let src = r#"
+fn mark(v: &uniq gpu.global [bool; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] = true;
+        }
+    }
+}
+"#;
+    let w = kernel_wgsl(src, 0);
+    assert!(w.contains("var<storage, read_write> v: array<u32, 64>;"));
+    assert!(w.contains("v[((block_idx.x * 32) + thread_idx.x)] = select(0u, 1u, true);"));
+    // The OpenCL rendering uses a sized type at the kernel ABI boundary.
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    assert!(compiled.kernels[0].targets["opencl"].contains("__global uchar* v"));
+}
+
+/// An i32 kernel keeps its element type (no narrowing note) and renders
+/// `var` locals with WGSL type ascription.
+#[test]
+fn i32_kernel_keeps_type() {
+    let src = r#"
+fn bump(v: &uniq gpu.global [i32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            let x = (*v).group::<32>[[block]][[thread]] + 1;
+            (*v).group::<32>[[block]][[thread]] = x;
+        }
+    }
+}
+"#;
+    let w = kernel_wgsl(src, 0);
+    assert!(w.contains("var<storage, read_write> v: array<i32, 64>;"));
+    assert!(!w.contains("narrowed"), "no f64 involved:\n{w}");
+    assert!(w.contains("var x: i32 = (v[((block_idx.x * 32) + thread_idx.x)] + 1);"));
+}

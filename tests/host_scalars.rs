@@ -1,0 +1,124 @@
+//! The host interpreter beyond f64: f32 and i32 buffers allocate,
+//! upload, execute and read back, with element-kind conversions matching
+//! what the simulated kernel stores (previously `run_host` rejected any
+//! non-f64 allocation).
+
+use descend::compiler::Compiler;
+use descend::sim::LaunchConfig;
+use std::collections::HashMap;
+
+fn race_checked() -> LaunchConfig {
+    LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    }
+}
+
+#[test]
+fn f32_program_runs_end_to_end_with_quantization() {
+    let src = r#"
+fn saxpyish(x: & gpu.global [f32; 128], y: &uniq gpu.global [f32; 128])
+-[grid: gpu.grid<X<4>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*y).group::<32>[[block]][[thread]] =
+                (*y).group::<32>[[block]][[thread]]
+                + (*x).group::<32>[[block]][[thread]] * 2.0f32;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let hx = alloc::<cpu.mem, [f32; 128]>();
+    let hy = alloc::<cpu.mem, [f32; 128]>();
+    let dx = gpu_alloc_copy(&hx);
+    let dy = gpu_alloc_copy(&hy);
+    saxpyish<<<X<4>, X<32>>>>(&dx, &uniq dy);
+    copy_mem_to_host(&uniq hy, &dy);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    // 0.1 is not exactly representable in f32: the host allocation must
+    // quantize it the same way the f32 device buffer does.
+    inputs.insert("hx".to_string(), vec![0.1; 128]);
+    inputs.insert("hy".to_string(), vec![1.0; 128]);
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    let q = (0.1f32) as f64;
+    // Kernel stores into f32 buffers round to f32 as well (the
+    // simulator quantizes on store), so the read-back result is the
+    // f32 of the f64 computation.
+    let expect = ((1.0 + q * 2.0) as f32) as f64;
+    for v in &run.cpu["hy"] {
+        assert_eq!(*v, expect);
+    }
+    // The untouched input buffer shows its quantized contents.
+    for v in &run.cpu["hx"] {
+        assert_eq!(*v, q);
+    }
+}
+
+#[test]
+fn i32_program_runs_end_to_end_with_truncation() {
+    let src = r#"
+fn bump(v: &uniq gpu.global [i32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] + 1;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [i32; 64]>();
+    let d = gpu_alloc_copy(&h);
+    bump<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    // Fractional inputs truncate toward zero on i32 allocation.
+    inputs.insert("h".to_string(), (0..64).map(|i| i as f64 + 0.75).collect());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    let out = &run.cpu["h"];
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, (i + 1) as f64, "element {i}");
+    }
+}
+
+/// Mixed-kind programs keep each buffer's conversion separate.
+#[test]
+fn f64_buffers_stay_bit_exact() {
+    let src = r#"
+fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 64]>();
+    let d = gpu_alloc_copy(&h);
+    scale<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), vec![0.1; 64]);
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    for v in &run.cpu["h"] {
+        assert_eq!(*v, 0.1 * 3.0);
+    }
+}

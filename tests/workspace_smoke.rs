@@ -42,7 +42,7 @@ fn lib_quickstart_roundtrips() {
         .compile_source(source)
         .expect("type checks");
     assert_eq!(compiled.kernels.len(), 1);
-    assert!(compiled.cuda_source.contains("__global__"));
+    assert!(compiled.cuda_source().contains("__global__"));
 }
 
 /// A full host pipeline through the facade executes on the simulator.
