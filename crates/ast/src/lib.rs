@@ -9,7 +9,10 @@
 //! - [`ty`]: data types, memory spaces, dimensions, and execution levels
 //!   (the paper's Figure 6),
 //! - [`term`]: terms, statements, place expressions, and views (the paper's
-//!   Figures 3 and 5),
+//!   Figures 3 and 5), plus atomic read-modify-write statements
+//!   (`atomic_add`/`atomic_min`/`atomic_max`/`atomic_exchange`) — the
+//!   typed escape hatch for cross-thread accumulation that barriers
+//!   cannot express,
 //! - [`pretty`]: a pretty-printer that renders ASTs back to concrete syntax.
 //!
 //! The grammar follows the paper *Descend: A Safe GPU Systems Programming
@@ -26,8 +29,8 @@ pub mod ty;
 pub use nat::Nat;
 pub use span::Span;
 pub use term::{
-    Block, ConstDef, Expr, ExprKind, FnDef, Item, Lit, NatRange, PlaceExpr, PlaceExprKind, Program,
-    Stmt, StmtKind, ViewApp, ViewDef,
+    AtomicOp, Block, ConstDef, Expr, ExprKind, FnDef, Item, Lit, NatRange, PlaceExpr,
+    PlaceExprKind, Program, Stmt, StmtKind, ViewApp, ViewDef,
 };
 pub use ty::{
     DataTy, Dim, DimCompo, ExecTy, FnSig, Kind, Memory, NatConstraint, RefKind, ScalarTy,

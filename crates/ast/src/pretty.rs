@@ -192,6 +192,22 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             block(out, body, level);
         }
         StmtKind::Sync => out.push_str("sync;"),
+        StmtKind::AtomicRmw {
+            op,
+            place,
+            index,
+            value,
+        } => {
+            let _ = write!(out, "{op}(");
+            place_expr(out, place);
+            if let Some(i) = index {
+                out.push_str(", ");
+                expr(out, i);
+            }
+            out.push_str(", ");
+            expr(out, value);
+            out.push_str(");");
+        }
         StmtKind::Scope(b) => block(out, b, level),
     }
 }
@@ -222,6 +238,9 @@ fn expr(out: &mut String, e: &Expr) {
             }
             Lit::I32(v) => {
                 let _ = write!(out, "{v}");
+            }
+            Lit::U32(v) => {
+                let _ = write!(out, "{v}u32");
             }
             Lit::Bool(v) => {
                 let _ = write!(out, "{v}");

@@ -192,8 +192,69 @@ pub enum StmtKind {
     },
     /// `sync;` — block-wide barrier synchronization.
     Sync,
+    /// An atomic read-modify-write: `atomic_add(p, e);`,
+    /// `atomic_min(p, e);`, ... — the only way concurrent threads may
+    /// write one place without narrowing selects. The optional `index`
+    /// makes the target data-dependent (`atomic_add(p, i, e)` updates
+    /// element `i` of the array place `p`), which is what scatter
+    /// patterns like histograms need and which no plain assignment can
+    /// express.
+    AtomicRmw {
+        /// The read-modify-write operation.
+        op: AtomicOp,
+        /// The target place: a scalar place (two-argument form) or an
+        /// array place (three-argument form).
+        place: PlaceExpr,
+        /// Dynamic element index into the array place (three-argument
+        /// form only).
+        index: Option<Expr>,
+        /// The operand combined into the target.
+        value: Expr,
+    },
     /// A nested scope `{ ... }` (controls deallocation of `@`-types).
     Scope(Block),
+}
+
+/// Atomic read-modify-write operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// `atomic_add`: fetch-and-add.
+    Add,
+    /// `atomic_min`: fetch-and-min.
+    Min,
+    /// `atomic_max`: fetch-and-max.
+    Max,
+    /// `atomic_exchange`: unconditional swap.
+    Exch,
+}
+
+impl AtomicOp {
+    /// The surface-syntax (and intrinsic) name.
+    pub fn fn_name(&self) -> &'static str {
+        match self {
+            AtomicOp::Add => "atomic_add",
+            AtomicOp::Min => "atomic_min",
+            AtomicOp::Max => "atomic_max",
+            AtomicOp::Exch => "atomic_exchange",
+        }
+    }
+
+    /// Parses a surface name back to the operation.
+    pub fn from_name(name: &str) -> Option<AtomicOp> {
+        Some(match name {
+            "atomic_add" => AtomicOp::Add,
+            "atomic_min" => AtomicOp::Min,
+            "atomic_max" => AtomicOp::Max,
+            "atomic_exchange" => AtomicOp::Exch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AtomicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.fn_name())
+    }
 }
 
 /// A statically evaluated range of nats for `for`-nat loops.
@@ -347,6 +408,8 @@ pub enum Lit {
     F32(f32),
     /// 32-bit signed integer.
     I32(i64),
+    /// 32-bit unsigned integer (`5u32`).
+    U32(u64),
     /// Boolean.
     Bool(bool),
     /// Unit.

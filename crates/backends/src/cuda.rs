@@ -8,6 +8,7 @@
 
 use crate::shared::{axis_name, indent, BodyCx, Builtin, HostSizes};
 use crate::KernelBackend;
+use descend_ast::term::AtomicOp;
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -49,8 +50,29 @@ impl KernelBackend for CudaBackend {
             ScalarKind::F64 => format!("{v:?}"),
             ScalarKind::F32 => format!("{v:?}f"),
             ScalarKind::I32 => format!("{}", v as i64),
+            ScalarKind::U32 => format!("{}u", v as i64),
             ScalarKind::Bool => format!("{}", v != 0.0),
         }
+    }
+
+    fn atomic_rmw(
+        &self,
+        op: AtomicOp,
+        _elem: ScalarKind,
+        _global: bool,
+        target: &str,
+        value: &str,
+    ) -> String {
+        // CUDA's intrinsics overload on the pointee type (f32
+        // `atomicAdd`/`atomicExch` are native; the checker restricts
+        // min/max to integer places).
+        let f = match op {
+            AtomicOp::Add => "atomicAdd",
+            AtomicOp::Min => "atomicMin",
+            AtomicOp::Max => "atomicMax",
+            AtomicOp::Exch => "atomicExch",
+        };
+        format!("{f}(&{target}, {value});")
     }
 
     fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {

@@ -21,7 +21,12 @@
 //! ([`KernelBackend::builtin`]), literal formats
 //! ([`KernelBackend::literal`]), local-declaration shape
 //! ([`KernelBackend::local_decl`]), the barrier statement
-//! ([`KernelBackend::barrier`]), and the kernel/host-stub framing
+//! ([`KernelBackend::barrier`]), atomic RMW calls
+//! ([`KernelBackend::atomic_rmw`] — CUDA `atomicAdd(&p, v)`, OpenCL
+//! `atomic_add((volatile __global int*)&p, v)` plus f32 CAS-loop
+//! helpers, WGSL `atomicAdd` on `array<atomic<T>>` with
+//! `atomicStore`/`atomicLoad` for plain accesses to the same buffer),
+//! and the kernel/host-stub framing
 //! ([`KernelBackend::emit_kernel`], [`KernelBackend::emit_host_fn`]).
 //!
 //! Everything *semantic* is shared and non-overridable in practice:
@@ -57,9 +62,14 @@ pub mod wgsl;
 
 pub use cuda::CudaBackend;
 pub use opencl::OpenClBackend;
-pub use shared::{access_index_expr, ir_index_exprs, kernel_index_exprs, render_ir_expr, Builtin};
+pub use shared::{
+    access_index_expr, atomic_index_expr, atomic_targets, for_each_stmt, ir_index_exprs,
+    kernel_index_exprs, kernel_inline_index_exprs, render_ir_expr, render_ir_expr_named, Builtin,
+    SlotMap,
+};
 pub use wgsl::WgslBackend;
 
+use descend_ast::term::AtomicOp;
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -105,6 +115,54 @@ pub trait KernelBackend {
     /// (default: identity; see [`KernelBackend::load_conversion`]).
     fn store_conversion(&self, _elem: ScalarKind, text: String) -> String {
         text
+    }
+
+    /// Renders one atomic RMW statement (without indentation or trailing
+    /// newline). `target` is the rendered lvalue (e.g. `hist[idx]`),
+    /// `value` the rendered operand; `global` says whether the target
+    /// lives in global (true) or shared/workgroup (false) memory —
+    /// OpenCL's address-space-qualified helpers need the distinction.
+    fn atomic_rmw(
+        &self,
+        op: AtomicOp,
+        elem: ScalarKind,
+        global: bool,
+        target: &str,
+        value: &str,
+    ) -> String;
+
+    /// Renders a *plain* store to a buffer that is an atomic target
+    /// elsewhere in the kernel (default: ordinary assignment; WGSL must
+    /// spell `atomicStore` — with a `bitcast<u32>` for f32 targets,
+    /// whose buffers are declared `atomic<u32>`).
+    fn atomic_buffer_store(&self, _elem: ScalarKind, target: &str, value: &str) -> String {
+        format!("{target} = {value};")
+    }
+
+    /// Wraps a *plain* load from a buffer that is an atomic target
+    /// elsewhere in the kernel (default: identity; WGSL spells
+    /// `atomicLoad`, bitcast back to f32 for f32 targets).
+    fn atomic_buffer_load(&self, _elem: ScalarKind, text: String) -> String {
+        text
+    }
+
+    /// Spelling of an explicit scalar conversion (used for the emitted
+    /// scatter-index temporary). Default is the C-style cast shared by
+    /// CUDA C++ and OpenCL C; WGSL overrides with a value constructor.
+    fn cast(&self, to: ScalarKind, text: &str) -> String {
+        format!("({})({text})", self.scalar_type(to))
+    }
+
+    /// Spelling of the scatter-index temporary where it is *used* inside
+    /// an element-address expression (default: the bare name). WGSL
+    /// wraps it in `u32(...)`: its coordinate builtins make address
+    /// arithmetic u32-typed and the language has no implicit integer
+    /// conversions, so a bare i32 temporary would not validate when the
+    /// target place carries a static coordinate offset. A negative index
+    /// wraps to a huge u32 and fails the `< len` guard, preserving the
+    /// bounds check.
+    fn scatter_index_use(&self, name: &str) -> String {
+        name.to_string()
     }
 
     /// Renders one kernel.

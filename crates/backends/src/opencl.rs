@@ -9,10 +9,11 @@
 //! ones the simulator executes — only the coordinate spellings
 //! (`get_group_id(0)` for `blockIdx.x`, ...) differ from CUDA.
 
-use crate::shared::{indent, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::shared::{for_each_stmt, indent, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
 use crate::KernelBackend;
+use descend_ast::term::AtomicOp;
 use descend_codegen::CodegenError;
-use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
+use descend_typeck::{CheckedProgram, ElabStmt, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
 use std::fmt::Write as _;
 
@@ -28,8 +29,24 @@ fn buffer_type(k: ScalarKind) -> &'static str {
         ScalarKind::F64 => "double",
         ScalarKind::F32 => "float",
         ScalarKind::I32 => "int",
+        ScalarKind::U32 => "uint",
         ScalarKind::Bool => "uchar",
     }
+}
+
+/// Whether any kernel performs an f32 `atomic_add` (which OpenCL C has
+/// no native intrinsic for; the prelude then defines CAS-loop helpers
+/// over the bit pattern, one per address space).
+fn uses_f32_atomic_add(checked: &CheckedProgram) -> bool {
+    let mut hit = false;
+    for k in &checked.kernels {
+        for_each_stmt(&k.body, &mut |s| {
+            if let ElabStmt::Atomic { op, access, .. } = s {
+                hit |= *op == AtomicOp::Add && access.elem == ScalarKind::F32;
+            }
+        });
+    }
+    hit
 }
 
 fn axis_index(a: Axis) -> usize {
@@ -54,6 +71,7 @@ impl KernelBackend for OpenClBackend {
             ScalarKind::F64 => "double",
             ScalarKind::F32 => "float",
             ScalarKind::I32 => "int",
+            ScalarKind::U32 => "uint",
             ScalarKind::Bool => "bool",
         }
     }
@@ -77,8 +95,39 @@ impl KernelBackend for OpenClBackend {
             ScalarKind::F64 => format!("{v:?}"),
             ScalarKind::F32 => format!("{v:?}f"),
             ScalarKind::I32 => format!("{}", v as i64),
+            ScalarKind::U32 => format!("{}u", v as i64),
             ScalarKind::Bool => format!("{}", v != 0.0),
         }
+    }
+
+    fn atomic_rmw(
+        &self,
+        op: AtomicOp,
+        elem: ScalarKind,
+        global: bool,
+        target: &str,
+        value: &str,
+    ) -> String {
+        let space = if global { "__global" } else { "__local" };
+        // OpenCL 1.x atomic functions take `volatile <space> T*`
+        // pointers; f32 add goes through the CAS-loop helpers the
+        // prelude defines (f32 exchange is native `atomic_xchg`).
+        if elem == ScalarKind::F32 && op == AtomicOp::Add {
+            let helper = if global {
+                "descend_atomic_add_f32_global"
+            } else {
+                "descend_atomic_add_f32_local"
+            };
+            return format!("{helper}(&{target}, {value});");
+        }
+        let f = match op {
+            AtomicOp::Add => "atomic_add",
+            AtomicOp::Min => "atomic_min",
+            AtomicOp::Max => "atomic_max",
+            AtomicOp::Exch => "atomic_xchg",
+        };
+        let t = self.scalar_type(elem);
+        format!("{f}((volatile {space} {t}*)&{target}, {value});")
     }
 
     fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {
@@ -209,6 +258,26 @@ impl KernelBackend for OpenClBackend {
             .any(|k| kernel_uses_scalar(k, ScalarKind::F64))
         {
             out.push_str("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n");
+        }
+        if uses_f32_atomic_add(checked) {
+            out.push_str(
+                "/* f32 atomic add is not native in OpenCL C: compare-and-swap on the bit\n \
+                 * pattern, per address space (volatile, as the atomic builtins require). */\n\
+                 inline void descend_atomic_add_f32_global(volatile __global float* p, float v) {\n\
+                 \x20   union { unsigned int u; float f; } old_val, new_val;\n\
+                 \x20   do {\n\
+                 \x20       old_val.f = *p;\n\
+                 \x20       new_val.f = old_val.f + v;\n\
+                 \x20   } while (atomic_cmpxchg((volatile __global unsigned int*)p, old_val.u, new_val.u) != old_val.u);\n\
+                 }\n\
+                 inline void descend_atomic_add_f32_local(volatile __local float* p, float v) {\n\
+                 \x20   union { unsigned int u; float f; } old_val, new_val;\n\
+                 \x20   do {\n\
+                 \x20       old_val.f = *p;\n\
+                 \x20       new_val.f = old_val.f + v;\n\
+                 \x20   } while (atomic_cmpxchg((volatile __local unsigned int*)p, old_val.u, new_val.u) != old_val.u);\n\
+                 }\n\n",
+            );
         }
         out
     }

@@ -12,13 +12,13 @@ use crate::KernelBackend;
 use descend_ast::term::BinOp as AstBinOp;
 use descend_ast::term::UnOp as AstUnOp;
 use descend_ast::ty::DimCompo;
-use descend_codegen::ir_gen::idx_to_expr;
+use descend_codegen::ir_gen::{elab_expr_to_ir, idx_to_expr, idx_to_expr_subst};
 use descend_codegen::CodegenError;
 use descend_exec::Space;
-use descend_places::lower_scalar_access;
+use descend_places::{lower_scalar_access, DYN_IDX};
 use descend_typeck::{ElabAccess, ElabExpr, ElabStmt, HostStmt, MemKind, MonoKernel, ScalarKind};
 use gpu_sim::ir::{Axis, Expr, KernelIr, Stmt};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// A hardware coordinate builtin, spelled per backend.
@@ -56,6 +56,93 @@ pub fn access_index_expr(a: &ElabAccess) -> Result<Expr, CodegenError> {
     idx_to_expr(&idx)
 }
 
+/// Mirrors the slot assignment of the IR lowering
+/// (`descend_codegen`'s `LowerCx`): every `Local` declaration takes the
+/// next slot, rebinding a name takes a fresh slot. Walking an elaborated
+/// body in syntactic order with this map reproduces the exact `Local`
+/// indices the simulator IR uses, which is what lets the emission layer
+/// build atomic-scatter index expressions that equal the IR's node for
+/// node.
+#[derive(Default)]
+pub struct SlotMap {
+    map: HashMap<String, usize>,
+    next: usize,
+}
+
+impl SlotMap {
+    /// A fresh, empty map.
+    pub fn new() -> SlotMap {
+        SlotMap::default()
+    }
+
+    /// Declares (or rebinds) a local, returning its slot.
+    pub fn declare(&mut self, name: &str) -> usize {
+        let slot = self.next;
+        self.next += 1;
+        self.map.insert(name.to_string(), slot);
+        slot
+    }
+
+    /// The live slot of a name.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.map.get(name).copied()
+    }
+}
+
+/// Visits every statement of an elaborated body in syntactic order,
+/// recursing into both branches of splits — the one tree walk every
+/// whole-body query (atomic targets, scalar-kind scans, backend-specific
+/// feature detection) shares, so adding a nesting statement kind means
+/// updating exactly this function.
+pub fn for_each_stmt<'a>(body: &'a [ElabStmt], f: &mut dyn FnMut(&'a ElabStmt)) {
+    for s in body {
+        f(s);
+        if let ElabStmt::Split { fst, snd, .. } = s {
+            for_each_stmt(fst, f);
+            for_each_stmt(snd, f);
+        }
+    }
+}
+
+/// The buffers an elaborated kernel updates atomically anywhere in its
+/// body. Backends whose buffer declarations change for atomic targets
+/// (WGSL's `array<atomic<T>>`) and the shared renderer (plain accesses to
+/// such buffers) both key off this set.
+pub fn atomic_targets(k: &MonoKernel) -> HashSet<MemKind> {
+    let mut out = HashSet::new();
+    for_each_stmt(&k.body, &mut |s| {
+        if let ElabStmt::Atomic { access, .. } = s {
+            out.insert(access.mem);
+        }
+    });
+    out
+}
+
+/// Builds the full element-index IR expression of an atomic access: the
+/// static part comes from the shared `lower_scalar_access` pipeline; the
+/// scatter form splices the runtime index (converted by
+/// [`elab_expr_to_ir`]) in place of the [`DYN_IDX`] sentinel. This is
+/// exactly the expression `kernel_to_ir` puts in the simulator IR.
+///
+/// # Errors
+///
+/// Propagates lowering failures (see [`CodegenError`]).
+pub fn atomic_index_expr(
+    access: &ElabAccess,
+    index: Option<&ElabExpr>,
+    locals: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Expr, CodegenError> {
+    let raw = lower_scalar_access(&access.path, &access.root_dims)
+        .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+    match index {
+        Some(ie) => {
+            let ie = elab_expr_to_ir(ie, locals)?;
+            idx_to_expr_subst(&raw, &|v| (v == DYN_IDX).then(|| ie.clone()))
+        }
+        None => idx_to_expr(&raw),
+    }
+}
+
 /// Maps an execution space to the coordinate builtin selecting it.
 pub fn space_builtin(space: Space) -> Builtin {
     match space {
@@ -86,18 +173,13 @@ pub fn axis_name(a: Axis) -> &'static str {
 /// shared staging, or thread-private locals (used by backends that need
 /// an extension pragma or a narrowing note for a kind).
 pub fn kernel_uses_scalar(k: &MonoKernel, kind: ScalarKind) -> bool {
-    fn body_has_local(body: &[ElabStmt], kind: ScalarKind) -> bool {
-        body.iter().any(|s| match s {
-            ElabStmt::Local { elem, .. } => *elem == kind,
-            ElabStmt::Split { fst, snd, .. } => {
-                body_has_local(fst, kind) || body_has_local(snd, kind)
-            }
-            _ => false,
-        })
-    }
-    k.params.iter().any(|p| p.elem == kind)
-        || k.shared.iter().any(|s| s.elem == kind)
-        || body_has_local(&k.body, kind)
+    let mut local_hit = false;
+    for_each_stmt(&k.body, &mut |s| {
+        if let ElabStmt::Local { elem, .. } = s {
+            local_hit |= *elem == kind;
+        }
+    });
+    k.params.iter().any(|p| p.elem == kind) || k.shared.iter().any(|s| s.elem == kind) || local_hit
 }
 
 fn ir_binop(op: gpu_sim::ir::BinOp) -> &'static str {
@@ -125,8 +207,23 @@ fn ir_binop(op: gpu_sim::ir::BinOp) -> &'static str {
 
 /// Renders an IR expression with the backend's coordinate and buffer
 /// spellings. Used for the index expressions, so every target's text
-/// matches the simulated lowering exactly.
+/// matches the simulated lowering exactly. Local slots render as `l<i>`
+/// (hand-built IR); bodies with named locals go through
+/// [`render_ir_expr_named`].
 pub fn render_ir_expr(be: &dyn KernelBackend, e: &Expr, k: &MonoKernel, out: &mut String) {
+    render_ir_expr_named(be, e, k, &[], out);
+}
+
+/// Like [`render_ir_expr`], but renders `Local(i)` with the kernel's
+/// declared local names (slot-indexed, as mirrored by [`SlotMap`]); slots
+/// beyond the table fall back to `l<i>`.
+pub fn render_ir_expr_named(
+    be: &dyn KernelBackend,
+    e: &Expr,
+    k: &MonoKernel,
+    local_names: &[String],
+    out: &mut String,
+) {
     match e {
         Expr::LitI(v) => {
             let _ = write!(out, "{v}");
@@ -141,31 +238,34 @@ pub fn render_ir_expr(be: &dyn KernelBackend, e: &Expr, k: &MonoKernel, out: &mu
         Expr::ThreadIdx(a) => out.push_str(&be.builtin(Builtin::ThreadIdx, *a)),
         Expr::BlockDim(a) => out.push_str(&be.builtin(Builtin::BlockDim, *a)),
         Expr::GridDim(a) => out.push_str(&be.builtin(Builtin::GridDim, *a)),
-        Expr::Local(i) => {
-            let _ = write!(out, "l{i}");
-        }
+        Expr::Local(i) => match local_names.get(*i) {
+            Some(n) => out.push_str(n),
+            None => {
+                let _ = write!(out, "l{i}");
+            }
+        },
         Expr::LoadGlobal { buf, idx } => {
             let _ = write!(out, "{}[", k.params[*buf].name);
-            render_ir_expr(be, idx, k, out);
+            render_ir_expr_named(be, idx, k, local_names, out);
             out.push(']');
         }
         Expr::LoadShared { buf, idx } => {
             let _ = write!(out, "{}[", k.shared[*buf].name);
-            render_ir_expr(be, idx, k, out);
+            render_ir_expr_named(be, idx, k, local_names, out);
             out.push(']');
         }
         Expr::Bin(op @ (gpu_sim::ir::BinOp::Min | gpu_sim::ir::BinOp::Max), a, b) => {
             let _ = write!(out, "{}(", ir_binop(*op));
-            render_ir_expr(be, a, k, out);
+            render_ir_expr_named(be, a, k, local_names, out);
             out.push_str(", ");
-            render_ir_expr(be, b, k, out);
+            render_ir_expr_named(be, b, k, local_names, out);
             out.push(')');
         }
         Expr::Bin(op, a, b) => {
             out.push('(');
-            render_ir_expr(be, a, k, out);
+            render_ir_expr_named(be, a, k, local_names, out);
             let _ = write!(out, " {} ", ir_binop(*op));
-            render_ir_expr(be, b, k, out);
+            render_ir_expr_named(be, b, k, local_names, out);
             out.push(')');
         }
         Expr::Un(op, a) => {
@@ -174,7 +274,7 @@ pub fn render_ir_expr(be: &dyn KernelBackend, e: &Expr, k: &MonoKernel, out: &mu
                 gpu_sim::ir::UnOp::Not => "!",
             });
             out.push('(');
-            render_ir_expr(be, a, k, out);
+            render_ir_expr_named(be, a, k, local_names, out);
             out.push(')');
         }
     }
@@ -209,6 +309,16 @@ pub struct BodyCx<'a> {
     /// Rendered name per live local (uniquified on rebinding).
     local_names: HashMap<String, String>,
     decl_counter: usize,
+    /// IR slot per live local, mirroring the IR lowering's assignment.
+    slots: SlotMap,
+    /// Rendered name per IR slot (for [`render_ir_expr_named`]).
+    slot_names: Vec<String>,
+    /// Buffers updated atomically anywhere in the kernel.
+    atomic_bufs: HashSet<MemKind>,
+    /// Counter for emitted scatter-index temporaries (`descend_idx_<n>`;
+    /// text-only locals the IR does not have, so they stay out of the
+    /// slot tables).
+    scatter_counter: usize,
 }
 
 impl<'a> BodyCx<'a> {
@@ -219,6 +329,10 @@ impl<'a> BodyCx<'a> {
             kernel,
             local_names: HashMap::new(),
             decl_counter: 0,
+            slots: SlotMap::new(),
+            slot_names: Vec::new(),
+            atomic_bufs: atomic_targets(kernel),
+            scatter_counter: 0,
         }
     }
 
@@ -235,6 +349,9 @@ impl<'a> BodyCx<'a> {
             ElabExpr::Load(a) => {
                 let mut text = String::new();
                 self.access(a, &mut text)?;
+                if self.atomic_bufs.contains(&a.mem) {
+                    text = self.be.atomic_buffer_load(a.elem, text);
+                }
                 out.push_str(&self.be.load_conversion(a.elem, text));
             }
             ElabExpr::Binary(op, x, y) => {
@@ -298,6 +415,9 @@ impl<'a> BodyCx<'a> {
                     let mut init_text = String::new();
                     self.expr(init, &mut init_text)?;
                     self.local_names.insert(name.clone(), rendered.clone());
+                    let slot = self.slots.declare(name);
+                    debug_assert_eq!(slot, self.slot_names.len());
+                    self.slot_names.push(rendered.clone());
                     out.push_str(&self.be.local_decl(*elem, &rendered, &init_text));
                     out.push('\n');
                 }
@@ -314,12 +434,24 @@ impl<'a> BodyCx<'a> {
                 }
                 ElabStmt::Store { access, value } => {
                     indent(out, level);
-                    self.access(access, out)?;
-                    out.push_str(" = ");
-                    let mut text = String::new();
-                    self.expr(value, &mut text)?;
-                    out.push_str(&self.be.store_conversion(access.elem, text));
-                    out.push_str(";\n");
+                    let mut value_text = String::new();
+                    self.expr(value, &mut value_text)?;
+                    let value_text = self.be.store_conversion(access.elem, value_text);
+                    if self.atomic_bufs.contains(&access.mem) {
+                        let mut target = String::new();
+                        self.access(access, &mut target)?;
+                        out.push_str(&self.be.atomic_buffer_store(
+                            access.elem,
+                            &target,
+                            &value_text,
+                        ));
+                    } else {
+                        self.access(access, out)?;
+                        out.push_str(" = ");
+                        out.push_str(&value_text);
+                        out.push(';');
+                    }
+                    out.push('\n');
                 }
                 ElabStmt::Split {
                     space,
@@ -341,6 +473,95 @@ impl<'a> BodyCx<'a> {
                         indent(out, level);
                         out.push_str("}\n");
                     }
+                }
+                ElabStmt::Atomic {
+                    op,
+                    access,
+                    index,
+                    value,
+                } => {
+                    indent(out, level);
+                    let mut value_text = String::new();
+                    self.expr(value, &mut value_text)?;
+                    let name = match access.mem {
+                        MemKind::GlobalParam(i) => &self.kernel.params[i].name,
+                        MemKind::Shared(i) => &self.kernel.shared[i].name,
+                    };
+                    let global = matches!(access.mem, MemKind::GlobalParam(_));
+                    match index {
+                        None => {
+                            // Static target: the full element index,
+                            // node-for-node the simulator IR's, rendered
+                            // with this backend's spellings and the
+                            // declared local names.
+                            let slots = &self.slots;
+                            let idx = atomic_index_expr(access, None, &|n| slots.get(n))?;
+                            let mut target = format!("{name}[");
+                            render_ir_expr_named(
+                                self.be,
+                                &idx,
+                                self.kernel,
+                                &self.slot_names,
+                                &mut target,
+                            );
+                            target.push(']');
+                            out.push_str(&self.be.atomic_rmw(
+                                *op,
+                                access.elem,
+                                global,
+                                &target,
+                                &value_text,
+                            ));
+                        }
+                        Some(ie) => {
+                            // Scatter target: the runtime index is a value
+                            // the type system cannot bound, so (a) bind it
+                            // ONCE to an emitted local — evaluating it a
+                            // single time and routing any loads through
+                            // the backend's atomic-buffer conversions —
+                            // and (b) guard the access. The simulator
+                            // reports an out-of-bounds index as an error
+                            // during testing; the emitted code skips it so
+                            // the hardware never writes out of bounds (the
+                            // same line works in CUDA C++, OpenCL C and
+                            // WGSL).
+                            let mut idx_init = String::new();
+                            self.expr(ie, &mut idx_init)?;
+                            let tmp = format!("descend_idx_{}", self.scatter_counter);
+                            self.scatter_counter += 1;
+                            let init = self.be.cast(ScalarKind::I32, &idx_init);
+                            out.push_str(&self.be.local_decl(ScalarKind::I32, &tmp, &init));
+                            out.push('\n');
+                            indent(out, level);
+                            let raw = lower_scalar_access(&access.path, &access.root_dims)
+                                .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+                            let mut names = self.slot_names.clone();
+                            let tmp_slot = names.len();
+                            names.push(self.be.scatter_index_use(&tmp));
+                            let idx = idx_to_expr_subst(&raw, &|v| {
+                                (v == DYN_IDX).then_some(Expr::Local(tmp_slot))
+                            })?;
+                            let mut idx_text = String::new();
+                            render_ir_expr_named(self.be, &idx, self.kernel, &names, &mut idx_text);
+                            let target = format!("{name}[{idx_text}]");
+                            let call =
+                                self.be
+                                    .atomic_rmw(*op, access.elem, global, &target, &value_text);
+                            let mut total = 1u64;
+                            for d in &access.root_dims {
+                                total *= d.as_lit().ok_or_else(|| {
+                                    CodegenError::Lowering(format!(
+                                        "non-literal root dimension `{d}` in atomic scatter bound"
+                                    ))
+                                })?;
+                            }
+                            let _ = write!(
+                                out,
+                                "if (0 <= {idx_text} && {idx_text} < {total}) {{ {call} }}"
+                            );
+                        }
+                    }
+                    out.push('\n');
                 }
                 ElabStmt::Sync => {
                     indent(out, level);
@@ -403,6 +624,29 @@ impl HostSizes {
 ///
 /// Propagates lowering failures (see [`CodegenError`]).
 pub fn kernel_index_exprs(k: &MonoKernel) -> Result<Vec<Expr>, CodegenError> {
+    collect_index_exprs(k, false)
+}
+
+/// The index expressions that appear *inline* (bracketed) in every
+/// backend's emitted text: all plain accesses plus static-form atomic
+/// targets. Scatter atomics are excluded — their runtime index is bound
+/// to an emitted temporary first (one evaluation, guarded), so the full
+/// address never appears inline; the dedicated atomic consistency test
+/// pins that form instead. The loads *inside* a scatter index do appear
+/// inline (in the temporary's initializer) and are included.
+///
+/// # Errors
+///
+/// Propagates lowering failures (see [`CodegenError`]).
+pub fn kernel_inline_index_exprs(k: &MonoKernel) -> Result<Vec<Expr>, CodegenError> {
+    collect_index_exprs(k, true)
+}
+
+/// The one Elab-side index walk behind [`kernel_index_exprs`] and
+/// [`kernel_inline_index_exprs`]; the two differ only in how a scatter
+/// atomic's target contributes (full spliced address vs. nothing beyond
+/// its inline parts).
+fn collect_index_exprs(k: &MonoKernel, inline_only: bool) -> Result<Vec<Expr>, CodegenError> {
     fn walk_expr(e: &ElabExpr, out: &mut Vec<Expr>) -> Result<(), CodegenError> {
         match e {
             ElabExpr::Lit(..) | ElabExpr::Local(_) => {}
@@ -415,18 +659,47 @@ pub fn kernel_index_exprs(k: &MonoKernel) -> Result<Vec<Expr>, CodegenError> {
         }
         Ok(())
     }
-    fn walk_stmts(body: &[ElabStmt], out: &mut Vec<Expr>) -> Result<(), CodegenError> {
+    fn walk_stmts(
+        body: &[ElabStmt],
+        inline_only: bool,
+        slots: &mut SlotMap,
+        out: &mut Vec<Expr>,
+    ) -> Result<(), CodegenError> {
         for s in body {
             match s {
-                ElabStmt::Local { init, .. } => walk_expr(init, out)?,
+                ElabStmt::Local { name, init, .. } => {
+                    walk_expr(init, out)?;
+                    slots.declare(name);
+                }
                 ElabStmt::AssignLocal { value, .. } => walk_expr(value, out)?,
                 ElabStmt::Store { access, value } => {
                     out.push(access_index_expr(access)?);
                     walk_expr(value, out)?;
                 }
+                ElabStmt::Atomic {
+                    access,
+                    index,
+                    value,
+                    ..
+                } => {
+                    if !inline_only {
+                        // The atomic target contributes its *full* index
+                        // — static part and spliced runtime part —
+                        // exactly as the IR carries it.
+                        out.push(atomic_index_expr(access, index.as_ref(), &|n| {
+                            slots.get(n)
+                        })?);
+                    } else if index.is_none() {
+                        out.push(access_index_expr(access)?);
+                    }
+                    if let Some(ie) = index {
+                        walk_expr(ie, out)?;
+                    }
+                    walk_expr(value, out)?;
+                }
                 ElabStmt::Split { fst, snd, .. } => {
-                    walk_stmts(fst, out)?;
-                    walk_stmts(snd, out)?;
+                    walk_stmts(fst, inline_only, slots, out)?;
+                    walk_stmts(snd, inline_only, slots, out)?;
                 }
                 ElabStmt::Sync => {}
             }
@@ -434,7 +707,7 @@ pub fn kernel_index_exprs(k: &MonoKernel) -> Result<Vec<Expr>, CodegenError> {
         Ok(())
     }
     let mut out = Vec::new();
-    walk_stmts(&k.body, &mut out)?;
+    walk_stmts(&k.body, inline_only, &mut SlotMap::new(), &mut out)?;
     Ok(out)
 }
 
@@ -465,6 +738,15 @@ pub fn ir_index_exprs(ir: &KernelIr) -> Vec<Expr> {
                 Stmt::SetLocal(_, e) => walk_expr(e, out),
                 Stmt::StoreGlobal { idx, value, .. } | Stmt::StoreShared { idx, value, .. } => {
                     out.push(idx.clone());
+                    walk_expr(value, out);
+                }
+                Stmt::AtomicGlobal { idx, value, .. } | Stmt::AtomicShared { idx, value, .. } => {
+                    out.push(idx.clone());
+                    // A scatter index may itself contain loads (the
+                    // histogram reads its bin from memory); collect their
+                    // indices too, mirroring the Elab-side walk of the
+                    // dynamic index expression.
+                    walk_expr(idx, out);
                     walk_expr(value, out);
                 }
                 Stmt::If {

@@ -16,10 +16,11 @@
 //! JavaScript — so they render as a commented WebGPU sketch that keeps
 //! allocation sizes, dispatch shapes and copy directions reviewable.
 
-use crate::shared::{axis_name, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::shared::{atomic_targets, axis_name, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
 use crate::KernelBackend;
+use descend_ast::term::AtomicOp;
 use descend_codegen::CodegenError;
-use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
+use descend_typeck::{CheckedProgram, HostStmt, MemKind, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
 use std::fmt::Write as _;
 
@@ -36,10 +37,26 @@ fn buffer_type(be: &WgslBackend, k: ScalarKind) -> &'static str {
     }
 }
 
+/// Element spelling for buffers that are atomic targets: WGSL only has
+/// `atomic<i32>`/`atomic<u32>`, so f32 atomic targets are declared as
+/// `atomic<u32>` carrying the float's bit pattern (updated by the
+/// CAS-loop helper noted in the module header).
+fn atomic_elem_type(k: ScalarKind) -> &'static str {
+    match k {
+        ScalarKind::I32 => "atomic<i32>",
+        // f64 never reaches atomics (checker-rejected); bool either.
+        _ => "atomic<u32>",
+    }
+}
+
 /// Narrowed element size in bytes on the WGSL side (`f64` -> `f32`).
 fn wgsl_size_bytes(k: ScalarKind) -> u64 {
     match k {
-        ScalarKind::F64 | ScalarKind::F32 | ScalarKind::I32 | ScalarKind::Bool => 4,
+        ScalarKind::F64
+        | ScalarKind::F32
+        | ScalarKind::I32
+        | ScalarKind::U32
+        | ScalarKind::Bool => 4,
     }
 }
 
@@ -48,7 +65,7 @@ fn typed_array(k: ScalarKind) -> &'static str {
     match k {
         ScalarKind::F64 | ScalarKind::F32 => "Float32Array",
         ScalarKind::I32 => "Int32Array",
-        ScalarKind::Bool => "Uint32Array",
+        ScalarKind::U32 | ScalarKind::Bool => "Uint32Array",
     }
 }
 
@@ -67,6 +84,7 @@ impl KernelBackend for WgslBackend {
             ScalarKind::F64 => "f32",
             ScalarKind::F32 => "f32",
             ScalarKind::I32 => "i32",
+            ScalarKind::U32 => "u32",
             ScalarKind::Bool => "bool",
         }
     }
@@ -91,7 +109,64 @@ impl KernelBackend for WgslBackend {
             // surrounding f32/i32/u32 context.
             ScalarKind::F64 | ScalarKind::F32 => format!("{v:?}"),
             ScalarKind::I32 => format!("{}", v as i64),
+            ScalarKind::U32 => format!("{}u", v as i64),
             ScalarKind::Bool => format!("{}", v != 0.0),
+        }
+    }
+
+    fn atomic_rmw(
+        &self,
+        op: AtomicOp,
+        elem: ScalarKind,
+        _global: bool,
+        target: &str,
+        value: &str,
+    ) -> String {
+        if elem == ScalarKind::F32 {
+            // No `atomic<f32>` in WGSL: the buffer is declared
+            // `atomic<u32>` and updated by a CAS loop over the bit
+            // pattern (helper sketched in the module header note).
+            return match op {
+                AtomicOp::Add => format!("descendAtomicAddF32(&{target}, {value});"),
+                AtomicOp::Exch => format!("atomicExchange(&{target}, bitcast<u32>({value}));"),
+                // Rejected by the type checker; panic loudly rather than
+                // silently inventing an undefined helper.
+                AtomicOp::Min | AtomicOp::Max => {
+                    unreachable!("f32 atomic min/max are rejected by the type checker")
+                }
+            };
+        }
+        let f = match op {
+            AtomicOp::Add => "atomicAdd",
+            AtomicOp::Min => "atomicMin",
+            AtomicOp::Max => "atomicMax",
+            AtomicOp::Exch => "atomicExchange",
+        };
+        format!("{f}(&{target}, {value});")
+    }
+
+    fn atomic_buffer_store(&self, elem: ScalarKind, target: &str, value: &str) -> String {
+        // f32 atomic targets are declared atomic<u32> (bit pattern).
+        if elem == ScalarKind::F32 || elem == ScalarKind::F64 {
+            format!("atomicStore(&{target}, bitcast<u32>({value}));")
+        } else {
+            format!("atomicStore(&{target}, {value});")
+        }
+    }
+
+    fn cast(&self, to: ScalarKind, text: &str) -> String {
+        format!("{}({text})", self.scalar_type(to))
+    }
+
+    fn scatter_index_use(&self, name: &str) -> String {
+        format!("u32({name})")
+    }
+
+    fn atomic_buffer_load(&self, elem: ScalarKind, text: String) -> String {
+        if elem == ScalarKind::F32 || elem == ScalarKind::F64 {
+            format!("bitcast<f32>(atomicLoad(&{text}))")
+        } else {
+            format!("atomicLoad(&{text})")
         }
     }
 
@@ -118,28 +193,53 @@ impl KernelBackend for WgslBackend {
     }
 
     fn emit_kernel(&self, k: &MonoKernel) -> Result<String, CodegenError> {
+        let atomics = atomic_targets(k);
         let mut out = String::new();
         let _ = writeln!(out, "// Kernel `{}` — standalone WGSL module.", k.name);
         if kernel_uses_scalar(k, ScalarKind::F64) {
             out.push_str("// note: f64 narrowed to f32 (WGSL has no f64).\n");
         }
+        let f32_atomic =
+            k.params.iter().enumerate().any(|(i, p)| {
+                p.elem == ScalarKind::F32 && atomics.contains(&MemKind::GlobalParam(i))
+            }) || k
+                .shared
+                .iter()
+                .enumerate()
+                .any(|(i, s)| s.elem == ScalarKind::F32 && atomics.contains(&MemKind::Shared(i)));
+        if f32_atomic {
+            out.push_str(
+                "// note: WGSL has no atomic<f32>; f32 atomic targets are declared\n\
+                 // atomic<u32> over the float bit pattern, and descendAtomicAddF32 is\n\
+                 // a CAS loop: loop { let o = atomicLoad(p); if atomicCompareExchangeWeak(p,\n\
+                 // o, bitcast<u32>(bitcast<f32>(o) + v)).exchanged { break; } }\n",
+            );
+        }
         for (i, p) in k.params.iter().enumerate() {
             let total: u64 = p.dims.iter().product();
             let access = if p.uniq { "read_write" } else { "read" };
+            let elem_text = if atomics.contains(&MemKind::GlobalParam(i)) {
+                atomic_elem_type(p.elem)
+            } else {
+                buffer_type(self, p.elem)
+            };
             let _ = writeln!(
                 out,
-                "@group(0) @binding({i}) var<storage, {access}> {}: array<{}, {total}>;",
-                p.name,
-                buffer_type(self, p.elem)
+                "@group(0) @binding({i}) var<storage, {access}> {}: array<{elem_text}, {total}>;",
+                p.name
             );
         }
-        for s in &k.shared {
+        for (i, s) in k.shared.iter().enumerate() {
             let total: u64 = s.dims.iter().product();
+            let elem_text = if atomics.contains(&MemKind::Shared(i)) {
+                atomic_elem_type(s.elem)
+            } else {
+                buffer_type(self, s.elem)
+            };
             let _ = writeln!(
                 out,
-                "var<workgroup> {}: array<{}, {total}>;",
-                s.name,
-                buffer_type(self, s.elem)
+                "var<workgroup> {}: array<{elem_text}, {total}>;",
+                s.name
             );
         }
         // `block_dim` has no runtime builtin in WGSL (the workgroup

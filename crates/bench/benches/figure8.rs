@@ -18,6 +18,7 @@ fn bench_param(kind: BenchKind) -> usize {
         BenchKind::Transpose => 128,
         BenchKind::Scan => 1 << 14,
         BenchKind::Matmul => 64,
+        BenchKind::Histogram => 1 << 14,
     }
 }
 
@@ -28,6 +29,7 @@ fn figure8(c: &mut Criterion) {
         BenchKind::Transpose,
         BenchKind::Scan,
         BenchKind::Matmul,
+        BenchKind::Histogram,
     ] {
         let mut group = c.benchmark_group(kind.name());
         group.sample_size(10);

@@ -32,6 +32,14 @@ fn bid_y() -> Expr {
     Expr::BlockIdx(Axis::Y)
 }
 
+fn i32_param(len: usize, writable: bool) -> ParamDecl {
+    ParamDecl {
+        elem: ElemTy::I32,
+        len: len as u64,
+        writable,
+    }
+}
+
 fn f64_param(len: usize, writable: bool) -> ParamDecl {
     ParamDecl {
         elem: ElemTy::F64,
@@ -409,6 +417,59 @@ pub fn matmul(n: usize) -> KernelIr {
         ],
         shared: vec![shared_f64(32 * 32), shared_f64(32 * 32)],
         body,
+    }
+}
+
+/// `__global__ void histogram(const int* in, int* hist)` — one global
+/// `atomicAdd` per thread on the bin named by the input value (the
+/// canonical CUDA histogram without shared-memory privatization, which
+/// is also what the Descend version compiles to).
+pub fn histogram(n: usize, bs: usize, bins: usize) -> KernelIr {
+    KernelIr {
+        name: "histogram".into(),
+        params: vec![i32_param(n, false), i32_param(bins, true)],
+        shared: vec![],
+        body: vec![Stmt::AtomicGlobal {
+            op: AtomicOp::Add,
+            buf: 1,
+            idx: Expr::bin(
+                BinOp::Mod,
+                Expr::LoadGlobal {
+                    buf: 0,
+                    idx: Box::new(Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x())),
+                },
+                lit(bins as i64),
+            ),
+            value: lit(1),
+        }],
+    }
+}
+
+/// The buggy non-atomic histogram, transcribed statement-for-statement
+/// from `examples/descend/fail/nonatomic_histogram.descend`:
+/// `hist[0] = hist[0] + in[bid*bs + tid]` as a plain load/add/store —
+/// every thread read-modify-writes the same bin, so the dynamic race
+/// oracle must flag it (the static checker already rejects the source
+/// with a narrowing violation).
+pub fn histogram_racy(n: usize, bs: usize, bins: usize) -> KernelIr {
+    KernelIr {
+        name: "histogram_racy".into(),
+        params: vec![i32_param(n, false), i32_param(bins, true)],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 1,
+            idx: lit(0),
+            value: Expr::add(
+                Expr::LoadGlobal {
+                    buf: 1,
+                    idx: Box::new(lit(0)),
+                },
+                Expr::LoadGlobal {
+                    buf: 0,
+                    idx: Box::new(Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x())),
+                },
+            ),
+        }],
     }
 }
 

@@ -45,6 +45,17 @@ pub fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     c
 }
 
+/// Scalar histogram reference: bin counts of `value % bins` (values are
+/// non-negative integers carried as f64).
+pub fn histogram(data: &[f64], bins: usize) -> Vec<f64> {
+    let mut out = vec![0.0; bins];
+    for v in data {
+        let bin = (*v as i64).rem_euclid(bins as i64) as usize;
+        out[bin] += 1.0;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

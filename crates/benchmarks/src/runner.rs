@@ -4,6 +4,7 @@
 use crate::{baselines, reference, sources};
 use descend_compiler::Compiler;
 use gpu_sim::device::BufId;
+use gpu_sim::ir::ElemTy;
 use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,6 +20,9 @@ pub enum BenchKind {
     Scan,
     /// Matrix multiplication.
     Matmul,
+    /// Atomic histogram (global `atomicAdd` scatter; tracks the cost
+    /// model's atomic-contention charge).
+    Histogram,
 }
 
 impl BenchKind {
@@ -29,16 +33,19 @@ impl BenchKind {
             BenchKind::Transpose => "Transpose",
             BenchKind::Scan => "Scan",
             BenchKind::Matmul => "MM",
+            BenchKind::Histogram => "Histogram",
         }
     }
 }
 
-/// All four benchmarks, in the figure's order.
-pub const ALL_BENCHMARKS: [BenchKind; 4] = [
+/// All five benchmarks, in the figure's order (Histogram extends the
+/// paper's four with the atomic-contention workload).
+pub const ALL_BENCHMARKS: [BenchKind; 5] = [
     BenchKind::Reduce,
     BenchKind::Transpose,
     BenchKind::Scan,
     BenchKind::Matmul,
+    BenchKind::Histogram,
 ];
 
 /// A footprint class (the paper's small/medium/large).
@@ -109,6 +116,20 @@ pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
             SizeClass {
                 name: "large",
                 param: 192,
+            },
+        ],
+        BenchKind::Histogram => [
+            SizeClass {
+                name: "small",
+                param: 1 << 16,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 17,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 18,
             },
         ],
     }
@@ -206,6 +227,51 @@ pub fn run_benchmark(kind: BenchKind, param: usize, seed: u64, cfg: &LaunchConfi
         BenchKind::Transpose => run_transpose(param, seed, cfg),
         BenchKind::Scan => run_scan(param, seed, cfg),
         BenchKind::Matmul => run_matmul(param, seed, cfg),
+        BenchKind::Histogram => run_histogram(param, seed, cfg),
+    }
+}
+
+/// Random non-negative i32 inputs (as f64) for the histogram; the bin
+/// distribution is uniform so contention spreads across bins.
+fn random_ints(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| f64::from(rng.gen_range(0i32..4096)))
+        .collect()
+}
+
+fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+    let bs = sources::HIST_BLOCK;
+    let bins = sources::HIST_BINS;
+    let nb = n / bs;
+    let data = random_ints(n, seed);
+    let expect = reference::histogram(&data, bins);
+    // Descend version.
+    let kernels = compile_kernels(&sources::histogram(n));
+    let mut d = Launcher::new(cfg);
+    let inp = d.gpu.alloc_scalars(ElemTy::I32, &data);
+    let hist = d.gpu.alloc_scalars(ElemTy::I32, &vec![0.0; bins]);
+    d.launch(
+        &kernels[0],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[inp, hist],
+    );
+    assert_close(&d.gpu.read_scalars(hist), &expect, "descend histogram");
+    // Baseline.
+    let k = baselines::histogram(n, bs, bins);
+    let mut c = Launcher::new(cfg);
+    let inp = c.gpu.alloc_scalars(ElemTy::I32, &data);
+    let hist = c.gpu.alloc_scalars(ElemTy::I32, &vec![0.0; bins]);
+    c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, hist]);
+    assert_close(&c.gpu.read_scalars(hist), &expect, "cuda histogram");
+    BenchResult {
+        kind: BenchKind::Histogram,
+        param: n,
+        descend_cycles: d.cycles(),
+        cuda_cycles: c.cycles(),
+        descend_stats: d.stats,
+        cuda_stats: c.stats,
     }
 }
 
@@ -422,11 +488,34 @@ mod tests {
     /// transactions* (identical access patterns after coalescing) for the
     /// pattern-identical benchmarks.
     #[test]
+    fn histogram_parity_at_small_scale() {
+        let r = run_benchmark(BenchKind::Histogram, 1 << 13, 7, &race_checked());
+        let ratio = r.descend_over_cuda();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "histogram ratio {ratio} out of band (descend {} vs cuda {})",
+            r.descend_cycles,
+            r.cuda_cycles
+        );
+        // Contention is real and identical on both sides: the cost model
+        // charged serializations for same-bin lanes.
+        let d: u64 = r
+            .descend_stats
+            .iter()
+            .map(|s| s.atomic_serializations)
+            .sum();
+        let c: u64 = r.cuda_stats.iter().map(|s| s.atomic_serializations).sum();
+        assert!(d > 0, "histogram must exhibit atomic contention");
+        assert_eq!(d, c, "atomic contention differs from baseline");
+    }
+
+    #[test]
     fn access_patterns_match_baselines() {
         for (kind, param) in [
             (BenchKind::Reduce, 8192usize),
             (BenchKind::Transpose, 128),
             (BenchKind::Matmul, 64),
+            (BenchKind::Histogram, 4096),
         ] {
             let r = run_benchmark(kind, param, 11, &LaunchConfig::default());
             let d: u64 = r.descend_stats.iter().map(|s| s.global_transactions).sum();

@@ -8,6 +8,37 @@
 /// Block size used by the 1-D benchmarks (reduction and scan).
 pub const BLOCK_SIZE: usize = 512;
 
+/// Block size and bin count of the histogram benchmark.
+pub const HIST_BLOCK: usize = 256;
+/// Number of histogram bins.
+pub const HIST_BINS: usize = 64;
+
+/// The atomic histogram: every thread reads one input value and bumps
+/// the bin it names via the `atomic_add` scatter form — the
+/// data-dependent write no view or select can narrow, and the benchmark
+/// that exercises the cost model's atomic-contention charge.
+pub fn histogram(n: usize) -> String {
+    assert!(
+        n.is_multiple_of(HIST_BLOCK),
+        "n must be a multiple of {HIST_BLOCK}"
+    );
+    let nb = n / HIST_BLOCK;
+    let bs = HIST_BLOCK;
+    let bins = HIST_BINS;
+    format!(
+        r#"
+fn histogram(inp: & gpu.global [i32; {n}], hist: &uniq gpu.global [i32; {bins}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        sched(X) thread in block {{
+            atomic_add(*hist, (*inp).group::<{bs}>[[block]][[thread]] % {bins}, 1);
+        }}
+    }}
+}}
+"#
+    )
+}
+
 /// The parallel reduction: each 512-thread block tree-reduces its
 /// partition into `out[block]`.
 pub fn reduce(n: usize) -> String {

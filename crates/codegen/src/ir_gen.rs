@@ -1,11 +1,13 @@
 //! Lowering of elaborated kernels to the simulator IR.
 
-use descend_ast::term::{BinOp as AstBinOp, UnOp as AstUnOp};
+use descend_ast::term::{AtomicOp as AstAtomicOp, BinOp as AstBinOp, UnOp as AstUnOp};
 use descend_ast::ty::DimCompo;
 use descend_exec::Space;
-use descend_places::{lower_scalar_access, Coord, IdxExpr};
+use descend_places::{lower_scalar_access, Coord, IdxExpr, DYN_IDX};
 use descend_typeck::{ElabExpr, ElabStmt, MonoKernel, ScalarKind};
-use gpu_sim::ir::{Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};
+use gpu_sim::ir::{
+    AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -41,7 +43,18 @@ pub fn elem_ty(k: ScalarKind) -> ElemTy {
         ScalarKind::F64 => ElemTy::F64,
         ScalarKind::F32 => ElemTy::F32,
         ScalarKind::I32 => ElemTy::I32,
+        ScalarKind::U32 => ElemTy::U32,
         ScalarKind::Bool => ElemTy::Bool,
+    }
+}
+
+/// Maps a surface atomic operation to the IR operation.
+pub fn atomic_op(op: AstAtomicOp) -> AtomicOp {
+    match op {
+        AstAtomicOp::Add => AtomicOp::Add,
+        AstAtomicOp::Min => AtomicOp::Min,
+        AstAtomicOp::Max => AtomicOp::Max,
+        AstAtomicOp::Exch => AtomicOp::Exch,
     }
 }
 
@@ -55,9 +68,24 @@ fn axis(d: DimCompo) -> Axis {
 
 /// Converts a lowered index expression to an IR expression.
 pub fn idx_to_expr(idx: &IdxExpr) -> Result<Expr, CodegenError> {
+    idx_to_expr_subst(idx, &|_| None)
+}
+
+/// Converts a lowered index expression to an IR expression, substituting
+/// IR expressions for named index variables. The only producer of such
+/// variables after unrolling is the atomic-scatter sentinel
+/// [`DYN_IDX`], whose runtime index expression is spliced in here — the
+/// rest of the address keeps flowing through the one shared lowering.
+pub fn idx_to_expr_subst(
+    idx: &IdxExpr,
+    subst: &dyn Fn(&str) -> Option<Expr>,
+) -> Result<Expr, CodegenError> {
     Ok(match idx {
         IdxExpr::Const(v) => Expr::LitI(*v as i64),
-        IdxExpr::Var(x) => return Err(CodegenError::ResidualVar(x.clone())),
+        IdxExpr::Var(x) => match subst(x) {
+            Some(e) => e,
+            None => return Err(CodegenError::ResidualVar(x.clone())),
+        },
         IdxExpr::Coord(Coord { space, dim, offset }) => {
             let base = match space {
                 Space::Block => Expr::BlockIdx(axis(*dim)),
@@ -73,9 +101,9 @@ pub fn idx_to_expr(idx: &IdxExpr) -> Result<Expr, CodegenError> {
                 }
             }
         }
-        IdxExpr::Add(a, b) => Expr::add(idx_to_expr(a)?, idx_to_expr(b)?),
-        IdxExpr::Sub(a, b) => Expr::sub(idx_to_expr(a)?, idx_to_expr(b)?),
-        IdxExpr::Mul(a, b) => Expr::mul(idx_to_expr(a)?, idx_to_expr(b)?),
+        IdxExpr::Add(a, b) => Expr::add(idx_to_expr_subst(a, subst)?, idx_to_expr_subst(b, subst)?),
+        IdxExpr::Sub(a, b) => Expr::sub(idx_to_expr_subst(a, subst)?, idx_to_expr_subst(b, subst)?),
+        IdxExpr::Mul(a, b) => Expr::mul(idx_to_expr_subst(a, subst)?, idx_to_expr_subst(b, subst)?),
     })
 }
 
@@ -104,6 +132,49 @@ fn un_op(op: AstUnOp) -> UnOp {
     }
 }
 
+/// Converts an elaborated (value) expression to an IR expression, given
+/// a resolver from live local names to slots.
+///
+/// This is the single ElabExpr-to-IR conversion: the kernel lowering uses
+/// it with its slot table, and the emission layer uses it (with a
+/// mirrored table) to build atomic-scatter indices that match the
+/// simulator IR node for node.
+///
+/// # Errors
+///
+/// [`CodegenError::UnknownLocal`] for unresolved names, plus lowering
+/// failures from nested accesses.
+pub fn elab_expr_to_ir(
+    e: &ElabExpr,
+    locals: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Expr, CodegenError> {
+    Ok(match e {
+        ElabExpr::Lit(kind, v) => match kind {
+            ScalarKind::F64 | ScalarKind::F32 => Expr::LitF(*v),
+            ScalarKind::I32 | ScalarKind::U32 => Expr::LitI(*v as i64),
+            ScalarKind::Bool => Expr::LitB(*v != 0.0),
+        },
+        ElabExpr::Local(name) => {
+            Expr::Local(locals(name).ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?)
+        }
+        ElabExpr::Load(access) => {
+            let idx = lower_scalar_access(&access.path, &access.root_dims)
+                .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+            let idx = Box::new(idx_to_expr(&idx)?);
+            match access.mem {
+                descend_typeck::MemKind::GlobalParam(i) => Expr::LoadGlobal { buf: i, idx },
+                descend_typeck::MemKind::Shared(i) => Expr::LoadShared { buf: i, idx },
+            }
+        }
+        ElabExpr::Binary(op, a, b) => Expr::bin(
+            bin_op(*op),
+            elab_expr_to_ir(a, locals)?,
+            elab_expr_to_ir(b, locals)?,
+        ),
+        ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(elab_expr_to_ir(a, locals)?)),
+    })
+}
+
 struct LowerCx {
     /// Live name -> local slot (rebinding allocates a fresh slot).
     locals: HashMap<String, usize>,
@@ -112,30 +183,7 @@ struct LowerCx {
 
 impl LowerCx {
     fn expr(&self, e: &ElabExpr) -> Result<Expr, CodegenError> {
-        Ok(match e {
-            ElabExpr::Lit(kind, v) => match kind {
-                ScalarKind::F64 | ScalarKind::F32 => Expr::LitF(*v),
-                ScalarKind::I32 => Expr::LitI(*v as i64),
-                ScalarKind::Bool => Expr::LitB(*v != 0.0),
-            },
-            ElabExpr::Local(name) => Expr::Local(
-                *self
-                    .locals
-                    .get(name)
-                    .ok_or_else(|| CodegenError::UnknownLocal(name.clone()))?,
-            ),
-            ElabExpr::Load(access) => {
-                let idx = lower_scalar_access(&access.path, &access.root_dims)
-                    .map_err(|e| CodegenError::Lowering(e.to_string()))?;
-                let idx = Box::new(idx_to_expr(&idx)?);
-                match access.mem {
-                    descend_typeck::MemKind::GlobalParam(i) => Expr::LoadGlobal { buf: i, idx },
-                    descend_typeck::MemKind::Shared(i) => Expr::LoadShared { buf: i, idx },
-                }
-            }
-            ElabExpr::Binary(op, a, b) => Expr::bin(bin_op(*op), self.expr(a)?, self.expr(b)?),
-            ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(self.expr(a)?)),
-        })
+        elab_expr_to_ir(e, &|n| self.locals.get(n).copied())
     }
 
     fn stmts(&mut self, body: &[ElabStmt]) -> Result<Vec<Stmt>, CodegenError> {
@@ -189,6 +237,38 @@ impl LowerCx {
                         cond,
                         then_s,
                         else_s,
+                    });
+                }
+                ElabStmt::Atomic {
+                    op,
+                    access,
+                    index,
+                    value,
+                } => {
+                    let value = self.expr(value)?;
+                    let raw = lower_scalar_access(&access.path, &access.root_dims)
+                        .map_err(|e| CodegenError::Lowering(e.to_string()))?;
+                    let idx = match index {
+                        Some(ie) => {
+                            let ie = self.expr(ie)?;
+                            idx_to_expr_subst(&raw, &|v| (v == DYN_IDX).then(|| ie.clone()))?
+                        }
+                        None => idx_to_expr(&raw)?,
+                    };
+                    let op = atomic_op(*op);
+                    out.push(match access.mem {
+                        descend_typeck::MemKind::GlobalParam(i) => Stmt::AtomicGlobal {
+                            op,
+                            buf: i,
+                            idx,
+                            value,
+                        },
+                        descend_typeck::MemKind::Shared(i) => Stmt::AtomicShared {
+                            op,
+                            buf: i,
+                            idx,
+                            value,
+                        },
                     });
                 }
                 ElabStmt::Sync => out.push(Stmt::Barrier),

@@ -41,6 +41,10 @@ pub struct CostModel {
     pub instr_cost: u64,
     /// Cycles per barrier.
     pub barrier_cost: u64,
+    /// Cycles per *extra* serialized atomic when several lanes of a warp
+    /// RMW the same address (conflict-free atomics cost only their
+    /// memory transaction).
+    pub atomic_cost: u64,
     /// Number of streaming multiprocessors.
     pub num_sms: u64,
 }
@@ -56,6 +60,7 @@ impl Default for CostModel {
             shared_cost: 2,
             instr_cost: 1,
             barrier_cost: 16,
+            atomic_cost: 8,
             num_sms: 56,
         }
     }
@@ -78,6 +83,12 @@ pub struct LaunchStats {
     pub instructions: u64,
     /// Barrier count (per block, summed).
     pub barriers: u64,
+    /// Raw atomic RMW accesses.
+    pub atomic_accesses: u64,
+    /// Extra serializations beyond the conflict-free minimum: for each
+    /// warp-level atomic instruction, lanes hitting the same address
+    /// serialize (contention), costing [`CostModel::atomic_cost`] each.
+    pub atomic_serializations: u64,
     /// Number of blocks executed.
     pub blocks: u64,
 }
@@ -133,22 +144,41 @@ impl CostAccumulator {
         // Key: (warp, pc, occurrence, is_global); value: (idx, write, buf)
         // per participating lane.
         type GroupKey = (u32, u32, u32, bool);
-        type LaneAccess = (u64, bool, u32);
+        type LaneAccess = (u64, bool, u32, bool);
         let mut occ: HashMap<(u32, u32), u32> = HashMap::new(); // (tid, pc) -> count
         let mut groups: HashMap<GroupKey, Vec<LaneAccess>> = HashMap::new();
         for a in accesses {
             let o = occ.entry((a.tid, a.pc)).or_insert(0);
             let key = (a.tid / warp, a.pc, *o, a.global);
             *o += 1;
-            groups.entry(key).or_default().push((a.idx, a.write, a.buf));
+            groups
+                .entry(key)
+                .or_default()
+                .push((a.idx, a.write, a.buf, a.atomic));
         }
         for ((_, _, _, is_global), members) in &groups {
+            // Atomic contention: lanes of one warp instruction RMWing the
+            // same address serialize; charge the extra replays (a group is
+            // one instruction, so its accesses share atomicity).
+            let atomics = members.iter().filter(|m| m.3).count() as u64;
+            if atomics > 0 {
+                self.stats.atomic_accesses += atomics;
+                let mut per_addr: HashMap<(u32, u64), u64> = HashMap::new();
+                for (idx, _, buf, atomic) in members {
+                    if *atomic {
+                        *per_addr.entry((*buf, *idx)).or_insert(0) += 1;
+                    }
+                }
+                let contention = per_addr.values().copied().max().unwrap_or(1);
+                self.stats.atomic_serializations += contention - 1;
+                cycles += (contention - 1) * self.model.atomic_cost;
+            }
             if *is_global {
                 self.stats.global_accesses += members.len() as u64;
                 // Coalescing: distinct 128-byte segments.
                 let mut segments: Vec<u64> = members
                     .iter()
-                    .map(|(idx, _, buf)| {
+                    .map(|(idx, _, buf, _)| {
                         let esz = global_elem
                             .get(*buf as usize)
                             .copied()
@@ -166,7 +196,7 @@ impl CostAccumulator {
                 self.stats.shared_accesses += members.len() as u64;
                 // Bank conflicts: distinct addresses per bank serialize.
                 let mut per_bank: HashMap<u32, Vec<u64>> = HashMap::new();
-                for (idx, _, buf) in members {
+                for (idx, _, buf, _) in members {
                     let esz = shared_elem
                         .get(*buf as usize)
                         .copied()
@@ -224,6 +254,19 @@ mod tests {
             buf: 0,
             idx,
             write,
+            atomic: false,
+            tid,
+        }
+    }
+
+    fn atomic_acc(pc: u32, global: bool, idx: u64, tid: u32) -> AccessRec {
+        AccessRec {
+            pc,
+            global,
+            buf: 0,
+            idx,
+            write: true,
+            atomic: true,
             tid,
         }
     }
@@ -315,6 +358,56 @@ mod tests {
         }
         let stats = run_interval(&accesses, 32);
         assert_eq!(stats.global_transactions, 4);
+    }
+
+    #[test]
+    fn conflict_free_atomics_cost_no_serialization() {
+        // 32 lanes atomically updating 32 distinct addresses: one
+        // transaction cost, zero contention.
+        let accesses: Vec<_> = (0..32).map(|t| atomic_acc(0, true, t as u64, t)).collect();
+        let stats = run_interval(&accesses, 32);
+        assert_eq!(stats.atomic_accesses, 32);
+        assert_eq!(stats.atomic_serializations, 0);
+    }
+
+    #[test]
+    fn same_address_atomics_serialize_per_warp() {
+        // All 32 lanes of one warp RMW one address: 31 extra
+        // serializations, each charged atomic_cost cycles.
+        let accesses: Vec<_> = (0..32).map(|t| atomic_acc(0, true, 7, t)).collect();
+        let model = CostModel::default();
+        let mut c = CostAccumulator::new(model.clone());
+        c.interval(&accesses, &vec![1u64; 32], &[ElemTy::I32], &[], false);
+        c.end_block();
+        let stats = c.finish();
+        assert_eq!(stats.atomic_serializations, 31);
+        // One coalesced transaction (same segment) + contention replays
+        // + one warp instruction.
+        assert_eq!(
+            stats.cycles,
+            model.global_cost + 31 * model.atomic_cost + model.instr_cost
+        );
+    }
+
+    #[test]
+    fn atomic_contention_is_per_address() {
+        // Two addresses, 16 lanes each: contention 16 => 15 extra.
+        let accesses: Vec<_> = (0..32)
+            .map(|t| atomic_acc(0, true, u64::from(t % 2), t))
+            .collect();
+        let stats = run_interval(&accesses, 32);
+        assert_eq!(stats.atomic_serializations, 15);
+    }
+
+    #[test]
+    fn shared_atomics_also_serialize() {
+        let accesses: Vec<_> = (0..32).map(|t| atomic_acc(0, false, 3, t)).collect();
+        let mut c = CostAccumulator::new(CostModel::default());
+        c.interval(&accesses, &vec![1u64; 32], &[], &[ElemTy::I32], false);
+        c.end_block();
+        let stats = c.finish();
+        assert_eq!(stats.atomic_serializations, 31);
+        assert_eq!(stats.atomic_accesses, 32);
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl Gpu {
     pub fn alloc_zeroed(&mut self, elem: ElemTy, len: usize) -> BufId {
         let zero = match elem {
             ElemTy::F64 | ElemTy::F32 => 0f64.to_bits(),
-            ElemTy::I32 => 0,
-            ElemTy::Bool => 0,
+            ElemTy::I32 | ElemTy::U32 | ElemTy::Bool => 0,
         };
         self.buffers.push(Buffer {
             elem,
@@ -389,6 +388,7 @@ fn scalar_to_bits(elem: ElemTy, v: f64) -> u64 {
         ElemTy::F64 => v.to_bits(),
         ElemTy::F32 => ((v as f32) as f64).to_bits(),
         ElemTy::I32 => ((v as i32) as i64) as u64,
+        ElemTy::U32 => u64::from(v as u32),
         ElemTy::Bool => u64::from(v != 0.0),
     }
 }
@@ -405,6 +405,7 @@ fn bits_to_scalar(elem: ElemTy, bits: u64) -> f64 {
     match elem {
         ElemTy::F64 | ElemTy::F32 => f64::from_bits(bits),
         ElemTy::I32 => (bits as i64) as f64,
+        ElemTy::U32 => ((bits as u32) as u64) as f64,
         ElemTy::Bool => {
             if bits != 0 {
                 1.0

@@ -8,7 +8,7 @@
 //! threads wait at different barriers, the launch reports barrier
 //! divergence (the behavior CUDA leaves undefined, see paper Section 2.2).
 
-use crate::ir::{Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, Stmt, UnOp};
+use crate::ir::{AtomicOp, Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, Stmt, UnOp};
 
 /// A runtime value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -49,6 +49,9 @@ impl Value {
             (ElemTy::F32, Value::I(v)) => ((v as f32) as f64).to_bits(),
             (ElemTy::I32, Value::I(v)) => v as u64,
             (ElemTy::I32, Value::F(v)) => (v as i64) as u64,
+            // u32 buffers wrap on store, as the hardware would.
+            (ElemTy::U32, Value::I(v)) => u64::from(v as u32),
+            (ElemTy::U32, Value::F(v)) => u64::from((v as i64) as u32),
             (ElemTy::Bool, Value::B(v)) => u64::from(v),
             (e, v) => return Err(format!("cannot store {v:?} into a {e:?} buffer")),
         })
@@ -60,6 +63,7 @@ impl Value {
         match elem {
             ElemTy::F64 | ElemTy::F32 => Value::F(f64::from_bits(bits)),
             ElemTy::I32 => Value::I(bits as i64),
+            ElemTy::U32 => Value::I((bits as u32) as i64),
             ElemTy::Bool => Value::B(bits != 0),
         }
     }
@@ -103,6 +107,28 @@ pub enum Instr {
         /// Stored value.
         value: Expr,
     },
+    /// Atomic read-modify-write on global memory.
+    AtomicGlobal {
+        /// The operation.
+        op: AtomicOp,
+        /// Parameter index.
+        buf: usize,
+        /// Element index.
+        idx: Expr,
+        /// Operand.
+        value: Expr,
+    },
+    /// Atomic read-modify-write on shared memory.
+    AtomicShared {
+        /// The operation.
+        op: AtomicOp,
+        /// Shared allocation index.
+        buf: usize,
+        /// Element index.
+        idx: Expr,
+        /// Operand.
+        value: Expr,
+    },
     /// Conditional jump (taken when the condition is false).
     JumpIfFalse(Expr, usize),
     /// Unconditional jump.
@@ -131,6 +157,28 @@ fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
                 value: value.clone(),
             }),
             Stmt::StoreShared { buf, idx, value } => code.push(Instr::StoreShared {
+                buf: *buf,
+                idx: idx.clone(),
+                value: value.clone(),
+            }),
+            Stmt::AtomicGlobal {
+                op,
+                buf,
+                idx,
+                value,
+            } => code.push(Instr::AtomicGlobal {
+                op: *op,
+                buf: *buf,
+                idx: idx.clone(),
+                value: value.clone(),
+            }),
+            Stmt::AtomicShared {
+                op,
+                buf,
+                idx,
+                value,
+            } => code.push(Instr::AtomicShared {
+                op: *op,
                 buf: *buf,
                 idx: idx.clone(),
                 value: value.clone(),
@@ -211,6 +259,9 @@ pub struct AccessRec {
     pub idx: u64,
     /// Write (true) or read (false).
     pub write: bool,
+    /// Atomic read-modify-write (atomic–atomic pairs never race; the
+    /// cost model charges same-address serialization per warp).
+    pub atomic: bool,
     /// Linear thread id within the block.
     pub tid: u32,
 }
@@ -338,6 +389,7 @@ fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResu
                 buf: *buf as u32,
                 idx: i,
                 write: false,
+                atomic: false,
                 tid: env.tid,
             });
             Value::from_bits(b[i as usize], env.global_elems[*buf])
@@ -364,6 +416,7 @@ fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResu
                 buf: *buf as u32,
                 idx: i,
                 write: false,
+                atomic: false,
                 tid: env.tid,
             });
             Value::from_bits(b[i as usize], env.shared_elems[*buf])
@@ -383,6 +436,18 @@ fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResu
             }
         }
     })
+}
+
+/// Combines the old cell value with the operand per the atomic operation
+/// (the read-modify part of the RMW; the write goes through
+/// [`Value::to_elem_bits`] like any store).
+fn apply_atomic(op: AtomicOp, old: Value, operand: Value) -> Result<Value, String> {
+    match op {
+        AtomicOp::Add => apply_bin(BinOp::Add, old, operand),
+        AtomicOp::Min => apply_bin(BinOp::Min, old, operand),
+        AtomicOp::Max => apply_bin(BinOp::Max, old, operand),
+        AtomicOp::Exch => Ok(operand),
+    }
 }
 
 fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
@@ -481,6 +546,7 @@ pub fn run_thread(
                     buf: *buf as u32,
                     idx: i,
                     write: true,
+                    atomic: false,
                     tid: env.tid,
                 });
                 st.pc += 1;
@@ -511,6 +577,81 @@ pub fn run_thread(
                     buf: *buf as u32,
                     idx: i,
                     write: true,
+                    atomic: false,
+                    tid: env.tid,
+                });
+                st.pc += 1;
+            }
+            Instr::AtomicGlobal {
+                op,
+                buf,
+                idx,
+                value,
+            } => {
+                let i = eval(idx, st, env, pc)?
+                    .as_index()
+                    .map_err(InterpError::Eval)?;
+                let v = eval(value, st, env, pc)?;
+                let elem = env.global_elems[*buf];
+                let b = env
+                    .global
+                    .get_mut(*buf)
+                    .ok_or_else(|| InterpError::Eval(format!("global buffer {buf} missing")))?;
+                if i >= b.len() as u64 {
+                    return Err(InterpError::OutOfBounds {
+                        what: format!("global buffer {buf}"),
+                        idx: i,
+                        len: b.len() as u64,
+                        pc,
+                    });
+                }
+                let old = Value::from_bits(b[i as usize], elem);
+                let new = apply_atomic(*op, old, v).map_err(InterpError::Eval)?;
+                b[i as usize] = new.to_elem_bits(elem).map_err(InterpError::Eval)?;
+                env.log.push(AccessRec {
+                    pc: pc as u32,
+                    global: true,
+                    buf: *buf as u32,
+                    idx: i,
+                    write: true,
+                    atomic: true,
+                    tid: env.tid,
+                });
+                st.pc += 1;
+            }
+            Instr::AtomicShared {
+                op,
+                buf,
+                idx,
+                value,
+            } => {
+                let i = eval(idx, st, env, pc)?
+                    .as_index()
+                    .map_err(InterpError::Eval)?;
+                let v = eval(value, st, env, pc)?;
+                let elem = env.shared_elems[*buf];
+                let b = env
+                    .shared
+                    .get_mut(*buf)
+                    .ok_or_else(|| InterpError::Eval(format!("shared buffer {buf} missing")))?;
+                if i >= b.len() as u64 {
+                    return Err(InterpError::OutOfBounds {
+                        what: format!("shared buffer {buf}"),
+                        idx: i,
+                        len: b.len() as u64,
+                        pc,
+                    });
+                }
+                let old = Value::from_bits(b[i as usize], elem);
+                let new = apply_atomic(*op, old, v).map_err(InterpError::Eval)?;
+                b[i as usize] = new.to_elem_bits(elem).map_err(InterpError::Eval)?;
+                env.log.push(AccessRec {
+                    pc: pc as u32,
+                    global: false,
+                    buf: *buf as u32,
+                    idx: i,
+                    write: true,
+                    atomic: true,
                     tid: env.tid,
                 });
                 st.pc += 1;
@@ -564,9 +705,10 @@ pub fn weights(code: &[Instr]) -> Vec<u64> {
     code.iter()
         .map(|i| match i {
             Instr::SetLocal(_, e) => 1 + expr_weight(e),
-            Instr::StoreGlobal { idx, value, .. } | Instr::StoreShared { idx, value, .. } => {
-                1 + expr_weight(idx) + expr_weight(value)
-            }
+            Instr::StoreGlobal { idx, value, .. }
+            | Instr::StoreShared { idx, value, .. }
+            | Instr::AtomicGlobal { idx, value, .. }
+            | Instr::AtomicShared { idx, value, .. } => 1 + expr_weight(idx) + expr_weight(value),
             Instr::JumpIfFalse(c, _) => 1 + expr_weight(c),
             Instr::Jump(_) => 1,
             Instr::Barrier => 1,
@@ -746,6 +888,113 @@ mod tests {
             assert_eq!(stop, ThreadStop::Done);
         }
         assert_eq!(global[0][0] as i64, 1);
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_threads() {
+        // 32 threads atomically add tid+1 into cell 0: total 528.
+        let body = vec![Stmt::AtomicGlobal {
+            op: AtomicOp::Add,
+            buf: 0,
+            idx: Expr::LitI(0),
+            value: Expr::add(Expr::thread_idx(Axis::X), Expr::LitI(1)),
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 1]];
+        let elems = [ElemTy::I32];
+        let mut log = Vec::new();
+        for t in 0..32u64 {
+            let mut shared: Vec<Vec<u64>> = vec![];
+            let selems: [ElemTy; 0] = [];
+            let mut st = ThreadState::new(0);
+            let mut env = env_1d(t, &mut global, &elems, &mut shared, &selems, &mut log);
+            run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        }
+        assert_eq!(global[0][0] as i64, (1..=32).sum::<i64>());
+        assert_eq!(log.len(), 32);
+        assert!(log.iter().all(|a| a.atomic && a.write));
+    }
+
+    #[test]
+    fn atomic_min_max_exchange_semantics() {
+        let body = vec![
+            Stmt::AtomicShared {
+                op: AtomicOp::Min,
+                buf: 0,
+                idx: Expr::LitI(0),
+                value: Expr::thread_idx(Axis::X),
+            },
+            Stmt::AtomicShared {
+                op: AtomicOp::Max,
+                buf: 0,
+                idx: Expr::LitI(1),
+                value: Expr::thread_idx(Axis::X),
+            },
+            Stmt::AtomicShared {
+                op: AtomicOp::Exch,
+                buf: 0,
+                idx: Expr::LitI(2),
+                value: Expr::thread_idx(Axis::X),
+            },
+        ];
+        let code = compile(&body);
+        let mut global: Vec<Vec<u64>> = vec![];
+        let elems: [ElemTy; 0] = [];
+        let mut shared = vec![vec![0u64; 3]];
+        shared[0][0] = 1000; // min starts high
+        let selems = [ElemTy::I32];
+        let mut log = Vec::new();
+        for t in [5u64, 3, 9] {
+            let mut st = ThreadState::new(0);
+            let mut env = env_1d(t, &mut global, &elems, &mut shared, &selems, &mut log);
+            run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        }
+        assert_eq!(shared[0][0] as i64, 3, "min of 5, 3, 9");
+        assert_eq!(shared[0][1] as i64, 9, "max of 5, 3, 9");
+        assert_eq!(shared[0][2] as i64, 9, "exchange keeps the last");
+    }
+
+    #[test]
+    fn u32_buffer_wraps_on_store() {
+        let body = vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::LitI(0),
+            value: Expr::LitI(-1),
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 1]];
+        let elems = [ElemTy::U32];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(0);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        run_thread(&code, &weights(&code), &mut st, &mut env).unwrap();
+        assert_eq!(global[0][0], u64::from(u32::MAX));
+        assert_eq!(
+            Value::from_bits(global[0][0], ElemTy::U32),
+            Value::I(i64::from(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn atomic_out_of_bounds_reported() {
+        let body = vec![Stmt::AtomicGlobal {
+            op: AtomicOp::Add,
+            buf: 0,
+            idx: Expr::LitI(64),
+            value: Expr::LitI(1),
+        }];
+        let code = compile(&body);
+        let mut global = vec![vec![0u64; 4]];
+        let elems = [ElemTy::I32];
+        let mut shared: Vec<Vec<u64>> = vec![];
+        let selems: [ElemTy; 0] = [];
+        let mut log = Vec::new();
+        let mut st = ThreadState::new(0);
+        let mut env = env_1d(0, &mut global, &elems, &mut shared, &selems, &mut log);
+        let err = run_thread(&code, &weights(&code), &mut st, &mut env).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { idx: 64, .. }));
     }
 
     #[test]

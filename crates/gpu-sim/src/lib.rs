@@ -10,6 +10,12 @@
 //! - block-wide barriers with **divergence detection**: if not every
 //!   thread of a block reaches the same barrier, the launch fails the way
 //!   CUDA makes it undefined behavior ([`interp`]);
+//! - **atomic read-modify-write** instructions
+//!   (add/min/max/exchange on global and shared memory): conflicting
+//!   lanes serialize instead of racing, the race detector knows that
+//!   atomic–atomic conflicts are not races (atomic–plain conflicts still
+//!   are), and the cost model charges per-warp same-address contention
+//!   ([`ir::Stmt::AtomicGlobal`], [`cost::CostModel::atomic_cost`]);
 //! - a dynamic **data-race detector** that logs accesses between barriers
 //!   (and across blocks for global memory) and reports conflicting pairs
 //!   ([`race`]) — the executable oracle against which the static checker
@@ -62,4 +68,4 @@ pub mod race;
 
 pub use cost::{CostModel, LaunchStats};
 pub use device::{Gpu, LaunchConfig, SimError};
-pub use ir::{Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};
+pub use ir::{AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};

@@ -66,6 +66,10 @@ struct CellState {
     multi_writer: bool,
     reader: Option<u32>,
     other_reader: bool,
+    /// Representative atomic accessor (atomic RMWs mutate, but conflict
+    /// only with *plain* accesses — the hardware serializes atomics).
+    atomic: Option<u32>,
+    multi_atomic: bool,
 }
 
 impl CellState {
@@ -73,6 +77,11 @@ impl CellState {
         if let Some(w) = self.writer {
             if w != who {
                 return Some((w, who, false));
+            }
+        }
+        if let Some(a) = self.atomic {
+            if a != who || self.multi_atomic {
+                return Some((a, who, false));
             }
         }
         match self.reader {
@@ -94,9 +103,35 @@ impl CellState {
                 return Some((r, who, false));
             }
         }
+        if let Some(a) = self.atomic {
+            if a != who || self.multi_atomic {
+                return Some((a, who, true));
+            }
+        }
         match self.writer {
             None => self.writer = Some(who),
             Some(w) if w != who => self.multi_writer = true,
+            _ => {}
+        }
+        None
+    }
+
+    /// An atomic RMW: conflicts with plain readers and writers of other
+    /// parties, never with fellow atomics.
+    fn atomic(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if let Some(w) = self.writer {
+            if w != who || self.multi_writer {
+                return Some((w, who, true));
+            }
+        }
+        if let Some(r) = self.reader {
+            if r != who || self.other_reader {
+                return Some((r, who, false));
+            }
+        }
+        match self.atomic {
+            None => self.atomic = Some(who),
+            Some(a) if a != who => self.multi_atomic = true,
             _ => {}
         }
         None
@@ -129,7 +164,9 @@ impl RaceDetector {
         for a in accesses {
             // Intra-block check within the interval.
             let cell = self.interval.entry((a.global, a.buf, a.idx)).or_default();
-            let conflict = if a.write {
+            let conflict = if a.atomic {
+                cell.atomic(a.tid)
+            } else if a.write {
                 cell.write(a.tid)
             } else {
                 cell.read(a.tid)
@@ -147,7 +184,9 @@ impl RaceDetector {
             // Cross-block check for global memory (whole kernel).
             if a.global {
                 let gcell = self.global.entry((a.buf, a.idx)).or_default();
-                let conflict = if a.write {
+                let conflict = if a.atomic {
+                    gcell.atomic(block_id)
+                } else if a.write {
                     gcell.write(block_id)
                 } else {
                     gcell.read(block_id)
@@ -187,6 +226,19 @@ mod tests {
             buf: 0,
             idx,
             write,
+            atomic: false,
+            tid,
+        }
+    }
+
+    fn atomic(global: bool, idx: u64, tid: u32) -> AccessRec {
+        AccessRec {
+            pc: 0,
+            global,
+            buf: 0,
+            idx,
+            write: true,
+            atomic: true,
             tid,
         }
     }
@@ -274,6 +326,92 @@ mod tests {
         d.interval(3, &[acc(true, 4, true, 0)]);
         d.interval(3, &[acc(true, 4, false, 5)]);
         assert!(d.race.is_none(), "same block, barrier between");
+    }
+
+    #[test]
+    fn atomic_atomic_same_element_is_clean() {
+        let mut d = RaceDetector::new();
+        d.interval(
+            0,
+            &[
+                atomic(false, 5, 0),
+                atomic(false, 5, 1),
+                atomic(false, 5, 2),
+            ],
+        );
+        assert!(d.race.is_none(), "atomics serialize; no race");
+    }
+
+    #[test]
+    fn atomic_plain_write_conflicts() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[atomic(false, 5, 0), acc(false, 5, true, 1)]);
+        let r = d.race.expect("atomic-write race detected");
+        assert!(r.write_write);
+    }
+
+    #[test]
+    fn plain_read_after_atomic_conflicts() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[atomic(false, 5, 0), acc(false, 5, false, 1)]);
+        let r = d.race.expect("atomic-read race detected");
+        assert!(!r.write_write);
+    }
+
+    #[test]
+    fn same_thread_atomic_and_plain_is_fine() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[atomic(false, 5, 2), acc(false, 5, false, 2)]);
+        assert!(d.race.is_none());
+    }
+
+    #[test]
+    fn plain_read_then_foreign_atomic_conflicts() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[acc(false, 5, false, 1), atomic(false, 5, 0)]);
+        assert!(d.race.is_some());
+    }
+
+    #[test]
+    fn multi_atomic_then_plain_read_by_member_still_races() {
+        // Atomics by 0 and 1, then a plain read by 0: 1's atomic still
+        // conflicts with 0's read.
+        let mut d = RaceDetector::new();
+        d.interval(
+            0,
+            &[
+                atomic(false, 5, 0),
+                atomic(false, 5, 1),
+                acc(false, 5, false, 0),
+            ],
+        );
+        assert!(d.race.is_some());
+    }
+
+    #[test]
+    fn cross_block_atomics_are_clean() {
+        let mut d = RaceDetector::new();
+        d.interval(0, &[atomic(true, 9, 0)]);
+        d.end_block();
+        d.interval(1, &[atomic(true, 9, 0)]);
+        assert!(
+            d.race.is_none(),
+            "cross-block atomic-atomic is ordered by hardware"
+        );
+        // But a plain write from a third block conflicts.
+        d.interval(2, &[acc(true, 9, true, 0)]);
+        let r = d.race.expect("cross-block atomic-write race");
+        assert!(r.cross_block);
+    }
+
+    #[test]
+    fn barrier_orders_atomic_then_read_within_block() {
+        let mut d = RaceDetector::new();
+        // Shared memory: atomic in one interval, read in the next — the
+        // barrier orders them.
+        d.interval(0, &[atomic(false, 3, 0)]);
+        d.interval(0, &[acc(false, 3, false, 1)]);
+        assert!(d.race.is_none());
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub enum TokenKind {
     Ident(String),
     /// Integer literal.
     Int(u64),
+    /// Integer literal with `u32` suffix.
+    IntU32(u64),
     /// Float literal (always contains a `.`), with optional `f32` suffix
     /// captured by [`TokenKind::FloatF32`].
     Float(f64),
@@ -98,6 +100,7 @@ impl fmt::Display for TokenKind {
         match self {
             TokenKind::Ident(s) => write!(f, "`{s}`"),
             TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::IntU32(v) => write!(f, "`{v}u32`"),
             TokenKind::Float(v) => write!(f, "`{v}`"),
             TokenKind::FloatF32(v) => write!(f, "`{v}f32`"),
             TokenKind::LParen => write!(f, "`(`"),
@@ -239,7 +242,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         msg: format!("integer literal `{text}` out of range"),
                         span: Span::new(start as u32, i as u32),
                     })?;
-                    push(&mut tokens, TokenKind::Int(v), start, i);
+                    // Optional `u32` suffix.
+                    if src[i..].starts_with("u32") {
+                        if v > u64::from(u32::MAX) {
+                            return Err(LexError {
+                                msg: format!("literal `{text}u32` does not fit in u32"),
+                                span: Span::new(start as u32, (i + 3) as u32),
+                            });
+                        }
+                        i += 3;
+                        push(&mut tokens, TokenKind::IntU32(v), start, i);
+                    } else {
+                        push(&mut tokens, TokenKind::Int(v), start, i);
+                    }
                 }
             }
             _ => {
@@ -382,6 +397,15 @@ mod tests {
                 TokenKind::Eof
             ]
         );
+    }
+
+    #[test]
+    fn u32_literals() {
+        assert_eq!(
+            kinds("5u32 7"),
+            vec![TokenKind::IntU32(5), TokenKind::Int(7), TokenKind::Eof]
+        );
+        assert!(tokenize("4294967296u32").is_err());
     }
 
     #[test]

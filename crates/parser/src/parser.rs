@@ -651,6 +651,35 @@ impl Parser {
                 span: start.to(self.prev_span()),
             });
         }
+        // Atomic RMW statements: `atomic_add(p, e);` or the scatter form
+        // `atomic_add(p, i, e);`.
+        if let TokenKind::Ident(name) = self.peek() {
+            if let Some(op) = AtomicOp::from_name(name) {
+                if *self.peek_at(1) == TokenKind::LParen {
+                    self.bump();
+                    self.expect(TokenKind::LParen)?;
+                    let place = self.place()?;
+                    self.expect(TokenKind::Comma)?;
+                    let second = self.expr()?;
+                    let (index, value) = if self.eat(TokenKind::Comma) {
+                        (Some(second), self.expr()?)
+                    } else {
+                        (None, second)
+                    };
+                    self.expect(TokenKind::RParen)?;
+                    self.stmt_terminator()?;
+                    return Ok(Stmt {
+                        kind: StmtKind::AtomicRmw {
+                            op,
+                            place,
+                            index,
+                            value,
+                        },
+                        span: start.to(self.prev_span()),
+                    });
+                }
+            }
+        }
         if *self.peek() == TokenKind::LBrace {
             let b = self.block()?;
             return Ok(Stmt {
@@ -806,6 +835,13 @@ impl Parser {
                 self.bump();
                 Ok(Expr {
                     kind: ExprKind::Lit(Lit::I32(v as i64)),
+                    span: start,
+                })
+            }
+            TokenKind::IntU32(v) => {
+                self.bump();
+                Ok(Expr {
+                    kind: ExprKind::Lit(Lit::U32(v)),
                     span: start,
                 })
             }
@@ -1329,6 +1365,94 @@ fn main() -[t: cpu.thread]-> () {
         match &f.body.stmts[1].kind {
             StmtKind::Let { init, .. } => {
                 assert!(matches!(init.kind, ExprKind::Call { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_atomic_rmw_forms() {
+        let src = r#"
+fn k(hist: &uniq gpu.global [i32; 16], inp: & gpu.global [i32; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            atomic_add(*hist, (*inp)[[thread]], 1);
+            atomic_min((*hist)[0], 7);
+            atomic_exchange((*hist)[1], 5);
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("k").unwrap();
+        let StmtKind::Sched { body, .. } = &f.body.stmts[0].kind else {
+            panic!("expected sched");
+        };
+        let StmtKind::Sched { body, .. } = &body.stmts[0].kind else {
+            panic!("expected inner sched");
+        };
+        match &body.stmts[0].kind {
+            StmtKind::AtomicRmw {
+                op, index, value, ..
+            } => {
+                assert_eq!(*op, AtomicOp::Add);
+                assert!(index.is_some(), "scatter form carries an index");
+                assert!(matches!(value.kind, ExprKind::Lit(Lit::I32(1))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &body.stmts[1].kind {
+            StmtKind::AtomicRmw { op, index, .. } => {
+                assert_eq!(*op, AtomicOp::Min);
+                assert!(index.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            body.stmts[2].kind,
+            StmtKind::AtomicRmw {
+                op: AtomicOp::Exch,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn atomic_statements_roundtrip_through_pretty() {
+        let src = r#"
+fn k(hist: &uniq gpu.global [i32; 16], inp: & gpu.global [i32; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            atomic_add(*hist, (*inp)[[thread]], 1);
+            atomic_max((*hist)[0], 3u32 > 2u32 && true);
+        }
+    }
+}
+"#;
+        let p1 = parse(src).unwrap();
+        let printed = pretty::program(&p1);
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {} in:\n{printed}", e.msg));
+        assert_eq!(p1.items.len(), p2.items.len());
+        let f1 = p1.fn_def("k").unwrap();
+        let f2 = p2.fn_def("k").unwrap();
+        assert_eq!(f1.body.stmts.len(), f2.body.stmts.len());
+    }
+
+    #[test]
+    fn parses_u32_literals() {
+        let src = r#"
+fn f() -[t: cpu.thread]-> () {
+    let x = 5u32;
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Let { init, .. } => {
+                assert!(matches!(init.kind, ExprKind::Lit(Lit::U32(5))));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -31,6 +31,12 @@ pub enum AccessMode {
     Shrd,
     /// Unique (write) access.
     Uniq,
+    /// Atomic read-modify-write access. Like `Uniq` it mutates, but the
+    /// hardware serializes concurrent atomics to one location, so two
+    /// atomic accesses never race with *each other* — they are exempt
+    /// from narrowing and from atomic–atomic conflicts, while
+    /// atomic–plain pairs still conflict.
+    Atomic,
 }
 
 impl fmt::Display for AccessMode {
@@ -38,6 +44,7 @@ impl fmt::Display for AccessMode {
         match self {
             AccessMode::Shrd => write!(f, "shrd"),
             AccessMode::Uniq => write!(f, "uniq"),
+            AccessMode::Atomic => write!(f, "atomic"),
         }
     }
 }
@@ -77,7 +84,9 @@ pub fn narrowing_violation(
     mode: AccessMode,
     exec: &ExecExpr,
 ) -> Option<MissingLevels> {
-    if mode == AccessMode::Shrd {
+    // Shared accesses may be replicated; atomic accesses are the typed
+    // escape hatch from narrowing — the hardware serializes them.
+    if mode != AccessMode::Uniq {
         return None;
     }
     let levels = exec.levels_beyond(&path.owner)?;
@@ -221,6 +230,12 @@ pub fn may_overlap(a: &PlacePath, b: &PlacePath) -> bool {
 /// The check is conservative (sound): `false` means provably race-free.
 pub fn may_race(a: &Access, b: &Access) -> bool {
     if a.mode == AccessMode::Shrd && b.mode == AccessMode::Shrd {
+        return false;
+    }
+    // Atomic–atomic pairs never race: the hardware serializes them at
+    // each location (this is what makes atomics the only way to write a
+    // place concurrently). Atomic–plain pairs fall through to the walk.
+    if a.mode == AccessMode::Atomic && b.mode == AccessMode::Atomic {
         return false;
     }
     // Distinct roots are distinct allocations.
@@ -508,6 +523,35 @@ mod tests {
         p.push(PathStep::Deref);
         p.push(sel(&t, 1));
         assert!(narrowing_violation(&p, AccessMode::Uniq, &t).is_none());
+    }
+
+    /// Atomic RMWs to one un-narrowed place never conflict with each
+    /// other, but do conflict with plain reads and writes of the same
+    /// place — the accept/reject boundary of the atomics feature.
+    #[test]
+    fn atomic_pairs_are_safe_plain_pairs_race() {
+        let (g, _, t) = setup_1d(2, 32);
+        let mut p = PlacePath::new("hist", g.clone());
+        p.push(PathStep::Deref);
+        p.push(PathStep::Index(Nat::var("__atomic_idx")));
+        let at1 = access(p.clone(), AccessMode::Atomic, &t);
+        let at2 = access(p.clone(), AccessMode::Atomic, &t);
+        assert!(!may_race(&at1, &at2), "atomic-atomic is serialized");
+        let rd = access(p.clone(), AccessMode::Shrd, &t);
+        assert!(may_race(&at1, &rd), "atomic-read conflicts");
+        let wr = access(p, AccessMode::Uniq, &t);
+        assert!(may_race(&at1, &wr), "atomic-write conflicts");
+    }
+
+    /// Atomics to an un-narrowed place pass the narrowing check that a
+    /// plain unique access fails.
+    #[test]
+    fn atomic_access_skips_narrowing() {
+        let (g, _, t) = setup_1d(2, 32);
+        let mut p = PlacePath::new("hist", g.clone());
+        p.push(PathStep::Deref);
+        assert!(narrowing_violation(&p, AccessMode::Uniq, &t).is_some());
+        assert!(narrowing_violation(&p, AccessMode::Atomic, &t).is_none());
     }
 
     #[test]

@@ -30,6 +30,16 @@ use descend_exec::Space;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
+/// The reserved nat-variable name standing for the *dynamic* element
+/// index of an atomic scatter (`atomic_add(p, i, e)`): the type checker
+/// extends the target path with `Index(Nat::Var(DYN_IDX))`, the path
+/// lowers through the one shared `lower_scalar_access` pipeline like any
+/// static index, and code generation substitutes the runtime index
+/// expression for the sentinel afterwards. Keeping the sentinel inside
+/// the normal lowering is what lets every backend and the simulator share
+/// one address computation even for data-dependent targets.
+pub const DYN_IDX: &str = "__atomic_idx";
+
 /// A coordinate source: which hardware index a select compiles to.
 ///
 /// `Block`/`X` is CUDA's `blockIdx.x`, `Thread`/`Y` is `threadIdx.y`, and

@@ -9,7 +9,7 @@ use descend_ast::{Nat, Span};
 use descend_exec::{ExecExpr, Side, Space};
 use descend_places::{
     may_overlap, may_race, narrowing_violation, resolve_view_app, Access, AccessMode, PathStep,
-    PlacePath, SelectStep, ViewDefs,
+    PlacePath, SelectStep, ViewDefs, DYN_IDX,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -362,6 +362,7 @@ fn scalar_kind(s: ScalarTy, span: Span) -> TResult<ScalarKind> {
         ScalarTy::F64 => ScalarKind::F64,
         ScalarTy::F32 => ScalarKind::F32,
         ScalarTy::I32 => ScalarKind::I32,
+        ScalarTy::U32 => ScalarKind::U32,
         ScalarTy::Bool => ScalarKind::Bool,
         other => {
             return Err(TypeError::new(
@@ -867,7 +868,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
         // that go *through* a reference binding are exempt: the borrow
         // itself grants them (alias substitution rewrote them to the
         // target path), and conflicting borrows were rejected at creation.
-        let is_write = mode == AccessMode::Uniq;
+        let is_write = mode != AccessMode::Shrd;
         if !tp.via_alias {
             for b in &self.borrows {
                 if (b.uniq || is_write) && may_overlap(&b.path, &access.path) {
@@ -917,6 +918,10 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 Lit::I32(v) => (
                     DataTy::i32(),
                     Some(ElabExpr::Lit(ScalarKind::I32, *v as f64)),
+                ),
+                Lit::U32(v) => (
+                    DataTy::Scalar(ScalarTy::U32),
+                    Some(ElabExpr::Lit(ScalarKind::U32, *v as f64)),
                 ),
                 Lit::Bool(v) => (
                     DataTy::Scalar(ScalarTy::Bool),
@@ -1379,12 +1384,154 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 out.push(ElabStmt::Sync);
                 Ok(())
             }
+            StmtKind::AtomicRmw {
+                op,
+                place,
+                index,
+                value,
+            } => self.check_atomic(*op, place, index.as_ref(), value, s.span, out),
             StmtKind::Scope(b) => {
                 let stmts = self.check_block(b, false)?;
                 out.extend(stmts);
                 Ok(())
             }
         }
+    }
+
+    /// Checks an atomic RMW statement (paper-extension: the typed escape
+    /// hatch for cross-thread accumulation). Atomics are the *only* way a
+    /// place reachable by several threads may be mutated without
+    /// narrowing selects: the access is recorded with
+    /// [`AccessMode::Atomic`], which skips the narrowing rule and never
+    /// conflicts with other atomics — while any plain read or write of an
+    /// overlapping place still conflicts.
+    fn check_atomic(
+        &mut self,
+        op: AtomicOp,
+        place: &PlaceExpr,
+        index: Option<&Expr>,
+        value: &Expr,
+        span: Span,
+        out: &mut Vec<ElabStmt>,
+    ) -> TResult<()> {
+        if !self.on_gpu() {
+            return Err(TypeError::new(
+                ErrorKind::WrongExecutionContext,
+                span,
+                format!("`{op}` is a GPU operation; it cannot run on the CPU"),
+            ));
+        }
+        let (vty, velab) = self.type_expr(value)?;
+        let idx_elab = match index {
+            Some(ix) => {
+                let (ity, ielab) = self.type_expr(ix)?;
+                if !matches!(ity, DataTy::Scalar(ScalarTy::I32 | ScalarTy::U32)) {
+                    return Err(TypeError::new(
+                        ErrorKind::MismatchedTypes,
+                        ix.span,
+                        format!("atomic element index must be `i32` or `u32`, found `{ity}`"),
+                    ));
+                }
+                Some(ielab.ok_or_else(|| {
+                    TypeError::new(
+                        ErrorKind::Unsupported,
+                        ix.span,
+                        "atomic index cannot be lowered",
+                    )
+                })?)
+            }
+            None => None,
+        };
+        let mut tp = self.type_place(place)?;
+        if index.is_some() {
+            // Scatter form: the place denotes a 1-D array; the element is
+            // chosen at runtime. The path gains the DYN_IDX sentinel so
+            // the address lowers through the ordinary pipeline.
+            let (DataTy::Array(elem, _) | DataTy::ArrayView(elem, _)) = tp.ty.clone() else {
+                return Err(TypeError::new(
+                    ErrorKind::MismatchedTypes,
+                    place.span,
+                    format!(
+                        "the scatter form of `{op}` targets an array place, found `{}`",
+                        tp.ty
+                    ),
+                ));
+            };
+            if !matches!(*elem, DataTy::Scalar(_)) {
+                return Err(TypeError::new(
+                    ErrorKind::Unsupported,
+                    place.span,
+                    "atomic scatter targets must be arrays of scalars",
+                ));
+            }
+            tp.ty = *elem;
+            tp.path.push(PathStep::Index(Nat::var(DYN_IDX)));
+        }
+        let DataTy::Scalar(s) = tp.ty else {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                place.span,
+                format!("`{op}` targets a scalar place, found `{}`", tp.ty),
+            ));
+        };
+        let elem = scalar_kind(s, place.span)?;
+        if !matches!(elem, ScalarKind::I32 | ScalarKind::U32 | ScalarKind::F32) {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                place.span,
+                format!(
+                    "atomic operations are supported on `i32`, `u32` and `f32` places, not `{s}`"
+                ),
+            ));
+        }
+        if matches!(op, AtomicOp::Min | AtomicOp::Max) && elem == ScalarKind::F32 {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                place.span,
+                "`atomic_min`/`atomic_max` require an integer place (no GPU target provides native f32 min/max atomics)",
+            ));
+        }
+        if !tp.writable {
+            return Err(TypeError::new(
+                ErrorKind::NotWritable,
+                span,
+                format!("cannot atomically update read-only place `{}`", tp.path),
+            ));
+        }
+        if !vty.same(&DataTy::Scalar(s)) {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                value.span,
+                format!("expected `{s}`, found `{vty}`"),
+            ));
+        }
+        let Some(mem) = tp.mem else {
+            return Err(TypeError::new(
+                ErrorKind::Unsupported,
+                place.span,
+                "atomic operations require a place in `gpu.global` or `gpu.shared` memory",
+            ));
+        };
+        self.record_access(&tp, AccessMode::Atomic, place.span)?;
+        let velab = velab.ok_or_else(|| {
+            TypeError::new(
+                ErrorKind::Unsupported,
+                value.span,
+                "atomic operand cannot be lowered",
+            )
+        })?;
+        out.push(ElabStmt::Atomic {
+            op,
+            access: ElabAccess {
+                path: tp.path.clone(),
+                root_dims: tp.root_dims.clone(),
+                mem,
+                elem,
+            },
+            index: idx_elab,
+            value: velab,
+        });
+        Ok(())
     }
 
     fn lookup_exec(&self, name: &str, span: Span) -> TResult<ExecBinding> {

@@ -11,7 +11,7 @@
 //!   transfers and kernel launches) for the host interpreter.
 
 use descend_ast::ty::DimCompo;
-use descend_ast::{term::BinOp, term::UnOp, Nat};
+use descend_ast::{term::AtomicOp, term::BinOp, term::UnOp, Nat};
 use descend_exec::Space;
 use descend_places::PlacePath;
 
@@ -24,6 +24,8 @@ pub enum ScalarKind {
     F32,
     /// 32-bit signed integer.
     I32,
+    /// 32-bit unsigned integer.
+    U32,
     /// Boolean.
     Bool,
 }
@@ -36,6 +38,7 @@ impl ScalarKind {
             ScalarKind::F64 => 8,
             ScalarKind::F32 => 4,
             ScalarKind::I32 => 4,
+            ScalarKind::U32 => 4,
             ScalarKind::Bool => 1,
         }
     }
@@ -46,6 +49,7 @@ impl ScalarKind {
             ScalarKind::F64 => "double",
             ScalarKind::F32 => "float",
             ScalarKind::I32 => "int",
+            ScalarKind::U32 => "unsigned int",
             ScalarKind::Bool => "bool",
         }
     }
@@ -129,6 +133,22 @@ pub enum ElabStmt {
         fst: Vec<ElabStmt>,
         /// Statements of the second part.
         snd: Vec<ElabStmt>,
+    },
+    /// An atomic read-modify-write on global or shared memory. With
+    /// `index`, the *element* within the array place denoted by `access`
+    /// is chosen dynamically (atomic scatter); the access path then ends
+    /// in `Index(Nat::Var(descend_places::DYN_IDX))` and code generation
+    /// substitutes the lowered `index` expression for the sentinel, so
+    /// the address still flows through the one shared lowering.
+    Atomic {
+        /// The operation.
+        op: AtomicOp,
+        /// Target access (scalar place, possibly via the sentinel index).
+        access: ElabAccess,
+        /// Dynamic element index (scatter form only).
+        index: Option<ElabExpr>,
+        /// The combined operand.
+        value: ElabExpr,
     },
     /// Block-wide barrier.
     Sync,

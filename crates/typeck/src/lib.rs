@@ -21,6 +21,16 @@
 //! the recorded accesses to shared memory, enabling the paper's
 //! communication-through-barrier pattern.
 //!
+//! Atomic RMW statements (`atomic_add(p, e)`, `atomic_min`, `atomic_max`,
+//! `atomic_exchange`, plus the scatter form `atomic_add(p, i, e)` with a
+//! runtime element index) are recorded with a third access mode,
+//! `Atomic`: they skip the narrowing rule (the hardware serializes
+//! conflicting RMWs, so un-narrowed concurrent updates are safe) and
+//! never conflict with other atomics, while any overlapping *plain* read
+//! or write still conflicts. This makes atomics the only way a place
+//! reachable by several threads may be written without per-thread
+//! selects — exactly the boundary the fail corpus pins from both sides.
+//!
 //! ## Divergences from the paper (documented in DESIGN.md)
 //!
 //! - **Monomorphic checking**: generic functions are checked per

@@ -1,0 +1,160 @@
+//! Property tests (vendored proptest) for the atomic RMW feature:
+//! schedule-independence of atomics as an executable invariant.
+//!
+//! - For random bin counts, input sizes and grid/block shapes, the
+//!   simulated `histogram` bin totals always sum to the input length and
+//!   match a sequential count — no increment is lost to a race, whatever
+//!   the launch geometry.
+//! - For random sizes and shapes, the atomic-finish reduction equals a
+//!   sequential fold (inputs are integer-valued f32, so float rounding
+//!   cannot mask a lost update).
+
+use descend::compiler::Compiler;
+use descend::sim::LaunchConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn race_checked() -> LaunchConfig {
+    LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    }
+}
+
+/// A histogram program over `blocks x threads` inputs scattered into
+/// `bins` bins (the corpus program, re-generated for arbitrary shapes).
+fn histogram_src(blocks: u64, threads: u64, bins: u64) -> String {
+    let n = blocks * threads;
+    format!(
+        r#"
+fn histogram(inp: & gpu.global [i32; {n}], hist: &uniq gpu.global [i32; {bins}])
+-[grid: gpu.grid<X<{blocks}>, X<{threads}>>]-> () {{
+    sched(X) block in grid {{
+        sched(X) thread in block {{
+            atomic_add(*hist, (*inp).group::<{threads}>[[block]][[thread]] % {bins}, 1);
+        }}
+    }}
+}}
+
+fn main() -[t: cpu.thread]-> () {{
+    let h = alloc::<cpu.mem, [i32; {n}]>();
+    let bins = alloc::<cpu.mem, [i32; {bins}]>();
+    let d = gpu_alloc_copy(&h);
+    let dbins = gpu_alloc_copy(&bins);
+    histogram<<<X<{blocks}>, X<{threads}>>>>(&d, &uniq dbins);
+    copy_mem_to_host(&uniq bins, &dbins);
+}}
+"#
+    )
+}
+
+/// A block-tree + atomic-finish reduction over `blocks x threads` f32
+/// inputs (the corpus program, re-generated for arbitrary shapes;
+/// `threads` must be a power of two for the halving loop).
+fn reduce_atomic_src(blocks: u64, threads: u64) -> String {
+    let n = blocks * threads;
+    let half = threads / 2;
+    format!(
+        r#"
+fn reduce_at(inp: & gpu.global [f32; {n}], out: &uniq gpu.global [f32; 1])
+-[grid: gpu.grid<X<{blocks}>, X<{threads}>>]-> () {{
+    sched(X) block in grid {{
+        let tmp = alloc::<gpu.shared, [f32; {threads}]>();
+        sched(X) thread in block {{
+            tmp[[thread]] = (*inp).group::<{threads}>[[block]][[thread]];
+        }}
+        sync;
+        for k in halving({half}) {{
+            split(X) block at k {{
+                active => {{
+                    sched(X) t in active {{
+                        tmp.split::<k>.fst[[t]] = tmp.split::<k>.fst[[t]]
+                            + tmp.split::<k>.snd.split::<k>.fst[[t]];
+                    }}
+                }},
+                inactive => {{ }}
+            }}
+            sync;
+        }}
+        split(X) block at 1 {{
+            first => {{
+                sched(X) t in first {{
+                    atomic_add((*out)[0], tmp.split::<1>.fst[[t]]);
+                }}
+            }},
+            rest => {{ }}
+        }}
+    }}
+}}
+
+fn main() -[t: cpu.thread]-> () {{
+    let h = alloc::<cpu.mem, [f32; {n}]>();
+    let total = alloc::<cpu.mem, [f32; 1]>();
+    let d = gpu_alloc_copy(&h);
+    let dtotal = gpu_alloc_copy(&total);
+    reduce_at<<<X<{blocks}>, X<{threads}>>>>(&d, &uniq dtotal);
+    copy_mem_to_host(&uniq total, &dtotal);
+}}
+"#
+    )
+}
+
+proptest! {
+    /// Conservation of counts: however the launch is shaped and however
+    /// contended the bins are, the histogram total equals the input
+    /// length and each bin matches the sequential count — with the race
+    /// detector on the whole time.
+    #[test]
+    fn histogram_counts_are_conserved(
+        blocks in 1u64..5,
+        threads in prop_oneof![Just(32u64), Just(64), Just(128)],
+        bins in prop_oneof![Just(4u64), Just(8), Just(16), Just(33)],
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * threads;
+        let src = histogram_src(blocks, threads, bins);
+        let compiled = Compiler::new().compile_source(&src).expect("compiles");
+        // Deterministic pseudo-random non-negative inputs.
+        let data: Vec<f64> = (0..n)
+            .map(|i| (((i * 2654435761 + seed * 40503) >> 7) % 1024) as f64)
+            .collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), data.clone());
+        let run = compiled
+            .run_host("main", &inputs, &race_checked())
+            .expect("runs race-free");
+        let got = &run.cpu["bins"];
+        let total: f64 = got.iter().sum();
+        prop_assert_eq!(total as u64, n, "histogram loses or invents counts");
+        let mut want = vec![0.0; bins as usize];
+        for v in &data {
+            want[(*v as u64 % bins) as usize] += 1.0;
+        }
+        prop_assert_eq!(got.clone(), want);
+    }
+
+    /// The atomic-finish reduction equals a sequential fold for every
+    /// grid/block shape (integer-valued f32 inputs keep all intermediate
+    /// sums exact, so any lost atomic update would be visible).
+    #[test]
+    fn reduce_atomic_equals_sequential_fold(
+        blocks in 1u64..5,
+        threads in prop_oneof![Just(32u64), Just(64), Just(128), Just(256)],
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * threads;
+        let src = reduce_atomic_src(blocks, threads);
+        let compiled = Compiler::new().compile_source(&src).expect("compiles");
+        let data: Vec<f64> = (0..n)
+            .map(|i| (((i * 48271 + seed * 16807) >> 5) % 64) as f64 - 31.0)
+            .collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), data.clone());
+        let run = compiled
+            .run_host("main", &inputs, &race_checked())
+            .expect("runs race-free");
+        let got = run.cpu["total"][0];
+        let want: f64 = data.iter().sum();
+        prop_assert_eq!(got, want, "atomic finish diverges from sequential fold");
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end tests for atomic RMW operations: correctness of the new
+//! corpus programs on real workloads, the typing rules' accept/reject
+//! matrix, and the u32 scalar kind the feature introduced.
+
+use descend::compiler::Compiler;
+use descend::sim::LaunchConfig;
+use descend::typeck::ErrorKind;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn corpus(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/descend")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read {p:?}: {e}"))
+}
+
+fn race_checked() -> LaunchConfig {
+    LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    }
+}
+
+fn reject(src: &str) -> ErrorKind {
+    Compiler::new()
+        .compile_source(src)
+        .expect_err("program must be rejected")
+        .type_error
+        .expect("rejection must come from the type system")
+        .kind
+}
+
+/// The corpus histogram counts a real workload exactly (and race-free).
+#[test]
+fn histogram_corpus_is_correct() {
+    let compiled = Compiler::new()
+        .compile_source(&corpus("histogram.descend"))
+        .expect("compiles");
+    let data: Vec<f64> = (0..512).map(|i| ((i * 37 + 11) % 301) as f64).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), data.clone());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    let got = &run.cpu["bins"];
+    let mut want = vec![0.0; 32];
+    for v in &data {
+        want[(*v as usize) % 32] += 1.0;
+    }
+    assert_eq!(got, &want);
+    // The cost model charged contention: 512 atomics over 32 bins must
+    // serialize within warps.
+    assert!(run.launches[0].atomic_accesses == 512);
+    assert!(run.launches[0].atomic_serializations > 0);
+}
+
+/// The atomic-finish reduction matches a sequential fold.
+#[test]
+fn reduce_atomic_corpus_is_correct() {
+    let compiled = Compiler::new()
+        .compile_source(&corpus("reduce_atomic.descend"))
+        .expect("compiles");
+    let data: Vec<f64> = (0..1024).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), data.clone());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    let want: f64 = data.iter().sum();
+    assert_eq!(run.cpu["total"][0], want);
+}
+
+/// The packed shared-memory argmin finds the position of the minimum.
+#[test]
+fn argmin_corpus_finds_the_minimum_index() {
+    let compiled = Compiler::new()
+        .compile_source(&corpus("argmin_shared.descend"))
+        .expect("compiles");
+    let data: Vec<f64> = (0..256).map(|i| ((i * 97 + 23) % 250 + 1) as f64).collect();
+    let ids: Vec<f64> = (0..256).map(f64::from).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), data.clone());
+    inputs.insert("ids".to_string(), ids);
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    let packed = run.cpu["res"][0] as i64;
+    let (got_min, got_idx) = (packed / 256, packed % 256);
+    let want_min = data.iter().copied().fold(f64::INFINITY, f64::min) as i64;
+    let want_idx = data
+        .iter()
+        .position(|v| *v as i64 == want_min)
+        .expect("minimum exists") as i64;
+    assert_eq!(got_min, want_min);
+    assert_eq!(got_idx, want_idx, "packed key carries the argmin");
+}
+
+/// Atomics on u32 places work end to end (u32 literals included).
+#[test]
+fn u32_atomics_run_end_to_end() {
+    let src = r#"
+fn bump(cnt: &uniq gpu.global [u32; 1]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            atomic_add((*cnt)[0], 2u32);
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [u32; 1]>();
+    let d = gpu_alloc_copy(&h);
+    bump<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let run = compiled
+        .run_host("main", &HashMap::new(), &race_checked())
+        .expect("runs race-free");
+    assert_eq!(run.cpu["h"][0], 128.0, "64 threads x 2");
+    // The CUDA spelling uses the unsigned type.
+    assert!(compiled.kernels[0].cuda().contains("unsigned int* cnt"));
+}
+
+fn kernel_with(body: &str) -> String {
+    format!(
+        r#"
+fn k(a: &uniq gpu.global [i32; 64], f: &uniq gpu.global [f64; 64],
+     g: &uniq gpu.global [f32; 64], r: & gpu.global [i32; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {{
+    sched(X) block in grid {{
+        sched(X) thread in block {{
+            {body}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// The accept/reject matrix of the atomic typing rules.
+#[test]
+fn atomic_typing_rules() {
+    // Accepted: un-narrowed atomic updates, concurrent with each other.
+    Compiler::new()
+        .compile_source(&kernel_with(
+            "atomic_add((*a)[0], 1);\n            atomic_max((*a)[0], 2);",
+        ))
+        .expect("atomic-atomic to one cell is accepted");
+    // f64 places are not atomics-capable.
+    assert_eq!(
+        reject(&kernel_with("atomic_add((*f)[0], 1.0);")),
+        ErrorKind::MismatchedTypes
+    );
+    // f32 min/max have no native spelling on any target.
+    assert_eq!(
+        reject(&kernel_with("atomic_min((*g)[0], 1.0f32);")),
+        ErrorKind::MismatchedTypes
+    );
+    // f32 add/exchange are fine.
+    Compiler::new()
+        .compile_source(&kernel_with(
+            "atomic_add((*g)[0], 1.0f32);\n            atomic_exchange((*g)[1], 2.0f32);",
+        ))
+        .expect("f32 add/exchange accepted");
+    // The operand type must match the place.
+    assert_eq!(
+        reject(&kernel_with("atomic_add((*a)[0], 1.0);")),
+        ErrorKind::MismatchedTypes
+    );
+    // Atomics through a shared (non-uniq) reference are rejected.
+    assert_eq!(
+        reject(&kernel_with("atomic_add((*r)[0], 1);")),
+        ErrorKind::NotWritable
+    );
+    // The scatter index must be an integer.
+    assert_eq!(
+        reject(&kernel_with("atomic_add(*a, 1.5, 1);")),
+        ErrorKind::MismatchedTypes
+    );
+    // A plain read of an atomically-updated place in the same epoch is
+    // an atomic-plain conflict.
+    assert_eq!(
+        reject(&kernel_with(
+            "atomic_add((*a)[0], 1);\n            let x = (*a)[0];"
+        )),
+        ErrorKind::ConflictingAccess
+    );
+    // A plain (even properly narrowed) write overlapping the atomics'
+    // target array conflicts, too.
+    assert_eq!(
+        reject(&kernel_with(
+            "atomic_add((*a)[0], 1);\n            (*a)[[thread]] = 0;"
+        )),
+        ErrorKind::ConflictingAccess
+    );
+}
+
+/// Atomics are GPU operations.
+#[test]
+fn atomic_on_cpu_is_rejected() {
+    let src = r#"
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [i32; 4]>();
+    atomic_add(h[0], 1);
+}
+"#;
+    assert_eq!(reject(src), ErrorKind::WrongExecutionContext);
+}
+
+/// A barrier orders an atomic phase against a later plain read — the
+/// corpus argmin pattern, reduced to its essence on shared memory.
+#[test]
+fn barrier_orders_atomic_then_plain_read() {
+    let src = r#"
+fn k(out: &uniq gpu.global [i32; 1], inp: & gpu.global [i32; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        let acc = alloc::<gpu.shared, [i32; 1]>();
+        sched(X) thread in block {
+            atomic_add(acc[0], (*inp)[[thread]]);
+        }
+        sync;
+        split(X) block at 1 {
+            first => {
+                sched(X) t in first {
+                    (*out).split::<1>.fst[[t]] = acc.split::<1>.fst[[t]];
+                }
+            },
+            rest => { }
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [i32; 64]>();
+    let res = alloc::<cpu.mem, [i32; 1]>();
+    let d = gpu_alloc_copy(&h);
+    let dres = gpu_alloc_copy(&res);
+    k<<<X<1>, X<64>>>>(&uniq dres, &d);
+    copy_mem_to_host(&uniq res, &dres);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let data: Vec<f64> = (0..64).map(|i| (i % 9) as f64).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), data.clone());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    assert_eq!(run.cpu["res"][0], data.iter().sum::<f64>());
+}

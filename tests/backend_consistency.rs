@@ -14,7 +14,9 @@
 //!    that backend's kernel text — no emitter has a private index
 //!    printer that could drift.
 
-use descend::backends::{all_backends, ir_index_exprs, kernel_index_exprs, render_ir_expr};
+use descend::backends::{
+    all_backends, ir_index_exprs, kernel_index_exprs, kernel_inline_index_exprs, render_ir_expr,
+};
 use descend::compiler::{Compiled, Compiler};
 use std::path::PathBuf;
 
@@ -76,10 +78,13 @@ fn check_program(name: &str, compiled: &Compiled) {
         );
 
         // Property 2: each backend's kernel text contains its rendering
-        // of every lowered index expression.
+        // of every lowered index expression that renders inline (scatter
+        // atomics bind their index to an emitted temporary; the
+        // `atomic_addresses_share_the_lowering` test pins that form).
+        let inline = kernel_inline_index_exprs(&ck.mono).expect("lowering");
         for be in &backends {
             let text = &ck.targets[be.name()];
-            for e in &text_side {
+            for e in &inline {
                 let mut rendered = String::new();
                 render_ir_expr(be.as_ref(), e, &ck.mono, &mut rendered);
                 assert!(
@@ -133,4 +138,132 @@ fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
 
     let err = Compiler::with_backends(&["metal"]).unwrap_err();
     assert!(err.contains("unknown backend `metal`"), "{err}");
+}
+
+/// The atomic corpus programs participate in the differential check, and
+/// their atomic *target addresses* — including the data-dependent
+/// scatter index — are one lowering across the simulator IR and every
+/// backend's rendered call.
+#[test]
+fn atomic_addresses_share_the_lowering() {
+    use descend::sim::ir::Stmt;
+    let compiler = Compiler::new();
+    let backends = all_backends();
+    let mut atomic_kernels = 0;
+    for name in [
+        "histogram.descend",
+        "reduce_atomic.descend",
+        "argmin_shared.descend",
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/descend")
+            .join(name);
+        let src = std::fs::read_to_string(&path).unwrap();
+        let compiled = compiler.compile_source(&src).expect("corpus compiles");
+        for ck in &compiled.kernels {
+            // Collect the atomic element-index expressions straight from
+            // the simulator IR.
+            fn atomic_idx(body: &[Stmt], out: &mut Vec<descend::sim::ir::Expr>) {
+                for s in body {
+                    match s {
+                        Stmt::AtomicGlobal { idx, .. } | Stmt::AtomicShared { idx, .. } => {
+                            out.push(idx.clone());
+                        }
+                        Stmt::If { then_s, else_s, .. } => {
+                            atomic_idx(then_s, out);
+                            atomic_idx(else_s, out);
+                        }
+                        Stmt::Loop { body, .. } => atomic_idx(body, out),
+                        _ => {}
+                    }
+                }
+            }
+            let mut sim_side = Vec::new();
+            atomic_idx(&ck.ir.body, &mut sim_side);
+            if sim_side.is_empty() {
+                continue;
+            }
+            atomic_kernels += 1;
+            // Each backend's kernel text embeds the atomic address:
+            // static targets render the IR expression inline; scatter
+            // targets bind it once to a guarded `descend_idx_<n>`
+            // temporary whose initializer is the same lowered
+            // expression.
+            for be in &backends {
+                let text = &ck.targets[be.name()];
+                for e in &sim_side {
+                    let mut rendered = String::new();
+                    render_ir_expr(be.as_ref(), e, &ck.mono, &mut rendered);
+                    let inline_form = text.contains(&format!("[{rendered}]"));
+                    let temp_form = text.contains(&format!("{rendered})"))
+                        && text.contains("if (0 <= ")
+                        && text.contains("descend_idx_");
+                    assert!(
+                        inline_form || temp_form,
+                        "{name}/{}: backend `{}` lacks atomic address `{rendered}`:\n{text}",
+                        ck.mono.name,
+                        be.name()
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(atomic_kernels, 3, "all three atomic corpus kernels checked");
+}
+
+/// SlotMap parity: a scatter index that reads a *local* forces the
+/// emission layer to reproduce the IR lowering's slot assignment. The
+/// collected index expressions (text side, built via `SlotMap`) must
+/// equal the simulator IR's (built by the lowering's own slot table)
+/// node for node — including the `Local` slot numbers — and each
+/// backend's text must name the local where the IR has the slot.
+#[test]
+fn scatter_index_through_local_matches_ir_slots() {
+    use descend::backends::{kernel_index_exprs, render_ir_expr_named};
+    let src = r#"
+fn k(a: &uniq gpu.global [i32; 64], inp: & gpu.global [i32; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            let unused = 7;
+            let bin = (*inp)[[thread]] % 64;
+            atomic_add(*a, bin, 1);
+        }
+    }
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let ck = &compiled.kernels[0];
+    let mut text_keys: Vec<String> = kernel_index_exprs(&ck.mono)
+        .expect("lowering")
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let mut sim_keys: Vec<String> = ir_index_exprs(&ck.ir)
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    text_keys.sort();
+    sim_keys.sort();
+    assert_eq!(text_keys, sim_keys, "SlotMap diverged from the IR lowering");
+    // `bin` is slot 1 (after `unused`); every backend initializes the
+    // scatter temporary from the *named* local and guards the access.
+    let names = vec!["unused".to_string(), "bin".to_string()];
+    for be in all_backends() {
+        let text = &ck.targets[be.name()];
+        let mut rendered = String::new();
+        render_ir_expr_named(
+            be.as_ref(),
+            &descend::sim::ir::Expr::Local(1),
+            &ck.mono,
+            &names,
+            &mut rendered,
+        );
+        assert_eq!(rendered, "bin");
+        assert!(
+            text.contains("(bin)") && text.contains("descend_idx_0") && text.contains("< 64) {"),
+            "backend `{}` must bind, guard and name the local index:\n{text}",
+            be.name()
+        );
+    }
 }

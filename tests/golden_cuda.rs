@@ -138,3 +138,29 @@ void main() {
         compiled.cuda_source()
     );
 }
+
+#[test]
+fn golden_atomic_histogram() {
+    let src = std::fs::read_to_string("examples/descend/histogram.descend").expect("corpus file");
+    let expected = "\
+__global__ void histogram(const int* inp, int* hist) {
+    int descend_idx_0 = (int)((inp[((blockIdx.x * 256) + threadIdx.x)] % 32));
+    if (0 <= descend_idx_0 && descend_idx_0 < 32) { atomicAdd(&hist[descend_idx_0], 1); }
+}
+";
+    assert_eq!(kernel_cuda(&src, 0), expected);
+}
+
+#[test]
+fn golden_atomic_spellings() {
+    let src =
+        std::fs::read_to_string("examples/descend/argmin_shared.descend").expect("corpus file");
+    let cuda = kernel_cuda(&src, 0);
+    assert!(cuda.contains("__shared__ int best[1];"));
+    assert!(cuda.contains("atomicMin(&best[0], ((inp[threadIdx.x] * 256) + ids[threadIdx.x]));"));
+    // The f32 atomic finish of the reduction is native atomicAdd in CUDA.
+    let src =
+        std::fs::read_to_string("examples/descend/reduce_atomic.descend").expect("corpus file");
+    let cuda = kernel_cuda(&src, 0);
+    assert!(cuda.contains("atomicAdd(&out[0], tmp[threadIdx.x]);"));
+}

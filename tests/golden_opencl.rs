@@ -149,3 +149,39 @@ fn fill(v: &uniq gpu.global [f32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
     assert!(cl.contains("__global float* v"));
     assert!(cl.contains("1.5f"));
 }
+
+#[test]
+fn golden_atomic_histogram() {
+    let src = std::fs::read_to_string("examples/descend/histogram.descend").expect("corpus file");
+    let expected = "\
+__kernel void histogram(__global const int* inp, __global int* hist) {
+    int descend_idx_0 = (int)((inp[((get_group_id(0) * 256) + get_local_id(0))] % 32));
+    if (0 <= descend_idx_0 && descend_idx_0 < 32) { atomic_add((volatile __global int*)&hist[descend_idx_0], 1); }
+}
+";
+    assert_eq!(kernel_opencl(&src, 0), expected);
+}
+
+#[test]
+fn golden_atomic_spellings() {
+    // Shared-memory atomic min takes a volatile __local pointer.
+    let src =
+        std::fs::read_to_string("examples/descend/argmin_shared.descend").expect("corpus file");
+    let cl = kernel_opencl(&src, 0);
+    assert!(cl.contains(
+        "atomic_min((volatile __local int*)&best[0], ((inp[get_local_id(0)] * 256) + ids[get_local_id(0)]));"
+    ));
+    // f32 atomic add has no native intrinsic: the kernel calls the
+    // CAS-loop helper and the translation unit's prelude defines it over
+    // a volatile __global pointer.
+    let src =
+        std::fs::read_to_string("examples/descend/reduce_atomic.descend").expect("corpus file");
+    let compiled = Compiler::new().compile_source(&src).expect("compiles");
+    let cl = &compiled.kernels[0].targets["opencl"];
+    assert!(cl.contains("descend_atomic_add_f32_global(&out[0], tmp[get_local_id(0)]);"));
+    let unit = compiled.target_source("opencl").expect("selected");
+    assert!(unit.contains(
+        "inline void descend_atomic_add_f32_global(volatile __global float* p, float v)"
+    ));
+    assert!(unit.contains("atomic_cmpxchg((volatile __global unsigned int*)p"));
+}

@@ -182,3 +182,114 @@ fn bump(v: &uniq gpu.global [i32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
     assert!(!w.contains("narrowed"), "no f64 involved:\n{w}");
     assert!(w.contains("var x: i32 = (v[((block_idx.x * 32) + thread_idx.x)] + 1);"));
 }
+
+#[test]
+fn golden_atomic_histogram() {
+    let src = std::fs::read_to_string("examples/descend/histogram.descend").expect("corpus file");
+    let expected = "\
+// Kernel `histogram` — standalone WGSL module.
+@group(0) @binding(0) var<storage, read> inp: array<i32, 512>;
+@group(0) @binding(1) var<storage, read_write> hist: array<atomic<i32>, 32>;
+const block_dim: vec3<u32> = vec3<u32>(256, 1, 1);
+
+@compute @workgroup_size(256, 1, 1)
+fn histogram(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocation_id) thread_idx: vec3<u32>, @builtin(num_workgroups) grid_dim: vec3<u32>) {
+    var descend_idx_0: i32 = i32((inp[((block_idx.x * 256) + thread_idx.x)] % 32));
+    if (0 <= u32(descend_idx_0) && u32(descend_idx_0) < 32) { atomicAdd(&hist[u32(descend_idx_0)], 1); }
+}
+";
+    assert_eq!(kernel_wgsl(&src, 0), expected);
+}
+
+#[test]
+fn golden_atomic_spellings() {
+    // A shared atomic target becomes a workgroup array of atomic<i32>;
+    // plain initialization and read-back of the same cell spell
+    // atomicStore/atomicLoad.
+    let src =
+        std::fs::read_to_string("examples/descend/argmin_shared.descend").expect("corpus file");
+    let wgsl = kernel_wgsl(&src, 0);
+    assert!(wgsl.contains("var<workgroup> best: array<atomic<i32>, 1>;"));
+    assert!(wgsl.contains("atomicStore(&best[thread_idx.x], 2147483647);"));
+    assert!(wgsl.contains("atomicMin(&best[0], ((inp[thread_idx.x] * 256) + ids[thread_idx.x]));"));
+    assert!(wgsl.contains("out[thread_idx.x] = atomicLoad(&best[thread_idx.x]);"));
+    // f32 atomic targets: atomic<u32> over the bit pattern, CAS-loop
+    // helper call, and the module-header fallback note.
+    let src =
+        std::fs::read_to_string("examples/descend/reduce_atomic.descend").expect("corpus file");
+    let wgsl = kernel_wgsl(&src, 0);
+    assert!(wgsl.contains("// note: WGSL has no atomic<f32>"));
+    assert!(wgsl.contains("var<storage, read_write> out: array<atomic<u32>, 1>;"));
+    assert!(wgsl.contains("descendAtomicAddF32(&out[0], tmp[thread_idx.x]);"));
+}
+
+/// Mixed plain/atomic access to an *f32* atomic target: the buffer is
+/// `atomic<u32>` bit-pattern storage, so plain stores and loads must
+/// bitcast through u32 — otherwise the module is type-invalid WGSL.
+#[test]
+fn golden_f32_atomic_buffer_bitcasts() {
+    let src = r#"
+fn acc(inp: & gpu.global [f32; 64], out: &uniq gpu.global [f32; 1])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        let sum = alloc::<gpu.shared, [f32; 1]>();
+        split(X) block at 1 {
+            first => {
+                sched(X) t in first {
+                    sum.split::<1>.fst[[t]] = 0.0f32;
+                }
+            },
+            rest => { }
+        }
+        sync;
+        sched(X) thread in block {
+            atomic_add(sum[0], (*inp)[[thread]]);
+        }
+        sync;
+        split(X) block at 1 {
+            first => {
+                sched(X) t in first {
+                    (*out).split::<1>.fst[[t]] = sum.split::<1>.fst[[t]];
+                }
+            },
+            rest => { }
+        }
+    }
+}
+"#;
+    let wgsl = kernel_wgsl(src, 0);
+    assert!(wgsl.contains("var<workgroup> sum: array<atomic<u32>, 1>;"));
+    assert!(wgsl.contains("atomicStore(&sum[thread_idx.x], bitcast<u32>(0.0));"));
+    assert!(wgsl.contains("descendAtomicAddF32(&sum[0], inp[thread_idx.x]);"));
+    assert!(wgsl.contains("out[thread_idx.x] = bitcast<f32>(atomicLoad(&sum[thread_idx.x]));"));
+}
+
+/// A scatter whose target place carries a static coordinate offset: the
+/// i32 temporary is wrapped in `u32(...)` wherever it meets u32
+/// coordinate arithmetic (WGSL has no implicit integer conversions; a
+/// negative index wraps to a huge u32 and fails the bounds guard).
+#[test]
+fn golden_offset_scatter_wraps_index_in_u32() {
+    let src = r#"
+fn scatter(inp: & gpu.global [i32; 64], hist: &uniq gpu.global [i32; 64])
+-[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            atomic_add((*hist).group::<32>[[block]],
+                       (*inp).group::<32>[[block]][[thread]] % 32, 1);
+        }
+    }
+}
+"#;
+    let wgsl = kernel_wgsl(src, 0);
+    assert!(wgsl.contains(
+        "var descend_idx_0: i32 = i32((inp[((block_idx.x * 32) + thread_idx.x)] % 32));"
+    ));
+    assert!(wgsl.contains(
+        "if (0 <= ((block_idx.x * 32) + u32(descend_idx_0)) && ((block_idx.x * 32) + u32(descend_idx_0)) < 64) { atomicAdd(&hist[((block_idx.x * 32) + u32(descend_idx_0))], 1); }"
+    ));
+    // CUDA keeps the bare temporary (C++ converts implicitly).
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    assert!(compiled.kernels[0].targets["cuda"]
+        .contains("atomicAdd(&hist[((blockIdx.x * 32) + descend_idx_0)], 1);"));
+}

@@ -192,6 +192,69 @@ fn main() -[t: cpu.thread]-> () {
     );
 }
 
+/// The atomics accept/reject boundary, from both sides: the plain `+=`
+/// histogram is rejected statically (`fail/nonatomic_histogram.descend`,
+/// driven by tests/corpus.rs) AND its IR transcription is flagged by the
+/// dynamic race oracle — while the `atomic_add` version of the very same
+/// kernel is accepted statically and runs clean dynamically.
+#[test]
+fn nonatomic_histogram_is_caught_both_ways_and_atomic_is_clean() {
+    let (n, bs, bins) = (512usize, 256usize, 32usize);
+    let nb = (n / bs) as u64;
+    let data: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+
+    // Dynamically: the plain read-modify-write transcription races.
+    let racy = baselines::histogram_racy(n, bs, bins);
+    let mut gpu = Gpu::new();
+    let inp = gpu.alloc_scalars(descend::sim::ir::ElemTy::I32, &data);
+    let hist = gpu.alloc_scalars(descend::sim::ir::ElemTy::I32, &vec![0.0; bins]);
+    let err = gpu
+        .launch(
+            &racy,
+            [nb, 1, 1],
+            [bs as u64, 1, 1],
+            &[inp, hist],
+            &race_checked(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SimError::DataRace(_)));
+
+    // The atomic version of the same kernel is dynamically clean and
+    // correct.
+    let atomic = baselines::histogram(n, bs, bins);
+    let mut gpu = Gpu::new();
+    let inp = gpu.alloc_scalars(descend::sim::ir::ElemTy::I32, &data);
+    let hist = gpu.alloc_scalars(descend::sim::ir::ElemTy::I32, &vec![0.0; bins]);
+    gpu.launch(
+        &atomic,
+        [nb, 1, 1],
+        [bs as u64, 1, 1],
+        &[inp, hist],
+        &race_checked(),
+    )
+    .expect("atomic histogram is race-free");
+    let got = gpu.read_scalars(hist);
+    let want = descend::benchmarks::reference::histogram(&data, bins);
+    assert_eq!(got, want, "atomic histogram counts are exact");
+
+    // Statically: the fail-corpus source is rejected with the narrowing
+    // diagnostic; swapping the plain update for `atomic_add` makes the
+    // same program compile.
+    let src = std::fs::read_to_string("examples/descend/fail/nonatomic_histogram.descend").unwrap();
+    let err = Compiler::new().compile_source(&src).unwrap_err();
+    assert_eq!(
+        err.type_error.unwrap().kind,
+        descend::typeck::ErrorKind::NarrowingViolation
+    );
+    let fixed = src.replace(
+        "(*hist)[0] = (*hist)[0] + (*inp).group::<256>[[block]][[thread]];",
+        "atomic_add((*hist)[0], (*inp).group::<256>[[block]][[thread]]);",
+    );
+    Compiler::new()
+        .compile_source(&fixed)
+        .expect("the atomic version of the same kernel is accepted");
+}
+
 /// Injected-fault check: perturbing a safe baseline into a racy variant
 /// must trip the detector (guards against a detector that passes
 /// everything).
