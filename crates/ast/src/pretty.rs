@@ -138,6 +138,10 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             expr(out, e);
             out.push(';');
         }
+        StmtKind::ToWarps { var, exec, body } => {
+            let _ = write!(out, "to_warps {var} in {exec} ");
+            block(out, body, level);
+        }
         StmtKind::Sched {
             dims,
             var,
@@ -305,6 +309,11 @@ fn expr(out: &mut String, e: &Expr) {
         }
         ExprKind::Alloc { mem, ty } => {
             let _ = write!(out, "alloc::<{mem}, {ty}>()");
+        }
+        ExprKind::Shfl { kind, value, delta } => {
+            let _ = write!(out, "{kind}(");
+            expr(out, value);
+            let _ = write!(out, ", {delta})");
         }
     }
 }

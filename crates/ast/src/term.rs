@@ -151,6 +151,20 @@ pub enum StmtKind {
     },
     /// An expression statement (function call, kernel launch, ...).
     Expr(Expr),
+    /// `to_warps x in e { ... }` — re-interprets the 1-D thread space of
+    /// execution resource `e` (a block whose thread extent is a multiple
+    /// of the warp size) as warps of lanes, binding `x` to the warped
+    /// resource. Inside the body, `sched(X) w in x` schedules over warp
+    /// space, a further `sched(X) l in w` over lane space, and
+    /// `split(X) x at k` partitions whole warps.
+    ToWarps {
+        /// Variable bound to the warped execution resource.
+        var: String,
+        /// The execution resource being re-interpreted (variable name).
+        exec: String,
+        /// Body executed by the same threads, now organized in warps.
+        body: Block,
+    },
     /// `sched(D1[,D2[,D3]]) x in e { ... }` — schedules the body over all
     /// sub-resources of `e` along the given dimensions, binding `x`.
     Sched {
@@ -397,6 +411,59 @@ pub enum ExprKind {
         /// Allocated type.
         ty: DataTy,
     },
+    /// A warp shuffle `shfl_down(e, η)` / `shfl_xor(e, η)`: every lane
+    /// of a warp evaluates `e` in lockstep and receives the value
+    /// computed by another lane of the *same* warp — a register-to-
+    /// register exchange needing neither shared memory nor a barrier.
+    /// The distance is a static nat, so the exchange pattern is
+    /// warp-uniform by construction; the type checker rejects distances
+    /// that would reach across the warp boundary.
+    Shfl {
+        /// Which shuffle pattern.
+        kind: ShflKind,
+        /// The exchanged value, evaluated by every lane.
+        value: Box<Expr>,
+        /// Shuffle distance (`shfl_down`) or lane mask (`shfl_xor`);
+        /// must be in `1..WARP_SIZE`.
+        delta: Nat,
+    },
+}
+
+/// Warp-shuffle patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShflKind {
+    /// `shfl_down(v, d)`: lane `i` receives the value of lane `i + d`
+    /// (lanes in the top `d` keep their own value).
+    Down,
+    /// `shfl_xor(v, m)`: lane `i` receives the value of lane `i ^ m`
+    /// (the butterfly pattern; total reductions leave the result in
+    /// every lane).
+    Xor,
+}
+
+impl ShflKind {
+    /// The surface-syntax (and intrinsic) name.
+    pub fn fn_name(&self) -> &'static str {
+        match self {
+            ShflKind::Down => "shfl_down",
+            ShflKind::Xor => "shfl_xor",
+        }
+    }
+
+    /// Parses a surface name back to the kind.
+    pub fn from_name(name: &str) -> Option<ShflKind> {
+        Some(match name {
+            "shfl_down" => ShflKind::Down,
+            "shfl_xor" => ShflKind::Xor,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ShflKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.fn_name())
+    }
 }
 
 /// Literals.

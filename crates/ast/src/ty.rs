@@ -250,6 +250,9 @@ pub enum ExecTy {
     GpuGrid(Dim, Dim),
     /// A GPU block with the given thread shape.
     GpuBlock(Dim),
+    /// A single GPU warp: 32 lanes executing in lockstep (the resource a
+    /// `to_warps` block decomposes into once warp space is scheduled).
+    GpuWarp,
     /// A single GPU thread.
     GpuThread,
 }
@@ -263,7 +266,9 @@ impl ExecTy {
     /// Structural equality up to nat normalization.
     pub fn same(&self, other: &ExecTy) -> bool {
         match (self, other) {
-            (ExecTy::CpuThread, ExecTy::CpuThread) | (ExecTy::GpuThread, ExecTy::GpuThread) => true,
+            (ExecTy::CpuThread, ExecTy::CpuThread)
+            | (ExecTy::GpuThread, ExecTy::GpuThread)
+            | (ExecTy::GpuWarp, ExecTy::GpuWarp) => true,
             (ExecTy::GpuGrid(a1, b1), ExecTy::GpuGrid(a2, b2)) => a1.same(a2) && b1.same(b2),
             (ExecTy::GpuBlock(a), ExecTy::GpuBlock(b)) => a.same(b),
             _ => false,
@@ -277,6 +282,7 @@ impl fmt::Display for ExecTy {
             ExecTy::CpuThread => write!(f, "cpu.thread"),
             ExecTy::GpuGrid(b, t) => write!(f, "gpu.grid<{b},{t}>"),
             ExecTy::GpuBlock(t) => write!(f, "gpu.block<{t}>"),
+            ExecTy::GpuWarp => write!(f, "gpu.warp"),
             ExecTy::GpuThread => write!(f, "gpu.thread"),
         }
     }

@@ -8,7 +8,7 @@
 
 use crate::shared::{axis_name, indent, BodyCx, Builtin, HostSizes};
 use crate::KernelBackend;
-use descend_ast::term::AtomicOp;
+use descend_ast::term::{AtomicOp, ShflKind};
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -73,6 +73,16 @@ impl KernelBackend for CudaBackend {
             AtomicOp::Exch => "atomicExch",
         };
         format!("{f}(&{target}, {value});")
+    }
+
+    fn shuffle(&self, kind: ShflKind, value: &str, delta: u32) -> String {
+        // The full-warp member mask: the checker guarantees every lane
+        // of the warp executes the shuffle (no lane-space splits).
+        let f = match kind {
+            ShflKind::Down => "__shfl_down_sync",
+            ShflKind::Xor => "__shfl_xor_sync",
+        };
+        format!("{f}(0xffffffff, {value}, {delta})")
     }
 
     fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {

@@ -55,6 +55,8 @@
 //! assert!(backend_by_name("metal").is_none());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cuda;
 pub mod opencl;
 pub mod shared;
@@ -69,7 +71,7 @@ pub use shared::{
 };
 pub use wgsl::WgslBackend;
 
-use descend_ast::term::AtomicOp;
+use descend_ast::term::{AtomicOp, ShflKind};
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -130,6 +132,20 @@ pub trait KernelBackend {
         target: &str,
         value: &str,
     ) -> String;
+
+    /// Renders a warp-shuffle expression over the rendered operand:
+    /// CUDA `__shfl_down_sync(0xffffffff, v, d)` /
+    /// `__shfl_xor_sync(0xffffffff, v, d)`, OpenCL
+    /// `sub_group_shuffle_down` / `sub_group_shuffle_xor` (gated by the
+    /// subgroup-shuffle extension pragmas in the prelude), WGSL
+    /// `subgroupShuffleDown` / `subgroupShuffleXor` (gated by
+    /// `enable subgroups;`).
+    ///
+    /// The contract is the simulator's (and CUDA's) semantics: a `Down`
+    /// source beyond the warp boundary yields the lane's own value.
+    /// Targets whose intrinsic leaves that case undefined (OpenCL,
+    /// WGSL) must emit an explicit clamp guard around it.
+    fn shuffle(&self, kind: ShflKind, value: &str, delta: u32) -> String;
 
     /// Renders a *plain* store to a buffer that is an atomic target
     /// elsewhere in the kernel (default: ordinary assignment; WGSL must

@@ -9,9 +9,11 @@
 //! ones the simulator executes — only the coordinate spellings
 //! (`get_group_id(0)` for `blockIdx.x`, ...) differ from CUDA.
 
-use crate::shared::{for_each_stmt, indent, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::shared::{
+    for_each_stmt, indent, kernel_uses_scalar, kernel_uses_shuffle, BodyCx, Builtin, HostSizes,
+};
 use crate::KernelBackend;
-use descend_ast::term::AtomicOp;
+use descend_ast::term::{AtomicOp, ShflKind};
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, ElabStmt, HostStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -130,12 +132,33 @@ impl KernelBackend for OpenClBackend {
         format!("{f}((volatile {space} {t}*)&{target}, {value});")
     }
 
+    fn shuffle(&self, kind: ShflKind, value: &str, delta: u32) -> String {
+        // The simulator (and CUDA's `__shfl_down_sync`) define the
+        // out-of-range case: lanes whose source would cross the warp
+        // boundary keep their own value. OpenCL's
+        // `sub_group_shuffle_down` leaves it undefined, so the top
+        // `delta` lanes are guarded explicitly. Xor masks < 32 are
+        // always in range.
+        match kind {
+            ShflKind::Down => format!(
+                "(get_sub_group_local_id() + {delta}u < 32u ? sub_group_shuffle_down({value}, {delta}u) : {value})"
+            ),
+            ShflKind::Xor => format!("sub_group_shuffle_xor({value}, {delta}u)"),
+        }
+    }
+
     fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {
         format!("{} {name} = {init};", self.scalar_type(elem))
     }
 
     fn emit_kernel(&self, k: &MonoKernel) -> Result<String, CodegenError> {
         let mut out = String::new();
+        if kernel_uses_shuffle(k) {
+            // The host must pick a kernel-enqueue local size whose
+            // sub-group size is 32 (matching the simulated warp width);
+            // `intel_reqd_sub_group_size` pins it where supported.
+            out.push_str("__attribute__((intel_reqd_sub_group_size(32)))\n");
+        }
         let _ = write!(out, "__kernel void {}(", k.name);
         for (i, p) in k.params.iter().enumerate() {
             if i > 0 {
@@ -258,6 +281,13 @@ impl KernelBackend for OpenClBackend {
             .any(|k| kernel_uses_scalar(k, ScalarKind::F64))
         {
             out.push_str("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n");
+        }
+        if checked.kernels.iter().any(kernel_uses_shuffle) {
+            out.push_str(
+                "#pragma OPENCL EXTENSION cl_khr_subgroups : enable\n\
+                 #pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable\n\
+                 #pragma OPENCL EXTENSION cl_khr_subgroup_shuffle_relative : enable\n\n",
+            );
         }
         if uses_f32_atomic_add(checked) {
             out.push_str(

@@ -104,6 +104,47 @@ pub fn for_each_stmt<'a>(body: &'a [ElabStmt], f: &mut dyn FnMut(&'a ElabStmt)) 
     }
 }
 
+/// Visits every value expression of an elaborated body (statement
+/// operands and their subexpressions, in syntactic order) — the
+/// expression-level companion of [`for_each_stmt`], shared by feature
+/// scans such as [`kernel_uses_shuffle`].
+pub fn for_each_expr<'a>(body: &'a [ElabStmt], f: &mut dyn FnMut(&'a ElabExpr)) {
+    fn walk<'a>(e: &'a ElabExpr, f: &mut dyn FnMut(&'a ElabExpr)) {
+        f(e);
+        match e {
+            ElabExpr::Binary(_, a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            ElabExpr::Unary(_, a) | ElabExpr::Shfl { value: a, .. } => walk(a, f),
+            ElabExpr::Lit(..) | ElabExpr::Local(_) | ElabExpr::Load(_) => {}
+        }
+    }
+    for_each_stmt(body, &mut |s| match s {
+        ElabStmt::Local { init: e, .. } | ElabStmt::AssignLocal { value: e, .. } => walk(e, f),
+        ElabStmt::Store { value, .. } => walk(value, f),
+        ElabStmt::Atomic { index, value, .. } => {
+            if let Some(ie) = index {
+                walk(ie, f);
+            }
+            walk(value, f);
+        }
+        ElabStmt::Split { .. } | ElabStmt::Sync => {}
+    });
+}
+
+/// Whether the kernel performs a warp shuffle anywhere. Backends whose
+/// targets gate subgroup operations behind a pragma or enable directive
+/// (OpenCL's `cl_khr_subgroup_shuffle*`, WGSL's `enable subgroups;`)
+/// key off this.
+pub fn kernel_uses_shuffle(k: &MonoKernel) -> bool {
+    let mut hit = false;
+    for_each_expr(&k.body, &mut |e| {
+        hit |= matches!(e, ElabExpr::Shfl { .. });
+    });
+    hit
+}
+
 /// The buffers an elaborated kernel updates atomically anywhere in its
 /// body. Backends whose buffer declarations change for atomic targets
 /// (WGSL's `array<atomic<T>>`) and the shared renderer (plain accesses to
@@ -143,12 +184,18 @@ pub fn atomic_index_expr(
     }
 }
 
-/// Maps an execution space to the coordinate builtin selecting it.
-pub fn space_builtin(space: Space) -> Builtin {
-    match space {
-        Space::Block => Builtin::BlockIdx,
-        Space::Thread => Builtin::ThreadIdx,
-    }
+/// The rendered coordinate of an execution space along a dimension:
+/// the backend's block/thread builtin, or the derived
+/// `threadIdx.x / 32` / `threadIdx.x % 32` warp and lane coordinates —
+/// built as the IR expression
+/// [`descend_codegen::ir_gen::space_coord_expr`] produces and rendered
+/// through [`render_ir_expr`], so the text matches the simulator's
+/// split conditions node for node.
+pub fn space_coord(be: &dyn KernelBackend, space: Space, dim: DimCompo, k: &MonoKernel) -> String {
+    let expr = descend_codegen::ir_gen::space_coord_expr(space, dim);
+    let mut out = String::new();
+    render_ir_expr(be, &expr, k, &mut out);
+    out
 }
 
 /// Maps a dimension component to a hardware axis.
@@ -370,6 +417,11 @@ impl<'a> BodyCx<'a> {
                 self.expr(x, out)?;
                 out.push(')');
             }
+            ElabExpr::Shfl { kind, value, delta } => {
+                let mut v = String::new();
+                self.expr(value, &mut v)?;
+                out.push_str(&self.be.shuffle(*kind, &v, *delta));
+            }
         }
         Ok(())
     }
@@ -461,7 +513,7 @@ impl<'a> BodyCx<'a> {
                     snd,
                 } => {
                     indent(out, level);
-                    let coord = self.be.builtin(space_builtin(*space), dim_axis(*dim));
+                    let coord = space_coord(self.be, *space, *dim, self.kernel);
                     let _ = writeln!(out, "if ({coord} < {threshold}) {{");
                     self.stmts(fst, out, level + 1)?;
                     indent(out, level);
@@ -655,7 +707,7 @@ fn collect_index_exprs(k: &MonoKernel, inline_only: bool) -> Result<Vec<Expr>, C
                 walk_expr(x, out)?;
                 walk_expr(y, out)?;
             }
-            ElabExpr::Unary(_, x) => walk_expr(x, out)?,
+            ElabExpr::Unary(_, x) | ElabExpr::Shfl { value: x, .. } => walk_expr(x, out)?,
         }
         Ok(())
     }
@@ -735,7 +787,7 @@ pub fn ir_index_exprs(ir: &KernelIr) -> Vec<Expr> {
     fn walk_stmts(body: &[Stmt], out: &mut Vec<Expr>) {
         for s in body {
             match s {
-                Stmt::SetLocal(_, e) => walk_expr(e, out),
+                Stmt::SetLocal(_, e) | Stmt::Shfl { value: e, .. } => walk_expr(e, out),
                 Stmt::StoreGlobal { idx, value, .. } | Stmt::StoreShared { idx, value, .. } => {
                     out.push(idx.clone());
                     walk_expr(value, out);

@@ -16,9 +16,11 @@
 //! JavaScript — so they render as a commented WebGPU sketch that keeps
 //! allocation sizes, dispatch shapes and copy directions reviewable.
 
-use crate::shared::{atomic_targets, axis_name, kernel_uses_scalar, BodyCx, Builtin, HostSizes};
+use crate::shared::{
+    atomic_targets, axis_name, kernel_uses_scalar, kernel_uses_shuffle, BodyCx, Builtin, HostSizes,
+};
 use crate::KernelBackend;
-use descend_ast::term::AtomicOp;
+use descend_ast::term::{AtomicOp, ShflKind};
 use descend_codegen::CodegenError;
 use descend_typeck::{CheckedProgram, HostStmt, MemKind, MonoKernel, ScalarKind};
 use gpu_sim::ir::Axis;
@@ -170,6 +172,22 @@ impl KernelBackend for WgslBackend {
         }
     }
 
+    fn shuffle(&self, kind: ShflKind, value: &str, delta: u32) -> String {
+        // Subgroup builtins (behind `enable subgroups;`, emitted in the
+        // module header when the kernel shuffles). The simulator (and
+        // CUDA) define out-of-range `Down` sources to keep the lane's
+        // own value; WGSL's `subgroupShuffleDown` leaves them
+        // indeterminate, so the top `delta` lanes select their own value
+        // (the lane id is `thread_idx.x % 32` under the module's 32-lane
+        // subgroup assumption). Xor masks < 32 are always in range.
+        match kind {
+            ShflKind::Down => format!(
+                "select(subgroupShuffleDown({value}, {delta}u), {value}, thread_idx.x % 32u + {delta}u >= 32u)"
+            ),
+            ShflKind::Xor => format!("subgroupShuffleXor({value}, {delta}u)"),
+        }
+    }
+
     fn local_decl(&self, elem: ScalarKind, name: &str, init: &str) -> String {
         format!("var {name}: {} = {init};", self.scalar_type(elem))
     }
@@ -196,6 +214,13 @@ impl KernelBackend for WgslBackend {
         let atomics = atomic_targets(k);
         let mut out = String::new();
         let _ = writeln!(out, "// Kernel `{}` — standalone WGSL module.", k.name);
+        if kernel_uses_shuffle(k) {
+            // Subgroup builtins need the extension; the simulated warp
+            // width assumes a 32-lane subgroup (note for the host side,
+            // which can check `subgroupMinSize`/`subgroupMaxSize`).
+            out.push_str("enable subgroups;\n");
+            out.push_str("// note: shuffles assume a 32-lane subgroup.\n");
+        }
         if kernel_uses_scalar(k, ScalarKind::F64) {
             out.push_str("// note: f64 narrowed to f32 (WGSL has no f64).\n");
         }

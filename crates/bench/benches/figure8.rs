@@ -19,6 +19,7 @@ fn bench_param(kind: BenchKind) -> usize {
         BenchKind::Scan => 1 << 14,
         BenchKind::Matmul => 64,
         BenchKind::Histogram => 1 << 14,
+        BenchKind::ReduceShuffle => 1 << 15,
     }
 }
 
@@ -30,6 +31,7 @@ fn figure8(c: &mut Criterion) {
         BenchKind::Scan,
         BenchKind::Matmul,
         BenchKind::Histogram,
+        BenchKind::ReduceShuffle,
     ] {
         let mut group = c.benchmark_group(kind.name());
         group.sample_size(10);

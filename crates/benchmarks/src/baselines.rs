@@ -116,6 +116,98 @@ pub fn reduce(n: usize, bs: usize) -> KernelIr {
     }
 }
 
+/// The classic warp-shuffle reduction (`__shfl_xor_sync` butterfly for
+/// the last five levels), transcribed statement for statement from the
+/// canonical CUDA idiom the generated `reduce_shfl` kernel matches:
+/// tree to 32 partials in shared memory, then warp 0 loads
+/// `tmp[tid % 32]`, butterflies over masks 16..1, and stores its lane's
+/// total back before the final write.
+pub fn reduce_shuffle(n: usize, bs: usize) -> KernelIr {
+    let nb = n / bs;
+    let mut body = vec![
+        Stmt::StoreShared {
+            buf: 0,
+            idx: tid_x(),
+            value: Expr::LoadGlobal {
+                buf: 0,
+                idx: Box::new(Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x())),
+            },
+        },
+        Stmt::Barrier,
+    ];
+    let mut k = bs / 2;
+    while k >= 32 {
+        body.push(Stmt::If {
+            cond: Expr::lt(tid_x(), lit(k as i64)),
+            then_s: vec![Stmt::StoreShared {
+                buf: 0,
+                idx: tid_x(),
+                value: Expr::add(
+                    Expr::LoadShared {
+                        buf: 0,
+                        idx: Box::new(tid_x()),
+                    },
+                    Expr::LoadShared {
+                        buf: 0,
+                        idx: Box::new(Expr::add(tid_x(), lit(k as i64))),
+                    },
+                ),
+            }],
+            else_s: vec![],
+        });
+        body.push(Stmt::Barrier);
+        k /= 2;
+    }
+    // if (tid / 32 < 1) { v = tmp[tid % 32]; butterfly; tmp[tid % 32] = v; }
+    let lane = Expr::bin(BinOp::Mod, tid_x(), lit(32));
+    let warp = Expr::bin(BinOp::Div, tid_x(), lit(32));
+    let mut warp_phase = vec![Stmt::SetLocal(
+        0,
+        Expr::LoadShared {
+            buf: 0,
+            idx: Box::new(lane.clone()),
+        },
+    )];
+    for delta in [16u32, 8, 4, 2, 1] {
+        warp_phase.push(Stmt::Shfl {
+            dst: 1,
+            op: ShflOp::Xor,
+            value: Expr::Local(0),
+            delta,
+        });
+        warp_phase.push(Stmt::SetLocal(0, Expr::add(Expr::Local(0), Expr::Local(1))));
+    }
+    warp_phase.push(Stmt::StoreShared {
+        buf: 0,
+        idx: lane,
+        value: Expr::Local(0),
+    });
+    body.push(Stmt::If {
+        cond: Expr::lt(warp, lit(1)),
+        then_s: warp_phase,
+        else_s: vec![],
+    });
+    body.push(Stmt::Barrier);
+    body.push(Stmt::If {
+        cond: Expr::lt(tid_x(), lit(1)),
+        then_s: vec![Stmt::StoreGlobal {
+            buf: 1,
+            idx: bid_x(),
+            value: Expr::LoadShared {
+                buf: 0,
+                idx: Box::new(tid_x()),
+            },
+        }],
+        else_s: vec![],
+    });
+    KernelIr {
+        name: "cuda_reduce_shuffle".into(),
+        params: vec![f64_param(n, false), f64_param(nb, true)],
+        shared: vec![shared_f64(bs)],
+        body,
+    }
+}
+
 /// The same reduction with a *real* halving loop (ablation: quantifies
 /// the loop-bookkeeping overhead the unrolled versions avoid).
 pub fn reduce_looped(n: usize, bs: usize) -> KernelIr {

@@ -23,6 +23,10 @@ pub enum BenchKind {
     /// Atomic histogram (global `atomicAdd` scatter; tracks the cost
     /// model's atomic-contention charge).
     Histogram,
+    /// Block reduction finishing on warp shuffles (the last five tree
+    /// levels are `shfl_xor` butterflies instead of shared-memory
+    /// rounds); strictly cheaper than [`BenchKind::Reduce`].
+    ReduceShuffle,
 }
 
 impl BenchKind {
@@ -34,18 +38,21 @@ impl BenchKind {
             BenchKind::Scan => "Scan",
             BenchKind::Matmul => "MM",
             BenchKind::Histogram => "Histogram",
+            BenchKind::ReduceShuffle => "ReduceShfl",
         }
     }
 }
 
-/// All five benchmarks, in the figure's order (Histogram extends the
-/// paper's four with the atomic-contention workload).
-pub const ALL_BENCHMARKS: [BenchKind; 5] = [
+/// All six benchmarks, in the figure's order (Histogram and ReduceShfl
+/// extend the paper's four with the atomic-contention and warp-shuffle
+/// workloads).
+pub const ALL_BENCHMARKS: [BenchKind; 6] = [
     BenchKind::Reduce,
     BenchKind::Transpose,
     BenchKind::Scan,
     BenchKind::Matmul,
     BenchKind::Histogram,
+    BenchKind::ReduceShuffle,
 ];
 
 /// A footprint class (the paper's small/medium/large).
@@ -132,6 +139,9 @@ pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
                 param: 1 << 18,
             },
         ],
+        // Same footprints as Reduce, so the two reductions' cycle
+        // counts compare cell by cell in the Figure 8 table.
+        BenchKind::ReduceShuffle => footprints(BenchKind::Reduce),
     }
 }
 
@@ -228,6 +238,7 @@ pub fn run_benchmark(kind: BenchKind, param: usize, seed: u64, cfg: &LaunchConfi
         BenchKind::Scan => run_scan(param, seed, cfg),
         BenchKind::Matmul => run_matmul(param, seed, cfg),
         BenchKind::Histogram => run_histogram(param, seed, cfg),
+        BenchKind::ReduceShuffle => run_reduce_shuffle(param, seed, cfg),
     }
 }
 
@@ -301,6 +312,40 @@ fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     assert_close(&c.gpu.read_f64(out), &expect, "cuda reduce");
     BenchResult {
         kind: BenchKind::Reduce,
+        param: n,
+        descend_cycles: d.cycles(),
+        cuda_cycles: c.cycles(),
+        descend_stats: d.stats,
+        cuda_stats: c.stats,
+    }
+}
+
+fn run_reduce_shuffle(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+    let bs = sources::BLOCK_SIZE;
+    let nb = n / bs;
+    let data = random_data(n, seed);
+    let expect = reference::block_sums(&data, bs);
+    // Descend version.
+    let kernels = compile_kernels(&sources::reduce_shuffle(n));
+    let mut d = Launcher::new(cfg);
+    let inp = d.gpu.alloc_f64(&data);
+    let out = d.gpu.alloc_f64(&vec![0.0; nb]);
+    d.launch(
+        &kernels[0],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[inp, out],
+    );
+    assert_close(&d.gpu.read_f64(out), &expect, "descend reduce_shuffle");
+    // Baseline.
+    let k = baselines::reduce_shuffle(n, bs);
+    let mut c = Launcher::new(cfg);
+    let inp = c.gpu.alloc_f64(&data);
+    let out = c.gpu.alloc_f64(&vec![0.0; nb]);
+    c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
+    assert_close(&c.gpu.read_f64(out), &expect, "cuda reduce_shuffle");
+    BenchResult {
+        kind: BenchKind::ReduceShuffle,
         param: n,
         descend_cycles: d.cycles(),
         cuda_cycles: c.cycles(),
@@ -510,12 +555,48 @@ mod tests {
     }
 
     #[test]
+    fn reduce_shuffle_parity_at_small_scale() {
+        let r = run_benchmark(BenchKind::ReduceShuffle, 8192, 7, &race_checked());
+        let ratio = r.descend_over_cuda();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "reduce_shuffle ratio {ratio} out of band (descend {} vs cuda {})",
+            r.descend_cycles,
+            r.cuda_cycles
+        );
+        // Both sides exchange through shuffles, identically.
+        let d: u64 = r.descend_stats.iter().map(|s| s.shuffles).sum();
+        let c: u64 = r.cuda_stats.iter().map(|s| s.shuffles).sum();
+        assert!(d > 0, "the shuffle reduction must shuffle");
+        assert_eq!(d, c, "shuffle counts differ from baseline");
+    }
+
+    /// The point of the sixth entry: finishing on shuffles is strictly
+    /// cheaper than the pure shared-memory tree at the same footprint.
+    #[test]
+    fn reduce_shuffle_beats_reduce_tree() {
+        let n = 8192;
+        let tree = run_benchmark(BenchKind::Reduce, n, 7, &LaunchConfig::default());
+        let shfl = run_benchmark(BenchKind::ReduceShuffle, n, 7, &LaunchConfig::default());
+        assert!(
+            shfl.descend_cycles < tree.descend_cycles,
+            "shuffle reduction must model fewer cycles: {} vs {}",
+            shfl.descend_cycles,
+            tree.descend_cycles
+        );
+        let tb: u64 = tree.descend_stats.iter().map(|s| s.barriers).sum();
+        let sb: u64 = shfl.descend_stats.iter().map(|s| s.barriers).sum();
+        assert!(sb < tb, "five barrier rounds replaced: {sb} vs {tb}");
+    }
+
+    #[test]
     fn access_patterns_match_baselines() {
         for (kind, param) in [
             (BenchKind::Reduce, 8192usize),
             (BenchKind::Transpose, 128),
             (BenchKind::Matmul, 64),
             (BenchKind::Histogram, 4096),
+            (BenchKind::ReduceShuffle, 8192),
         ] {
             let r = run_benchmark(kind, param, 11, &LaunchConfig::default());
             let d: u64 = r.descend_stats.iter().map(|s| s.global_transactions).sum();

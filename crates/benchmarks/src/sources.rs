@@ -85,6 +85,80 @@ fn reduce(inp: & gpu.global [f64; {n}], out: &uniq gpu.global [f64; {nb}])
     )
 }
 
+/// The warp-shuffle reduction: the shared-memory tree stops at 32
+/// partial sums, then the first warp re-interprets the block with
+/// `to_warps` and finishes with five `shfl_xor` butterfly rounds —
+/// replacing five split + shared round-trip + `sync` levels with five
+/// one-cycle register exchanges. The sixth Figure-8 entry; its cycle
+/// count is strictly below [`reduce`]'s at every footprint.
+pub fn reduce_shuffle(n: usize) -> String {
+    assert!(
+        n.is_multiple_of(BLOCK_SIZE),
+        "n must be a multiple of {BLOCK_SIZE}"
+    );
+    let nb = n / BLOCK_SIZE;
+    let bs = BLOCK_SIZE;
+    let mut rounds = String::new();
+    let mut k = bs / 2;
+    while k >= 32 {
+        rounds.push_str(&format!(
+            r#"
+        split(X) block at {k} {{
+            active{k} => {{
+                sched(X) t in active{k} {{
+                    tmp.split::<{k}>.fst[[t]] = tmp.split::<{k}>.fst[[t]]
+                        + tmp.split::<{k}>.snd.split::<{k}>.fst[[t]];
+                }}
+            }},
+            inactive{k} => {{ }}
+        }}
+        sync;
+"#
+        ));
+        k /= 2;
+    }
+    format!(
+        r#"
+fn reduce_shfl(inp: & gpu.global [f64; {n}], out: &uniq gpu.global [f64; {nb}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        let tmp = alloc::<gpu.shared, [f64; {bs}]>();
+        sched(X) thread in block {{
+            tmp[[thread]] = (*inp).group::<{bs}>[[block]][[thread]];
+        }}
+        sync;
+{rounds}
+        to_warps wb in block {{
+            split(X) wb at 1 {{
+                w0 => {{
+                    sched(X) warp in w0 {{
+                        sched(X) lane in warp {{
+                            let mut v = tmp.split::<32>.fst[[lane]];
+                            for d in halving(16) {{
+                                v = v + shfl_xor(v, d);
+                            }}
+                            tmp.split::<32>.fst[[lane]] = v;
+                        }}
+                    }}
+                }},
+                rest => {{ }}
+            }}
+        }}
+        sync;
+        split(X) block at 1 {{
+            first => {{
+                sched(X) t in first {{
+                    (*out)[[block]] = tmp.split::<1>.fst[[t]];
+                }}
+            }},
+            rest2 => {{ }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
 /// The tiled matrix transposition of the paper's Listing 2: 32x32 tiles
 /// staged through shared memory by 32x8-thread blocks.
 pub fn transpose(n: usize) -> String {
@@ -252,6 +326,7 @@ mod tests {
     fn generated_sources_parse() {
         for src in [
             reduce(2048),
+            reduce_shuffle(2048),
             transpose(128),
             scan_blocks(1024),
             scan_add_offsets(1024),

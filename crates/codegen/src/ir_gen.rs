@@ -1,12 +1,12 @@
 //! Lowering of elaborated kernels to the simulator IR.
 
-use descend_ast::term::{AtomicOp as AstAtomicOp, BinOp as AstBinOp, UnOp as AstUnOp};
+use descend_ast::term::{AtomicOp as AstAtomicOp, BinOp as AstBinOp, ShflKind, UnOp as AstUnOp};
 use descend_ast::ty::DimCompo;
-use descend_exec::Space;
+use descend_exec::{Space, WARP_SIZE};
 use descend_places::{lower_scalar_access, Coord, IdxExpr, DYN_IDX};
 use descend_typeck::{ElabExpr, ElabStmt, MonoKernel, ScalarKind};
 use gpu_sim::ir::{
-    AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp,
+    AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, ShflOp, Stmt, UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +66,36 @@ fn axis(d: DimCompo) -> Axis {
     }
 }
 
+/// Maps a surface shuffle kind to the IR operation.
+pub fn shfl_op(kind: ShflKind) -> ShflOp {
+    match kind {
+        ShflKind::Down => ShflOp::Down,
+        ShflKind::Xor => ShflOp::Xor,
+    }
+}
+
+/// The raw coordinate expression of an execution space along a
+/// dimension. Block and thread coordinates are hardware builtins; warp
+/// and lane coordinates (from `to_warps`, which fixes the dimension to
+/// `X`) derive from `threadIdx.x` by division and modulo — the one
+/// spelling every backend and the simulator share.
+pub fn space_coord_expr(space: Space, dim: DimCompo) -> Expr {
+    match space {
+        Space::Block => Expr::BlockIdx(axis(dim)),
+        Space::Thread => Expr::ThreadIdx(axis(dim)),
+        Space::Warp => Expr::bin(
+            BinOp::Div,
+            Expr::ThreadIdx(Axis::X),
+            Expr::LitI(WARP_SIZE as i64),
+        ),
+        Space::Lane => Expr::bin(
+            BinOp::Mod,
+            Expr::ThreadIdx(Axis::X),
+            Expr::LitI(WARP_SIZE as i64),
+        ),
+    }
+}
+
 /// Converts a lowered index expression to an IR expression.
 pub fn idx_to_expr(idx: &IdxExpr) -> Result<Expr, CodegenError> {
     idx_to_expr_subst(idx, &|_| None)
@@ -87,10 +117,7 @@ pub fn idx_to_expr_subst(
             None => return Err(CodegenError::ResidualVar(x.clone())),
         },
         IdxExpr::Coord(Coord { space, dim, offset }) => {
-            let base = match space {
-                Space::Block => Expr::BlockIdx(axis(*dim)),
-                Space::Thread => Expr::ThreadIdx(axis(*dim)),
-            };
+            let base = space_coord_expr(*space, *dim);
             match offset.as_lit() {
                 Some(0) => base,
                 Some(o) => Expr::sub(base, Expr::LitI(o as i64)),
@@ -172,6 +199,16 @@ pub fn elab_expr_to_ir(
             elab_expr_to_ir(b, locals)?,
         ),
         ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(elab_expr_to_ir(a, locals)?)),
+        // A shuffle is a warp-synchronous *instruction*, not a pure
+        // expression: the kernel lowering extracts it into a dedicated
+        // `Stmt::Shfl` (see `LowerCx::expr_in`); in pure-expression
+        // positions (atomic-scatter indices) it cannot appear — the type
+        // checker already rejects it there.
+        ElabExpr::Shfl { .. } => {
+            return Err(CodegenError::Lowering(
+                "warp shuffles cannot appear in index positions".into(),
+            ))
+        }
     })
 }
 
@@ -179,11 +216,37 @@ struct LowerCx {
     /// Live name -> local slot (rebinding allocates a fresh slot).
     locals: HashMap<String, usize>,
     next_slot: usize,
+    /// Shuffle temporaries allocate from here — *after* every named
+    /// local of the kernel — so the named-local slot assignment stays
+    /// identical to the emission layer's `SlotMap` mirror regardless of
+    /// how many shuffles the body contains.
+    next_shfl_slot: usize,
 }
 
 impl LowerCx {
-    fn expr(&self, e: &ElabExpr) -> Result<Expr, CodegenError> {
-        elab_expr_to_ir(e, &|n| self.locals.get(n).copied())
+    /// Lowers a value expression, extracting every contained shuffle
+    /// into a preceding [`Stmt::Shfl`] on a fresh temporary slot (depth
+    /// first, so nested shuffles exchange in operand order).
+    fn expr_in(&mut self, e: &ElabExpr, out: &mut Vec<Stmt>) -> Result<Expr, CodegenError> {
+        Ok(match e {
+            ElabExpr::Shfl { kind, value, delta } => {
+                let value = self.expr_in(value, out)?;
+                let slot = self.next_shfl_slot;
+                self.next_shfl_slot += 1;
+                out.push(Stmt::Shfl {
+                    dst: slot,
+                    op: shfl_op(*kind),
+                    value,
+                    delta: *delta,
+                });
+                Expr::Local(slot)
+            }
+            ElabExpr::Binary(op, a, b) => {
+                Expr::bin(bin_op(*op), self.expr_in(a, out)?, self.expr_in(b, out)?)
+            }
+            ElabExpr::Unary(op, a) => Expr::Un(un_op(*op), Box::new(self.expr_in(a, out)?)),
+            other => elab_expr_to_ir(other, &|n| self.locals.get(n).copied())?,
+        })
     }
 
     fn stmts(&mut self, body: &[ElabStmt]) -> Result<Vec<Stmt>, CodegenError> {
@@ -191,14 +254,14 @@ impl LowerCx {
         for s in body {
             match s {
                 ElabStmt::Local { name, init, .. } => {
-                    let init = self.expr(init)?;
+                    let init = self.expr_in(init, &mut out)?;
                     let slot = self.next_slot;
                     self.next_slot += 1;
                     self.locals.insert(name.clone(), slot);
                     out.push(Stmt::SetLocal(slot, init));
                 }
                 ElabStmt::AssignLocal { name, value } => {
-                    let value = self.expr(value)?;
+                    let value = self.expr_in(value, &mut out)?;
                     let slot = *self
                         .locals
                         .get(name)
@@ -206,7 +269,7 @@ impl LowerCx {
                     out.push(Stmt::SetLocal(slot, value));
                 }
                 ElabStmt::Store { access, value } => {
-                    let value = self.expr(value)?;
+                    let value = self.expr_in(value, &mut out)?;
                     let idx = lower_scalar_access(&access.path, &access.root_dims)
                         .map_err(|e| CodegenError::Lowering(e.to_string()))?;
                     let idx = idx_to_expr(&idx)?;
@@ -226,10 +289,7 @@ impl LowerCx {
                     fst,
                     snd,
                 } => {
-                    let coord = match space {
-                        Space::Block => Expr::BlockIdx(axis(*dim)),
-                        Space::Thread => Expr::ThreadIdx(axis(*dim)),
-                    };
+                    let coord = space_coord_expr(*space, *dim);
                     let cond = Expr::lt(coord, Expr::LitI(*threshold as i64));
                     let then_s = self.stmts(fst)?;
                     let else_s = self.stmts(snd)?;
@@ -245,12 +305,12 @@ impl LowerCx {
                     index,
                     value,
                 } => {
-                    let value = self.expr(value)?;
+                    let value = self.expr_in(value, &mut out)?;
                     let raw = lower_scalar_access(&access.path, &access.root_dims)
                         .map_err(|e| CodegenError::Lowering(e.to_string()))?;
                     let idx = match index {
                         Some(ie) => {
-                            let ie = self.expr(ie)?;
+                            let ie = self.expr_in(ie, &mut out)?;
                             idx_to_expr_subst(&raw, &|v| (v == DYN_IDX).then(|| ie.clone()))?
                         }
                         None => idx_to_expr(&raw)?,
@@ -278,6 +338,23 @@ impl LowerCx {
     }
 }
 
+/// Counts the named-local declarations in an elaborated body (both split
+/// branches included) — the slot count the emission layer's `SlotMap`
+/// will assign, and the base offset for shuffle temporaries.
+fn count_local_decls(body: &[ElabStmt]) -> usize {
+    let mut n = 0;
+    for s in body {
+        match s {
+            ElabStmt::Local { .. } => n += 1,
+            ElabStmt::Split { fst, snd, .. } => {
+                n += count_local_decls(fst) + count_local_decls(snd);
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
 /// Lowers one elaborated kernel to the simulator IR.
 ///
 /// # Errors
@@ -288,6 +365,7 @@ pub fn kernel_to_ir(k: &MonoKernel) -> Result<KernelIr, CodegenError> {
     let mut cx = LowerCx {
         locals: HashMap::new(),
         next_slot: 0,
+        next_shfl_slot: count_local_decls(&k.body),
     };
     let body = cx.stmts(&k.body)?;
     Ok(KernelIr {

@@ -16,10 +16,28 @@
 //!   [`ForallLevel`] introduced below the owner of the accessed memory,
 //! - distinctness of split branches,
 //! - the barrier legality rule (no `sync` under a thread-space split).
+//!
+//! ## Warps
+//!
+//! The paper's Figure 4/5 hierarchy has *four* levels: grid → blocks →
+//! warps → lanes. The [`ExecOp::ToWarps`] refinement exposes the lower
+//! two: applied to a block whose thread space is one-dimensional in `X`
+//! with an extent divisible by [`WARP_SIZE`], it re-interprets the
+//! threads as *warp space* (`extent / 32` warps) followed by *lane
+//! space* (32 lanes per warp). Both behave like ordinary spaces:
+//! `forall` schedules over them, `split` partitions them, selects
+//! distribute memory over them, and the narrowing check counts their
+//! levels. A lane-space split cuts through warps, which is what makes
+//! shuffle intrinsics illegal under it (warp divergence).
 
 use descend_ast::ty::{Dim, DimCompo, ExecTy};
 use descend_ast::Nat;
 use std::fmt;
+
+/// Threads per warp. Fixed at the CUDA/P100 value; the simulator's
+/// lockstep warp grouping and the cost model's default `warp_size`
+/// agree with this constant.
+pub const WARP_SIZE: u64 = 32;
 
 /// Which half of a split.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -54,10 +72,14 @@ pub enum ExecOp {
         /// Which part was selected.
         side: Side,
     },
+    /// `.to_warps()`: re-interpret a 1-D `X` thread space (extent a
+    /// multiple of [`WARP_SIZE`]) as warp space over lane space.
+    ToWarps,
 }
 
 impl ExecOp {
-    fn same(&self, other: &ExecOp) -> bool {
+    /// Structural equality up to nat normalization.
+    pub fn same(&self, other: &ExecOp) -> bool {
         match (self, other) {
             (ExecOp::Forall(a), ExecOp::Forall(b)) => a == b,
             (
@@ -72,6 +94,7 @@ impl ExecOp {
                     side: s2,
                 },
             ) => d1 == d2 && p1.equal(p2) && s1 == s2,
+            (ExecOp::ToWarps, ExecOp::ToWarps) => true,
             _ => false,
         }
     }
@@ -99,6 +122,23 @@ pub enum Space {
     Block,
     /// The arrangement of threads within a block.
     Thread,
+    /// The arrangement of warps within a block (after [`ExecOp::ToWarps`]).
+    Warp,
+    /// The arrangement of lanes within a warp (after [`ExecOp::ToWarps`]).
+    Lane,
+}
+
+impl Space {
+    /// The lower-case noun used in diagnostics (`"block"`, `"thread"`,
+    /// `"warp"`, `"lane"`).
+    pub fn noun(self) -> &'static str {
+        match self {
+            Space::Block => "block",
+            Space::Thread => "thread",
+            Space::Warp => "warp",
+            Space::Lane => "lane",
+        }
+    }
 }
 
 /// One `forall` level of an execution resource: scheduling over a
@@ -139,6 +179,11 @@ pub enum ExecError {
         /// The available extent.
         extent: Nat,
     },
+    /// `.to_warps()` applied where it is not legal: block space is not
+    /// fully scheduled, the thread space is not 1-D in `X`, thread
+    /// operations were already applied, or the extent is not a multiple
+    /// of [`WARP_SIZE`].
+    BadToWarps(String),
 }
 
 impl fmt::Display for ExecError {
@@ -147,10 +192,7 @@ impl fmt::Display for ExecError {
             ExecError::MissingDim { dim, space } => write!(
                 f,
                 "cannot schedule over dimension {dim}: the {} shape does not declare it",
-                match space {
-                    Space::Block => "block",
-                    Space::Thread => "thread",
-                }
+                space.noun()
             ),
             ExecError::AlreadyScheduled(d, _) => {
                 write!(f, "dimension {d} has already been scheduled")
@@ -167,6 +209,7 @@ impl fmt::Display for ExecError {
             ExecError::SplitOutOfRange { pos, extent } => {
                 write!(f, "split position {pos} exceeds extent {extent}")
             }
+            ExecError::BadToWarps(m) => write!(f, "cannot form warps: {m}"),
         }
     }
 }
@@ -206,36 +249,52 @@ struct DimState {
     scheduled: bool,
 }
 
-/// Scheduling state of both spaces, derived by replaying ops.
+/// Scheduling state of all spaces, derived by replaying ops.
+///
+/// Before [`ExecOp::ToWarps`], the spaces are block then thread. After
+/// it, the thread space is *replaced* by warp space over lane space
+/// (`warped` is set and `thread` is drained).
 #[derive(Clone, Debug, PartialEq)]
 struct State {
     block: Vec<(DimCompo, DimState)>,
     thread: Vec<(DimCompo, DimState)>,
+    warp: Vec<(DimCompo, DimState)>,
+    lane: Vec<(DimCompo, DimState)>,
+    warped: bool,
+    /// Whether any op was applied in thread space (forbids a later
+    /// `.to_warps()`, whose lane arithmetic assumes warp alignment).
+    thread_touched: bool,
 }
 
 impl State {
-    fn space_done(&self, space: Space) -> bool {
-        let dims = match space {
+    fn dims(&self, space: Space) -> &Vec<(DimCompo, DimState)> {
+        match space {
             Space::Block => &self.block,
             Space::Thread => &self.thread,
-        };
-        dims.iter().all(|(_, s)| s.scheduled)
+            Space::Warp => &self.warp,
+            Space::Lane => &self.lane,
+        }
+    }
+
+    fn space_done(&self, space: Space) -> bool {
+        self.dims(space).iter().all(|(_, s)| s.scheduled)
     }
 
     fn current_space(&self) -> Option<Space> {
-        if !self.space_done(Space::Block) {
-            Some(Space::Block)
-        } else if !self.space_done(Space::Thread) {
-            Some(Space::Thread)
+        let order: &[Space] = if self.warped {
+            &[Space::Block, Space::Warp, Space::Lane]
         } else {
-            None
-        }
+            &[Space::Block, Space::Thread]
+        };
+        order.iter().copied().find(|s| !self.space_done(*s))
     }
 
     fn dim_state(&mut self, space: Space, dim: DimCompo) -> Option<&mut DimState> {
         let dims = match space {
             Space::Block => &mut self.block,
             Space::Thread => &mut self.thread,
+            Space::Warp => &mut self.warp,
+            Space::Lane => &mut self.lane,
         };
         dims.iter_mut().find(|(d, _)| *d == dim).map(|(_, s)| s)
     }
@@ -269,6 +328,10 @@ impl ExecExpr {
                     Ok(State {
                         block: Vec::new(),
                         thread: Vec::new(),
+                        warp: Vec::new(),
+                        lane: Vec::new(),
+                        warped: false,
+                        thread_touched: false,
                     })
                 } else {
                     Err(ExecError::CpuHasNoHierarchy)
@@ -292,9 +355,20 @@ impl ExecExpr {
         let mut st = State {
             block: to_states(bd),
             thread: to_states(td),
+            warp: Vec::new(),
+            lane: Vec::new(),
+            warped: false,
+            thread_touched: false,
         };
         for op in &self.ops {
+            if matches!(op, ExecOp::ToWarps) {
+                apply_to_warps(&mut st)?;
+                continue;
+            }
             let space = st.current_space().ok_or(ExecError::NothingToSchedule)?;
+            if space == Space::Thread {
+                st.thread_touched = true;
+            }
             match op {
                 ExecOp::Forall(d) => {
                     let ds = st
@@ -325,6 +399,7 @@ impl ExecExpr {
                         Side::Snd => ds.extent.clone() - pos.clone(),
                     };
                 }
+                ExecOp::ToWarps => unreachable!("handled before the space lookup"),
             }
         }
         Ok(st)
@@ -334,6 +409,55 @@ impl ExecExpr {
     /// scheduled (single-thread) resource.
     pub fn current_space(&self) -> Option<Space> {
         self.state().ok().and_then(|s| s.current_space())
+    }
+
+    /// Extends the resource with `.to_warps()`: the (so far untouched,
+    /// 1-D `X`) thread space becomes warp space over lane space.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::BadToWarps`] if block space is not fully scheduled,
+    /// the thread space is not one-dimensional in `X`, thread operations
+    /// were already applied, or the extent is not a literal multiple of
+    /// [`WARP_SIZE`].
+    pub fn to_warps(&self) -> Result<ExecExpr, ExecError> {
+        let mut next = self.clone();
+        next.ops.push(ExecOp::ToWarps);
+        next.state()?;
+        Ok(next)
+    }
+
+    /// Whether `.to_warps()` was applied anywhere in the op sequence.
+    pub fn under_warps(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, ExecOp::ToWarps))
+    }
+
+    /// Whether the lane space contains a split anywhere in the op
+    /// sequence. Such a split cuts *through* warps, so shuffle
+    /// intrinsics (which exchange values between all 32 lanes of a warp
+    /// in lockstep) are illegal under it.
+    pub fn lane_space_has_split(&self) -> bool {
+        self.has_split_in(&[Space::Lane])
+    }
+
+    /// Whether any split op was applied while the current space was one
+    /// of `spaces` (the one prefix-replay walk behind the barrier and
+    /// shuffle legality checks).
+    fn has_split_in(&self, spaces: &[Space]) -> bool {
+        let mut prefix = ExecExpr {
+            base: self.base.clone(),
+            ops: Vec::new(),
+        };
+        for op in &self.ops {
+            if matches!(op, ExecOp::Split { .. }) {
+                match prefix.current_space() {
+                    Some(s) if spaces.contains(&s) => return true,
+                    _ => {}
+                }
+            }
+            prefix.ops.push(op.clone());
+        }
+        false
     }
 
     /// Extends the resource with `.forall(dim)`.
@@ -368,10 +492,7 @@ impl ExecExpr {
     pub fn remaining_extent(&self, dim: DimCompo) -> Option<Nat> {
         let st = self.state().ok()?;
         let space = st.current_space()?;
-        let dims = match space {
-            Space::Block => &st.block,
-            Space::Thread => &st.thread,
-        };
+        let dims = st.dims(space);
         dims.iter()
             .find(|(d, s)| *d == dim && !s.scheduled)
             .map(|(_, s)| s.extent.clone())
@@ -460,22 +581,13 @@ impl ExecExpr {
         false
     }
 
-    /// Whether the thread space contains a split anywhere in the op
-    /// sequence. A barrier (`sync`) is only legal when it does not — every
-    /// thread of the block must reach the barrier (paper Section 2.2).
+    /// Whether the sub-block space (threads, warps, or lanes) contains a
+    /// split anywhere in the op sequence. A barrier (`sync`) is only
+    /// legal when it does not — every thread of the block must reach the
+    /// barrier (paper Section 2.2); warp- and lane-space splits restrict
+    /// to a subset of the block's threads just like thread-space splits.
     pub fn thread_space_has_split(&self) -> bool {
-        let mut prefix = ExecExpr {
-            base: self.base.clone(),
-            ops: Vec::new(),
-        };
-        for op in &self.ops {
-            let space = prefix.current_space();
-            if matches!(op, ExecOp::Split { .. }) && space == Some(Space::Thread) {
-                return true;
-            }
-            prefix.ops.push(op.clone());
-        }
-        false
+        self.has_split_in(&[Space::Thread, Space::Warp, Space::Lane])
     }
 
     /// The execution level of this resource, for checking function
@@ -488,6 +600,14 @@ impl ExecExpr {
                 let st = self.state().expect("validated exec expression");
                 if !st.space_done(Space::Block) {
                     ExecTy::GpuGrid(blocks.clone(), threads.clone())
+                } else if st.warped {
+                    if !st.space_done(Space::Warp) {
+                        ExecTy::GpuBlock(threads.clone())
+                    } else if !st.space_done(Space::Lane) {
+                        ExecTy::GpuWarp
+                    } else {
+                        ExecTy::GpuThread
+                    }
                 } else if !st.space_done(Space::Thread) {
                     ExecTy::GpuBlock(threads.clone())
                 } else {
@@ -503,7 +623,13 @@ impl ExecExpr {
     pub fn instance_size(&self) -> Option<u64> {
         let st = self.state().ok()?;
         let mut total = 1u64;
-        for (_, s) in st.block.iter().chain(st.thread.iter()) {
+        for (_, s) in st
+            .block
+            .iter()
+            .chain(st.thread.iter())
+            .chain(st.warp.iter())
+            .chain(st.lane.iter())
+        {
             if !s.scheduled {
                 total *= s.extent.as_lit()?;
             }
@@ -533,6 +659,58 @@ impl ExecExpr {
     }
 }
 
+/// Replays one [`ExecOp::ToWarps`]: validates the thread space and
+/// installs warp and lane spaces in its place.
+fn apply_to_warps(st: &mut State) -> Result<(), ExecError> {
+    if st.warped {
+        return Err(ExecError::BadToWarps("warps are already formed".into()));
+    }
+    if !st.space_done(Space::Block) {
+        return Err(ExecError::BadToWarps(
+            "schedule all block dimensions first".into(),
+        ));
+    }
+    if st.thread.len() != 1 || st.thread[0].0 != DimCompo::X {
+        return Err(ExecError::BadToWarps(
+            "the thread space must be one-dimensional in X".into(),
+        ));
+    }
+    let (_, ds) = &st.thread[0];
+    if ds.scheduled || st.thread_touched {
+        return Err(ExecError::BadToWarps(
+            "thread-space operations were already applied".into(),
+        ));
+    }
+    let Some(extent) = ds.extent.as_lit() else {
+        return Err(ExecError::BadToWarps(format!(
+            "thread extent `{}` is not statically known",
+            ds.extent
+        )));
+    };
+    if extent == 0 || extent % WARP_SIZE != 0 {
+        return Err(ExecError::BadToWarps(format!(
+            "thread extent {extent} is not a multiple of the warp size {WARP_SIZE}"
+        )));
+    }
+    st.thread.clear();
+    st.warp = vec![(
+        DimCompo::X,
+        DimState {
+            extent: Nat::lit(extent / WARP_SIZE),
+            scheduled: false,
+        },
+    )];
+    st.lane = vec![(
+        DimCompo::X,
+        DimState {
+            extent: Nat::lit(WARP_SIZE),
+            scheduled: false,
+        },
+    )];
+    st.warped = true;
+    Ok(())
+}
+
 impl fmt::Display for ExecExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.base {
@@ -543,6 +721,7 @@ impl fmt::Display for ExecExpr {
             match op {
                 ExecOp::Forall(d) => write!(f, ".forall({d})")?,
                 ExecOp::Split { dim, pos, side } => write!(f, ".split({pos}, {dim}).{side}")?,
+                ExecOp::ToWarps => write!(f, ".to_warps()")?,
             }
         }
         Ok(())
@@ -747,6 +926,89 @@ mod tests {
         assert_eq!(tl[2].space, Space::Thread);
         assert_eq!(tl[2].extent.as_lit(), Some(8));
         assert_eq!(tl[3].extent.as_lit(), Some(32));
+    }
+
+    #[test]
+    fn to_warps_factorizes_thread_space() {
+        let b = ExecExpr::grid(Dim::x(4u64), Dim::x(512u64))
+            .forall(DimCompo::X)
+            .unwrap();
+        let wb = b.to_warps().unwrap();
+        assert!(wb.under_warps());
+        assert_eq!(wb.current_space(), Some(Space::Warp));
+        assert_eq!(wb.remaining_extent(DimCompo::X).unwrap().as_lit(), Some(16));
+        let warps = wb.forall(DimCompo::X).unwrap();
+        assert_eq!(warps.current_space(), Some(Space::Lane));
+        assert!(matches!(warps.level(), ExecTy::GpuWarp));
+        assert_eq!(warps.instance_size(), Some(32));
+        let lanes = warps.forall(DimCompo::X).unwrap();
+        assert!(matches!(lanes.level(), ExecTy::GpuThread));
+        assert_eq!(lanes.instance_size(), Some(1));
+        let levels = lanes.forall_levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[1].space, Space::Warp);
+        assert_eq!(levels[1].extent.as_lit(), Some(16));
+        assert_eq!(levels[2].space, Space::Lane);
+        assert_eq!(levels[2].extent.as_lit(), Some(32));
+        assert_eq!(
+            lanes.to_string(),
+            "gpu.grid<X<4>,X<512>>.forall(X).to_warps().forall(X).forall(X)"
+        );
+    }
+
+    #[test]
+    fn to_warps_rejects_bad_shapes() {
+        // Block space not scheduled.
+        let g = ExecExpr::grid(Dim::x(4u64), Dim::x(64u64));
+        assert!(matches!(g.to_warps(), Err(ExecError::BadToWarps(_))));
+        // 2-D thread space.
+        let b2 = ExecExpr::grid(Dim::x(1u64), Dim::xy(32u64, 8u64))
+            .forall(DimCompo::X)
+            .unwrap();
+        assert!(matches!(b2.to_warps(), Err(ExecError::BadToWarps(_))));
+        // Extent not a multiple of 32.
+        let b3 = ExecExpr::grid(Dim::x(1u64), Dim::x(48u64))
+            .forall(DimCompo::X)
+            .unwrap();
+        assert!(matches!(b3.to_warps(), Err(ExecError::BadToWarps(_))));
+        // Thread space already touched by a split.
+        let b4 = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64))
+            .forall(DimCompo::X)
+            .unwrap()
+            .split(DimCompo::X, Nat::lit(32), Side::Fst)
+            .unwrap();
+        assert!(matches!(b4.to_warps(), Err(ExecError::BadToWarps(_))));
+        // Twice.
+        let wb = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64))
+            .forall(DimCompo::X)
+            .unwrap()
+            .to_warps()
+            .unwrap();
+        assert!(matches!(wb.to_warps(), Err(ExecError::BadToWarps(_))));
+    }
+
+    #[test]
+    fn warp_splits_narrow_and_block_barrier_rules_apply() {
+        let wb = ExecExpr::grid(Dim::x(1u64), Dim::x(128u64))
+            .forall(DimCompo::X)
+            .unwrap()
+            .to_warps()
+            .unwrap();
+        // Split warp space: first warp only.
+        let w0 = wb.split(DimCompo::X, Nat::lit(1), Side::Fst).unwrap();
+        assert_eq!(w0.remaining_extent(DimCompo::X).unwrap().as_lit(), Some(1));
+        assert!(w0.thread_space_has_split(), "warp split restricts threads");
+        assert!(!w0.lane_space_has_split());
+        // Schedule warp then split lanes: a lane-space split cuts warps.
+        let lanes_split = wb
+            .forall(DimCompo::X)
+            .unwrap()
+            .split(DimCompo::X, Nat::lit(1), Side::Fst)
+            .unwrap();
+        assert!(lanes_split.lane_space_has_split());
+        // Disjointness through warp-space splits.
+        let snd = wb.split(DimCompo::X, Nat::lit(1), Side::Snd).unwrap();
+        assert!(w0.definitely_disjoint(&snd));
     }
 
     #[test]

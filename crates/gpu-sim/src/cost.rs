@@ -45,6 +45,12 @@ pub struct CostModel {
     /// RMW the same address (conflict-free atomics cost only their
     /// memory transaction).
     pub atomic_cost: u64,
+    /// Cycles per warp-wide shuffle instruction (the register exchange
+    /// itself; the operand evaluation is already charged as ordinary
+    /// instructions). One cycle — this being an order of magnitude
+    /// cheaper than a shared-memory round-trip is precisely why the
+    /// shuffle reduction wins.
+    pub shuffle_cost: u64,
     /// Number of streaming multiprocessors.
     pub num_sms: u64,
 }
@@ -61,6 +67,7 @@ impl Default for CostModel {
             instr_cost: 1,
             barrier_cost: 16,
             atomic_cost: 8,
+            shuffle_cost: 1,
             num_sms: 56,
         }
     }
@@ -89,6 +96,11 @@ pub struct LaunchStats {
     /// warp-level atomic instruction, lanes hitting the same address
     /// serialize (contention), costing [`CostModel::atomic_cost`] each.
     pub atomic_serializations: u64,
+    /// Lane-level shuffle exchanges performed (32 per full-warp shuffle
+    /// instruction). Shuffles move registers, not memory: they appear
+    /// here and in [`LaunchStats::instructions`], never in the
+    /// transaction or replay counters.
+    pub shuffles: u64,
     /// Number of blocks executed.
     pub blocks: u64,
 }
@@ -222,6 +234,15 @@ impl CostAccumulator {
             cycles += self.model.barrier_cost;
         }
         self.current_block += cycles;
+    }
+
+    /// Feeds one warp-wide shuffle exchange (`lanes` participating
+    /// lanes): charges [`CostModel::shuffle_cost`] cycles for the
+    /// exchange — warp-wide, like any lockstep instruction — and counts
+    /// the lane-level moves.
+    pub fn warp_shuffle(&mut self, lanes: u64) {
+        self.stats.shuffles += lanes;
+        self.current_block += self.model.shuffle_cost;
     }
 
     /// Finishes the current block.

@@ -19,12 +19,25 @@ pub struct LaunchConfig {
     pub cost: CostModel,
 }
 
+/// Threads per warp for the lockstep shuffle grouping (agrees with
+/// [`CostModel::warp_size`]'s default and `descend_exec::WARP_SIZE`).
+const WARP_SIZE: usize = 32;
+
 /// Simulation errors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// Not every thread of a block reached the same barrier
     /// (CUDA-undefined behavior, reported deterministically here).
     BarrierDivergence {
+        /// Offending block (linear id).
+        block: u64,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// Not every lane of a warp reached the same shuffle instruction
+    /// (CUDA leaves `__shfl_*_sync` in divergent warps undefined; the
+    /// simulator reports it deterministically).
+    ShuffleDivergence {
         /// Offending block (linear id).
         block: u64,
         /// Description of the mismatch.
@@ -50,6 +63,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::BarrierDivergence { block, detail } => {
                 write!(f, "barrier divergence in block {block}: {detail}")
+            }
+            SimError::ShuffleDivergence { block, detail } => {
+                write!(f, "shuffle divergence in block {block}: {detail}")
             }
             SimError::DataRace(r) => write!(f, "{r}"),
             SimError::OutOfBounds { block, detail } => {
@@ -284,6 +300,19 @@ impl Gpu {
         cost: &mut CostAccumulator,
         mut races: Option<&mut RaceDetector>,
     ) -> Result<(), SimError> {
+        /// Where a thread of the block currently waits within one
+        /// barrier interval.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Wait {
+            /// Runnable (fresh interval, or resumed after a shuffle).
+            Run,
+            /// Suspended at a barrier at this pc.
+            Barrier(usize),
+            /// Suspended at a warp shuffle at this pc, operand staged.
+            Shfl(usize),
+            /// Ran to completion.
+            Done,
+        }
         let mut log: Vec<AccessRec> = Vec::new();
         let mut instr_before: Vec<u64> = vec![0; threads_per_block];
         let mut instr_delta: Vec<u64> = vec![0; threads_per_block];
@@ -300,48 +329,130 @@ impl Gpu {
                         .map(|_| ThreadState::new(local_count))
                         .collect();
                     instr_before.iter_mut().for_each(|v| *v = 0);
+                    // One iteration per barrier interval.
                     loop {
                         log.clear();
-                        let mut stops: Vec<Option<usize>> = Vec::with_capacity(threads_per_block);
-                        let mut any_running = false;
-                        for (tid, st) in states.iter_mut().enumerate() {
-                            if st.done {
-                                stops.push(None);
-                                continue;
-                            }
-                            any_running = true;
-                            let t = tid as u64;
-                            let tx = t % block_dim[0];
-                            let ty = (t / block_dim[0]) % block_dim[1];
-                            let tz = t / (block_dim[0] * block_dim[1]);
-                            let mut env = interp::ThreadEnv {
-                                thread: [tx, ty, tz],
-                                block: [bx, by, bz],
-                                block_dim,
-                                grid_dim,
-                                tid: tid as u32,
-                                global,
-                                global_elems,
-                                shared: &mut shared,
-                                shared_elems,
-                                log: &mut log,
-                            };
-                            let stop = interp::run_thread(code, weights, st, &mut env)
-                                .map_err(|e| lift_err(e, block_lin))?;
-                            stops.push(match stop {
-                                ThreadStop::Barrier(pc) => Some(pc),
-                                ThreadStop::Done => None,
-                            });
-                        }
-                        if !any_running {
+                        let mut waits: Vec<Wait> = states
+                            .iter()
+                            .map(|st| if st.done { Wait::Done } else { Wait::Run })
+                            .collect();
+                        if waits.iter().all(|w| *w == Wait::Done) {
                             break;
+                        }
+                        // Run every runnable thread to its next stop;
+                        // warps whose lanes all reached the same shuffle
+                        // exchange values and become runnable again —
+                        // until only barriers and completions remain.
+                        loop {
+                            for (tid, st) in states.iter_mut().enumerate() {
+                                if waits[tid] != Wait::Run {
+                                    continue;
+                                }
+                                let t = tid as u64;
+                                let tx = t % block_dim[0];
+                                let ty = (t / block_dim[0]) % block_dim[1];
+                                let tz = t / (block_dim[0] * block_dim[1]);
+                                let mut env = interp::ThreadEnv {
+                                    thread: [tx, ty, tz],
+                                    block: [bx, by, bz],
+                                    block_dim,
+                                    grid_dim,
+                                    tid: tid as u32,
+                                    global,
+                                    global_elems,
+                                    shared: &mut shared,
+                                    shared_elems,
+                                    log: &mut log,
+                                };
+                                let stop = interp::run_thread(code, weights, st, &mut env)
+                                    .map_err(|e| lift_err(e, block_lin))?;
+                                waits[tid] = match stop {
+                                    ThreadStop::Barrier(pc) => Wait::Barrier(pc),
+                                    ThreadStop::Shfl(pc) => Wait::Shfl(pc),
+                                    ThreadStop::Done => Wait::Done,
+                                };
+                            }
+                            let mut resolved = false;
+                            for ws in (0..threads_per_block).step_by(WARP_SIZE) {
+                                let lanes = ws..(ws + WARP_SIZE).min(threads_per_block);
+                                let Some(pc) = lanes.clone().find_map(|t| match waits[t] {
+                                    Wait::Shfl(pc) => Some(pc),
+                                    _ => None,
+                                }) else {
+                                    continue;
+                                };
+                                // Lockstep requirement: every lane of the
+                                // warp must sit at the *same* shuffle.
+                                for t in lanes.clone() {
+                                    if waits[t] != Wait::Shfl(pc) {
+                                        return Err(SimError::ShuffleDivergence {
+                                            block: block_lin,
+                                            detail: format!(
+                                                "lane {} of warp {} did not reach the shuffle at pc {pc} its sibling lanes wait at",
+                                                t - ws,
+                                                ws / WARP_SIZE
+                                            ),
+                                        });
+                                    }
+                                }
+                                let interp::Instr::Shfl { dst, op, delta, .. } = &code[pc] else {
+                                    unreachable!("shuffle stops point at shuffle instructions")
+                                };
+                                let vals: Vec<interp::Value> = lanes
+                                    .clone()
+                                    .map(|t| {
+                                        states[t]
+                                            .pending_shfl
+                                            .take()
+                                            .expect("suspended lanes staged a value")
+                                    })
+                                    .collect();
+                                let n = vals.len();
+                                for (i, t) in lanes.clone().enumerate() {
+                                    let src = match op {
+                                        crate::ir::ShflOp::Down => i + *delta as usize,
+                                        crate::ir::ShflOp::Xor => i ^ *delta as usize,
+                                    };
+                                    states[t].locals[*dst] = if src >= WARP_SIZE {
+                                        // Beyond the 32-lane warp
+                                        // boundary: the lane keeps its
+                                        // own value (CUDA clamps).
+                                        vals[i]
+                                    } else if src < n {
+                                        vals[src]
+                                    } else {
+                                        // A lane slot the warp geometry
+                                        // declares but this partial warp
+                                        // never populated (block size
+                                        // not a multiple of 32): CUDA
+                                        // leaves reads of inactive lanes
+                                        // undefined; report instead.
+                                        return Err(SimError::ShuffleDivergence {
+                                            block: block_lin,
+                                            detail: format!(
+                                                "lane {i} of partial warp {} shuffles from inactive lane {src} (only {n} lanes exist)",
+                                                ws / WARP_SIZE
+                                            ),
+                                        });
+                                    };
+                                    waits[t] = Wait::Run;
+                                }
+                                cost.warp_shuffle(n as u64);
+                                resolved = true;
+                            }
+                            if !resolved {
+                                break;
+                            }
                         }
                         // Cost and race bookkeeping for the interval.
                         for tid in 0..threads_per_block {
                             instr_delta[tid] = states[tid].instr_count - instr_before[tid];
                             instr_before[tid] = states[tid].instr_count;
                         }
-                        let at_barrier = stops.iter().flatten().count();
+                        let at_barrier = waits
+                            .iter()
+                            .filter(|w| matches!(w, Wait::Barrier(_)))
+                            .count();
                         let had_barrier = at_barrier > 0;
                         cost.interval(&log, &instr_delta, global_elems, shared_elems, had_barrier);
                         if let Some(r) = races.as_deref_mut() {
@@ -350,7 +461,7 @@ impl Gpu {
                         // Barrier consistency: every thread must be at the
                         // same barrier, or every thread must be done.
                         if had_barrier {
-                            let finished = stops.iter().filter(|s| s.is_none()).count();
+                            let finished = waits.iter().filter(|w| **w == Wait::Done).count();
                             if finished > 0 {
                                 return Err(SimError::BarrierDivergence {
                                     block: block_lin,
@@ -359,8 +470,8 @@ impl Gpu {
                                     ),
                                 });
                             }
-                            let first = stops[0];
-                            if stops.iter().any(|s| *s != first) {
+                            let first = waits[0];
+                            if waits.iter().any(|w| *w != first) {
                                 return Err(SimError::BarrierDivergence {
                                     block: block_lin,
                                     detail: "threads wait at different barriers".into(),
@@ -750,6 +861,322 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i + 1) as f64);
         }
+    }
+
+    /// One warp: `shfl_down` by 16 adds each lane's upper sibling; the
+    /// top 16 lanes keep their own value (clamped source).
+    #[test]
+    fn shfl_down_semantics_and_clamping() {
+        let kernel = KernelIr {
+            name: "shfl".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 32,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![
+                Stmt::SetLocal(
+                    0,
+                    Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::thread_idx(Axis::X)),
+                    },
+                ),
+                Stmt::Shfl {
+                    dst: 1,
+                    op: ShflOp::Down,
+                    value: Expr::Local(0),
+                    delta: 16,
+                },
+                Stmt::StoreGlobal {
+                    buf: 0,
+                    idx: Expr::thread_idx(Axis::X),
+                    value: Expr::add(Expr::Local(0), Expr::Local(1)),
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..32).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = LaunchConfig {
+            detect_races: true,
+            ..LaunchConfig::default()
+        };
+        let stats = gpu
+            .launch(&kernel, [1, 1, 1], [32, 1, 1], &[buf], &cfg)
+            .unwrap();
+        let out = gpu.read_f64(buf);
+        for (i, v) in out.iter().enumerate() {
+            let expect = if i < 16 {
+                (i + i + 16) as f64
+            } else {
+                (2 * i) as f64
+            };
+            assert_eq!(*v, expect, "lane {i}");
+        }
+        assert_eq!(stats.shuffles, 32, "one full-warp exchange");
+        assert_eq!(stats.barriers, 0, "shuffles need no barrier");
+    }
+
+    /// The butterfly (`shfl_xor` over halving masks) leaves the full
+    /// warp sum in *every* lane.
+    #[test]
+    fn shfl_xor_butterfly_total_in_all_lanes() {
+        let mut body = vec![Stmt::SetLocal(
+            0,
+            Expr::LoadGlobal {
+                buf: 0,
+                idx: Box::new(Expr::thread_idx(Axis::X)),
+            },
+        )];
+        for delta in [16u32, 8, 4, 2, 1] {
+            body.push(Stmt::Shfl {
+                dst: 1,
+                op: ShflOp::Xor,
+                value: Expr::Local(0),
+                delta,
+            });
+            body.push(Stmt::SetLocal(0, Expr::add(Expr::Local(0), Expr::Local(1))));
+        }
+        body.push(Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::thread_idx(Axis::X),
+            value: Expr::Local(0),
+        });
+        let kernel = KernelIr {
+            name: "butterfly".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 64,
+                writable: true,
+            }],
+            shared: vec![],
+            body,
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..64).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = LaunchConfig {
+            detect_races: true,
+            ..LaunchConfig::default()
+        };
+        let stats = gpu
+            .launch(&kernel, [1, 1, 1], [64, 1, 1], &[buf], &cfg)
+            .unwrap();
+        let out = gpu.read_f64(buf);
+        // Two warps: each lane holds its own warp's total.
+        let w0: f64 = (0..32).sum::<i64>() as f64;
+        let w1: f64 = (32..64).sum::<i64>() as f64;
+        for (i, v) in out.iter().enumerate() {
+            let expect = if i < 32 { w0 } else { w1 };
+            assert_eq!(*v, expect, "lane {i}");
+        }
+        assert_eq!(stats.shuffles, 5 * 64);
+    }
+
+    /// A shuffle inside a branch only some lanes of a warp take is
+    /// divergence — reported, not undefined.
+    #[test]
+    fn divergent_shuffle_is_reported() {
+        let kernel = KernelIr {
+            name: "bad_shfl".into(),
+            params: vec![],
+            shared: vec![],
+            body: vec![
+                Stmt::SetLocal(0, Expr::LitF(1.0)),
+                Stmt::If {
+                    cond: Expr::lt(Expr::thread_idx(Axis::X), Expr::LitI(16)),
+                    then_s: vec![Stmt::Shfl {
+                        dst: 1,
+                        op: ShflOp::Down,
+                        value: Expr::Local(0),
+                        delta: 8,
+                    }],
+                    else_s: vec![],
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        let err = gpu
+            .launch(
+                &kernel,
+                [1, 1, 1],
+                [32, 1, 1],
+                &[],
+                &LaunchConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::ShuffleDivergence { .. }), "{err}");
+    }
+
+    /// A branch taken by *whole* warps shuffles fine: warp 0 shuffles
+    /// while warp 1 runs straight to the end.
+    #[test]
+    fn whole_warp_branch_shuffles_cleanly() {
+        let kernel = KernelIr {
+            name: "warp_branch".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 64,
+                writable: true,
+            }],
+            shared: vec![],
+            body: vec![
+                Stmt::SetLocal(
+                    0,
+                    Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::thread_idx(Axis::X)),
+                    },
+                ),
+                Stmt::If {
+                    // threadIdx.x / 32 < 1: the first warp only.
+                    cond: Expr::lt(
+                        Expr::bin(BinOp::Div, Expr::thread_idx(Axis::X), Expr::LitI(32)),
+                        Expr::LitI(1),
+                    ),
+                    then_s: vec![
+                        Stmt::Shfl {
+                            dst: 1,
+                            op: ShflOp::Down,
+                            value: Expr::Local(0),
+                            delta: 1,
+                        },
+                        Stmt::StoreGlobal {
+                            buf: 0,
+                            idx: Expr::thread_idx(Axis::X),
+                            value: Expr::Local(1),
+                        },
+                    ],
+                    else_s: vec![],
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..64).map(|i| i as f64).collect::<Vec<_>>());
+        gpu.launch(
+            &kernel,
+            [1, 1, 1],
+            [64, 1, 1],
+            &[buf],
+            &LaunchConfig::default(),
+        )
+        .unwrap();
+        let out = gpu.read_f64(buf);
+        for (i, v) in out.iter().enumerate().take(31) {
+            assert_eq!(*v, (i + 1) as f64);
+        }
+        assert_eq!(out[31], 31.0, "top lane keeps its own value");
+        for (i, v) in out.iter().enumerate().skip(32) {
+            assert_eq!(*v, i as f64, "second warp untouched");
+        }
+    }
+
+    /// A partial warp (block size not a multiple of 32) may clamp past
+    /// the 32-lane warp boundary, but reading a declared-yet-inactive
+    /// lane slot is reported (CUDA leaves it undefined).
+    #[test]
+    fn partial_warp_inactive_lane_read_is_reported() {
+        let kernel = KernelIr {
+            name: "partial".into(),
+            params: vec![],
+            shared: vec![],
+            body: vec![
+                Stmt::SetLocal(0, Expr::thread_idx(Axis::X)),
+                Stmt::Shfl {
+                    dst: 1,
+                    op: ShflOp::Down,
+                    value: Expr::Local(0),
+                    delta: 8,
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        // 48 threads: warp 1 has 16 active lanes; lane 8 + 8 = 16 names
+        // an inactive lane inside the warp — reported.
+        let err = gpu
+            .launch(
+                &kernel,
+                [1, 1, 1],
+                [48, 1, 1],
+                &[],
+                &LaunchConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::ShuffleDivergence { .. }), "{err}");
+        // 48 threads with delta 16: lanes 0..15 of warp 1 would source
+        // 16..31 — also inactive — but the *full* warp 0 still clamps
+        // correctly at 32; a 32-thread launch is clean.
+        gpu.launch(
+            &kernel,
+            [1, 1, 1],
+            [32, 1, 1],
+            &[],
+            &LaunchConfig::default(),
+        )
+        .expect("full warps clamp at the warp boundary");
+    }
+
+    /// Shuffles compose with barriers: exchange, sync, then read what
+    /// another warp staged through shared memory.
+    #[test]
+    fn shuffle_then_barrier_interleaves() {
+        let kernel = KernelIr {
+            name: "mix".into(),
+            params: vec![ParamDecl {
+                elem: ElemTy::F64,
+                len: 64,
+                writable: true,
+            }],
+            shared: vec![SharedDecl {
+                elem: ElemTy::F64,
+                len: 64,
+            }],
+            body: vec![
+                Stmt::SetLocal(
+                    0,
+                    Expr::LoadGlobal {
+                        buf: 0,
+                        idx: Box::new(Expr::thread_idx(Axis::X)),
+                    },
+                ),
+                Stmt::Shfl {
+                    dst: 1,
+                    op: ShflOp::Xor,
+                    value: Expr::Local(0),
+                    delta: 1,
+                },
+                Stmt::StoreShared {
+                    buf: 0,
+                    idx: Expr::thread_idx(Axis::X),
+                    value: Expr::Local(1),
+                },
+                Stmt::Barrier,
+                Stmt::StoreGlobal {
+                    buf: 0,
+                    idx: Expr::thread_idx(Axis::X),
+                    value: Expr::LoadShared {
+                        buf: 0,
+                        idx: Box::new(Expr::sub(Expr::LitI(63), Expr::thread_idx(Axis::X))),
+                    },
+                },
+            ],
+        };
+        let mut gpu = Gpu::new();
+        let buf = gpu.alloc_f64(&(0..64).map(|i| i as f64).collect::<Vec<_>>());
+        let cfg = LaunchConfig {
+            detect_races: true,
+            ..LaunchConfig::default()
+        };
+        let stats = gpu
+            .launch(&kernel, [1, 1, 1], [64, 1, 1], &[buf], &cfg)
+            .unwrap();
+        let out = gpu.read_f64(buf);
+        for (i, v) in out.iter().enumerate() {
+            // shared[j] = j ^ 1; out[i] = shared[63 - i] = (63 - i) ^ 1.
+            assert_eq!(*v, ((63 - i) ^ 1) as f64, "element {i}");
+        }
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.shuffles, 64);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! threads wait at different barriers, the launch reports barrier
 //! divergence (the behavior CUDA leaves undefined, see paper Section 2.2).
 
-use crate::ir::{AtomicOp, Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, Stmt, UnOp};
+use crate::ir::{AtomicOp, Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, ShflOp, Stmt, UnOp};
 
 /// A runtime value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -129,6 +129,20 @@ pub enum Instr {
         /// Operand.
         value: Expr,
     },
+    /// Warp shuffle: stage the operand, suspend until every lane of the
+    /// warp reaches the same shuffle, then receive the source lane's
+    /// value into `dst` (the exchange itself is performed by the block
+    /// scheduler in [`crate::device`]).
+    Shfl {
+        /// Destination local slot.
+        dst: usize,
+        /// The shuffle pattern.
+        op: ShflOp,
+        /// The exchanged operand.
+        value: Expr,
+        /// Shuffle distance or lane mask.
+        delta: u32,
+    },
     /// Conditional jump (taken when the condition is false).
     JumpIfFalse(Expr, usize),
     /// Unconditional jump.
@@ -223,6 +237,17 @@ fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
                 let end = code.len();
                 code[jexit] = Instr::JumpIfFalse(cond, end);
             }
+            Stmt::Shfl {
+                dst,
+                op,
+                value,
+                delta,
+            } => code.push(Instr::Shfl {
+                dst: *dst,
+                op: *op,
+                value: value.clone(),
+                delta: *delta,
+            }),
             Stmt::Barrier => code.push(Instr::Barrier),
         }
     }
@@ -271,6 +296,11 @@ pub struct AccessRec {
 pub enum ThreadStop {
     /// Reached a barrier at the given pc.
     Barrier(usize),
+    /// Reached a warp shuffle at the given pc: the operand value is
+    /// staged in [`ThreadState::pending_shfl`]; the scheduler performs
+    /// the exchange once every lane of the warp arrives and resumes the
+    /// thread afterwards.
+    Shfl(usize),
     /// Ran to completion.
     Done,
 }
@@ -286,6 +316,9 @@ pub struct ThreadState {
     pub done: bool,
     /// Executed instruction count (for the cost model).
     pub instr_count: u64,
+    /// Operand staged by a suspended [`Instr::Shfl`] (consumed by the
+    /// block scheduler's warp exchange).
+    pub pending_shfl: Option<Value>,
 }
 
 impl ThreadState {
@@ -296,6 +329,7 @@ impl ThreadState {
             locals: vec![Value::I(0); n],
             done: false,
             instr_count: 0,
+            pending_shfl: None,
         }
     }
 }
@@ -662,6 +696,16 @@ pub fn run_thread(
                     .map_err(InterpError::Eval)?;
                 st.pc = if c { pc + 1 } else { *target };
             }
+            Instr::Shfl { dst, value, .. } => {
+                if *dst >= st.locals.len() {
+                    return Err(InterpError::Eval(format!("local {dst} out of range")));
+                }
+                let v = eval(value, st, env, pc)?;
+                st.pending_shfl = Some(v);
+                st.instr_count += w;
+                st.pc += 1;
+                return Ok(ThreadStop::Shfl(pc));
+            }
             Instr::Jump(target) => st.pc = *target,
             Instr::Barrier => {
                 st.instr_count += w;
@@ -711,6 +755,7 @@ pub fn weights(code: &[Instr]) -> Vec<u64> {
             | Instr::AtomicShared { idx, value, .. } => 1 + expr_weight(idx) + expr_weight(value),
             Instr::JumpIfFalse(c, _) => 1 + expr_weight(c),
             Instr::Jump(_) => 1,
+            Instr::Shfl { value, .. } => 1 + expr_weight(value),
             Instr::Barrier => 1,
             Instr::Halt => 0,
         })

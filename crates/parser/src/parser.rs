@@ -559,6 +559,17 @@ impl Parser {
                 span: start.to(self.prev_span()),
             });
         }
+        if self.peek_ident("to_warps") {
+            self.bump();
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let exec = self.ident()?;
+            let body = self.block()?;
+            return Ok(Stmt {
+                kind: StmtKind::ToWarps { var, exec, body },
+                span: start.to(self.prev_span()),
+            });
+        }
         if self.peek_ident("sched") {
             self.bump();
             self.expect(TokenKind::LParen)?;
@@ -903,6 +914,24 @@ impl Parser {
                         kind: ExprKind::Lit(Lit::Bool(name == "true")),
                         span: start,
                     });
+                }
+                if let Some(kind) = ShflKind::from_name(&name) {
+                    if *self.peek_at(1) == TokenKind::LParen {
+                        self.bump();
+                        self.expect(TokenKind::LParen)?;
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Comma)?;
+                        let delta = self.nat()?;
+                        self.expect(TokenKind::RParen)?;
+                        return Ok(Expr {
+                            kind: ExprKind::Shfl {
+                                kind,
+                                value: Box::new(value),
+                                delta,
+                            },
+                            span: start.to(self.prev_span()),
+                        });
+                    }
                 }
                 if name == "alloc" {
                     self.bump();
@@ -1439,6 +1468,110 @@ fn k(hist: &uniq gpu.global [i32; 16], inp: & gpu.global [i32; 32])
         let f1 = p1.fn_def("k").unwrap();
         let f2 = p2.fn_def("k").unwrap();
         assert_eq!(f1.body.stmts.len(), f2.body.stmts.len());
+    }
+
+    #[test]
+    fn parses_to_warps_and_shuffles() {
+        let src = r#"
+fn k(out: &uniq gpu.global [f64; 4]) -[grid: gpu.grid<X<4>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = 1.0;
+                    for d in halving(16) {
+                        v = v + shfl_down(v, d);
+                    }
+                    let w = shfl_xor(v, 1);
+                }
+            }
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let f = p.fn_def("k").unwrap();
+        let StmtKind::Sched { body, .. } = &f.body.stmts[0].kind else {
+            panic!("expected sched");
+        };
+        let StmtKind::ToWarps { var, exec, body } = &body.stmts[0].kind else {
+            panic!("expected to_warps, got {:?}", body.stmts[0].kind);
+        };
+        assert_eq!(var, "wb");
+        assert_eq!(exec, "block");
+        let StmtKind::Sched { body, .. } = &body.stmts[0].kind else {
+            panic!("expected warp sched");
+        };
+        let StmtKind::Sched { body, .. } = &body.stmts[0].kind else {
+            panic!("expected lane sched");
+        };
+        let StmtKind::ForNat { body: lb, .. } = &body.stmts[1].kind else {
+            panic!("expected for-nat");
+        };
+        let StmtKind::Assign { value, .. } = &lb.stmts[0].kind else {
+            panic!("expected assignment");
+        };
+        let ExprKind::Binary(_, _, rhs) = &value.kind else {
+            panic!("expected binary rhs");
+        };
+        match &rhs.kind {
+            ExprKind::Shfl { kind, delta, .. } => {
+                assert_eq!(*kind, ShflKind::Down);
+                assert_eq!(delta, &Nat::var("d"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &body.stmts[2].kind {
+            StmtKind::Let { init, .. } => match &init.kind {
+                ExprKind::Shfl { kind, delta, .. } => {
+                    assert_eq!(*kind, ShflKind::Xor);
+                    assert_eq!(delta.as_lit(), Some(1));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warp_constructs_roundtrip_through_pretty() {
+        let src = r#"
+fn k(out: &uniq gpu.global [f64; 4]) -[grid: gpu.grid<X<4>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = 2.0;
+                    v = v + shfl_down(v, 16);
+                    v = v + shfl_xor(v, 8);
+                }
+            }
+        }
+    }
+}
+"#;
+        let p1 = parse(src).unwrap();
+        let printed = pretty::program(&p1);
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {} in:\n{printed}", e.msg));
+        assert_eq!(p1.items.len(), p2.items.len());
+        let f1 = p1.fn_def("k").unwrap();
+        let f2 = p2.fn_def("k").unwrap();
+        assert_eq!(f1.body.stmts.len(), f2.body.stmts.len());
+    }
+
+    /// A variable merely *named* `shfl_down` (no call parens) still
+    /// parses as a place, and `to_warps` only triggers as a statement
+    /// head.
+    #[test]
+    fn shuffle_names_do_not_shadow_places() {
+        let src = r#"
+fn f() -[t: cpu.thread]-> () {
+    let shfl_down = 3.0;
+    let y = shfl_down;
+}
+"#;
+        parse(src).unwrap();
     }
 
     #[test]

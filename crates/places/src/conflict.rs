@@ -554,6 +554,57 @@ mod tests {
         assert!(narrowing_violation(&p, AccessMode::Atomic, &t).is_none());
     }
 
+    /// Warp/lane levels participate in narrowing exactly like
+    /// block/thread levels: a lane-selected write under `to_warps` is
+    /// narrowed, an unselected one is not.
+    #[test]
+    fn warp_lane_levels_count_for_narrowing() {
+        let g = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let lanes = b
+            .to_warps()
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap();
+        // tmp owned by the block; both warp and lane levels must be
+        // covered (warp extent 2, lane extent 32).
+        let mut p = PlacePath::new("tmp", b.clone());
+        p.push(sel(&lanes, 2)); // warp forall is ops[2] (after to_warps)
+        p.push(sel(&lanes, 3)); // lane forall
+        assert!(narrowing_violation(&p, AccessMode::Uniq, &lanes).is_none());
+        // Lane select only: the warp level is uncovered.
+        let mut p2 = PlacePath::new("tmp", b.clone());
+        p2.push(sel(&lanes, 3));
+        let v = narrowing_violation(&p2, AccessMode::Uniq, &lanes).unwrap();
+        assert_eq!(v.missing.len(), 1);
+        assert_eq!(v.missing[0].space, descend_exec::Space::Warp);
+    }
+
+    /// Under a warp-space split at 1, the warp level has extent 1 and a
+    /// lane select alone narrows — the shape the warp-shuffle reduction
+    /// epilogue uses.
+    #[test]
+    fn single_warp_branch_needs_only_lane_select() {
+        let g = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64));
+        let b = g.forall(DimCompo::X).unwrap();
+        let lanes = b
+            .to_warps()
+            .unwrap()
+            .split(DimCompo::X, Nat::lit(1), Side::Fst)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap();
+        let mut p = PlacePath::new("tmp", b.clone());
+        p.push(sel(&lanes, 4)); // the lane forall
+        assert!(narrowing_violation(&p, AccessMode::Uniq, &lanes).is_none());
+        let w = access(p, AccessMode::Uniq, &lanes);
+        assert!(!may_race(&w, &w.clone()));
+    }
+
     #[test]
     fn narrowing_relative_to_owner() {
         // tmp owned by the block: only the thread level must be covered.

@@ -13,6 +13,15 @@
 //! - [`lower`]: compilation of views into raw index arithmetic, performed
 //!   in reverse order of application exactly as described in the paper's
 //!   Section 5.
+//!
+//! Warp- and lane-level selects (from `to_warps` scheduling) flow through
+//! the same machinery: a [`SelectStep`] over a warp or lane forall level
+//! lowers to a `threadIdx.x / 32` or `threadIdx.x % 32` coordinate, and
+//! the narrowing and conflict checks count warp/lane levels exactly like
+//! block/thread levels — which is why an intra-warp shuffle exchange
+//! needs no barrier while a cross-warp memory exchange still conflicts.
+
+#![deny(missing_docs)]
 
 pub mod conflict;
 pub mod lower;

@@ -64,6 +64,10 @@ impl fmt::Display for Coord {
             (Space::Thread, DimCompo::X) => "threadIdx.x",
             (Space::Thread, DimCompo::Y) => "threadIdx.y",
             (Space::Thread, DimCompo::Z) => "threadIdx.z",
+            // Warps and lanes factor the 1-D thread space (`to_warps`
+            // requires X), so their coordinates derive from threadIdx.x.
+            (Space::Warp, _) => "(threadIdx.x / 32)",
+            (Space::Lane, _) => "(threadIdx.x % 32)",
         };
         if self.offset.as_lit() == Some(0) {
             write!(f, "{base}")
@@ -618,6 +622,56 @@ mod tests {
         p.push(select(&snd_threads, 2));
         let flat = lower_scalar_access(&p, &[Nat::lit(8)]).unwrap();
         assert_eq!(flat.eval(&|_, _| 27, &|_| None).unwrap(), 3);
+    }
+
+    /// Warp and lane selects lower to `tid / 32` and `tid % 32`
+    /// coordinates; evaluating them against a linear thread id
+    /// reproduces the warp-major element order.
+    #[test]
+    fn warp_lane_selects_lower_to_div_mod_coords() {
+        let b = ExecExpr::grid(Dim::x(1u64), Dim::x(64u64))
+            .forall(DimCompo::X)
+            .unwrap();
+        let lanes = b
+            .to_warps()
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap()
+            .forall(DimCompo::X)
+            .unwrap();
+        let mut p = PlacePath::new("tmp", b);
+        p.push(PathStep::View(ViewStep::Group { k: Nat::lit(32) }));
+        p.push(select(&lanes, 2));
+        p.push(select(&lanes, 3));
+        let flat = lower_scalar_access(&p, &[Nat::lit(64)]).unwrap();
+        let coords = |tid: u64| {
+            move |space: Space, _dim| match space {
+                Space::Warp => tid / 32,
+                Space::Lane => tid % 32,
+                _ => tid,
+            }
+        };
+        for tid in 0..64u64 {
+            let got = flat.eval(&coords(tid), &|_| None).unwrap();
+            assert_eq!(got, (tid / 32) * 32 + tid % 32);
+            assert_eq!(got, tid, "warp-major order is the identity here");
+        }
+    }
+
+    #[test]
+    fn warp_coord_display_spells_div_mod() {
+        let w = IdxExpr::Coord(Coord {
+            space: Space::Warp,
+            dim: DimCompo::X,
+            offset: Nat::lit(0),
+        });
+        let l = IdxExpr::Coord(Coord {
+            space: Space::Lane,
+            dim: DimCompo::X,
+            offset: Nat::lit(1),
+        });
+        assert_eq!(w.to_string(), "(threadIdx.x / 32)");
+        assert_eq!(l.to_string(), "((threadIdx.x % 32) - 1)");
     }
 
     #[test]

@@ -36,23 +36,7 @@ impl SelectStep {
         }
         let a = &self.exec.ops[..=self.level_index];
         let b = &other.exec.ops[..=other.level_index];
-        a.len() == b.len()
-            && a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
-                (ExecOp::Forall(d1), ExecOp::Forall(d2)) => d1 == d2,
-                (
-                    ExecOp::Split {
-                        dim: d1,
-                        pos: p1,
-                        side: s1,
-                    },
-                    ExecOp::Split {
-                        dim: d2,
-                        pos: p2,
-                        side: s2,
-                    },
-                ) => d1 == d2 && p1.equal(p2) && s1 == s2,
-                _ => false,
-            })
+        a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.same(y))
     }
 
     /// The space and dimension of the selected level.
@@ -140,14 +124,7 @@ impl fmt::Display for PathStep {
             PathStep::Index(n) => write!(f, "[{n}]"),
             PathStep::Select(s) => {
                 let (space, dim) = self.select_space_dim_or(s);
-                write!(
-                    f,
-                    "[[{}:{dim}]]",
-                    match space {
-                        Space::Block => "block",
-                        Space::Thread => "thread",
-                    }
-                )
+                write!(f, "[[{}:{dim}]]", space.noun())
             }
             PathStep::View(v) => write!(f, ".{v}"),
         }

@@ -834,10 +834,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 format!(
                     "unique access to `{}` is not narrowed: no select distributes the {} {} level (extent {})",
                     access.display,
-                    match lvl.space {
-                        Space::Block => "block",
-                        Space::Thread => "thread",
-                    },
+                    lvl.space.noun(),
                     lvl.dim,
                     lvl.extent
                 ),
@@ -1044,6 +1041,58 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 }
                 Ok((ta, ea.map(|x| ElabExpr::Unary(*op, Box::new(x)))))
             }
+            ExprKind::Shfl { kind, value, delta } => {
+                self.check_shuffle_context(*kind, e.span)?;
+                let d = self.subst_nat(delta, e.span)?;
+                let d = d.as_lit().expect("substituted nats are literal");
+                if d == 0 {
+                    return Err(TypeError::new(
+                        ErrorKind::ShuffleError,
+                        e.span,
+                        format!("`{kind}` with distance 0 exchanges nothing"),
+                    ));
+                }
+                if d >= descend_exec::WARP_SIZE {
+                    return Err(TypeError::new(
+                        ErrorKind::ShuffleError,
+                        e.span,
+                        format!(
+                            "shuffle distance {d} reaches across the warp boundary (warp size {})",
+                            descend_exec::WARP_SIZE
+                        ),
+                    )
+                    .with_help(
+                        "lanes can only exchange within their own warp; stage cross-warp \
+                         values through shared memory and a `sync` instead",
+                    ));
+                }
+                let (vty, velab) = self.type_expr(value)?;
+                if !matches!(
+                    vty,
+                    DataTy::Scalar(ScalarTy::F64 | ScalarTy::F32 | ScalarTy::I32 | ScalarTy::U32)
+                ) {
+                    return Err(TypeError::new(
+                        ErrorKind::MismatchedTypes,
+                        value.span,
+                        format!("`{kind}` exchanges numeric scalars, found `{vty}`"),
+                    ));
+                }
+                let velab = velab.ok_or_else(|| {
+                    TypeError::new(
+                        ErrorKind::Unsupported,
+                        value.span,
+                        "shuffle operand cannot be lowered",
+                    )
+                })?;
+                Ok((
+                    vty,
+                    Some(ElabExpr::Shfl {
+                        kind: *kind,
+                        value: Box::new(velab),
+                        delta: d as u32,
+                    }),
+                ))
+            }
             ExprKind::Alloc { .. } => Err(TypeError::new(
                 ErrorKind::Unsupported,
                 e.span,
@@ -1208,6 +1257,38 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 Ok(())
             }
             StmtKind::Expr(e) => self.check_expr_stmt(e, out),
+            StmtKind::ToWarps { var, exec, body } => {
+                let eb = self.lookup_exec(exec, s.span)?;
+                if !eb.expr.same(&self.exec) {
+                    return Err(TypeError::new(
+                        ErrorKind::ScheduleError,
+                        s.span,
+                        format!(
+                            "`to_warps` must refine the current execution resource; `{exec}` is not it"
+                        ),
+                    ));
+                }
+                let new_exec = self
+                    .exec
+                    .to_warps()
+                    .map_err(|e| TypeError::new(ErrorKind::ScheduleError, s.span, e.to_string()))?;
+                let saved_exec = std::mem::replace(&mut self.exec, new_exec.clone());
+                // No forall is introduced: the body sees the same
+                // threads, now organized as warp space over lane space.
+                self.bind_exec(
+                    var,
+                    ExecBinding {
+                        expr: new_exec,
+                        introduced: Vec::new(),
+                    },
+                    s.span,
+                )?;
+                let stmts = self.check_block(body, false)?;
+                self.exec_bindings.remove(var);
+                self.exec = saved_exec;
+                out.extend(stmts);
+                Ok(())
+            }
             StmtKind::Sched {
                 dims,
                 var,
@@ -1432,13 +1513,25 @@ impl<'g, 'p> FnCx<'g, 'p> {
                         format!("atomic element index must be `i32` or `u32`, found `{ity}`"),
                     ));
                 }
-                Some(ielab.ok_or_else(|| {
+                let ielab = ielab.ok_or_else(|| {
                     TypeError::new(
                         ErrorKind::Unsupported,
                         ix.span,
                         "atomic index cannot be lowered",
                     )
-                })?)
+                })?;
+                // The scatter index is spliced into the shared address
+                // lowering as a pure expression; a shuffle (a warp-
+                // synchronous instruction) cannot live there.
+                if elab_contains_shfl(&ielab) {
+                    return Err(TypeError::new(
+                        ErrorKind::ShuffleError,
+                        ix.span,
+                        "shuffles cannot appear inside an atomic element index",
+                    )
+                    .with_help("bind the shuffled value to a local first"));
+                }
+                Some(ielab)
             }
             None => None,
         };
@@ -1531,6 +1624,54 @@ impl<'g, 'p> FnCx<'g, 'p> {
             index: idx_elab,
             value: velab,
         });
+        Ok(())
+    }
+
+    /// Checks that the current execution resource may execute a shuffle:
+    /// lanes of intact warps, in lockstep. Three conditions, each with
+    /// its own diagnostic:
+    ///
+    /// 1. the resource descends through `to_warps` (shuffles exchange
+    ///    between lanes, which only exist under warp scheduling),
+    /// 2. warps and lanes are fully scheduled (the shuffle executes per
+    ///    lane),
+    /// 3. no lane-space split cuts through the warp (divergent warps
+    ///    cannot exchange; CUDA leaves this undefined).
+    fn check_shuffle_context(&self, kind: descend_ast::term::ShflKind, span: Span) -> TResult<()> {
+        if !self.on_gpu() {
+            return Err(TypeError::new(
+                ErrorKind::WrongExecutionContext,
+                span,
+                format!("`{kind}` is a GPU warp operation; it cannot run on the CPU"),
+            ));
+        }
+        if !self.exec.under_warps() {
+            return Err(TypeError::new(
+                ErrorKind::ShuffleError,
+                span,
+                format!("`{kind}` requires warp-level scheduling"),
+            )
+            .with_help(
+                "re-interpret the block with `to_warps w in block { ... }` and schedule \
+                 warps and lanes before shuffling",
+            ));
+        }
+        if self.exec.current_space().is_some() {
+            return Err(TypeError::new(
+                ErrorKind::ShuffleError,
+                span,
+                format!("`{kind}` must be executed by individual lanes"),
+            )
+            .with_help("schedule the remaining warp/lane dimensions with `sched(X) ...` first"));
+        }
+        if self.exec.lane_space_has_split() {
+            return Err(TypeError::new(
+                ErrorKind::ShuffleError,
+                span,
+                format!("`{kind}` under a lane-space split: the warp is divergent"),
+            )
+            .with_help("every lane of the warp must execute the shuffle; split warps, not lanes"));
+        }
         Ok(())
     }
 
@@ -2110,6 +2251,16 @@ fn barrier_ordered(a: &Access, b: &Access) -> bool {
             })
     };
     confined(&a.exec) && confined(&b.exec)
+}
+
+/// Whether an elaborated expression contains a warp shuffle anywhere.
+fn elab_contains_shfl(e: &ElabExpr) -> bool {
+    match e {
+        ElabExpr::Shfl { .. } => true,
+        ElabExpr::Binary(_, a, b) => elab_contains_shfl(a) || elab_contains_shfl(b),
+        ElabExpr::Unary(_, a) => elab_contains_shfl(a),
+        ElabExpr::Lit(..) | ElabExpr::Local(_) | ElabExpr::Load(_) => false,
+    }
 }
 
 fn strip_ref(t: &DataTy) -> String {

@@ -11,7 +11,7 @@
 //!   transfers and kernel launches) for the host interpreter.
 
 use descend_ast::ty::DimCompo;
-use descend_ast::{term::AtomicOp, term::BinOp, term::UnOp, Nat};
+use descend_ast::{term::AtomicOp, term::BinOp, term::ShflKind, term::UnOp, Nat};
 use descend_exec::Space;
 use descend_places::PlacePath;
 
@@ -91,6 +91,22 @@ pub enum ElabExpr {
     Binary(BinOp, Box<ElabExpr>, Box<ElabExpr>),
     /// Unary operation.
     Unary(UnOp, Box<ElabExpr>),
+    /// A warp shuffle: every lane of the warp evaluates `value` in
+    /// lockstep and receives the value computed by the source lane
+    /// (`lane_id + delta` for `Down`, `lane_id ^ delta` for `Xor`).
+    /// This is a register exchange — no memory access, no barrier — so
+    /// the IR lowering extracts it into a dedicated warp-synchronous
+    /// instruction while text backends render the target's shuffle
+    /// intrinsic inline.
+    Shfl {
+        /// The shuffle pattern.
+        kind: ShflKind,
+        /// The exchanged operand.
+        value: Box<ElabExpr>,
+        /// Static shuffle distance/mask, already checked to be in
+        /// `1..WARP_SIZE`.
+        delta: u32,
+    },
 }
 
 /// An elaborated kernel statement (SPMD: executed by every thread, with

@@ -38,6 +38,10 @@ pub enum ErrorKind {
     WhereClauseViolated,
     /// Scheduling error (missing dimension, double scheduling, ...).
     ScheduleError,
+    /// An illegal warp shuffle: outside warp-level scheduling, under a
+    /// lane-space split (warp divergence), or a distance that reaches
+    /// across the warp boundary.
+    ShuffleError,
     /// Shadowing is rejected to keep place roots unique.
     Shadowing,
     /// Arity mismatch in calls or generics.
@@ -67,6 +71,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::SelectSizeMismatch => "select size mismatch",
             ErrorKind::WhereClauseViolated => "where clause violated",
             ErrorKind::ScheduleError => "invalid schedule",
+            ErrorKind::ShuffleError => "invalid shuffle",
             ErrorKind::Shadowing => "shadowing is not allowed",
             ErrorKind::ArityMismatch => "wrong number of arguments",
             ErrorKind::Unsupported => "unsupported construct",

@@ -1,0 +1,380 @@
+//! Typing rules for warp-level execution resources and shuffles.
+//!
+//! `to_warps` re-interprets a block's 1-D thread space as warps of
+//! lanes; `shfl_down`/`shfl_xor` exchange register values between the
+//! lanes of one warp. These tests pin the accept/reject boundary:
+//! intra-warp exchanges need no barrier, while anything that would reach
+//! across a warp (distance ≥ 32, divergent lane splits, shuffles outside
+//! warp scheduling) is rejected.
+
+use descend_typeck::{check_program, ElabExpr, ElabStmt, ErrorKind};
+
+fn check(src: &str) -> Result<descend_typeck::CheckedProgram, descend_typeck::TypeError> {
+    let prog = descend_parser::parse(src).expect("test sources parse");
+    check_program(&prog)
+}
+
+fn expect_err(src: &str, kind: ErrorKind) {
+    match check(src) {
+        Ok(_) => panic!("expected {kind:?}, but the program type-checked"),
+        Err(e) => assert_eq!(e.kind, kind, "wrong error: {e}"),
+    }
+}
+
+/// The canonical warp butterfly: every lane accumulates the full warp
+/// sum without shared memory or barriers, then writes its own slot.
+const WARP_SUM: &str = r#"
+fn warp_sum(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = (*inp).group::<32>[[warp]][[lane]];
+                    for d in halving(16) {
+                        v = v + shfl_xor(v, d);
+                    }
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#;
+
+#[test]
+fn warp_butterfly_sum_typechecks() {
+    let out = check(WARP_SUM).expect("warp butterfly is safe");
+    assert_eq!(out.kernels.len(), 1);
+    // Five unrolled shuffle rounds (16, 8, 4, 2, 1).
+    fn count_shfls(e: &ElabExpr) -> usize {
+        match e {
+            ElabExpr::Shfl { value, .. } => 1 + count_shfls(value),
+            ElabExpr::Binary(_, a, b) => count_shfls(a) + count_shfls(b),
+            ElabExpr::Unary(_, a) => count_shfls(a),
+            _ => 0,
+        }
+    }
+    let mut shfls = 0;
+    for s in &out.kernels[0].body {
+        if let ElabStmt::AssignLocal { value, .. } = s {
+            shfls += count_shfls(value);
+        }
+    }
+    assert_eq!(shfls, 5, "halving(16) unrolls to five shuffle rounds");
+}
+
+/// A shuffle without warp scheduling is rejected: plain threads have no
+/// lanes to exchange with.
+#[test]
+fn shuffle_outside_warps_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            let mut v = 1.0;
+            v = v + shfl_down(v, 16);
+            (*out)[[block]][[thread]] = v;
+        }
+    }
+}
+"#,
+        ErrorKind::ShuffleError,
+    );
+}
+
+/// Distance 32 would read the same lane of the *next* warp — the
+/// cross-warp exchange shuffles cannot express.
+#[test]
+fn cross_warp_shuffle_distance_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = 1.0;
+                    v = v + shfl_down(v, 32);
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ShuffleError,
+    );
+}
+
+#[test]
+fn zero_distance_shuffle_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = 1.0;
+                    v = v + shfl_down(v, 0);
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ShuffleError,
+    );
+}
+
+/// A lane-space split makes the warp divergent; shuffles under it are
+/// rejected (CUDA leaves divergent `__shfl_*_sync` undefined).
+#[test]
+fn shuffle_under_lane_split_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                split(X) warp at 16 {
+                    lo => {
+                        sched(X) lane in lo {
+                            let mut v = 1.0;
+                            v = v + shfl_down(v, 8);
+                        }
+                    },
+                    hi => { }
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ShuffleError,
+    );
+}
+
+/// Shuffles only execute at lane level — not per-warp or per-block.
+#[test]
+fn shuffle_above_lane_level_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                let mut v = 1.0;
+                v = v + shfl_down(v, 8);
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ShuffleError,
+    );
+}
+
+#[test]
+fn shuffle_on_cpu_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out).group::<64>[[block]][[thread]] = 0.0;
+        }
+    }
+}
+fn main() -[t: cpu.thread]-> () {
+    let mut x = 1.0;
+    x = x + shfl_down(x, 1);
+}
+"#,
+        ErrorKind::WrongExecutionContext,
+    );
+}
+
+/// `to_warps` needs a 1-D `X` thread space whose extent is a multiple of
+/// the warp size.
+#[test]
+fn to_warps_on_unaligned_block_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 48]) -[grid: gpu.grid<X<1>, X<48>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+        }
+    }
+}
+"#,
+        ErrorKind::ScheduleError,
+    );
+}
+
+#[test]
+fn to_warps_on_2d_block_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, XY<32,8>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+        }
+    }
+}
+"#,
+        ErrorKind::ScheduleError,
+    );
+}
+
+/// `to_warps` must name the current resource (like `sched`/`split`).
+#[test]
+fn to_warps_of_foreign_resource_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            to_warps wb in block {
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ScheduleError,
+    );
+}
+
+/// Narrowing counts warp and lane levels: a write distributed only over
+/// lanes leaves the warp level uncovered.
+#[test]
+fn warp_level_narrowing_enforced() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    (*out)[[lane]] = 1.0;
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::NarrowingViolation,
+    );
+}
+
+/// A `sync` directly under `to_warps` is still reached by every thread
+/// of the block — legal. Under a warp-space split it is not.
+#[test]
+fn sync_legality_under_warps() {
+    check(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sync;
+        }
+    }
+}
+"#,
+    )
+    .expect("whole-block sync under to_warps is legal");
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            split(X) wb at 1 {
+                first => { sync; },
+                rest => { }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::BarrierNotAllowed,
+    );
+}
+
+/// The warp-split epilogue shape the shuffle reduction uses: only the
+/// first warp runs, its lanes select their own slots, no conflicts.
+#[test]
+fn single_warp_epilogue_typechecks() {
+    check(
+        r#"
+fn k(out: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            split(X) wb at 1 {
+                w0 => {
+                    sched(X) warp in w0 {
+                        sched(X) lane in warp {
+                            let mut v = 2.0;
+                            v = v + shfl_down(v, 16);
+                            (*out)[[lane]] = v;
+                        }
+                    }
+                },
+                others => { }
+            }
+        }
+    }
+}
+"#,
+    )
+    .expect("single-warp epilogue is safe");
+}
+
+/// Shuffling a boolean is a type error (shuffles exchange numbers).
+#[test]
+fn shuffle_of_bool_rejected() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let b = true;
+                    let c = shfl_down(b, 1);
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::MismatchedTypes,
+    );
+}
+
+/// Two lanes writing through the same select chain never conflict; the
+/// same chain *without* the lane select read back by a neighbouring
+/// lane does (the memory twin of what a shuffle does safely).
+#[test]
+fn cross_lane_memory_exchange_conflicts() {
+    expect_err(
+        r#"
+fn k(out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        let tmp = alloc::<gpu.shared, [f64; 64]>();
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    tmp.group::<32>[[warp]][[lane]] =
+                        tmp.group::<32>[[warp]].rev[[lane]];
+                }
+            }
+        }
+    }
+}
+"#,
+        ErrorKind::ConflictingAccess,
+    );
+}

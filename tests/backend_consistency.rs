@@ -46,6 +46,36 @@ fn corpus_sources() -> Vec<(String, String)> {
             "bench:scan",
             descend::benchmarks::sources::scan_blocks(1 << 12),
         ),
+        (
+            "bench:reduce_shuffle",
+            descend::benchmarks::sources::reduce_shuffle(2048),
+        ),
+        // Shuffle temporaries and named locals in one kernel whose
+        // atomic scatter index reads a local: the IR lowering allocates
+        // shuffle temps *after* every named local precisely so the
+        // emission layer's SlotMap mirror stays slot-identical — this
+        // program fails the multiset comparison if that parity drifts.
+        (
+            "synthetic:warp_shuffle_atomic_slots",
+            r#"
+fn mixed(inp: & gpu.global [i32; 64], hist: &uniq gpu.global [i32; 16])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = (*inp).group::<32>[[warp]][[lane]];
+                    v = v + shfl_xor(v, 1);
+                    let b = v % 16;
+                    atomic_add(*hist, b, 1);
+                }
+            }
+        }
+    }
+}
+"#
+            .to_string(),
+        ),
     ] {
         out.push((name.to_string(), src));
     }

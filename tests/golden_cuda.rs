@@ -29,6 +29,78 @@ __global__ void scale_vec(double* v) {
     assert_eq!(kernel_cuda(src, 0), expected);
 }
 
+/// The warp butterfly: `to_warps` selects become derived warp/lane
+/// coordinates and shuffles become `__shfl_xor_sync` with the full-warp
+/// member mask — register exchange, no `__shared__`, no barrier.
+#[test]
+fn golden_warp_butterfly() {
+    let src = r#"
+fn warp_sum(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = (*inp).group::<32>[[warp]][[lane]];
+                    for d in halving(16) {
+                        v = v + shfl_xor(v, d);
+                    }
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#;
+    let expected = "\
+__global__ void warp_sum(const double* inp, double* out) {
+    double v = inp[(((threadIdx.x / 32) * 32) + (threadIdx.x % 32))];
+    v = (v + __shfl_xor_sync(0xffffffff, v, 16));
+    v = (v + __shfl_xor_sync(0xffffffff, v, 8));
+    v = (v + __shfl_xor_sync(0xffffffff, v, 4));
+    v = (v + __shfl_xor_sync(0xffffffff, v, 2));
+    v = (v + __shfl_xor_sync(0xffffffff, v, 1));
+    out[(((threadIdx.x / 32) * 32) + (threadIdx.x % 32))] = v;
+}
+";
+    assert_eq!(kernel_cuda(src, 0), expected);
+}
+
+/// The shuffle reduction corpus program: tree rounds keep their thread
+/// conditions, the warp phase guards on the derived warp coordinate and
+/// shuffles with `__shfl_down`-free butterfly (no shared traffic inside).
+#[test]
+fn golden_reduce_warp_shuffle_structure() {
+    let src = std::fs::read_to_string(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/descend/reduce_warp_shuffle.descend"),
+    )
+    .unwrap();
+    let cuda = kernel_cuda(&src, 0);
+    assert!(cuda.starts_with("__global__ void reduce_shfl(const double* inp, double* out) {"));
+    // Tree rounds at 256..32 only (the small rounds are gone).
+    for k in [256, 128, 64, 32] {
+        assert!(cuda.contains(&format!("if (threadIdx.x < {k}) {{")));
+    }
+    for k in [16, 8, 4, 2] {
+        assert!(
+            !cuda.contains(&format!("if (threadIdx.x < {k}) {{")),
+            "small tree round {k} should be replaced by shuffles:\n{cuda}"
+        );
+    }
+    // `< 1` appears once: the final-write epilogue, not a tree round.
+    assert_eq!(cuda.matches("if (threadIdx.x < 1) {").count(), 1);
+    // The warp phase: derived warp coordinate, lane-indexed staging,
+    // five butterfly rounds.
+    assert!(cuda.contains("if ((threadIdx.x / 32) < 1) {"));
+    assert!(cuda.contains("double v = tmp[(threadIdx.x % 32)];"));
+    for d in [16, 8, 4, 2, 1] {
+        assert!(cuda.contains(&format!("__shfl_xor_sync(0xffffffff, v, {d})")));
+    }
+    assert!(cuda.contains("tmp[(threadIdx.x % 32)] = v;"));
+    assert!(cuda.contains("out[blockIdx.x] = tmp[threadIdx.x];"));
+}
+
 #[test]
 fn golden_transpose_structure() {
     let src = descend::benchmarks::sources::transpose(256);

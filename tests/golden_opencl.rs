@@ -30,6 +30,78 @@ __kernel void scale_vec(__global double* v) {
     assert_eq!(kernel_opencl(src, 0), expected);
 }
 
+/// The warp butterfly: shuffles spell `sub_group_shuffle_xor` with a
+/// uint distance, the kernel pins its sub-group size, and the program
+/// prelude enables the subgroup-shuffle extensions.
+#[test]
+fn golden_warp_butterfly() {
+    let src = r#"
+fn warp_sum(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = (*inp).group::<32>[[warp]][[lane]];
+                    for d in halving(16) {
+                        v = v + shfl_xor(v, d);
+                    }
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#;
+    let expected = "\
+__attribute__((intel_reqd_sub_group_size(32)))
+__kernel void warp_sum(__global const double* inp, __global double* out) {
+    double v = inp[(((get_local_id(0) / 32) * 32) + (get_local_id(0) % 32))];
+    v = (v + sub_group_shuffle_xor(v, 16u));
+    v = (v + sub_group_shuffle_xor(v, 8u));
+    v = (v + sub_group_shuffle_xor(v, 4u));
+    v = (v + sub_group_shuffle_xor(v, 2u));
+    v = (v + sub_group_shuffle_xor(v, 1u));
+    out[(((get_local_id(0) / 32) * 32) + (get_local_id(0) % 32))] = v;
+}
+";
+    assert_eq!(kernel_opencl(src, 0), expected);
+    // The translation unit gates the shuffles behind the extensions.
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let tu = compiled.target_source("opencl").unwrap();
+    assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroups : enable"));
+    assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable"));
+    assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle_relative : enable"));
+}
+
+/// `shfl_down` carries an explicit clamp guard: OpenCL's
+/// `sub_group_shuffle_down` leaves out-of-range sources undefined,
+/// while the simulator (and CUDA) define them to keep the lane's own
+/// value.
+#[test]
+fn golden_shfl_down_is_clamp_guarded() {
+    let src = r#"
+fn shift(inp: & gpu.global [f64; 32], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let v = (*inp)[[lane]];
+                    (*out)[[lane]] = shfl_down(v, 1);
+                }
+            }
+        }
+    }
+}
+"#;
+    let cl = kernel_opencl(src, 0);
+    assert!(
+        cl.contains("(get_sub_group_local_id() + 1u < 32u ? sub_group_shuffle_down(v, 1u) : v)"),
+        "{cl}"
+    );
+}
+
 #[test]
 fn golden_transpose_structure() {
     let src = descend::benchmarks::sources::transpose(256);

@@ -36,6 +36,79 @@ fn scale_vec(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocat
     assert_eq!(kernel_wgsl(src, 0), expected);
 }
 
+/// The warp butterfly: the module enables subgroups, and shuffles spell
+/// `subgroupShuffleXor` with a u32 distance.
+#[test]
+fn golden_warp_butterfly() {
+    let src = r#"
+fn warp_sum(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<1>, X<64>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let mut v = (*inp).group::<32>[[warp]][[lane]];
+                    for d in halving(16) {
+                        v = v + shfl_xor(v, d);
+                    }
+                    (*out).group::<32>[[warp]][[lane]] = v;
+                }
+            }
+        }
+    }
+}
+"#;
+    let expected = "\
+// Kernel `warp_sum` — standalone WGSL module.
+enable subgroups;
+// note: shuffles assume a 32-lane subgroup.
+// note: f64 narrowed to f32 (WGSL has no f64).
+@group(0) @binding(0) var<storage, read> inp: array<f32, 64>;
+@group(0) @binding(1) var<storage, read_write> out: array<f32, 64>;
+const block_dim: vec3<u32> = vec3<u32>(64, 1, 1);
+
+@compute @workgroup_size(64, 1, 1)
+fn warp_sum(@builtin(workgroup_id) block_idx: vec3<u32>, @builtin(local_invocation_id) thread_idx: vec3<u32>, @builtin(num_workgroups) grid_dim: vec3<u32>) {
+    var v: f32 = inp[(((thread_idx.x / 32) * 32) + (thread_idx.x % 32))];
+    v = (v + subgroupShuffleXor(v, 16u));
+    v = (v + subgroupShuffleXor(v, 8u));
+    v = (v + subgroupShuffleXor(v, 4u));
+    v = (v + subgroupShuffleXor(v, 2u));
+    v = (v + subgroupShuffleXor(v, 1u));
+    out[(((thread_idx.x / 32) * 32) + (thread_idx.x % 32))] = v;
+}
+";
+    assert_eq!(kernel_wgsl(src, 0), expected);
+}
+
+/// `shfl_down` carries an explicit clamp select: WGSL's
+/// `subgroupShuffleDown` leaves out-of-range sources indeterminate,
+/// while the simulator (and CUDA) define them to keep the lane's own
+/// value.
+#[test]
+fn golden_shfl_down_is_clamp_guarded() {
+    let src = r#"
+fn shift(inp: & gpu.global [f64; 32], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        to_warps wb in block {
+            sched(X) warp in wb {
+                sched(X) lane in warp {
+                    let v = (*inp)[[lane]];
+                    (*out)[[lane]] = shfl_down(v, 1);
+                }
+            }
+        }
+    }
+}
+"#;
+    let w = kernel_wgsl(src, 0);
+    assert!(
+        w.contains("select(subgroupShuffleDown(v, 1u), v, thread_idx.x % 32u + 1u >= 32u)"),
+        "{w}"
+    );
+}
+
 #[test]
 fn golden_transpose_structure() {
     let src = descend::benchmarks::sources::transpose(256);

@@ -25,6 +25,7 @@ fn accepted_kernels_are_dynamically_clean() {
     let compiler = Compiler::new();
     let programs = [
         sources::reduce(4096),
+        sources::reduce_shuffle(4096),
         sources::transpose(128),
         format!(
             "{}{}",

@@ -3,7 +3,8 @@
 //!
 //! The subset covers what this workspace's property tests use:
 //!
-//! - the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`,
+//! - the [`strategy::Strategy`] trait with `prop_map`,
+//!   `prop_recursive`, `boxed`,
 //! - range strategies over primitive integers, tuple strategies,
 //!   [`strategy::Just`], [`strategy::Union`] (via [`prop_oneof!`]),
 //! - [`collection::vec`] and [`bool::ANY`],
