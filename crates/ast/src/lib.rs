@@ -20,6 +20,8 @@
 //! underspecified (e.g. per-dimension selects such as `p[[block.y]]`), the
 //! choices made here are documented on the corresponding types.
 
+#![deny(missing_docs)]
+
 pub mod nat;
 pub mod pretty;
 pub mod span;

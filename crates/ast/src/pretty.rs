@@ -371,6 +371,13 @@ fn place_expr(out: &mut String, p: &PlaceExpr) {
             out.push('.');
             view_app(out, v);
         }
+        PlaceExprKind::Zip(a, b) => {
+            out.push_str("zip(");
+            place_expr(out, a);
+            out.push_str(", ");
+            place_expr(out, b);
+            out.push(')');
+        }
     }
 }
 

@@ -486,18 +486,31 @@ pub enum Lit {
 /// Binary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
+    /// Addition `+`.
     Add,
+    /// Subtraction `-`.
     Sub,
+    /// Multiplication `*`.
     Mul,
+    /// Division `/`.
     Div,
+    /// Remainder `%`.
     Mod,
+    /// Less-than `<`.
     Lt,
+    /// Less-or-equal `<=`.
     Le,
+    /// Greater-than `>`.
     Gt,
+    /// Greater-or-equal `>=`.
     Ge,
+    /// Equality `==`.
     Eq,
+    /// Inequality `!=`.
     Ne,
+    /// Logical and `&&`.
     And,
+    /// Logical or `||`.
     Or,
 }
 
@@ -578,7 +591,8 @@ impl PlaceExpr {
         PlaceExpr::synth(PlaceExprKind::Ident(name.into()))
     }
 
-    /// The root variable of the place.
+    /// The root variable of the place. For a zip, the first operand's
+    /// root (a zip has two roots; projections pick one during typing).
     pub fn root(&self) -> &str {
         match &self.kind {
             PlaceExprKind::Ident(x) => x,
@@ -586,7 +600,8 @@ impl PlaceExpr {
             | PlaceExprKind::Deref(p)
             | PlaceExprKind::Index(p, _)
             | PlaceExprKind::Select(p, _, _)
-            | PlaceExprKind::View(p, _) => p.root(),
+            | PlaceExprKind::View(p, _)
+            | PlaceExprKind::Zip(p, _) => p.root(),
         }
     }
 
@@ -599,6 +614,7 @@ impl PlaceExpr {
             | PlaceExprKind::Index(p, _)
             | PlaceExprKind::Select(p, _, _)
             | PlaceExprKind::View(p, _) => p.has_deref(),
+            PlaceExprKind::Zip(a, b) => a.has_deref() || b.has_deref(),
         }
     }
 }
@@ -621,6 +637,9 @@ pub enum PlaceExprKind {
     Select(Box<PlaceExpr>, String, Option<DimCompo>),
     /// View application `p.v::<η,...>(v,...)`.
     View(Box<PlaceExpr>, ViewApp),
+    /// `zip(a, b)`: views two equal-length array places as one array of
+    /// pairs. Element projections `.0`/`.1` route back to the operands.
+    Zip(Box<PlaceExpr>, Box<PlaceExpr>),
 }
 
 /// A single view application: name, nat arguments and view arguments

@@ -32,12 +32,19 @@ impl fmt::Display for Kind {
 /// Scalar types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ScalarTy {
+    /// 32-bit signed integer (the default integer type).
     I32,
+    /// 64-bit signed integer.
     I64,
+    /// 32-bit unsigned integer (`u32`-suffixed literals).
     U32,
+    /// 32-bit float (`f32`-suffixed literals).
     F32,
+    /// 64-bit float (the default float type).
     F64,
+    /// Boolean.
     Bool,
+    /// The unit type `()`.
     Unit,
 }
 
@@ -102,8 +109,11 @@ impl fmt::Display for Memory {
 /// A dimension component: `X`, `Y`, or `Z`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DimCompo {
+    /// The `X` dimension.
     X,
+    /// The `Y` dimension.
     Y,
+    /// The `Z` dimension.
     Z,
 }
 

@@ -136,15 +136,20 @@ pub trait KernelBackend {
     /// Renders a warp-shuffle expression over the rendered operand:
     /// CUDA `__shfl_down_sync(0xffffffff, v, d)` /
     /// `__shfl_xor_sync(0xffffffff, v, d)`, OpenCL
-    /// `sub_group_shuffle_down` / `sub_group_shuffle_xor` (gated by the
-    /// subgroup-shuffle extension pragmas in the prelude), WGSL
-    /// `subgroupShuffleDown` / `subgroupShuffleXor` (gated by
+    /// `sub_group_shuffle` (general form, source index clamped for
+    /// `Down`) / `sub_group_shuffle_xor` — both from
+    /// `cl_khr_subgroup_shuffle`, whose pragma the prelude emits — and
+    /// WGSL `subgroupShuffleDown` / `subgroupShuffleXor` (gated by
     /// `enable subgroups;`).
     ///
     /// The contract is the simulator's (and CUDA's) semantics: a `Down`
     /// source beyond the warp boundary yields the lane's own value.
     /// Targets whose intrinsic leaves that case undefined (OpenCL,
-    /// WGSL) must emit an explicit clamp guard around it.
+    /// WGSL) must emit an explicit clamp — without making the
+    /// *collective* call itself conditional: every lane must execute
+    /// the shuffle intrinsic (WGSL selects between the unconditionally
+    /// computed result and the lane's own value; OpenCL clamps the
+    /// source index of the general `sub_group_shuffle`).
     fn shuffle(&self, kind: ShflKind, value: &str, delta: u32) -> String;
 
     /// Renders a *plain* store to a buffer that is an atomic target

@@ -136,12 +136,19 @@ impl KernelBackend for OpenClBackend {
         // The simulator (and CUDA's `__shfl_down_sync`) define the
         // out-of-range case: lanes whose source would cross the warp
         // boundary keep their own value. OpenCL's
-        // `sub_group_shuffle_down` leaves it undefined, so the top
-        // `delta` lanes are guarded explicitly. Xor masks < 32 are
-        // always in range.
+        // `sub_group_shuffle_down` leaves it undefined — and guarding
+        // the *call* with a ternary would be worse: sub-group shuffles
+        // are collective, so a lane that skips the call makes every
+        // lane's result undefined. Instead the general
+        // `sub_group_shuffle` (cl_khr_subgroup_shuffle, whose pragma is
+        // already emitted) executes unconditionally on all lanes, and
+        // only the *source index* is clamped to the lane's own id when
+        // it would cross the boundary. Xor masks < 32 are always in
+        // range.
         match kind {
             ShflKind::Down => format!(
-                "(get_sub_group_local_id() + {delta}u < 32u ? sub_group_shuffle_down({value}, {delta}u) : {value})"
+                "sub_group_shuffle({value}, (get_sub_group_local_id() + {delta}u < 32u ? \
+                 get_sub_group_local_id() + {delta}u : get_sub_group_local_id()))"
             ),
             ShflKind::Xor => format!("sub_group_shuffle_xor({value}, {delta}u)"),
         }
@@ -283,10 +290,13 @@ impl KernelBackend for OpenClBackend {
             out.push_str("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n");
         }
         if checked.kernels.iter().any(kernel_uses_shuffle) {
+            // Both emitted intrinsics — the general `sub_group_shuffle`
+            // (boundary-clamped `Down`) and `sub_group_shuffle_xor` —
+            // live in cl_khr_subgroup_shuffle; the `_relative` extension
+            // (shuffle_up/down) is not used.
             out.push_str(
                 "#pragma OPENCL EXTENSION cl_khr_subgroups : enable\n\
-                 #pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable\n\
-                 #pragma OPENCL EXTENSION cl_khr_subgroup_shuffle_relative : enable\n\n",
+                 #pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable\n\n",
             );
         }
         if uses_f32_atomic_add(checked) {

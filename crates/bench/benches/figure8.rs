@@ -20,6 +20,7 @@ fn bench_param(kind: BenchKind) -> usize {
         BenchKind::Matmul => 64,
         BenchKind::Histogram => 1 << 14,
         BenchKind::ReduceShuffle => 1 << 15,
+        BenchKind::Stencil => 1 << 14,
     }
 }
 
@@ -32,6 +33,7 @@ fn figure8(c: &mut Criterion) {
         BenchKind::Matmul,
         BenchKind::Histogram,
         BenchKind::ReduceShuffle,
+        BenchKind::Stencil,
     ] {
         let mut group = c.benchmark_group(kind.name());
         group.sample_size(10);

@@ -271,6 +271,57 @@ pub fn reduce_looped(n: usize, bs: usize) -> KernelIr {
     }
 }
 
+/// `__global__ void stencil(const double* in, double* out)` — the
+/// canonical shared-memory 3-point stencil with a 2-element halo: each
+/// block stages its `bs + 2`-element input window, the first two
+/// threads load the halo, and after the barrier every thread sums its
+/// three overlapping tile elements. Access pattern identical to the
+/// Descend `windows::<bs+2, bs>` / `windows::<3, 1>` version.
+pub fn stencil(n: usize, bs: usize) -> KernelIr {
+    let block_base = || Expr::add(Expr::mul(bid_x(), lit(bs as i64)), tid_x());
+    let tile_at = |off: i64| Expr::LoadShared {
+        buf: 0,
+        idx: Box::new(Expr::add(tid_x(), lit(off))),
+    };
+    let body = vec![
+        // tile[tid] = in[bid*bs + tid];
+        Stmt::StoreShared {
+            buf: 0,
+            idx: tid_x(),
+            value: Expr::LoadGlobal {
+                buf: 0,
+                idx: Box::new(block_base()),
+            },
+        },
+        // if (tid < 2) tile[bs + tid] = in[bid*bs + tid + bs];
+        Stmt::If {
+            cond: Expr::lt(tid_x(), lit(2)),
+            then_s: vec![Stmt::StoreShared {
+                buf: 0,
+                idx: Expr::add(tid_x(), lit(bs as i64)),
+                value: Expr::LoadGlobal {
+                    buf: 0,
+                    idx: Box::new(Expr::add(block_base(), lit(bs as i64))),
+                },
+            }],
+            else_s: vec![],
+        },
+        Stmt::Barrier,
+        // out[bid*bs + tid] = tile[tid] + tile[tid+1] + tile[tid+2];
+        Stmt::StoreGlobal {
+            buf: 1,
+            idx: block_base(),
+            value: Expr::add(Expr::add(tile_at(0), tile_at(1)), tile_at(2)),
+        },
+    ];
+    KernelIr {
+        name: "cuda_stencil".into(),
+        params: vec![f64_param(n + 2, false), f64_param(n, true)],
+        shared: vec![shared_f64(bs + 2)],
+        body,
+    }
+}
+
 /// The corrected CUDA transpose of the paper's Listing 1: 32x32 tiles,
 /// 32x8 threads, staged through shared memory.
 pub fn transpose(n: usize) -> KernelIr {

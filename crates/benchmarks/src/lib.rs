@@ -1,6 +1,9 @@
 //! The paper's evaluation benchmarks (Section 5 / Figure 8).
 //!
-//! Four benchmarks, each in two versions measured on the same simulator:
+//! Seven benchmarks — the paper's four (Reduce, Transpose, Scan, MM)
+//! plus Histogram (atomic contention), ReduceShfl (warp shuffles) and
+//! Stencil (overlapping windows) — each in two versions measured on
+//! the same simulator:
 //!
 //! 1. **Descend**: a program in Descend source (generated for the
 //!    requested size by [`sources`]), compiled by this repository's
@@ -14,9 +17,11 @@
 //! results against scalar references ([`crate::reference`]), and reports modeled
 //! cycles; the Figure 8 harness prints the relative runtimes.
 //!
-//! Footprints are scaled down from the paper's 256 MB–1 GB to interpreter
-//! scale (see DESIGN.md); the *relative* measurements the figure reports
-//! are preserved.
+//! Footprints are scaled down from the paper's 256 MB–1 GB to
+//! interpreter scale (see `docs/DESIGN.md` §7); the *relative*
+//! measurements the figure reports are preserved.
+
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod reference;

@@ -45,6 +45,12 @@ pub fn matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     c
 }
 
+/// 3-point stencil over a padded input: `out[i] = in[i] + in[i+1] +
+/// in[i+2]`, producing `len - 2` sums.
+pub fn stencil3(data: &[f64]) -> Vec<f64> {
+    data.windows(3).map(|w| w[0] + w[1] + w[2]).collect()
+}
+
 /// Scalar histogram reference: bin counts of `value % bins` (values are
 /// non-negative integers carried as f64).
 pub fn histogram(data: &[f64], bins: usize) -> Vec<f64> {
@@ -75,6 +81,11 @@ mod tests {
     #[test]
     fn scan_basic() {
         assert_eq!(inclusive_scan(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn stencil_basic() {
+        assert_eq!(stencil3(&[1.0, 2.0, 3.0, 4.0, 5.0]), vec![6.0, 9.0, 12.0]);
     }
 
     #[test]

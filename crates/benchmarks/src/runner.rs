@@ -9,7 +9,8 @@ use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// The four benchmarks of the paper's Figure 8.
+/// The benchmarks of the Figure 8 table: the paper's four plus the
+/// atomic, warp-shuffle and windows workloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BenchKind {
     /// Block-wide parallel reduction.
@@ -27,6 +28,11 @@ pub enum BenchKind {
     /// levels are `shfl_xor` butterflies instead of shared-memory
     /// rounds); strictly cheaper than [`BenchKind::Reduce`].
     ReduceShuffle,
+    /// 3-point stencil over strided windows: overlapping block windows
+    /// staged through shared memory (`windows::<258, 256>`), then
+    /// per-thread overlapping stencil windows (`windows::<3, 1>`) —
+    /// the workload family the windows view unlocks.
+    Stencil,
 }
 
 impl BenchKind {
@@ -39,20 +45,22 @@ impl BenchKind {
             BenchKind::Matmul => "MM",
             BenchKind::Histogram => "Histogram",
             BenchKind::ReduceShuffle => "ReduceShfl",
+            BenchKind::Stencil => "Stencil",
         }
     }
 }
 
-/// All six benchmarks, in the figure's order (Histogram and ReduceShfl
-/// extend the paper's four with the atomic-contention and warp-shuffle
-/// workloads).
-pub const ALL_BENCHMARKS: [BenchKind; 6] = [
+/// All seven benchmarks, in the figure's order (Histogram, ReduceShfl
+/// and Stencil extend the paper's four with the atomic-contention,
+/// warp-shuffle and overlapping-window workloads).
+pub const ALL_BENCHMARKS: [BenchKind; 7] = [
     BenchKind::Reduce,
     BenchKind::Transpose,
     BenchKind::Scan,
     BenchKind::Matmul,
     BenchKind::Histogram,
     BenchKind::ReduceShuffle,
+    BenchKind::Stencil,
 ];
 
 /// A footprint class (the paper's small/medium/large).
@@ -142,6 +150,20 @@ pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
         // Same footprints as Reduce, so the two reductions' cycle
         // counts compare cell by cell in the Figure 8 table.
         BenchKind::ReduceShuffle => footprints(BenchKind::Reduce),
+        BenchKind::Stencil => [
+            SizeClass {
+                name: "small",
+                param: 1 << 17,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 18,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 19,
+            },
+        ],
     }
 }
 
@@ -239,6 +261,41 @@ pub fn run_benchmark(kind: BenchKind, param: usize, seed: u64, cfg: &LaunchConfi
         BenchKind::Matmul => run_matmul(param, seed, cfg),
         BenchKind::Histogram => run_histogram(param, seed, cfg),
         BenchKind::ReduceShuffle => run_reduce_shuffle(param, seed, cfg),
+        BenchKind::Stencil => run_stencil(param, seed, cfg),
+    }
+}
+
+fn run_stencil(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+    let bs = sources::STENCIL_BLOCK;
+    let nb = n / bs;
+    let data = random_data(n + 2, seed);
+    let expect = reference::stencil3(&data);
+    // Descend version.
+    let kernels = compile_kernels(&sources::stencil(n));
+    let mut d = Launcher::new(cfg);
+    let inp = d.gpu.alloc_f64(&data);
+    let out = d.gpu.alloc_f64(&vec![0.0; n]);
+    d.launch(
+        &kernels[0],
+        [nb as u64, 1, 1],
+        [bs as u64, 1, 1],
+        &[inp, out],
+    );
+    assert_close(&d.gpu.read_f64(out), &expect, "descend stencil");
+    // Baseline.
+    let k = baselines::stencil(n, bs);
+    let mut c = Launcher::new(cfg);
+    let inp = c.gpu.alloc_f64(&data);
+    let out = c.gpu.alloc_f64(&vec![0.0; n]);
+    c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
+    assert_close(&c.gpu.read_f64(out), &expect, "cuda stencil");
+    BenchResult {
+        kind: BenchKind::Stencil,
+        param: n,
+        descend_cycles: d.cycles(),
+        cuda_cycles: c.cycles(),
+        descend_stats: d.stats,
+        cuda_stats: c.stats,
     }
 }
 
@@ -589,6 +646,34 @@ mod tests {
         assert!(sb < tb, "five barrier rounds replaced: {sb} vs {tb}");
     }
 
+    /// The seventh entry: the windows-view stencil at parity with the
+    /// handwritten shared-memory stencil, with the 3x window reuse
+    /// visible in the shared-access stats (three shared reads per
+    /// output on both sides).
+    #[test]
+    fn stencil_parity_at_small_scale() {
+        let n = 8192usize;
+        let r = run_benchmark(BenchKind::Stencil, n, 7, &race_checked());
+        let ratio = r.descend_over_cuda();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "stencil ratio {ratio} out of band (descend {} vs cuda {})",
+            r.descend_cycles,
+            r.cuda_cycles
+        );
+        // Window reuse through shared memory: per output element, one
+        // staging store plus three overlapping-window reads (the halo
+        // adds two accesses per block).
+        let d: u64 = r.descend_stats.iter().map(|s| s.shared_accesses).sum();
+        let c: u64 = r.cuda_stats.iter().map(|s| s.shared_accesses).sum();
+        assert_eq!(d, c, "shared access counts differ from baseline");
+        assert!(
+            d >= 4 * n as u64,
+            "window reuse must show in shared accesses: {d} < {}",
+            4 * n
+        );
+    }
+
     #[test]
     fn access_patterns_match_baselines() {
         for (kind, param) in [
@@ -597,6 +682,7 @@ mod tests {
             (BenchKind::Matmul, 64),
             (BenchKind::Histogram, 4096),
             (BenchKind::ReduceShuffle, 8192),
+            (BenchKind::Stencil, 8192),
         ] {
             let r = run_benchmark(kind, param, 11, &LaunchConfig::default());
             let d: u64 = r.descend_stats.iter().map(|s| s.global_transactions).sum();

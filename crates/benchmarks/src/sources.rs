@@ -159,6 +159,59 @@ fn reduce_shfl(inp: & gpu.global [f64; {n}], out: &uniq gpu.global [f64; {nb}])
     )
 }
 
+/// Block size of the stencil benchmark.
+pub const STENCIL_BLOCK: usize = 256;
+
+/// The 3-point stencil over strided windows: `windows::<258, 256>`
+/// tiles the padded input into overlapping block windows (256 elements
+/// plus a 2-element halo), each block stages its window in shared
+/// memory, and after the barrier `windows::<3, 1>` gives every thread
+/// its overlapping 3-wide stencil window — the seventh Figure-8 entry,
+/// and the first whose view elements alias. The output write goes
+/// through the disjoint `group` view; writing through the overlapping
+/// window view is a type error (see
+/// `examples/descend/fail/overlapping_window_write.descend`).
+pub fn stencil(n: usize) -> String {
+    assert!(
+        n.is_multiple_of(STENCIL_BLOCK),
+        "n must be a multiple of {STENCIL_BLOCK}"
+    );
+    let nb = n / STENCIL_BLOCK;
+    let bs = STENCIL_BLOCK;
+    let np = n + 2;
+    let tile = bs + 2;
+    format!(
+        r#"
+fn stencil(inp: & gpu.global [f64; {np}], out: &uniq gpu.global [f64; {n}])
+-[grid: gpu.grid<X<{nb}>, X<{bs}>>]-> () {{
+    sched(X) block in grid {{
+        let tile = alloc::<gpu.shared, [f64; {tile}]>();
+        sched(X) thread in block {{
+            tile.split::<{bs}>.fst[[thread]] =
+                (*inp).windows::<{tile}, {bs}>[[block]].split::<{bs}>.fst[[thread]];
+        }}
+        split(X) block at 2 {{
+            loaders => {{
+                sched(X) t in loaders {{
+                    tile.split::<{bs}>.snd[[t]] =
+                        (*inp).windows::<{tile}, {bs}>[[block]].split::<{bs}>.snd[[t]];
+                }}
+            }},
+            idle => {{ }}
+        }}
+        sync;
+        sched(X) thread in block {{
+            (*out).group::<{bs}>[[block]][[thread]] =
+                tile.windows::<3, 1>[[thread]][0]
+                + tile.windows::<3, 1>[[thread]][1]
+                + tile.windows::<3, 1>[[thread]][2];
+        }}
+    }}
+}}
+"#
+    )
+}
+
 /// The tiled matrix transposition of the paper's Listing 2: 32x32 tiles
 /// staged through shared memory by 32x8-thread blocks.
 pub fn transpose(n: usize) -> String {
@@ -327,6 +380,7 @@ mod tests {
         for src in [
             reduce(2048),
             reduce_shuffle(2048),
+            stencil(1024),
             transpose(128),
             scan_blocks(1024),
             scan_add_offsets(1024),

@@ -16,6 +16,8 @@
 //! target's text and the simulated kernel are renderings of one
 //! lowering.
 
+#![deny(missing_docs)]
+
 pub mod ir_gen;
 
 pub use ir_gen::{kernel_to_ir, CodegenError};

@@ -41,6 +41,8 @@
 //! assert_eq!(run.cpu["h"], vec![6.0; 64]);
 //! ```
 
+#![deny(missing_docs)]
+
 use descend_ast::term::Program;
 use descend_backends::{backend_by_name, KernelBackend, BACKEND_NAMES};
 use descend_codegen::ir_gen::elem_ty;

@@ -19,6 +19,8 @@
 //! number of secondary labelled spans (rendered with dashes, like rustc's
 //! secondary labels).
 
+#![deny(missing_docs)]
+
 use descend_ast::Span;
 use std::fmt;
 

@@ -30,6 +30,8 @@
 //! levels. A lane-space split cuts through warps, which is what makes
 //! shuffle intrinsics illegal under it (warp divergence).
 
+#![deny(missing_docs)]
+
 use descend_ast::ty::{Dim, DimCompo, ExecTy};
 use descend_ast::Nat;
 use std::fmt;

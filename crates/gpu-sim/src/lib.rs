@@ -60,6 +60,8 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod device;
 pub mod interp;

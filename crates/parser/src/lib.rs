@@ -25,6 +25,8 @@
 //! assert_eq!(program.items.len(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 mod lexer;
 mod parser;
 

@@ -980,7 +980,8 @@ impl Parser {
                     }
                     self.pos = save;
                 }
-                if *self.peek_at(1) == TokenKind::LParen {
+                // `zip(...)` is a place combinator, not a call.
+                if *self.peek_at(1) == TokenKind::LParen && name != "zip" {
                     self.bump();
                     return self.finish_call(name, Vec::new(), start);
                 }
@@ -1067,6 +1068,20 @@ impl Parser {
     fn place(&mut self) -> PResult<PlaceExpr> {
         let start = self.span();
         let mut place = match self.peek().clone() {
+            // `zip(a, b)` pairs two places; `zip` is reserved as a place
+            // combinator, not a variable name, when followed by `(`.
+            TokenKind::Ident(name) if name == "zip" && *self.peek_at(1) == TokenKind::LParen => {
+                self.bump();
+                self.bump();
+                let a = self.place()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.place()?;
+                self.expect(TokenKind::RParen)?;
+                PlaceExpr {
+                    kind: PlaceExprKind::Zip(Box::new(a), Box::new(b)),
+                    span: start.to(self.prev_span()),
+                }
+            }
             TokenKind::Ident(name) => {
                 self.bump();
                 PlaceExpr {
@@ -1098,6 +1113,46 @@ impl Parser {
             match self.peek() {
                 TokenKind::Dot => {
                     self.bump();
+                    // Numeric projections `.0`/`.1` (zip components); the
+                    // named `.fst`/`.snd` spellings build the same node.
+                    // The span-length check rejects alternate spellings
+                    // of the same *value* (`.01`, `.00`): only the
+                    // literal one-digit text is a projection.
+                    let tok_len = self.span().end - self.span().start;
+                    if let TokenKind::Int(i @ (0 | 1)) = *self.peek() {
+                        if tok_len == 1 {
+                            self.bump();
+                            place = PlaceExpr {
+                                kind: PlaceExprKind::Proj(Box::new(place), i as u8),
+                                span: start.to(self.prev_span()),
+                            };
+                            continue;
+                        }
+                    }
+                    // Chained numeric projections `.0.1` lex as one float
+                    // literal; after a place dot only projections are
+                    // grammatical, so re-read the two digits as nested
+                    // projections (zip-of-zip components). Comparing the
+                    // f64 value alone would also accept trailing-zero
+                    // spellings (`0.10` parses to the same f64 as `0.1`),
+                    // so the token must be exactly three characters.
+                    if let TokenKind::Float(v) = *self.peek() {
+                        if tok_len == 3 {
+                            if let Some((i, j)) = Self::float_proj(v) {
+                                self.bump();
+                                let sp = start.to(self.prev_span());
+                                place = PlaceExpr {
+                                    kind: PlaceExprKind::Proj(Box::new(place), i),
+                                    span: sp,
+                                };
+                                place = PlaceExpr {
+                                    kind: PlaceExprKind::Proj(Box::new(place), j),
+                                    span: sp,
+                                };
+                                continue;
+                            }
+                        }
+                    }
                     let name = self.ident()?;
                     match name.as_str() {
                         "fst" => {
@@ -1152,6 +1207,24 @@ impl Parser {
                 }
                 _ => return Ok(place),
             }
+        }
+    }
+
+    /// Splits a float literal that is really a pair of chained numeric
+    /// projections (`.0.1` lexes as `0.1`). Exact comparison is fine:
+    /// the lexer and these constants parse the same decimal text.
+    #[allow(clippy::float_cmp)]
+    fn float_proj(v: f64) -> Option<(u8, u8)> {
+        if v == 0.0 {
+            Some((0, 0))
+        } else if v == 0.1 {
+            Some((0, 1))
+        } else if v == 1.0 {
+            Some((1, 0))
+        } else if v == 1.1 {
+            Some((1, 1))
+        } else {
+            None
         }
     }
 
@@ -1221,6 +1294,103 @@ mod tests {
                 assert_eq!(v.body[1].view_args[0].name, "transpose");
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_zip_with_numeric_projections() {
+        let src = r#"
+fn k(a: & gpu.global [f64; 64], b: & gpu.global [f64; 64],
+     out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out).group::<32>[[block]][[thread]] =
+                zip((*a), (*b)).group::<32>[[block]][[thread]].0
+                + zip((*a), (*b)).group::<32>[[block]][[thread]].1;
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        // Drill to the assignment's RHS: both operands project a zip.
+        let f = p.fn_def("k").unwrap();
+        let StmtKind::Sched { body, .. } = &f.body.stmts[0].kind else {
+            panic!("expected sched");
+        };
+        let StmtKind::Sched { body, .. } = &body.stmts[0].kind else {
+            panic!("expected inner sched");
+        };
+        let StmtKind::Assign { value, .. } = &body.stmts[0].kind else {
+            panic!("expected assignment");
+        };
+        let ExprKind::Binary(_, lhs, rhs) = &value.kind else {
+            panic!("expected binary rhs");
+        };
+        for (e, want) in [(lhs, 0u8), (rhs, 1u8)] {
+            let ExprKind::Place(place) = &e.kind else {
+                panic!("expected place operand");
+            };
+            let PlaceExprKind::Proj(inner, i) = &place.kind else {
+                panic!("expected projection, got {place:?}");
+            };
+            assert_eq!(*i, want);
+            let mut cur = inner;
+            let zip = loop {
+                match &cur.kind {
+                    PlaceExprKind::Zip(a, b) => break (a, b),
+                    PlaceExprKind::Select(p, _, _)
+                    | PlaceExprKind::View(p, _)
+                    | PlaceExprKind::Index(p, _) => cur = p,
+                    other => panic!("unexpected {other:?}"),
+                }
+            };
+            assert!(matches!(zip.0.kind, PlaceExprKind::Deref(_)));
+        }
+        // The pretty form re-parses to the same program (round trip over
+        // zip syntax; spans differ, so compare the printed fixed point).
+        let printed = pretty::program(&p);
+        assert!(printed.contains("zip((*a), (*b))"));
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(printed, pretty::program(&p2));
+    }
+
+    #[test]
+    fn parses_windows_view_and_fst_snd_aliases() {
+        let src = r#"
+fn k(a: & gpu.global [f64; 34], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out)[[thread]] = (*a).windows::<3, 1>.split::<32>.fst[[thread]][0];
+        }
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        let printed = pretty::program(&p);
+        assert!(printed.contains("windows::<3, 1>"));
+        // `.fst` and `.0` are the same projection node.
+        let p2 = parse(&printed.replace(".fst", ".0")).unwrap();
+        assert_eq!(printed, pretty::program(&p2));
+    }
+
+    #[test]
+    fn zip_requires_two_places() {
+        assert!(parse("fn m() -[t: cpu.thread]-> () { let x = zip(a); }").is_err());
+    }
+
+    /// Only the literal one-digit spellings are projections: value-equal
+    /// alternates (`.01`, `.0.10`, `.1.00`) are syntax errors, not
+    /// silently-normalized projections.
+    #[test]
+    fn numeric_projection_spellings_are_exact() {
+        let program =
+            |proj: &str| format!("fn m() -[t: cpu.thread]-> () {{ let x = zip(a, b)[0]{proj}; }}");
+        for good in [".0", ".1", ".0.1", ".1.0", ".0.0", ".1.1"] {
+            parse(&program(good)).unwrap_or_else(|e| panic!("{good} should parse: {e}"));
+        }
+        for bad in [".01", ".00", ".0.10", ".1.00", ".2"] {
+            assert!(parse(&program(bad)).is_err(), "{bad} should be rejected");
         }
     }
 

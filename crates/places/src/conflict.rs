@@ -19,7 +19,7 @@
 //!    that rejects the paper's `arr[[thread]] = arr.rev[[thread]]`.
 
 use crate::path::{PathStep, PlacePath};
-use crate::view::ViewStep;
+use crate::view::{windows_overlap, ViewStep};
 use descend_ast::Span;
 use descend_exec::{ExecBase, ExecExpr, ForallLevel, Side};
 use std::fmt;
@@ -194,13 +194,50 @@ fn compare_views(a: &ViewStep, b: &ViewStep) -> StepCmp {
                 StepCmp::Unknown
             }
         }
+        (ViewStep::Windows { w: w1, s: s1 }, ViewStep::Windows { w: w2, s: s2 }) => {
+            if !(w1.equal(w2) && s1.equal(s2)) {
+                return StepCmp::Unknown;
+            }
+            // Same windows view. With a non-overlapping stride (s >= w)
+            // the windows partition the array like `group` and the later
+            // indices/selects decide disjointness. With s < w, distinct
+            // window indices alias underlying elements, so nothing past
+            // this step can prove disjointness: overlapping reads are
+            // fine (the Shrd–Shrd early return never reaches this walk),
+            // while any write through an overlapping window conflicts.
+            if windows_overlap(w1, s1) {
+                StepCmp::Unknown
+            } else {
+                StepCmp::Equal
+            }
+        }
         _ => {
             if a.same(b) {
-                StepCmp::Equal
+                // `same` is necessary but not sufficient: a view that
+                // *contains* an overlapping windows step (e.g.
+                // `map(windows::<3, 1>)`) aliases across executors just
+                // like a top-level one, so indices past it can prove
+                // nothing disjoint.
+                if contains_overlapping_windows(a) {
+                    StepCmp::Unknown
+                } else {
+                    StepCmp::Equal
+                }
             } else {
                 StepCmp::Unknown
             }
         }
+    }
+}
+
+/// Whether a view step is, or contains (under `map`), an overlapping
+/// windows step. Such a step breaks the "equal steps ⇒ later indices
+/// decide disjointness" reasoning at any nesting depth.
+fn contains_overlapping_windows(v: &ViewStep) -> bool {
+    match v {
+        ViewStep::Windows { w, s } => windows_overlap(w, s),
+        ViewStep::Map(inner) => inner.iter().any(contains_overlapping_windows),
+        _ => false,
     }
 }
 
@@ -603,6 +640,87 @@ mod tests {
         assert!(narrowing_violation(&p, AccessMode::Uniq, &lanes).is_none());
         let w = access(p, AccessMode::Uniq, &lanes);
         assert!(!may_race(&w, &w.clone()));
+    }
+
+    /// The window-overlap rule: reads through overlapping windows are
+    /// fine, a write through an overlapping window conflicts even when
+    /// fully selected — distinct executors' windows share elements.
+    #[test]
+    fn overlapping_window_writes_race_reads_do_not() {
+        let (g, _, t) = setup_1d(1, 32);
+        let mk = |s: u64| {
+            let mut p = PlacePath::new("arr", g.clone());
+            p.push(PathStep::Deref);
+            p.push(PathStep::View(ViewStep::Windows {
+                w: Nat::lit(3),
+                s: Nat::lit(s),
+            }));
+            p.push(sel(&t, 0));
+            p.push(sel(&t, 1));
+            p
+        };
+        // Overlapping (stride 1 < width 3): write conflicts with itself
+        // across executors and with any read of the same view.
+        let w = access(mk(1), AccessMode::Uniq, &t);
+        let r = access(mk(1), AccessMode::Shrd, &t);
+        assert!(may_race(&w, &w.clone()), "overlapping window write races");
+        assert!(may_race(&w, &r), "overlapping write vs read races");
+        assert!(!may_race(&r, &r.clone()), "overlapping reads never race");
+        // Non-overlapping (stride == width): behaves like `group`.
+        let w = access(mk(3), AccessMode::Uniq, &t);
+        assert!(!may_race(&w, &w.clone()), "tiling windows are disjoint");
+    }
+
+    /// The overlap rule reaches through `map`: writing via
+    /// `map(windows::<3, 1>)` aliases across executors exactly like the
+    /// top-level form and must conflict (the un-mapped twin is pinned
+    /// above); a mapped *tiling* window stays disjoint.
+    #[test]
+    fn mapped_overlapping_windows_still_race() {
+        let (g, _, t) = setup_1d(1, 32);
+        let mk = |s: u64, k: u64| {
+            let mut p = PlacePath::new("arr", g.clone());
+            p.push(PathStep::Deref);
+            p.push(PathStep::View(ViewStep::Map(vec![ViewStep::Windows {
+                w: Nat::lit(3),
+                s: Nat::lit(s),
+            }])));
+            p.push(sel(&t, 0));
+            p.push(sel(&t, 1));
+            p.push(PathStep::Index(Nat::lit(k)));
+            p
+        };
+        let w = access(mk(1, 1), AccessMode::Uniq, &t);
+        let r0 = access(mk(1, 0), AccessMode::Shrd, &t);
+        assert!(
+            may_race(&w, &r0),
+            "map(windows) write vs offset read must race"
+        );
+        assert!(may_race(&w, &w.clone()), "map(windows) write self-races");
+        // Tiling stride: literal offsets within disjoint windows are
+        // provably disjoint, as without the map.
+        let w = access(mk(3, 1), AccessMode::Uniq, &t);
+        let r0 = access(mk(3, 0), AccessMode::Shrd, &t);
+        assert!(!may_race(&w, &r0), "mapped tiling windows stay disjoint");
+    }
+
+    /// Within one window view, literal window indices decide nothing
+    /// when the stride overlaps, but a *different* windows view is
+    /// always conservatively overlapping.
+    #[test]
+    fn window_views_with_different_params_are_unknown() {
+        let (g, _, t) = setup_1d(1, 32);
+        let mk = |w: u64, s: u64| {
+            let mut p = PlacePath::new("arr", g.clone());
+            p.push(PathStep::View(ViewStep::Windows {
+                w: Nat::lit(w),
+                s: Nat::lit(s),
+            }));
+            p.push(sel(&t, 0));
+            p.push(sel(&t, 1));
+            access(p, AccessMode::Uniq, &t)
+        };
+        assert!(may_race(&mk(3, 3), &mk(2, 2)));
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! the `access_safety_check` of Section 4:
 //!
 //! - [`view`]: the basic views (`group`, `transpose`, `reverse`, `split`,
-//!   `map`) of Listing 3, their typing (shape transformation), and the
-//!   expansion of user-defined composite views such as `group_by_row`;
+//!   `map`, plus `windows` and `zip`) of Listing 3 and its extensions,
+//!   their typing (shape transformation), the window-overlap predicate,
+//!   and the expansion of user-defined composite views such as
+//!   `group_by_row`;
 //! - [`path`]: *normalized place paths* — a root variable plus a sequence
 //!   of projection/deref/index/select/view steps with all names resolved;
 //! - [`conflict`]: the syntactic overlap analysis used for the narrowing
@@ -31,4 +33,6 @@ pub mod view;
 pub use conflict::{may_overlap, may_race, narrowing_violation, Access, AccessMode};
 pub use lower::{lower_scalar_access, simplify_idx, Coord, IdxExpr, DYN_IDX};
 pub use path::{PathStep, PlacePath, SelectStep};
-pub use view::{apply_view, resolve_view_app, ViewDefs, ViewError, ViewStep};
+pub use view::{
+    apply_view, resolve_view_app, windows_overlap, zip_ty, ViewDefs, ViewError, ViewStep,
+};

@@ -11,13 +11,18 @@
 //! select and index steps, and rewrite it through each view:
 //!
 //! ```text
-//! group::<k>     : (g, j, rest...)  ->  (g*k + j, rest...)
-//! transpose      : (i, j, rest...)  ->  (j, i, rest...)
-//! reverse        : (i, rest...)     ->  (n-1-i, rest...)
-//! split.fst      : (i, rest...)     ->  (i, rest...)
-//! split::<p>.snd : (i, rest...)     ->  (i+p, rest...)
-//! map(v)         : (i, rest...)     ->  (i, v(rest...))
+//! group::<k>       : (g, j, rest...)  ->  (g*k + j, rest...)
+//! transpose        : (i, j, rest...)  ->  (j, i, rest...)
+//! reverse          : (i, rest...)     ->  (n-1-i, rest...)
+//! split.fst        : (i, rest...)     ->  (i, rest...)
+//! split::<p>.snd   : (i, rest...)     ->  (i+p, rest...)
+//! map(v)           : (i, rest...)     ->  (i, v(rest...))
+//! windows::<w, s>  : (i, j, rest...)  ->  (i*s + j, rest...)
 //! ```
+//!
+//! `zip` contributes no arithmetic: its projections route the access into
+//! one operand's path before lowering, so each component keeps its own
+//! base buffer. An unprojected zip cannot be lowered.
 //!
 //! Finally the multi-index is flattened row-major against the root array's
 //! dimensions, yielding a single linear element offset.
@@ -219,6 +224,8 @@ pub enum LowerError {
     TooFewIndices(String),
     /// An unprojected split view remained in the path.
     UnprojectedSplit,
+    /// An unprojected zip remained in the path.
+    UnprojectedZip,
     /// Tuple projections of real tuples cannot be lowered to flat offsets.
     TupleProjection,
     /// A nat could not be converted (opaque division).
@@ -240,6 +247,9 @@ impl fmt::Display for LowerError {
             }
             LowerError::UnprojectedSplit => {
                 write!(f, "cannot lower an unprojected split view")
+            }
+            LowerError::UnprojectedZip => {
+                write!(f, "cannot lower an unprojected zip; project with `.0`/`.1`")
             }
             LowerError::TupleProjection => {
                 write!(f, "cannot lower tuple projections to a flat offset")
@@ -316,6 +326,16 @@ fn apply_view_backward(step: &ViewStep, idx: &mut Vec<IdxExpr>) -> Result<(), Lo
             }
             idx.insert(0, head);
         }
+        ViewStep::Windows { s, .. } => {
+            if idx.len() < 2 {
+                return Err(LowerError::TooFewIndices("windows".into()));
+            }
+            let i = idx.remove(0);
+            let j = idx.remove(0);
+            let s = nat_to_idx(s)?;
+            idx.insert(0, IdxExpr::add(IdxExpr::mul(i, s), j));
+        }
+        ViewStep::Zip => return Err(LowerError::UnprojectedZip),
     }
     Ok(())
 }
@@ -672,6 +692,60 @@ mod tests {
         });
         assert_eq!(w.to_string(), "(threadIdx.x / 32)");
         assert_eq!(l.to_string(), "((threadIdx.x % 32) - 1)");
+    }
+
+    /// `windows::<w, s>` lowers window `i`, offset `j` to `i*s + j`.
+    #[test]
+    fn windows_lowering_is_strided() {
+        let mut p = PlacePath::new("arr", ExecExpr::cpu_thread());
+        p.push(PathStep::View(ViewStep::Windows {
+            w: Nat::lit(3),
+            s: Nat::lit(2),
+        }));
+        p.push(PathStep::Index(Nat::var("i")));
+        p.push(PathStep::Index(Nat::var("j")));
+        let flat = lower_scalar_access(&p, &[Nat::lit(9)]).unwrap();
+        for i in 0..4u64 {
+            for j in 0..3u64 {
+                let got = flat
+                    .eval(&|_, _| 0, &|x| match x {
+                        "i" => Some(i),
+                        "j" => Some(j),
+                        _ => None,
+                    })
+                    .unwrap();
+                assert_eq!(got, i * 2 + j);
+            }
+        }
+    }
+
+    /// A windows select by threads composes with inner indices: thread
+    /// `t`'s 3-wide stencil window at stride 1 covers `t`, `t+1`, `t+2`.
+    #[test]
+    fn windows_select_composes_with_group() {
+        let t = thread_exec_1d(8);
+        for k in 0..3u64 {
+            let mut p = PlacePath::new("tile", ExecExpr::grid(Dim::x(1u64), Dim::x(8u64)));
+            p.push(PathStep::View(ViewStep::Windows {
+                w: Nat::lit(3),
+                s: Nat::lit(1),
+            }));
+            p.push(select(&t, 1));
+            p.push(PathStep::Index(Nat::lit(k)));
+            let flat = lower_scalar_access(&p, &[Nat::lit(10)]).unwrap();
+            for tid in 0..8u64 {
+                assert_eq!(flat.eval(&|_, _| tid, &|_| None).unwrap(), tid + k);
+            }
+        }
+    }
+
+    #[test]
+    fn unprojected_zip_rejected() {
+        let mut p = PlacePath::new("pair", ExecExpr::cpu_thread());
+        p.push(PathStep::View(ViewStep::Zip));
+        p.push(PathStep::Index(Nat::lit(0)));
+        let err = lower_scalar_access(&p, &[Nat::lit(8)]).unwrap_err();
+        assert!(matches!(err, LowerError::UnprojectedZip));
     }
 
     #[test]

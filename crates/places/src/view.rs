@@ -9,10 +9,25 @@
 //! transpose<m, n, d>([[ [[d; n]]; m ]]) -> [[ [[d; m]]; n ]]
 //! reverse<n, d>([[d; n]]) -> [[d; n]]
 //! map<..>(v, [[d1; n]]) -> [[v(d1); n]]
+//! windows<w, s, n, d>([[d; n]]) -> [[ [[d; w]]; (n-w)/s + 1 ]]
+//!                                   where n >= w and (n-w) % s == 0
+//! zip<n, d1, d2>([[d1; n]], [[d2; n]]) -> [[ (d1, d2); n ]]
 //! ```
 //!
 //! User-defined views (the paper's `view group_by_row<..> = ...`) expand
 //! into chains of basic views with their nat parameters substituted.
+//!
+//! `windows::<w, s>` is the first view whose *elements alias*: when the
+//! stride is smaller than the width, consecutive windows share `w - s`
+//! elements. Reads through overlapping windows are fine (reads may be
+//! replicated); any write through an overlapping window conflicts — see
+//! [`windows_overlap`] and the conflict walk in [`crate::conflict`].
+//!
+//! `zip` is not a postfix view: it pairs *two* places (`zip(a, b)`), and
+//! its element projections `.0`/`.1` route back to the underlying
+//! buffers. The typing half lives here ([`zip_ty`]); the routing is
+//! performed by the type checker, which mirrors every later step into
+//! both component paths.
 
 use descend_ast::term::ViewApp;
 use descend_ast::ty::DataTy;
@@ -55,6 +70,35 @@ pub enum ViewStep {
     },
     /// `map(v)`: apply a view chain to every element.
     Map(Vec<ViewStep>),
+    /// `windows::<w, s>`: strided sliding windows,
+    /// `[[d; n]] -> [[ [[d; w]]; (n-w)/s + 1 ]]`. Window `i` covers the
+    /// elements `[i*s, i*s + w)`; with `s < w`, distinct windows alias.
+    Windows {
+        /// Window width.
+        w: Nat,
+        /// Stride between window start offsets.
+        s: Nat,
+    },
+    /// `zip(a, b)` *before* projection: the element is the pair of the
+    /// operands' elements. A zip must be projected with `.0`/`.1`, which
+    /// routes the access back into the chosen operand's path; an
+    /// unprojected zip step can neither be lowered nor accessed.
+    Zip,
+}
+
+/// Whether windows of width `w` at stride `s` can alias: `true` unless
+/// `s >= w` is statically provable. Overlapping windows may be *read*
+/// (reads replicate freely) but never written — two sibling executors'
+/// windows share elements.
+pub fn windows_overlap(w: &Nat, s: &Nat) -> bool {
+    if s.equal(w) {
+        return false;
+    }
+    match (w.as_lit(), s.as_lit()) {
+        (Some(w), Some(s)) => s < w,
+        // Not statically comparable: conservatively overlapping.
+        _ => true,
+    }
 }
 
 impl ViewStep {
@@ -72,6 +116,10 @@ impl ViewStep {
             (ViewStep::Map(a), ViewStep::Map(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same(y))
             }
+            (ViewStep::Windows { w: w1, s: s1 }, ViewStep::Windows { w: w2, s: s2 }) => {
+                w1.equal(w2) && s1.equal(s2)
+            }
+            (ViewStep::Zip, ViewStep::Zip) => true,
             _ => false,
         }
     }
@@ -92,6 +140,11 @@ impl ViewStep {
             ViewStep::Map(inner) => {
                 ViewStep::Map(inner.iter().map(|s| s.subst_nats(map)).collect())
             }
+            ViewStep::Windows { w, s } => ViewStep::Windows {
+                w: w.subst(map),
+                s: s.subst(map),
+            },
+            ViewStep::Zip => ViewStep::Zip,
         }
     }
 }
@@ -114,6 +167,8 @@ impl fmt::Display for ViewStep {
                 }
                 write!(f, ")")
             }
+            ViewStep::Windows { w, s } => write!(f, "windows::<{w}, {s}>"),
+            ViewStep::Zip => write!(f, "zip"),
         }
     }
 }
@@ -154,6 +209,25 @@ pub enum ViewError {
     NotNested(String),
     /// A `split` view that is not immediately projected.
     UnprojectedSplit,
+    /// `windows::<w, s>` whose parameters do not tile the array:
+    /// `w > n`, a zero width or stride, or `(n - w) % s != 0`.
+    WindowsMisfit {
+        /// Array length.
+        n: Nat,
+        /// Window width.
+        w: Nat,
+        /// Window stride.
+        s: Nat,
+    },
+    /// `zip(a, b)` over arrays of different lengths.
+    ZipLengthMismatch {
+        /// Length of the first operand.
+        left: Nat,
+        /// Length of the second operand.
+        right: Nat,
+    },
+    /// A `zip` that must be projected with `.0`/`.1` before use.
+    UnprojectedZip,
     /// Size or divisibility could not be decided symbolically.
     Undecidable(String),
 }
@@ -191,6 +265,22 @@ impl fmt::Display for ViewError {
                     f,
                     "a `split` view must be immediately projected with `.fst` or `.snd`"
                 )
+            }
+            ViewError::WindowsMisfit { n, w, s } => {
+                write!(
+                    f,
+                    "windows::<{w}, {s}> does not tile an array of size {n}: \
+                     need {w} <= {n}, {w} >= 1, {s} >= 1 and ({n} - {w}) % {s} == 0"
+                )
+            }
+            ViewError::ZipLengthMismatch { left, right } => {
+                write!(
+                    f,
+                    "cannot zip arrays of different lengths: {left} vs {right}"
+                )
+            }
+            ViewError::UnprojectedZip => {
+                write!(f, "a `zip` must be projected with `.0` or `.1`")
             }
             ViewError::Undecidable(m) => write!(f, "cannot decide statically: {m}"),
         }
@@ -306,7 +396,80 @@ pub fn apply_view(ty: &DataTy, step: &ViewStep) -> Result<DataTy, ViewError> {
             }
             Ok(DataTy::ArrayView(Box::new(t), n.clone()))
         }
+        ViewStep::Windows { w, s } => {
+            let (elem, n) = elem_and_len(ty)?;
+            if w.as_lit() == Some(0) || s.as_lit() == Some(0) {
+                return Err(ViewError::WindowsMisfit {
+                    n: n.clone(),
+                    w: w.clone(),
+                    s: s.clone(),
+                });
+            }
+            if let (Some(nn), Some(ww)) = (n.as_lit(), w.as_lit()) {
+                if ww > nn {
+                    return Err(ViewError::WindowsMisfit {
+                        n: n.clone(),
+                        w: w.clone(),
+                        s: s.clone(),
+                    });
+                }
+            }
+            // The window count (n - w) / s + 1 is exact only when the
+            // stride tiles the remainder; a ragged tail would silently
+            // drop elements, so it is rejected like a non-dividing group.
+            let span = (n.clone() - w.clone()).simplify();
+            match (span.clone() % s.clone()).as_lit() {
+                Some(0) => {}
+                Some(_) => {
+                    return Err(ViewError::WindowsMisfit {
+                        n: n.clone(),
+                        w: w.clone(),
+                        s: s.clone(),
+                    })
+                }
+                None => {
+                    return Err(ViewError::Undecidable(format!(
+                        "whether ({n} - {w}) % {s} == 0"
+                    )))
+                }
+            }
+            let count = (span / s.clone() + Nat::lit(1)).simplify();
+            Ok(DataTy::ArrayView(
+                Box::new(DataTy::ArrayView(Box::new(elem.clone()), w.clone())),
+                count,
+            ))
+        }
+        // A zip is typed against its two operands by `zip_ty`; the step
+        // only ever appears on the (unusable) unprojected pair path.
+        ViewStep::Zip => Err(ViewError::UnprojectedZip),
     }
+}
+
+/// Types `zip(a, b)`: both operands must be arrays (or array views) of
+/// equal length; the result views their elements as pairs. The length
+/// equality is a nat constraint, decided by normalization — two literal
+/// lengths that differ are a [`ViewError::ZipLengthMismatch`], and
+/// lengths that cannot be proven equal are [`ViewError::Undecidable`].
+///
+/// # Errors
+///
+/// See above; also [`ViewError::NotAnArray`] for non-array operands.
+pub fn zip_ty(a: &DataTy, b: &DataTy) -> Result<DataTy, ViewError> {
+    let (ea, na) = elem_and_len(a)?;
+    let (eb, nb) = elem_and_len(b)?;
+    if !na.equal(nb) {
+        if na.as_lit().is_some() && nb.as_lit().is_some() {
+            return Err(ViewError::ZipLengthMismatch {
+                left: na.clone(),
+                right: nb.clone(),
+            });
+        }
+        return Err(ViewError::Undecidable(format!("whether {na} == {nb}")));
+    }
+    Ok(DataTy::ArrayView(
+        Box::new(DataTy::Tuple(vec![ea.clone(), eb.clone()])),
+        na.clone(),
+    ))
 }
 
 /// Resolves a surface view application against the type it is applied to,
@@ -376,6 +539,20 @@ pub fn resolve_view_app(
             let out = apply_view(ty, &step)?;
             Ok((vec![step], out))
         }
+        "windows" => {
+            expect_nats(2)?;
+            expect_views(0)?;
+            let step = ViewStep::Windows {
+                w: app.nat_args[0].clone(),
+                s: app.nat_args[1].clone(),
+            };
+            let out = apply_view(ty, &step)?;
+            Ok((vec![step], out))
+        }
+        // `zip` pairs two places; it has no postfix form.
+        "zip" => Err(ViewError::Undecidable(
+            "`zip` pairs two places: write `zip(a, b)`, not `p.zip`".into(),
+        )),
         "map" => {
             expect_nats(0)?;
             if app.view_args.is_empty() {
@@ -662,6 +839,103 @@ mod tests {
             }
             other => panic!("unexpected {other}"),
         }
+    }
+
+    #[test]
+    fn windows_typing_counts_windows() {
+        // windows::<3, 1> on [f64; 10] -> [[ [[f64;3]]; 8 ]]
+        let (steps, out) = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(3), Nat::lit(1)]),
+            &ViewDefs::new(),
+            &f64_arr(10),
+        )
+        .unwrap();
+        assert_eq!(shape(&out), vec![8, 3]);
+        assert!(matches!(&steps[0], ViewStep::Windows { w, s }
+            if w.as_lit() == Some(3) && s.as_lit() == Some(1)));
+        // windows::<258, 256> on [f64; 2050] -> 8 block tiles with halo.
+        let (_, out) = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(258), Nat::lit(256)]),
+            &ViewDefs::new(),
+            &f64_arr(2050),
+        )
+        .unwrap();
+        assert_eq!(shape(&out), vec![8, 258]);
+    }
+
+    #[test]
+    fn windows_rejects_misfits() {
+        // Width exceeding the array.
+        let err = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(64), Nat::lit(1)]),
+            &ViewDefs::new(),
+            &f64_arr(32),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::WindowsMisfit { .. }));
+        // Ragged tail: (10 - 4) % 4 != 0.
+        let err = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(4), Nat::lit(4)]),
+            &ViewDefs::new(),
+            &f64_arr(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::WindowsMisfit { .. }));
+        // Zero stride.
+        let err = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(4), Nat::lit(0)]),
+            &ViewDefs::new(),
+            &f64_arr(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::WindowsMisfit { .. }));
+        // Arity.
+        let err = resolve_view_app(
+            &ViewApp::with_nats("windows", vec![Nat::lit(4)]),
+            &ViewDefs::new(),
+            &f64_arr(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ViewError::NatArity { .. }));
+    }
+
+    #[test]
+    fn windows_overlap_by_stride() {
+        assert!(windows_overlap(&Nat::lit(3), &Nat::lit(1)));
+        assert!(!windows_overlap(&Nat::lit(3), &Nat::lit(3)));
+        assert!(!windows_overlap(&Nat::lit(3), &Nat::lit(4)));
+        // Symbolically equal width and stride never overlap.
+        assert!(!windows_overlap(&Nat::var("k"), &Nat::var("k")));
+        // Incomparable: conservatively overlapping.
+        assert!(windows_overlap(&Nat::var("w"), &Nat::var("s")));
+    }
+
+    #[test]
+    fn zip_typing_pairs_elements() {
+        let out = zip_ty(&f64_arr(32), &DataTy::array(DataTy::f32(), 32)).unwrap();
+        match &out {
+            DataTy::ArrayView(elem, n) => {
+                assert_eq!(n.as_lit(), Some(32));
+                assert!(matches!(&**elem, DataTy::Tuple(ts) if ts.len() == 2
+                        && ts[0].same(&DataTy::f64()) && ts[1].same(&DataTy::f32())));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn zip_rejects_length_mismatch_and_scalars() {
+        let err = zip_ty(&f64_arr(32), &f64_arr(64)).unwrap_err();
+        assert!(matches!(err, ViewError::ZipLengthMismatch { .. }));
+        let err = zip_ty(&DataTy::f64(), &f64_arr(8)).unwrap_err();
+        assert!(matches!(err, ViewError::NotAnArray(_)));
+    }
+
+    #[test]
+    fn postfix_zip_is_rejected() {
+        let err =
+            resolve_view_app(&ViewApp::simple("zip"), &ViewDefs::new(), &f64_arr(8)).unwrap_err();
+        assert!(matches!(err, ViewError::Undecidable(_)));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use descend_ast::ty::*;
 use descend_ast::{Nat, Span};
 use descend_exec::{ExecExpr, Side, Space};
 use descend_places::{
-    may_overlap, may_race, narrowing_violation, resolve_view_app, Access, AccessMode, PathStep,
-    PlacePath, SelectStep, ViewDefs, DYN_IDX,
+    may_overlap, may_race, narrowing_violation, resolve_view_app, zip_ty, Access, AccessMode,
+    PathStep, PlacePath, SelectStep, ViewDefs, ViewStep, DYN_IDX,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -438,7 +438,113 @@ struct TypedPlace {
     /// borrow-conflict checks do not apply: the borrow itself grants the
     /// access).
     via_alias: bool,
+    /// For a `zip(a, b)` place: the two component places, kept in step
+    /// with the outer place (every later index/select/view is mirrored
+    /// into both). A projection at the pair point routes the access to
+    /// one component — its path, memory and root dimensions become the
+    /// access, so each zip component keeps its own base buffer.
+    zip: Option<Box<(TypedPlace, TypedPlace)>>,
     span: Span,
+}
+
+/// Applies one step to the zip components of `tp`, recursively, so
+/// nested zips stay in step: every component (and its own components)
+/// receives the same step the outer place just took.
+fn zip_mirror(tp: &mut TypedPlace, apply: &dyn Fn(&mut TypedPlace) -> TResult<()>) -> TResult<()> {
+    let Some(z) = tp.zip.as_deref_mut() else {
+        return Ok(());
+    };
+    for c in [&mut z.0, &mut z.1] {
+        apply(c)?;
+        zip_mirror(c, apply)?;
+    }
+    Ok(())
+}
+
+/// Steps a component's type one array dimension inward (index/select
+/// mirroring; `zip` is index-preserving per component, and component
+/// lengths equal the outer length by the zip typing rule).
+fn zip_component_elem(c: &TypedPlace, what: &str, span: Span) -> TResult<DataTy> {
+    let (DataTy::Array(e, _) | DataTy::ArrayView(e, _)) = &c.ty else {
+        return Err(TypeError::new(
+            ErrorKind::MismatchedTypes,
+            span,
+            format!("cannot {what} zip component of type `{}`", c.ty),
+        ));
+    };
+    Ok((**e).clone())
+}
+
+/// Mirrors an index step into the zip components of `tp`.
+fn zip_mirror_index(tp: &mut TypedPlace, n: &Nat, span: Span) -> TResult<()> {
+    zip_mirror(tp, &|c| {
+        c.ty = zip_component_elem(c, "index", span)?;
+        c.path.push(PathStep::Index(n.clone()));
+        Ok(())
+    })
+}
+
+/// Mirrors a select step into the zip components of `tp` (the outer
+/// place already validated the extent).
+fn zip_mirror_select(tp: &mut TypedPlace, sel: &SelectStep, span: Span) -> TResult<()> {
+    zip_mirror(tp, &|c| {
+        c.ty = zip_component_elem(c, "select from", span)?;
+        c.path.push(PathStep::Select(sel.clone()));
+        Ok(())
+    })
+}
+
+/// Mirrors a view application into the zip components of `tp`.
+/// Re-resolving against each component's own type keeps
+/// length-dependent views (`reverse`, symbolic `group`) correct.
+fn zip_mirror_view(tp: &mut TypedPlace, app: &ViewApp, defs: &ViewDefs, span: Span) -> TResult<()> {
+    zip_mirror(tp, &|c| {
+        let (steps, out_ty) = resolve_view_app(app, defs, &c.ty)
+            .map_err(|e| TypeError::new(ErrorKind::ViewMisapplied, span, e.to_string()))?;
+        for s in steps {
+            c.path.push(PathStep::View(s));
+        }
+        c.ty = out_ty;
+        Ok(())
+    })
+}
+
+/// Mirrors a tuple projection into the zip components of `tp`; used
+/// when a projection hits a *split* of a zip rather than the zip pair
+/// itself.
+fn zip_mirror_proj(tp: &mut TypedPlace, i: u8, span: Span) -> TResult<()> {
+    zip_mirror(tp, &|c| {
+        let DataTy::Tuple(parts) = &c.ty else {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                span,
+                format!("cannot project zip component of type `{}`", c.ty),
+            ));
+        };
+        let idx = i as usize;
+        if idx >= parts.len() {
+            return Err(TypeError::new(
+                ErrorKind::MismatchedTypes,
+                span,
+                "tuple projection out of range",
+            ));
+        }
+        c.ty = parts[idx].clone();
+        c.path.push(PathStep::Proj(i));
+        Ok(())
+    })
+}
+
+/// Whether `tp` sits at a zip *pair point*: its type is the pair of its
+/// component types, i.e. the zip's array dimension has been fully
+/// consumed and a projection must now route into one component.
+fn at_zip_pair_point(tp: &TypedPlace) -> bool {
+    match (&tp.zip, &tp.ty) {
+        (Some(z), DataTy::Tuple(parts)) => {
+            parts.len() == 2 && parts[0].same(&z.0.ty) && parts[1].same(&z.1.ty)
+        }
+        _ => false,
+    }
 }
 
 /// Per-function checking context.
@@ -593,6 +699,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     elem,
                     writable,
                     via_alias: false,
+                    zip: None,
                     span: p.span,
                 })
             }
@@ -622,6 +729,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                             elem: *target_elem,
                             writable: *uniq,
                             via_alias: true,
+                            zip: None,
                             span: p.span,
                         };
                         // The memory-context rule applies to the referent
@@ -678,6 +786,15 @@ impl<'g, 'p> FnCx<'g, 'p> {
             }
             PlaceExprKind::Proj(inner, i) => {
                 let mut tp = self.type_place(inner)?;
+                // At a zip pair point, the projection routes the access
+                // into one component: its path (own root and base
+                // buffer), memory and dimensions become the place.
+                if at_zip_pair_point(&tp) {
+                    let z = *tp.zip.take().expect("pair point has components");
+                    let mut routed = if *i == 0 { z.0 } else { z.1 };
+                    routed.span = p.span;
+                    return Ok(routed);
+                }
                 let DataTy::Tuple(parts) = &tp.ty else {
                     return Err(TypeError::new(
                         ErrorKind::MismatchedTypes,
@@ -695,6 +812,7 @@ impl<'g, 'p> FnCx<'g, 'p> {
                 }
                 tp.ty = parts[idx].clone();
                 tp.path.push(PathStep::Proj(*i));
+                zip_mirror_proj(&mut tp, *i, p.span)?;
                 Ok(tp)
             }
             PlaceExprKind::Index(inner, n) => {
@@ -720,7 +838,8 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     }
                 }
                 tp.ty = elem;
-                tp.path.push(PathStep::Index(n));
+                tp.path.push(PathStep::Index(n.clone()));
+                zip_mirror_index(&mut tp, &n, p.span)?;
                 Ok(tp)
             }
             PlaceExprKind::Select(inner, exec_var, dim) => {
@@ -789,10 +908,12 @@ impl<'g, 'p> FnCx<'g, 'p> {
                         ));
                     }
                     tp.ty = elem;
-                    tp.path.push(PathStep::Select(SelectStep {
+                    let sel = SelectStep {
                         exec: eb.expr.clone(),
                         level_index: li,
-                    }));
+                    };
+                    tp.path.push(PathStep::Select(sel.clone()));
+                    zip_mirror_select(&mut tp, &sel, p.span)?;
                 }
                 Ok(tp)
             }
@@ -807,13 +928,56 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     tp.path.push(PathStep::View(s));
                 }
                 tp.ty = out_ty;
+                // The clone only exists to release the borrow on self;
+                // non-zip places (the common case) skip it entirely.
+                if tp.zip.is_some() {
+                    let views = self.gcx.views.clone();
+                    zip_mirror_view(&mut tp, &app, &views, p.span)?;
+                }
                 Ok(tp)
+            }
+            PlaceExprKind::Zip(a, b) => {
+                let ta = self.type_place(a)?;
+                let tb = self.type_place(b)?;
+                // Length equality is a nat constraint decided by
+                // normalization (zip_ty); mismatches and undecidable
+                // sizes are view-application errors.
+                let ty = zip_ty(&ta.ty, &tb.ty).map_err(|e| {
+                    TypeError::new(ErrorKind::ViewMisapplied, p.span, e.to_string())
+                })?;
+                // The outer pair place is unusable until projected; it
+                // carries a `zip` view step so diagnostics and lowering
+                // errors name the zip, and the real component places so
+                // a later `.0`/`.1` can route.
+                let mut path = ta.path.clone();
+                path.push(PathStep::View(ViewStep::Zip));
+                Ok(TypedPlace {
+                    path,
+                    ty,
+                    mem: None,
+                    root_dims: Vec::new(),
+                    elem: None,
+                    writable: false,
+                    via_alias: ta.via_alias && tb.via_alias,
+                    zip: Some(Box::new((ta, tb))),
+                    span: p.span,
+                })
             }
         }
     }
 
     /// Records an access, performing the paper's `access_safety_check`.
     fn record_access(&mut self, tp: &TypedPlace, mode: AccessMode, span: Span) -> TResult<()> {
+        // An unprojected zip is not a memory region: its element is a
+        // pair whose halves live in different buffers. Accesses must
+        // first project with `.0`/`.1`, which routes to one component.
+        if tp.zip.is_some() {
+            return Err(TypeError::new(
+                ErrorKind::ViewMisapplied,
+                span,
+                "a `zip` must be projected with `.0`/`.1` before it is accessed",
+            ));
+        }
         // Local scalars are thread-private; nothing to check.
         if tp.mem.is_none() && !self.is_trackable_root(&tp.path.root) {
             return Ok(());

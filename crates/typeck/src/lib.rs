@@ -41,6 +41,8 @@
 //!   construction) are unrolled during checking and code generation,
 //!   mirroring `#pragma unroll` for such loops in CUDA practice.
 
+#![deny(missing_docs)]
+
 mod builtins;
 mod check;
 mod elab;

@@ -1,0 +1,298 @@
+//! The accept/reject boundary of the zip and strided-window views:
+//! projections route zips to per-component places, overlapping windows
+//! may be read but never written, and the nat constraints (zip length
+//! equality, windows extent arithmetic) are decided statically.
+
+use descend_typeck::{check_program, ErrorKind};
+
+fn check(src: &str) -> Result<descend_typeck::CheckedProgram, descend_typeck::TypeError> {
+    let prog = descend_parser::parse(src).expect("test sources parse");
+    check_program(&prog)
+}
+
+fn expect_err(src: &str, kind: ErrorKind) {
+    match check(src) {
+        Ok(_) => panic!("expected {kind:?}, but the program type-checked"),
+        Err(e) => assert_eq!(e.kind, kind, "wrong error: {e}"),
+    }
+}
+
+/// The basic zip: projections of a fully-selected zip element route to
+/// the two base buffers; the program is accepted and both components'
+/// accesses are recorded independently.
+#[test]
+fn zip_projections_route_to_components() {
+    check(
+        r#"
+fn k(a: & gpu.global [f64; 64], b: & gpu.global [f64; 64],
+     out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out).group::<32>[[block]][[thread]] =
+                zip((*a), (*b)).group::<32>[[block]][[thread]].0
+                * zip((*a), (*b)).group::<32>[[block]][[thread]].1;
+        }
+    }
+}
+"#,
+    )
+    .expect("zip reads route to their own buffers");
+}
+
+/// A *write* through a zip projection is a write to the routed
+/// component: writing `.0` of zip(out, inp) narrows like a direct write
+/// to `out` — accepted when fully selected.
+#[test]
+fn zip_projection_write_is_a_component_write() {
+    check(
+        r#"
+fn k(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            zip((*out), (*inp)).group::<32>[[block]][[thread]].0 =
+                zip((*out), (*inp)).group::<32>[[block]][[thread]].1;
+        }
+    }
+}
+"#,
+    )
+    .expect("a routed zip write is a plain component write");
+}
+
+/// The routed component write still conflicts with a direct access to
+/// the same buffer: routing erases the zip, so the conflict analysis
+/// compares the real paths.
+#[test]
+fn routed_zip_write_conflicts_with_direct_read() {
+    expect_err(
+        r#"
+fn k(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            zip((*out), (*inp)).group::<32>[[block]][[thread]].0 =
+                (*out).group::<32>[[block]].rev[[thread]];
+        }
+    }
+}
+"#,
+        ErrorKind::ConflictingAccess,
+    );
+}
+
+/// A write through an *unnarrowed* zip projection is still a narrowing
+/// violation: routing does not bypass the access checks.
+#[test]
+fn unnarrowed_zip_write_violates_narrowing() {
+    expect_err(
+        r#"
+fn k(inp: & gpu.global [f64; 64], out: &uniq gpu.global [f64; 64])
+-[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            zip((*out), (*inp))[0].0 = 1.0;
+        }
+    }
+}
+"#,
+        ErrorKind::NarrowingViolation,
+    );
+}
+
+/// An unprojected zip element cannot be accessed: the pair's halves
+/// live in different buffers.
+#[test]
+fn unprojected_zip_access_rejected() {
+    expect_err(
+        r#"
+fn k(a: & gpu.global [f64; 64], b: & gpu.global [f64; 64])
+-[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            let p = zip((*a), (*b)).group::<32>[[block]][[thread]];
+        }
+    }
+}
+"#,
+        ErrorKind::ViewMisapplied,
+    );
+}
+
+/// Zip length equality is a nat constraint; a mismatch is rejected.
+#[test]
+fn zip_length_mismatch_rejected() {
+    expect_err(
+        r#"
+fn k(a: & gpu.global [f64; 64], b: & gpu.global [f64; 32],
+     out: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out).group::<32>[[block]][[thread]] =
+                zip((*a), (*b)).group::<32>[[block]][[thread]].0;
+        }
+    }
+}
+"#,
+        ErrorKind::ViewMisapplied,
+    );
+}
+
+/// Zips nest: projecting twice routes through both levels.
+#[test]
+fn nested_zip_routes_twice() {
+    check(
+        r#"
+fn k(a: & gpu.global [f64; 32], b: & gpu.global [f64; 32],
+     c: & gpu.global [f64; 32], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out)[[thread]] =
+                zip(zip((*a), (*b)), (*c))[[thread]].0.1
+                + zip(zip((*a), (*b)), (*c))[[thread]].1;
+        }
+    }
+}
+"#,
+    )
+    .expect("nested zip projections route to the innermost component");
+}
+
+/// Reading through overlapping windows (stride < width) is fine: reads
+/// replicate freely even when sibling threads' windows share elements.
+#[test]
+fn overlapping_window_reads_accepted() {
+    check(
+        r#"
+fn k(inp: & gpu.global [f64; 34], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out)[[thread]] = (*inp).windows::<3, 1>[[thread]][0]
+                + (*inp).windows::<3, 1>[[thread]][1]
+                + (*inp).windows::<3, 1>[[thread]][2];
+        }
+    }
+}
+"#,
+    )
+    .expect("overlapping window reads are race-free");
+}
+
+/// Any write through an overlapping window conflicts: thread t's window
+/// shares elements with thread t+1's.
+#[test]
+fn overlapping_window_write_rejected() {
+    expect_err(
+        r#"
+fn k(buf: &uniq gpu.global [f64; 34]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*buf).windows::<3, 1>[[thread]][1] =
+                (*buf).windows::<3, 1>[[thread]][0];
+        }
+    }
+}
+"#,
+        ErrorKind::ConflictingAccess,
+    );
+}
+
+/// The overlap rule reaches through `map`: wrapping the overlapping
+/// window in `map(...)` must not un-reject the in-place stencil.
+#[test]
+fn mapped_overlapping_window_write_rejected() {
+    expect_err(
+        r#"
+fn smear(buf: &uniq gpu.global [[f64; 34]; 4])
+-[grid: gpu.grid<X<4>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*buf).map(windows::<3, 1>)[[block]][[thread]][1] =
+                (*buf).map(windows::<3, 1>)[[block]][[thread]][0]
+                + (*buf).map(windows::<3, 1>)[[block]][[thread]][2];
+        }
+    }
+}
+"#,
+        ErrorKind::ConflictingAccess,
+    );
+}
+
+/// Windows with stride == width tile the array like `group`: writes are
+/// accepted when fully selected.
+#[test]
+fn tiling_window_write_accepted() {
+    check(
+        r#"
+fn k(buf: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*buf).windows::<2, 2>[[thread]][0] = 1.0;
+            (*buf).windows::<2, 2>[[thread]][1] = 2.0;
+        }
+    }
+}
+"#,
+    )
+    .expect("non-overlapping windows partition the array");
+}
+
+/// The windows extent arithmetic is checked: a width that does not fit
+/// or a ragged stride is a misapplied view.
+#[test]
+fn windows_misfit_rejected() {
+    expect_err(
+        r#"
+fn k(buf: &uniq gpu.global [f64; 33]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*buf).windows::<4, 2>[[thread]][0] = 1.0;
+        }
+    }
+}
+"#,
+        ErrorKind::ViewMisapplied,
+    );
+}
+
+/// Windows compose with zip: a windows view over a zip mirrors into
+/// both components, and projections still route.
+#[test]
+fn windows_over_zip_composes() {
+    check(
+        r#"
+fn k(a: & gpu.global [f64; 34], b: & gpu.global [f64; 34],
+     out: &uniq gpu.global [f64; 32]) -[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out)[[thread]] =
+                zip((*a), (*b)).windows::<3, 1>[[thread]][0].0
+                + zip((*a), (*b)).windows::<3, 1>[[thread]][2].1;
+        }
+    }
+}
+"#,
+    )
+    .expect("windows over zip mirrors into both components");
+}
+
+/// The select-extent check applies to the windows dimension: 32 threads
+/// cannot select from 16 windows.
+#[test]
+fn windows_select_extent_checked() {
+    expect_err(
+        r#"
+fn k(inp: & gpu.global [f64; 34], out: &uniq gpu.global [f64; 32])
+-[grid: gpu.grid<X<1>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*out)[[thread]] = (*inp).windows::<4, 2>[[thread]][0];
+        }
+    }
+}
+"#,
+        ErrorKind::SelectSizeMismatch,
+    );
+}

@@ -178,6 +178,49 @@ fn main() -[t: cpu.thread]-> () {
     Compiler::new().compile_source(src).expect("compiles");
 }
 
+/// The windows-view stencil corpus program computes the exact 3-point
+/// sums of its padded input: thread `g`'s window covers `g`, `g+1`,
+/// `g+2`, staged through shared memory.
+#[test]
+fn stencil_windows_equals_sequential_reference() {
+    let src = std::fs::read_to_string("examples/descend/stencil1d_windows.descend").unwrap();
+    let compiled = Compiler::new().compile_source(&src).expect("compiles");
+    let input: Vec<f64> = (0..2050).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), input.clone());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    let out = &run.cpu["hout"];
+    assert_eq!(out.len(), 2048);
+    for (g, got) in out.iter().enumerate() {
+        let want = input[g] + input[g + 1] + input[g + 2];
+        assert_eq!(*got, want, "window {g}");
+    }
+}
+
+/// The zip corpus program computes SAXPY exactly, with each projection
+/// routed to its own base buffer.
+#[test]
+fn saxpy_zip_equals_sequential_reference() {
+    let src = std::fs::read_to_string("examples/descend/saxpy_zip.descend").unwrap();
+    let compiled = Compiler::new().compile_source(&src).expect("compiles");
+    // f32 buffers: pick values exact in f32 so the check is bitwise.
+    let a: Vec<f64> = (0..2048).map(|i| ((i % 17) as f64) - 8.0).collect();
+    let b: Vec<f64> = (0..2048).map(|i| ((i % 13) as f64) * 0.25).collect();
+    let mut inputs = HashMap::new();
+    inputs.insert("ha".to_string(), a.clone());
+    inputs.insert("hb".to_string(), b.clone());
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs race-free");
+    let out = &run.cpu["hout"];
+    assert_eq!(out.len(), 2048);
+    for (i, got) in out.iter().enumerate() {
+        assert_eq!(*got, a[i] * 2.0 + b[i], "element {i}");
+    }
+}
+
 #[test]
 fn two_dimensional_blocks_with_nested_arrays() {
     let src = r#"

@@ -71,13 +71,18 @@ __kernel void warp_sum(__global const double* inp, __global double* out) {
     let tu = compiled.target_source("opencl").unwrap();
     assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroups : enable"));
     assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable"));
-    assert!(tu.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle_relative : enable"));
+    // Only the general-shuffle extension is needed: no
+    // `sub_group_shuffle_down/up` is emitted, so the `_relative`
+    // pragma would be dead.
+    assert!(!tu.contains("cl_khr_subgroup_shuffle_relative"));
 }
 
-/// `shfl_down` carries an explicit clamp guard: OpenCL's
-/// `sub_group_shuffle_down` leaves out-of-range sources undefined,
-/// while the simulator (and CUDA) define them to keep the lane's own
-/// value.
+/// `shfl_down` clamps its *source index*, not the call: sub-group
+/// shuffles are collective, so every lane must execute the intrinsic
+/// (a ternary around the call would leave all lanes undefined). The
+/// general `sub_group_shuffle` runs unconditionally, with the source
+/// lane id clamped to the lane's own id at the warp boundary —
+/// matching the simulator's (and CUDA's) keep-own-value semantics.
 #[test]
 fn golden_shfl_down_is_clamp_guarded() {
     let src = r#"
@@ -97,7 +102,10 @@ fn shift(inp: & gpu.global [f64; 32], out: &uniq gpu.global [f64; 32])
 "#;
     let cl = kernel_opencl(src, 0);
     assert!(
-        cl.contains("(get_sub_group_local_id() + 1u < 32u ? sub_group_shuffle_down(v, 1u) : v)"),
+        cl.contains(
+            "sub_group_shuffle(v, (get_sub_group_local_id() + 1u < 32u ? \
+             get_sub_group_local_id() + 1u : get_sub_group_local_id()))"
+        ),
         "{cl}"
     );
 }

@@ -256,6 +256,61 @@ fn nonatomic_histogram_is_caught_both_ways_and_atomic_is_clean() {
         .expect("the atomic version of the same kernel is accepted");
 }
 
+/// The window-overlap boundary, from both sides: the in-place 3-wide
+/// stencil (`fail/overlapping_window_write.descend`) writes the middle
+/// of each thread's overlapping window — rejected statically as a
+/// conflicting access AND flagged by the dynamic race oracle in its IR
+/// transcription (thread t writes element t+1 while thread t+1 reads
+/// it) — while the staged windows stencil is accepted and runs clean
+/// (driven by tests/corpus.rs and the Stencil benchmark).
+#[test]
+fn overlapping_window_write_is_caught_both_ways() {
+    use descend::sim::ir::{ElemTy, Expr, KernelIr, ParamDecl, Stmt};
+    // Dynamically: buf[g+1] = buf[g] + buf[g+2], g the global thread id
+    // — the faithful transcription of the fail-corpus kernel's
+    // windows::<3,1> arithmetic (window g, offsets 0/1/2 → g, g+1, g+2).
+    let load = |off: i64| Expr::LoadGlobal {
+        buf: 0,
+        idx: Box::new(Expr::add(Expr::global_x(), Expr::LitI(off))),
+    };
+    let kernel = KernelIr {
+        name: "smear".into(),
+        params: vec![ParamDecl {
+            elem: ElemTy::F64,
+            len: 1026,
+            writable: true,
+        }],
+        shared: vec![],
+        body: vec![Stmt::StoreGlobal {
+            buf: 0,
+            idx: Expr::add(Expr::global_x(), Expr::LitI(1)),
+            value: Expr::add(load(0), load(2)),
+        }],
+    };
+    let mut gpu = Gpu::new();
+    let buf = gpu.alloc_f64(&vec![1.0; 1026]);
+    let err = gpu
+        .launch(&kernel, [4, 1, 1], [256, 1, 1], &[buf], &race_checked())
+        .unwrap_err();
+    assert!(matches!(err, SimError::DataRace(_)));
+
+    // Statically: the same program in Descend is a conflicting access...
+    let src =
+        std::fs::read_to_string("examples/descend/fail/overlapping_window_write.descend").unwrap();
+    let err = Compiler::new().compile_source(&src).unwrap_err();
+    assert_eq!(
+        err.type_error.unwrap().kind,
+        descend::typeck::ErrorKind::ConflictingAccess
+    );
+    // ...and the staged formulation of the very same stencil (read
+    // through overlapping windows, write through the disjoint group
+    // view) is accepted.
+    let staged = std::fs::read_to_string("examples/descend/stencil1d_windows.descend").unwrap();
+    Compiler::new()
+        .compile_source(&staged)
+        .expect("the staged windows stencil is accepted");
+}
+
 /// Injected-fault check: perturbing a safe baseline into a racy variant
 /// must trip the detector (guards against a detector that passes
 /// everything).

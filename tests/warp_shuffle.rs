@@ -113,7 +113,6 @@ fn all_backends_emit_shuffles() {
     let opencl = compiled.target_source("opencl").unwrap();
     assert!(opencl.contains("sub_group_shuffle_xor(v, 16u)"), "{opencl}");
     assert!(opencl.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle : enable"));
-    assert!(opencl.contains("#pragma OPENCL EXTENSION cl_khr_subgroup_shuffle_relative : enable"));
     let wgsl = compiled.target_source("wgsl").unwrap();
     assert!(wgsl.contains("subgroupShuffleXor(v, 16u)"), "{wgsl}");
     assert!(wgsl.contains("enable subgroups;"));
