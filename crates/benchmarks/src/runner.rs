@@ -74,10 +74,70 @@ pub struct SizeClass {
 }
 
 /// The three footprint classes per benchmark (scaled from the paper's
-/// 256 MB / 512 MB / 1 GB to interpreter scale; see DESIGN.md).
+/// 256 MB / 512 MB / 1 GB; see DESIGN.md). The memory-bound 1-D
+/// benchmarks now reach multi-million-element footprints — feasible
+/// since the warp-vectorized executor replaced lane-at-a-time
+/// interpretation. Matmul stays smaller because its work grows with the
+/// cube of the parameter, not the footprint.
 pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
     match kind {
         BenchKind::Reduce => [
+            SizeClass {
+                name: "small",
+                param: 1 << 20,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 21,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 22,
+            },
+        ],
+        BenchKind::Transpose => [
+            SizeClass {
+                name: "small",
+                param: 512,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1024,
+            },
+            SizeClass {
+                name: "large",
+                param: 1536,
+            },
+        ],
+        BenchKind::Scan => [
+            SizeClass {
+                name: "small",
+                param: 1 << 19,
+            },
+            SizeClass {
+                name: "medium",
+                param: 1 << 20,
+            },
+            SizeClass {
+                name: "large",
+                param: 1 << 21,
+            },
+        ],
+        BenchKind::Matmul => [
+            SizeClass {
+                name: "small",
+                param: 128,
+            },
+            SizeClass {
+                name: "medium",
+                param: 192,
+            },
+            SizeClass {
+                name: "large",
+                param: 256,
+            },
+        ],
+        BenchKind::Histogram => [
             SizeClass {
                 name: "small",
                 param: 1 << 18,
@@ -91,77 +151,21 @@ pub fn footprints(kind: BenchKind) -> [SizeClass; 3] {
                 param: 1 << 20,
             },
         ],
-        BenchKind::Transpose => [
-            SizeClass {
-                name: "small",
-                param: 256,
-            },
-            SizeClass {
-                name: "medium",
-                param: 512,
-            },
-            SizeClass {
-                name: "large",
-                param: 768,
-            },
-        ],
-        BenchKind::Scan => [
-            SizeClass {
-                name: "small",
-                param: 1 << 17,
-            },
-            SizeClass {
-                name: "medium",
-                param: 1 << 18,
-            },
-            SizeClass {
-                name: "large",
-                param: 1 << 19,
-            },
-        ],
-        BenchKind::Matmul => [
-            SizeClass {
-                name: "small",
-                param: 64,
-            },
-            SizeClass {
-                name: "medium",
-                param: 128,
-            },
-            SizeClass {
-                name: "large",
-                param: 192,
-            },
-        ],
-        BenchKind::Histogram => [
-            SizeClass {
-                name: "small",
-                param: 1 << 16,
-            },
-            SizeClass {
-                name: "medium",
-                param: 1 << 17,
-            },
-            SizeClass {
-                name: "large",
-                param: 1 << 18,
-            },
-        ],
         // Same footprints as Reduce, so the two reductions' cycle
         // counts compare cell by cell in the Figure 8 table.
         BenchKind::ReduceShuffle => footprints(BenchKind::Reduce),
         BenchKind::Stencil => [
             SizeClass {
                 name: "small",
-                param: 1 << 17,
+                param: 1 << 19,
             },
             SizeClass {
                 name: "medium",
-                param: 1 << 18,
+                param: 1 << 20,
             },
             SizeClass {
                 name: "large",
-                param: 1 << 19,
+                param: 1 << 21,
             },
         ],
     }

@@ -73,6 +73,30 @@ impl Default for CostModel {
     }
 }
 
+/// Detects `idxs[l] == idxs[0] + l * stride` (a non-descending
+/// arithmetic progression — the `tid`-addressed access shapes the group
+/// charges special-case) and returns the stride.
+#[inline]
+fn arith_stride(idxs: &[u64]) -> Option<u64> {
+    if idxs.len() < 2 || idxs[1] < idxs[0] {
+        return None;
+    }
+    let first = idxs[0];
+    let stride = idxs[1] - idxs[0];
+    let mut ok = true;
+    for (l, &i) in idxs.iter().enumerate() {
+        ok &= i == first + l as u64 * stride;
+    }
+    ok.then_some(stride)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Statistics of one kernel launch.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct LaunchStats {
@@ -103,6 +127,25 @@ pub struct LaunchStats {
     pub shuffles: u64,
     /// Number of blocks executed.
     pub blocks: u64,
+}
+
+impl LaunchStats {
+    /// Sums another stats delta into this one, field by field (used to
+    /// merge per-block outcomes; per-block `cycles` is 0 — the device
+    /// sets the final cycle count from its SM schedule).
+    pub(crate) fn accumulate(&mut self, o: &LaunchStats) {
+        self.cycles += o.cycles;
+        self.global_transactions += o.global_transactions;
+        self.global_accesses += o.global_accesses;
+        self.shared_replays += o.shared_replays;
+        self.shared_accesses += o.shared_accesses;
+        self.instructions += o.instructions;
+        self.barriers += o.barriers;
+        self.atomic_accesses += o.atomic_accesses;
+        self.atomic_serializations += o.atomic_serializations;
+        self.shuffles += o.shuffles;
+        self.blocks += o.blocks;
+    }
 }
 
 /// Accumulates per-interval costs for one block at a time.
@@ -254,13 +297,230 @@ impl CostAccumulator {
 
     /// Schedules block costs over the SMs and returns the final stats.
     pub fn finish(mut self) -> LaunchStats {
-        let n = self.model.num_sms.max(1) as usize;
-        let mut sm = vec![0u64; n];
-        for (i, c) in self.block_cycles.iter().enumerate() {
-            sm[i % n] += c;
-        }
-        self.stats.cycles = sm.into_iter().max().unwrap_or(0);
+        self.stats.cycles = schedule_blocks(&self.model, &self.block_cycles);
         self.stats
+    }
+}
+
+/// Schedules per-block cycle counts round-robin over the SMs; the kernel
+/// cycle count is the busiest SM. Blocks are assigned by linear block id,
+/// so the result is independent of which host thread simulated which
+/// block.
+pub(crate) fn schedule_blocks(model: &CostModel, block_cycles: &[u64]) -> u64 {
+    let n = model.num_sms.max(1) as usize;
+    let mut sm = vec![0u64; n];
+    for (i, c) in block_cycles.iter().enumerate() {
+        sm[i % n] += c;
+    }
+    sm.into_iter().max().unwrap_or(0)
+}
+
+/// Per-block cost accumulator for the warp-vectorized executor.
+///
+/// Where [`CostAccumulator`] replays a per-interval access log and groups
+/// it with hash maps, `BlockCost` is fed one *warp instruction* at a time
+/// — the lanes of one memory operation arrive together, already grouped —
+/// so each charge is O(lanes log lanes) on stack scratch, with no log and
+/// no per-access allocation. The numbers it produces are identical to the
+/// log-replay path (pinned by the differential tests in
+/// `tests/sim_scale.rs`).
+#[derive(Debug)]
+pub(crate) struct BlockCost {
+    model: CostModel,
+    cycles: u64,
+    /// Per-block stats delta ([`LaunchStats::blocks`] is set by
+    /// [`BlockCost::finish`]; `cycles` by the device's block schedule).
+    stats: LaunchStats,
+}
+
+impl BlockCost {
+    pub(crate) fn new(model: CostModel) -> BlockCost {
+        BlockCost {
+            model,
+            cycles: 0,
+            stats: LaunchStats::default(),
+        }
+    }
+
+    /// Warp-wide instruction cycles of one interval: the max lane delta
+    /// of one warp (lockstep execution runs at the slowest lane).
+    pub(crate) fn warp_instrs(&mut self, max_lane_delta: u64) {
+        self.stats.instructions += max_lane_delta;
+        self.cycles += max_lane_delta * self.model.instr_cost;
+    }
+
+    /// One barrier closing an interval.
+    pub(crate) fn barrier(&mut self) {
+        self.stats.barriers += 1;
+        self.cycles += self.model.barrier_cost;
+    }
+
+    /// One warp-wide shuffle exchange over `lanes` lanes.
+    pub(crate) fn warp_shuffle(&mut self, lanes: u64) {
+        self.stats.shuffles += lanes;
+        self.cycles += self.model.shuffle_cost;
+    }
+
+    /// All global-memory accesses of one warp instruction: `idxs` holds
+    /// one element index per participating lane, `esz` the element size
+    /// in bytes. Charges coalesced transactions, and atomic contention
+    /// when the instruction is an atomic RMW.
+    pub(crate) fn global_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) {
+        if atomic {
+            self.charge_atomics(idxs);
+        }
+        self.stats.global_accesses += idxs.len() as u64;
+        // Fastest path: consecutive lanes touch every segment between
+        // their first and last byte exactly once, so the transaction
+        // count is a closed form (elements no wider than a segment
+        // cannot skip one); a stride-0 broadcast is one transaction by
+        // the same formula.
+        if !atomic
+            && esz <= self.model.segment_bytes
+            && matches!(arith_stride(idxs), Some(0) | Some(1))
+        {
+            let first = idxs[0] * esz / self.model.segment_bytes;
+            let last = idxs[idxs.len() - 1] * esz / self.model.segment_bytes;
+            let tx = last - first + 1;
+            self.stats.global_transactions += tx;
+            self.cycles += tx * self.model.global_cost;
+            return;
+        }
+        // Coalescing: distinct 128-byte segments among the lanes.
+        for i in idxs.iter_mut() {
+            *i = *i * esz / self.model.segment_bytes;
+        }
+        // Lanes usually index monotonically (tid-based addressing), so
+        // the segment keys arrive sorted; skip the sort on that hot path.
+        if !idxs.is_sorted() {
+            idxs.sort_unstable();
+        }
+        let mut tx = 0u64;
+        let mut prev = u64::MAX;
+        for s in idxs.iter() {
+            if *s != prev {
+                tx += 1;
+                prev = *s;
+            }
+        }
+        self.stats.global_transactions += tx;
+        self.cycles += tx * self.model.global_cost;
+    }
+
+    /// All shared-memory accesses of one warp instruction (see
+    /// [`BlockCost::global_group`]). Charges bank-conflict replays.
+    pub(crate) fn shared_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) {
+        if atomic {
+            self.charge_atomics(idxs);
+        }
+        self.stats.shared_accesses += idxs.len() as u64;
+        // Bank conflicts: distinct addresses per bank serialize
+        // (same-address lanes broadcast); the replay count is the
+        // deepest per-bank pile-up of distinct addresses.
+        let banks = u64::from(self.model.banks);
+        // Fastest path: lanes in an arithmetic progression (`tid`-based
+        // addressing, plain or strided — the dominant patterns) walk
+        // the banks in a fixed cycle of length `banks / gcd(step,
+        // banks)`, so the deepest pile-up is a closed form and the
+        // histogram is skipped. Stride 0 is a broadcast: one replay.
+        if !atomic {
+            if let Some(stride) = arith_stride(idxs) {
+                let replay = if stride == 0 {
+                    1
+                } else if (stride * esz).is_multiple_of(self.model.bank_bytes) {
+                    let step = stride * esz / self.model.bank_bytes;
+                    let cycle = banks / gcd(step, banks);
+                    (idxs.len() as u64).div_ceil(cycle)
+                } else {
+                    0 // fractional bank step: fall through to the scan
+                };
+                if replay > 0 {
+                    self.stats.shared_replays += replay - 1;
+                    self.cycles += replay * self.model.shared_cost;
+                    return;
+                }
+            }
+        }
+        let replay = if banks <= 64 && idxs.is_sorted() {
+            // Hot path: lanes index monotonically (tid-based
+            // addressing), so equal addresses are adjacent and a
+            // per-bank histogram of first-occurrences needs no sort.
+            let mut per_bank = [0u64; 64];
+            let mut deepest = 1u64;
+            let mut prev = u64::MAX;
+            for &i in idxs.iter() {
+                let byte = i * esz;
+                if byte != prev {
+                    prev = byte;
+                    let bank = ((byte / self.model.bank_bytes) % banks) as usize;
+                    per_bank[bank] += 1;
+                    deepest = deepest.max(per_bank[bank]);
+                }
+            }
+            deepest
+        } else {
+            // General path: sort (bank, byte) pairs so each bank's
+            // distinct addresses are one run.
+            for i in idxs.iter_mut() {
+                let byte = *i * esz;
+                let bank = (byte / self.model.bank_bytes) % banks;
+                // Banks fit u32 and bytes u34ish; pack bank into the
+                // high bits for a single-key sort.
+                *i = (bank << 48) | (byte & 0xffff_ffff_ffff);
+            }
+            idxs.sort_unstable();
+            let mut replay = 1u64;
+            let mut run = 0u64;
+            let mut prev_bank = u64::MAX;
+            let mut prev = u64::MAX;
+            for key in idxs.iter() {
+                let bank = key >> 48;
+                if bank != prev_bank {
+                    prev_bank = bank;
+                    run = 0;
+                    prev = u64::MAX;
+                }
+                if *key != prev {
+                    run += 1;
+                    prev = *key;
+                }
+                replay = replay.max(run);
+            }
+            replay
+        };
+        self.stats.shared_replays += replay - 1;
+        self.cycles += replay * self.model.shared_cost;
+    }
+
+    /// Same-address contention among one warp instruction's atomic
+    /// lanes: the deepest per-address pile-up serializes.
+    fn charge_atomics(&mut self, idxs: &mut [u64]) {
+        self.stats.atomic_accesses += idxs.len() as u64;
+        if !idxs.is_sorted() {
+            idxs.sort_unstable();
+        }
+        let mut contention = 1u64;
+        let mut run = 0u64;
+        let mut prev = u64::MAX;
+        for i in idxs.iter() {
+            if *i == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = *i;
+            }
+            contention = contention.max(run);
+        }
+        self.stats.atomic_serializations += contention - 1;
+        self.cycles += (contention - 1) * self.model.atomic_cost;
+    }
+
+    /// Finishes the block: its cycle count and stats delta (with
+    /// [`LaunchStats::blocks`] = 1; `cycles` is left 0 for the device's
+    /// cross-block schedule).
+    pub(crate) fn finish(mut self) -> (u64, LaunchStats) {
+        self.stats.blocks = 1;
+        (self.cycles, self.stats)
     }
 }
 
@@ -466,5 +726,34 @@ mod tests {
         let stats = c.finish();
         assert_eq!(stats.barriers, 1);
         assert_eq!(stats.cycles, CostModel::default().barrier_cost);
+    }
+
+    /// The arithmetic-progression fast paths in `BlockCost` must charge
+    /// exactly what the general scan charges for the same multiset of
+    /// indices. Reversing an AP defeats `arith_stride` (descending) and
+    /// `is_sorted`, forcing the general path on identical inputs.
+    #[test]
+    fn ap_fast_paths_match_general_scan() {
+        for stride in [0u64, 1, 2, 3, 4, 17, 31, 32, 33, 64] {
+            for esz in [1u64, 4, 8] {
+                let ap: Vec<u64> = (0..32).map(|l| 1000 + l * stride).collect();
+                let rev: Vec<u64> = ap.iter().rev().copied().collect();
+
+                let mut fast = BlockCost::new(CostModel::default());
+                fast.shared_group(&mut ap.clone(), esz, false);
+                fast.global_group(&mut ap.clone(), esz, false);
+                let mut slow = BlockCost::new(CostModel::default());
+                slow.shared_group(&mut rev.clone(), esz, false);
+                slow.global_group(&mut rev.clone(), esz, false);
+
+                let (fc, fs) = fast.finish();
+                let (sc, ss) = slow.finish();
+                assert_eq!(
+                    (fc, fs),
+                    (sc, ss),
+                    "stride {stride} esz {esz}: AP fast path diverged from scan"
+                );
+            }
+        }
     }
 }

@@ -10,6 +10,38 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BufId(pub usize);
 
+/// Which executor a launch uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The warp-vectorized executor: lanes of a warp step together under
+    /// a mask, races are tracked in shadow memory, and independent
+    /// blocks may run on host threads (see [`Parallel`]). The default.
+    #[default]
+    Warp,
+    /// The original thread-at-a-time interpreter with log-replay race
+    /// detection. Kept as the differential oracle for the warp path and
+    /// as the baseline the simulator benchmarks compare against.
+    Reference,
+}
+
+/// Whether independent blocks of a [`ExecMode::Warp`] launch run on
+/// host threads. Results and reports are deterministic either way:
+/// per-block outcomes are merged in linear block order, the reported
+/// race is the minimum under [`RaceReport::sort_key`], and launches
+/// whose cross-block atomics are order-sensitive (float adds,
+/// exchanges) always run sequentially.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallel {
+    /// Parallel when the launch is big enough to pay for the threads
+    /// (and order-insensitive). The default.
+    #[default]
+    Auto,
+    /// Always sequential.
+    Off,
+    /// Parallel whenever order-insensitive, regardless of size.
+    On,
+}
+
 /// Launch options.
 #[derive(Clone, Debug, Default)]
 pub struct LaunchConfig {
@@ -17,11 +49,21 @@ pub struct LaunchConfig {
     pub detect_races: bool,
     /// The cost model.
     pub cost: CostModel,
+    /// Which executor to use.
+    pub exec: ExecMode,
+    /// Host-parallel block execution (warp executor only).
+    pub parallel: Parallel,
 }
 
 /// Threads per warp for the lockstep shuffle grouping (agrees with
 /// [`CostModel::warp_size`]'s default and `descend_exec::WARP_SIZE`).
-const WARP_SIZE: usize = 32;
+pub(crate) const WARP_SIZE: usize = 32;
+
+/// Largest block the simulator accepts (threads), and largest shared
+/// allocation (elements). Far beyond real hardware limits, but small
+/// enough that per-block state never overflows `usize`/`u32` math.
+const MAX_BLOCK_THREADS: u64 = 1 << 24;
+const MAX_SHARED_ELEMS: u64 = 1 << 24;
 
 /// Simulation errors.
 #[derive(Clone, Debug, PartialEq)]
@@ -241,10 +283,40 @@ impl Gpu {
                 )));
             }
         }
-        let threads_per_block = (block_dim[0] * block_dim[1] * block_dim[2]) as usize;
+        // Checked geometry: dimensions are u64 and their products feed
+        // usize/u32 arithmetic everywhere downstream, so overflow or an
+        // absurd size must become a reported BadLaunch, never a wrap.
+        let threads_per_block = block_dim
+            .iter()
+            .try_fold(1u64, |acc, d| acc.checked_mul(*d))
+            .ok_or_else(|| SimError::BadLaunch("block dimensions overflow".into()))?;
         if threads_per_block == 0 || grid_dim.contains(&0) {
             return Err(SimError::BadLaunch("empty grid or block".into()));
         }
+        if threads_per_block > MAX_BLOCK_THREADS {
+            return Err(SimError::BadLaunch(format!(
+                "{threads_per_block} threads per block exceed the simulator limit of {MAX_BLOCK_THREADS}"
+            )));
+        }
+        let total_blocks = grid_dim
+            .iter()
+            .try_fold(1u64, |acc, d| acc.checked_mul(*d))
+            .ok_or_else(|| SimError::BadLaunch("grid dimensions overflow".into()))?;
+        if total_blocks > u64::from(u32::MAX) {
+            return Err(SimError::BadLaunch(format!(
+                "{total_blocks} blocks exceed the simulator limit of {}",
+                u32::MAX
+            )));
+        }
+        for (i, s) in kernel.shared.iter().enumerate() {
+            if s.len > MAX_SHARED_ELEMS {
+                return Err(SimError::BadLaunch(format!(
+                    "shared allocation {i} of {} elements exceeds the simulator limit of {MAX_SHARED_ELEMS}",
+                    s.len
+                )));
+            }
+        }
+        let threads_per_block = threads_per_block as usize;
         let (code, local_count) = interp::prepare(kernel);
         let weights = interp::weights(&code);
         let global_elems: Vec<ElemTy> = kernel.params.iter().map(|p| p.elem).collect();
@@ -257,31 +329,48 @@ impl Gpu {
             .map(|a| std::mem::take(&mut self.buffers[a.0].data))
             .collect();
 
-        let mut cost = CostAccumulator::new(cfg.cost.clone());
-        let mut races = RaceDetector::new();
-        let result = self.run_grid(
-            &code,
-            &weights,
-            local_count,
-            kernel,
-            grid_dim,
-            block_dim,
-            threads_per_block,
-            &mut global,
-            &global_elems,
-            &shared_elems,
-            &mut cost,
-            cfg.detect_races.then_some(&mut races),
-        );
+        let result = match cfg.exec {
+            ExecMode::Reference => {
+                let mut cost = CostAccumulator::new(cfg.cost.clone());
+                let mut races = RaceDetector::new();
+                let result = self.run_grid(
+                    &code,
+                    &weights,
+                    local_count,
+                    kernel,
+                    grid_dim,
+                    block_dim,
+                    threads_per_block,
+                    &mut global,
+                    &global_elems,
+                    &shared_elems,
+                    &mut cost,
+                    cfg.detect_races.then_some(&mut races),
+                );
+                result.and_then(|()| match races.race {
+                    Some(r) => Err(SimError::DataRace(r)),
+                    None => Ok(cost.finish()),
+                })
+            }
+            ExecMode::Warp => run_grid_warp(
+                kernel,
+                &code,
+                &weights,
+                local_count,
+                grid_dim,
+                block_dim,
+                threads_per_block,
+                total_blocks as usize,
+                &mut global,
+                &global_elems,
+                cfg,
+            ),
+        };
         // Restore buffers even on error.
         for (a, data) in args.iter().zip(global) {
             self.buffers[a.0].data = data;
         }
-        result?;
-        if let Some(r) = races.race {
-            return Err(SimError::DataRace(r));
-        }
-        Ok(cost.finish())
+        result
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -490,6 +579,187 @@ impl Gpu {
     }
 }
 
+/// Views a `u64` slice as atomic cells for lock-free parallel blocks.
+fn as_atomic(data: &mut [u64]) -> &[std::sync::atomic::AtomicU64] {
+    // SAFETY: `AtomicU64` is documented to have the same size and
+    // alignment (and in-memory representation) as `u64`, and the `&mut`
+    // borrow guarantees exclusive access to the memory for the lifetime
+    // of the returned view, so re-typing the cells as atomics is sound.
+    unsafe { &*(data as *mut [u64] as *const [std::sync::atomic::AtomicU64]) }
+}
+
+/// Whether a kernel's result is independent of the order in which
+/// *blocks* execute, so that host-parallel execution is deterministic.
+/// Intra-block execution is sequential on one worker either way, so only
+/// cross-block-visible effects matter: atomics on global memory whose
+/// combine is not commutative-and-exact — float adds (rounding depends
+/// on order) and exchanges (last writer wins) — force sequential blocks.
+fn order_insensitive(kernel: &KernelIr) -> bool {
+    fn stmts_ok(stmts: &[crate::ir::Stmt], params: &[crate::ir::ParamDecl]) -> bool {
+        use crate::ir::{AtomicOp, ElemTy, Stmt};
+        stmts.iter().all(|s| match s {
+            Stmt::AtomicGlobal { op, buf, .. } => {
+                if *op == AtomicOp::Exch {
+                    return false;
+                }
+                !matches!(
+                    params.get(*buf).map(|p| p.elem),
+                    Some(ElemTy::F32 | ElemTy::F64)
+                )
+            }
+            Stmt::If { then_s, else_s, .. } => stmts_ok(then_s, params) && stmts_ok(else_s, params),
+            Stmt::Loop { body, .. } => stmts_ok(body, params),
+            _ => true,
+        })
+    }
+    stmts_ok(&kernel.body, &kernel.params)
+}
+
+/// Picks the worker count for a warp-mode launch.
+fn decide_workers(
+    cfg: &LaunchConfig,
+    kernel: &KernelIr,
+    blocks: usize,
+    threads_per_block: usize,
+    global_lens: &[usize],
+    shared_lens: &[usize],
+) -> usize {
+    // `DESCEND_SIM_THREADS` overrides how many host threads a parallel
+    // launch may use (1 forces sequential); it never overrides the
+    // order-insensitivity gate, which protects determinism.
+    let available = std::env::var("DESCEND_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or_else(workpool::Pool::available_workers);
+    let requested = match cfg.parallel {
+        Parallel::Off => 1,
+        Parallel::On => available,
+        Parallel::Auto => {
+            // Small launches lose more to thread startup than they gain.
+            if blocks >= 4 && blocks.saturating_mul(threads_per_block) >= 4096 {
+                available
+            } else {
+                1
+            }
+        }
+    };
+    if requested <= 1 || !order_insensitive(kernel) {
+        return 1;
+    }
+    let mut workers = requested.min(blocks);
+    if cfg.detect_races {
+        // Each worker owns a full shadow copy of the buffers; cap the
+        // fleet so race-checked runs stay within a sane memory budget.
+        let per = crate::race::shadow_bytes_per_worker(global_lens, shared_lens).max(1);
+        let budget: u64 = 256 << 20;
+        workers = workers.min(usize::try_from((budget / per).max(1)).unwrap_or(1));
+    }
+    workers.max(1)
+}
+
+/// The warp-vectorized grid driver: runs blocks (possibly on a worker
+/// pool), then merges outcomes in linear block order so every observable
+/// result — stats, the reported error, the reported race — is
+/// independent of the host schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_grid_warp(
+    kernel: &KernelIr,
+    code: &[interp::Instr],
+    weights: &[u64],
+    local_count: usize,
+    grid_dim: [u64; 3],
+    block_dim: [u64; 3],
+    threads_per_block: usize,
+    blocks: usize,
+    global: &mut [Vec<u64>],
+    global_elems: &[ElemTy],
+    cfg: &LaunchConfig,
+) -> Result<LaunchStats, SimError> {
+    use crate::race::{fold_min, CrossBlockMerge, ShadowMemory};
+    use crate::warp::{run_block, BlockOutcome, BlockScratch, GridCtx};
+    let views: Vec<&[std::sync::atomic::AtomicU64]> = global
+        .iter_mut()
+        .map(|v| as_atomic(v.as_mut_slice()))
+        .collect();
+    let global_lens: Vec<usize> = views.iter().map(|v| v.len()).collect();
+    let shared_lens: Vec<usize> = kernel.shared.iter().map(|s| s.len as usize).collect();
+    let ctx = GridCtx {
+        code,
+        weights,
+        local_count,
+        global: &views,
+        global_elems,
+        shared_decls: &kernel.shared,
+        grid_dim,
+        block_dim,
+        threads_per_block,
+        model: cfg.cost.clone(),
+    };
+    let workers = decide_workers(
+        cfg,
+        kernel,
+        blocks,
+        threads_per_block,
+        &global_lens,
+        &shared_lens,
+    );
+    let outcomes: Vec<Result<BlockOutcome, SimError>> = if workers <= 1 {
+        let mut shadow = cfg.detect_races.then(ShadowMemory::default);
+        let mut scratch = BlockScratch::new(&ctx);
+        let mut out = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let r = run_block(&ctx, b as u64, shadow.as_mut(), &mut scratch);
+            let failed = r.is_err();
+            out.push(r);
+            if failed {
+                // Sequential execution stops at the first error, like
+                // the reference path; the merge below returns it.
+                break;
+            }
+        }
+        out
+    } else {
+        workpool::Pool::new(workers).run_with(
+            blocks,
+            || {
+                (
+                    cfg.detect_races.then(ShadowMemory::default),
+                    BlockScratch::new(&ctx),
+                )
+            },
+            |(shadow, scratch), b| run_block(&ctx, b as u64, shadow.as_mut(), scratch),
+        )
+    };
+    // Merge strictly in linear block order: the first failing block's
+    // error wins, races fold to the sort_key minimum, stats sum.
+    let mut stats = LaunchStats::default();
+    let mut block_cycles = Vec::with_capacity(outcomes.len());
+    let mut best: Option<crate::race::RaceReport> = None;
+    let mut merge = cfg.detect_races.then(|| CrossBlockMerge::new(&global_lens));
+    for (b, outcome) in outcomes.into_iter().enumerate() {
+        let outcome = outcome?;
+        block_cycles.push(outcome.cycles);
+        stats.accumulate(&outcome.stats);
+        if let Some(r) = outcome.race {
+            fold_min(&mut best, r);
+        }
+        if let Some(m) = merge.as_mut() {
+            m.feed(b as u32, &outcome.touched);
+        }
+    }
+    if let Some(m) = merge {
+        if let Some(r) = m.finish() {
+            fold_min(&mut best, r);
+        }
+    }
+    if let Some(r) = best {
+        return Err(SimError::DataRace(r));
+    }
+    stats.cycles = crate::cost::schedule_blocks(&cfg.cost, &block_cycles);
+    Ok(stats)
+}
+
 /// Converts an f64 host value to the bit pattern a buffer of the given
 /// element type stores (mirrors the interpreter's value encoding: float
 /// buffers hold f64 bits — f32 quantized — i32 buffers the value as
@@ -527,7 +797,7 @@ fn bits_to_scalar(elem: ElemTy, bits: u64) -> f64 {
     }
 }
 
-fn lift_err(e: InterpError, block: u64) -> SimError {
+pub(crate) fn lift_err(e: InterpError, block: u64) -> SimError {
     match e {
         InterpError::OutOfBounds { what, idx, len, pc } => SimError::OutOfBounds {
             block,

@@ -38,6 +38,7 @@ impl Value {
     /// # Errors
     ///
     /// Boolean/number confusion is reported rather than coerced.
+    #[inline]
     pub fn to_elem_bits(self, elem: crate::ir::ElemTy) -> Result<u64, String> {
         use crate::ir::ElemTy;
         Ok(match (elem, self) {
@@ -58,6 +59,7 @@ impl Value {
     }
 
     /// Reconstructs a value from bits given the element type.
+    #[inline]
     pub fn from_bits(bits: u64, elem: crate::ir::ElemTy) -> Value {
         use crate::ir::ElemTy;
         match elem {
@@ -68,7 +70,8 @@ impl Value {
         }
     }
 
-    fn as_index(self) -> Result<u64, String> {
+    #[inline]
+    pub(crate) fn as_index(self) -> Result<u64, String> {
         match self {
             Value::I(v) if v >= 0 => Ok(v as u64),
             Value::I(v) => Err(format!("negative index {v}")),
@@ -76,7 +79,8 @@ impl Value {
         }
     }
 
-    fn truthy(self) -> Result<bool, String> {
+    #[inline]
+    pub(crate) fn truthy(self) -> Result<bool, String> {
         match self {
             Value::B(b) => Ok(b),
             other => Err(format!("condition is not a boolean: {other:?}")),
@@ -475,7 +479,8 @@ fn eval(e: &Expr, st: &ThreadState, env: &mut ThreadEnv<'_>, pc: usize) -> IResu
 /// Combines the old cell value with the operand per the atomic operation
 /// (the read-modify part of the RMW; the write goes through
 /// [`Value::to_elem_bits`] like any store).
-fn apply_atomic(op: AtomicOp, old: Value, operand: Value) -> Result<Value, String> {
+#[inline]
+pub(crate) fn apply_atomic(op: AtomicOp, old: Value, operand: Value) -> Result<Value, String> {
     match op {
         AtomicOp::Add => apply_bin(BinOp::Add, old, operand),
         AtomicOp::Min => apply_bin(BinOp::Min, old, operand),
@@ -484,9 +489,15 @@ fn apply_atomic(op: AtomicOp, old: Value, operand: Value) -> Result<Value, Strin
     }
 }
 
-fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
+#[inline]
+pub(crate) fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
     use BinOp::*;
     use Value::*;
+    // Integer arithmetic is checked: at paper-scale footprints index
+    // expressions reach magnitudes where silent wrap-around (release) or
+    // a panic (debug) would both be wrong — overflow is a reported
+    // evaluation error like division by zero.
+    let overflow = |what: &str, x: i64, y: i64| format!("integer overflow in {x} {what} {y}");
     Ok(match (op, a, b) {
         (Add, F(x), F(y)) => F(x + y),
         (Sub, F(x), F(y)) => F(x - y),
@@ -494,20 +505,20 @@ fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
         (Div, F(x), F(y)) => F(x / y),
         (Min, F(x), F(y)) => F(x.min(y)),
         (Max, F(x), F(y)) => F(x.max(y)),
-        (Add, I(x), I(y)) => I(x + y),
-        (Sub, I(x), I(y)) => I(x - y),
-        (Mul, I(x), I(y)) => I(x * y),
+        (Add, I(x), I(y)) => I(x.checked_add(y).ok_or_else(|| overflow("+", x, y))?),
+        (Sub, I(x), I(y)) => I(x.checked_sub(y).ok_or_else(|| overflow("-", x, y))?),
+        (Mul, I(x), I(y)) => I(x.checked_mul(y).ok_or_else(|| overflow("*", x, y))?),
         (Div, I(x), I(y)) => {
             if y == 0 {
                 return Err("integer division by zero".into());
             }
-            I(x / y)
+            I(x.checked_div(y).ok_or_else(|| overflow("/", x, y))?)
         }
         (Mod, I(x), I(y)) => {
             if y == 0 {
                 return Err("modulo by zero".into());
             }
-            I(x % y)
+            I(x.checked_rem(y).ok_or_else(|| overflow("%", x, y))?)
         }
         (Min, I(x), I(y)) => I(x.min(y)),
         (Max, I(x), I(y)) => I(x.max(y)),

@@ -67,7 +67,8 @@ pub mod device;
 pub mod interp;
 pub mod ir;
 pub mod race;
+mod warp;
 
 pub use cost::{CostModel, LaunchStats};
-pub use device::{Gpu, LaunchConfig, SimError};
+pub use device::{ExecMode, Gpu, LaunchConfig, Parallel, SimError};
 pub use ir::{AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};

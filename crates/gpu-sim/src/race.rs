@@ -60,6 +60,35 @@ impl std::fmt::Display for RaceReport {
     }
 }
 
+impl RaceReport {
+    /// The total order used to choose *the* reported race when several
+    /// are detected: `(global, buf, idx, parties, cross_block,
+    /// write_write)`, with [`RaceReport::parties`] normalized low-high.
+    /// Folding the minimum under this key is order-independent, which is
+    /// what makes the reported race deterministic under parallel block
+    /// execution.
+    pub fn sort_key(&self) -> (bool, u32, u64, u32, u32, bool, bool) {
+        (
+            self.global,
+            self.buf,
+            self.idx,
+            self.parties.0,
+            self.parties.1,
+            self.cross_block,
+            self.write_write,
+        )
+    }
+}
+
+/// Folds a newly detected race into the running minimum (by
+/// [`RaceReport::sort_key`]).
+pub(crate) fn fold_min(best: &mut Option<RaceReport>, r: RaceReport) {
+    match best {
+        Some(b) if b.sort_key() <= r.sort_key() => {}
+        _ => *best = Some(r),
+    }
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct CellState {
     writer: Option<u32>,
@@ -212,6 +241,323 @@ impl RaceDetector {
     /// Finishes a block: closes any open interval state.
     pub fn end_block(&mut self) {
         self.interval.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-memory detection (the warp-vectorized executor's fast path).
+//
+// The log-replay detector above costs a log append per access plus a hash
+// lookup per replayed access — at paper-scale footprints that dominates
+// the whole simulation. The shadow detector keeps one cell per buffer
+// element holding the interval's last reader/writer/atomic parties, so
+// each access is one O(1) array probe. Intervals and blocks are closed by
+// bumping an epoch instead of clearing the (large) cell arrays; a cell
+// whose epoch is stale reads as empty. Cross-block detection cannot use
+// worker-local cells, so each block records which global locations it
+// touched (read/write/atomic flags, first-touch order) and the device
+// merges those summaries sequentially in block order after all blocks ran.
+
+/// Which block-level access kinds touched a global location (bitmask).
+pub(crate) const TOUCH_READ: u8 = 1;
+pub(crate) const TOUCH_WRITE: u8 = 2;
+pub(crate) const TOUCH_ATOMIC: u8 = 4;
+
+/// One global location a block touched, with the access kinds seen.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TouchRec {
+    pub buf: u32,
+    pub idx: u64,
+    pub flags: u8,
+}
+
+/// Sentinel for "no party yet" in a shadow cell.
+const NONE: u32 = u32::MAX;
+
+/// Per-location shadow state: epoch-tagged so a whole interval (or
+/// block) is invalidated by bumping [`ShadowMemory::epoch`] in O(1).
+#[derive(Clone, Copy, Debug)]
+struct ShadowCell {
+    epoch: u64,
+    writer: u32,
+    reader: u32,
+    atomic: u32,
+    /// MULTI_WRITER | OTHER_READER | MULTI_ATOMIC bits.
+    flags: u8,
+}
+
+const MULTI_WRITER: u8 = 1;
+const OTHER_READER: u8 = 2;
+const MULTI_ATOMIC: u8 = 4;
+
+const EMPTY_CELL: ShadowCell = ShadowCell {
+    epoch: 0,
+    writer: NONE,
+    reader: NONE,
+    atomic: NONE,
+    flags: 0,
+};
+
+impl ShadowCell {
+    /// Mirrors [`CellState::read`].
+    fn read(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if self.writer != NONE && self.writer != who {
+            return Some((self.writer, who, false));
+        }
+        if self.atomic != NONE && (self.atomic != who || self.flags & MULTI_ATOMIC != 0) {
+            return Some((self.atomic, who, false));
+        }
+        if self.reader == NONE {
+            self.reader = who;
+        } else if self.reader != who {
+            self.flags |= OTHER_READER;
+        }
+        None
+    }
+
+    /// Mirrors [`CellState::write`].
+    fn write(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if self.writer != NONE && (self.writer != who || self.flags & MULTI_WRITER != 0) {
+            return Some((self.writer, who, true));
+        }
+        if self.reader != NONE && (self.reader != who || self.flags & OTHER_READER != 0) {
+            return Some((self.reader, who, false));
+        }
+        if self.atomic != NONE && (self.atomic != who || self.flags & MULTI_ATOMIC != 0) {
+            return Some((self.atomic, who, true));
+        }
+        if self.writer == NONE {
+            self.writer = who;
+        } else if self.writer != who {
+            self.flags |= MULTI_WRITER;
+        }
+        None
+    }
+
+    /// Mirrors [`CellState::atomic`].
+    fn atomic(&mut self, who: u32) -> Option<(u32, u32, bool)> {
+        if self.writer != NONE && (self.writer != who || self.flags & MULTI_WRITER != 0) {
+            return Some((self.writer, who, true));
+        }
+        if self.reader != NONE && (self.reader != who || self.flags & OTHER_READER != 0) {
+            return Some((self.reader, who, false));
+        }
+        if self.atomic == NONE {
+            self.atomic = who;
+        } else if self.atomic != who {
+            self.flags |= MULTI_ATOMIC;
+        }
+        None
+    }
+
+    fn apply(&mut self, who: u32, write: bool, atomic: bool) -> Option<(u32, u32, bool)> {
+        if atomic {
+            self.atomic(who)
+        } else if write {
+            self.write(who)
+        } else {
+            self.read(who)
+        }
+    }
+}
+
+/// Epoch-tagged per-location touch flags for the cross-block summary.
+#[derive(Clone, Copy, Debug)]
+struct TouchCell {
+    epoch: u64,
+    flags: u8,
+}
+
+/// Worker-local shadow memory: intra-block detection for one block at a
+/// time, plus the block's cross-block touch summary. One instance per
+/// pool worker, reused across all blocks that worker simulates.
+#[derive(Debug, Default)]
+pub(crate) struct ShadowMemory {
+    global: Vec<Vec<ShadowCell>>,
+    shared: Vec<Vec<ShadowCell>>,
+    touch: Vec<Vec<TouchCell>>,
+    /// Current intra-block interval epoch (cells below it are empty).
+    epoch: u64,
+    /// Current block epoch for the touch flags.
+    touch_epoch: u64,
+    /// Locations first touched this block, in access order.
+    touched: Vec<(u32, u64)>,
+    /// Minimum-key intra-block race of the current block.
+    best: Option<RaceReport>,
+}
+
+/// Bytes of worker-local shadow state per worker for the given buffer
+/// sizes (used to cap the worker count so race-checked parallel runs
+/// stay within a sane memory budget).
+pub(crate) fn shadow_bytes_per_worker(global_lens: &[usize], shared_lens: &[usize]) -> u64 {
+    let cell = std::mem::size_of::<ShadowCell>() as u64;
+    let touch = std::mem::size_of::<TouchCell>() as u64;
+    let g: u64 = global_lens.iter().map(|l| *l as u64).sum();
+    let s: u64 = shared_lens.iter().map(|l| *l as u64).sum();
+    g * (cell + touch) + s * cell
+}
+
+impl ShadowMemory {
+    /// Sizes (or resizes) the shadow to the launch's buffers. Cheap when
+    /// the sizes already match (the worker-reuse case).
+    pub(crate) fn ensure(&mut self, global_lens: &[usize], shared_lens: &[usize]) {
+        resize_cells(&mut self.global, global_lens);
+        resize_cells(&mut self.shared, shared_lens);
+        if self.touch.len() != global_lens.len()
+            || self
+                .touch
+                .iter()
+                .zip(global_lens)
+                .any(|(v, l)| v.len() != *l)
+        {
+            self.touch = global_lens
+                .iter()
+                .map(|l| vec![TouchCell { epoch: 0, flags: 0 }; *l])
+                .collect();
+            self.touch_epoch = 0;
+        }
+        // Entering a fresh launch/block: invalidate everything.
+        self.epoch += 1;
+        self.touch_epoch += 1;
+        self.touched.clear();
+        self.best = None;
+    }
+
+    /// Records one access (the executor has already bounds-checked
+    /// `idx`). `who` is the block-linear thread id.
+    #[inline]
+    pub(crate) fn access(
+        &mut self,
+        global: bool,
+        buf: usize,
+        idx: u64,
+        who: u32,
+        write: bool,
+        atomic: bool,
+    ) {
+        let cells = if global {
+            &mut self.global
+        } else {
+            &mut self.shared
+        };
+        let cell = &mut cells[buf][idx as usize];
+        if cell.epoch != self.epoch {
+            *cell = EMPTY_CELL;
+            cell.epoch = self.epoch;
+        }
+        if let Some((p1, p2, ww)) = cell.apply(who, write, atomic) {
+            fold_min(
+                &mut self.best,
+                RaceReport {
+                    global,
+                    buf: buf as u32,
+                    idx,
+                    cross_block: false,
+                    parties: (p1.min(p2), p1.max(p2)),
+                    write_write: ww,
+                },
+            );
+        }
+        if global {
+            let t = &mut self.touch[buf][idx as usize];
+            if t.epoch != self.touch_epoch {
+                t.epoch = self.touch_epoch;
+                t.flags = 0;
+                self.touched.push((buf as u32, idx));
+            }
+            t.flags |= if atomic {
+                TOUCH_ATOMIC
+            } else if write {
+                TOUCH_WRITE
+            } else {
+                TOUCH_READ
+            };
+        }
+    }
+
+    /// A barrier closed the interval: intra-block state empties in O(1).
+    pub(crate) fn end_interval(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Finishes the block: returns its minimum-key intra-block race and
+    /// the cross-block touch summary, and resets for the next block.
+    pub(crate) fn end_block(&mut self) -> (Option<RaceReport>, Vec<TouchRec>) {
+        let recs = self
+            .touched
+            .drain(..)
+            .map(|(buf, idx)| TouchRec {
+                buf,
+                idx,
+                flags: self.touch[buf as usize][idx as usize].flags,
+            })
+            .collect();
+        self.epoch += 1;
+        self.touch_epoch += 1;
+        (self.best.take(), recs)
+    }
+}
+
+fn resize_cells(cells: &mut Vec<Vec<ShadowCell>>, lens: &[usize]) {
+    if cells.len() == lens.len() && cells.iter().zip(lens).all(|(v, l)| v.len() == *l) {
+        return;
+    }
+    *cells = lens.iter().map(|l| vec![EMPTY_CELL; *l]).collect();
+}
+
+/// Merges per-block touch summaries into cross-block race verdicts.
+///
+/// Fed strictly in linear block order (whatever schedule produced the
+/// summaries), so the outcome is schedule-independent. Mirrors the
+/// log-replay detector's cross-block pass, including its "parties must
+/// differ" guard.
+#[derive(Debug, Default)]
+pub(crate) struct CrossBlockMerge {
+    cells: Vec<Vec<ShadowCell>>,
+    best: Option<RaceReport>,
+}
+
+impl CrossBlockMerge {
+    pub(crate) fn new(global_lens: &[usize]) -> CrossBlockMerge {
+        CrossBlockMerge {
+            cells: global_lens.iter().map(|l| vec![EMPTY_CELL; *l]).collect(),
+            best: None,
+        }
+    }
+
+    /// Applies one block's touch summary (block ids are the parties).
+    pub(crate) fn feed(&mut self, block: u32, touched: &[TouchRec]) {
+        for t in touched {
+            let cell = &mut self.cells[t.buf as usize][t.idx as usize];
+            for (bit, write, atomic) in [
+                (TOUCH_READ, false, false),
+                (TOUCH_WRITE, true, false),
+                (TOUCH_ATOMIC, true, true),
+            ] {
+                if t.flags & bit == 0 {
+                    continue;
+                }
+                if let Some((p1, p2, ww)) = cell.apply(block, write, atomic) {
+                    if p1 != p2 {
+                        fold_min(
+                            &mut self.best,
+                            RaceReport {
+                                global: true,
+                                buf: t.buf,
+                                idx: t.idx,
+                                cross_block: true,
+                                parties: (p1.min(p2), p1.max(p2)),
+                                write_write: ww,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> Option<RaceReport> {
+        self.best
     }
 }
 

@@ -12,6 +12,7 @@ fn ratio_with(model: CostModel, kind: BenchKind, param: usize) -> f64 {
     let cfg = LaunchConfig {
         detect_races: false,
         cost: model,
+        ..LaunchConfig::default()
     };
     run_benchmark(kind, param, 99, &cfg).descend_over_cuda()
 }
@@ -74,6 +75,7 @@ fn model_distinguishes_patterns_under_all_variants() {
         let cfg = LaunchConfig {
             detect_races: false,
             cost: model,
+            ..LaunchConfig::default()
         };
         // Staged transpose.
         let staged = baselines::transpose(n);

@@ -11,13 +11,21 @@
 //! - the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
 //!   [`prop_assert_ne!`] and [`prop_assume!`] macros.
 //!
-//! Semantics differ from real proptest in one deliberate way: there is
-//! **no shrinking**. A failing case panics with the formatted assertion
-//! message right away. Case count and seed come from the
-//! `PROPTEST_CASES` and `PROPTEST_SEED` environment variables
-//! (defaults: 256 cases, fixed seed — runs are reproducible).
+//! Unlike earlier revisions of this shim, failing cases are **shrunk**:
+//! every strategy samples a [`strategy::ValueTree`] that knows how to
+//! propose strictly simpler variants of the drawn value (integers halve
+//! toward the range start, vectors truncate toward their minimum length
+//! and shrink elements, tuples shrink componentwise, booleans turn
+//! false, mapped strategies shrink their input). On failure the runner
+//! greedily walks to simpler still-failing values under a bounded
+//! budget, then panics with the message from the most-shrunk failure.
+//! Case count and seed come from the `PROPTEST_CASES` and
+//! `PROPTEST_SEED` environment variables (defaults: 256 cases, fixed
+//! seed — runs are reproducible).
 
 pub mod test_runner {
+    use crate::strategy::Strategy;
+
     /// Deterministic SplitMix64 generator driving all strategies.
     #[derive(Clone, Debug)]
     pub struct TestRng {
@@ -58,11 +66,18 @@ pub mod test_runner {
         Fail(String),
     }
 
-    /// Drives one property: draws cases until enough pass, panicking on
-    /// the first failure (no shrinking).
-    pub fn run_property(
+    /// How many candidate evaluations the shrink loop may spend per
+    /// failure before reporting the best counterexample found so far.
+    const SHRINK_BUDGET: u32 = 512;
+
+    /// Drives one property: draws cases from `strat` until enough pass.
+    /// On the first failure the counterexample is greedily shrunk (each
+    /// step moves to the first simpler variant that still fails) and the
+    /// test panics with the most-shrunk failure's message.
+    pub fn run_property<S: Strategy>(
         name: &str,
-        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        strat: &S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
     ) {
         let cases: u64 = std::env::var("PROPTEST_CASES")
             .ok()
@@ -76,7 +91,8 @@ pub mod test_runner {
         let mut passed = 0u64;
         let mut rejected = 0u64;
         while passed < cases {
-            match case(&mut rng) {
+            let tree = strat.tree(&mut rng);
+            match case(tree.current()) {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(_)) => {
                     rejected += 1;
@@ -87,7 +103,29 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!("property `{name}` failed at case {passed} (seed {seed}): {msg}");
+                    let mut tree = tree;
+                    let mut msg = msg;
+                    let mut steps = 0u32;
+                    let mut budget = SHRINK_BUDGET;
+                    'shrinking: while budget > 0 {
+                        for cand in tree.simplify() {
+                            if budget == 0 {
+                                break 'shrinking;
+                            }
+                            budget -= 1;
+                            if let Err(TestCaseError::Fail(m)) = case(cand.current()) {
+                                msg = m;
+                                tree = cand;
+                                steps += 1;
+                                continue 'shrinking;
+                            }
+                        }
+                        break; // no simpler variant still fails: minimal
+                    }
+                    panic!(
+                        "property `{name}` failed at case {passed} \
+                         (seed {seed}, shrunk {steps} steps): {msg}"
+                    );
                 }
             }
         }
@@ -99,16 +137,36 @@ pub mod strategy {
     use std::ops::Range;
     use std::rc::Rc;
 
+    /// A sampled value plus the ways to simplify it. `simplify` proposes
+    /// strictly simpler variants, most aggressive first; the runner
+    /// greedily follows the first variant that still fails.
+    pub trait ValueTree<'a> {
+        /// The type of the held value.
+        type Value;
+
+        /// (Re)builds the current value.
+        fn current(&self) -> Self::Value;
+
+        /// Simpler candidate variants (may be empty).
+        fn simplify(&self) -> Vec<TreeRc<'a, Self::Value>>;
+    }
+
+    /// A shared, type-erased [`ValueTree`], possibly borrowing the
+    /// strategy it was sampled from.
+    pub type TreeRc<'a, T> = Rc<dyn ValueTree<'a, Value = T> + 'a>;
+
     /// A generator of values of type `Self::Value`.
-    ///
-    /// Unlike real proptest there is no value tree: strategies sample
-    /// directly and failing cases are not shrunk.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
-        /// Draws one value.
-        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+        /// Draws one value together with its shrink structure.
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, Self::Value>;
+
+        /// Draws one value (no shrinking attached).
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.tree(rng).current()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -164,12 +222,12 @@ pub mod strategy {
 
     /// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
     trait DynStrategy<T> {
-        fn dyn_sample(&self, rng: &mut TestRng) -> T;
+        fn dyn_tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
-        fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
-            self.sample(rng)
+        fn dyn_tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, S::Value> {
+            self.tree(rng)
         }
     }
 
@@ -188,8 +246,8 @@ pub mod strategy {
 
     impl<T> Strategy for BoxedStrategy<T> {
         type Value = T;
-        fn sample(&self, rng: &mut TestRng) -> T {
-            self.inner.dyn_sample(rng)
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, T> {
+            self.inner.dyn_tree(rng)
         }
     }
 
@@ -197,10 +255,22 @@ pub mod strategy {
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
 
+    struct JustTree<'a, T: Clone>(&'a T);
+
+    impl<'a, T: Clone> ValueTree<'a> for JustTree<'a, T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+        fn simplify(&self) -> Vec<TreeRc<'a, T>> {
+            Vec::new()
+        }
+    }
+
     impl<T: Clone> Strategy for Just<T> {
         type Value = T;
-        fn sample(&self, _rng: &mut TestRng) -> T {
-            self.0.clone()
+        fn tree<'a>(&'a self, _rng: &mut TestRng) -> TreeRc<'a, T> {
+            Rc::new(JustTree(&self.0))
         }
     }
 
@@ -211,14 +281,41 @@ pub mod strategy {
         pub(crate) f: F,
     }
 
+    struct MapTree<'a, T, F> {
+        inner: TreeRc<'a, T>,
+        f: &'a F,
+    }
+
+    impl<'a, T: 'a, U, F: Fn(T) -> U> ValueTree<'a> for MapTree<'a, T, F> {
+        type Value = U;
+        fn current(&self) -> U {
+            (self.f)(self.inner.current())
+        }
+        fn simplify(&self) -> Vec<TreeRc<'a, U>> {
+            self.inner
+                .simplify()
+                .into_iter()
+                .map(|t| {
+                    Rc::new(MapTree {
+                        inner: t,
+                        f: self.f,
+                    }) as TreeRc<'a, U>
+                })
+                .collect()
+        }
+    }
+
     impl<S, F, U> Strategy for Map<S, F>
     where
         S: Strategy,
         F: Fn(S::Value) -> U,
     {
         type Value = U;
-        fn sample(&self, rng: &mut TestRng) -> U {
-            (self.f)(self.inner.sample(rng))
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, U> {
+            Rc::new(MapTree {
+                inner: self.inner.tree(rng),
+                f: &self.f,
+            })
         }
     }
 
@@ -245,9 +342,9 @@ pub mod strategy {
 
     impl<T> Strategy for Union<T> {
         type Value = T;
-        fn sample(&self, rng: &mut TestRng) -> T {
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, T> {
             let i = rng.below(self.options.len() as u64) as usize;
-            self.options[i].sample(rng)
+            self.options[i].tree(rng)
         }
     }
 
@@ -255,23 +352,82 @@ pub mod strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
-                fn sample(&self, rng: &mut TestRng) -> $t {
+                fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, $t> {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as i128 - self.start as i128) as u128;
                     let off = (rng.next_u64() as u128) % span;
-                    (self.start as i128 + off as i128) as $t
+                    Rc::new(IntTree {
+                        start: self.start,
+                        cur: (self.start as i128 + off as i128) as $t,
+                    })
+                }
+            }
+
+            impl<'a> ValueTree<'a> for IntTree<$t> {
+                type Value = $t;
+                fn current(&self) -> $t {
+                    self.cur
+                }
+                fn simplify(&self) -> Vec<TreeRc<'a, $t>> {
+                    let (s, c) = (self.start as i128, self.cur as i128);
+                    let d = c - s;
+                    if d == 0 {
+                        return Vec::new(); // already at the range start
+                    }
+                    // Toward the range start: jump all the way, halve
+                    // the distance, step by one — most aggressive first.
+                    let mut cands = Vec::new();
+                    for v in [s, s + d / 2, c - 1] {
+                        if (s..c).contains(&v) && !cands.contains(&v) {
+                            cands.push(v);
+                        }
+                    }
+                    cands
+                        .into_iter()
+                        .map(|v| {
+                            Rc::new(IntTree { start: self.start, cur: v as $t })
+                                as TreeRc<'a, $t>
+                        })
+                        .collect()
                 }
             }
         )*};
     }
+
+    /// Tree behind integer range strategies: shrinks toward the start.
+    struct IntTree<T> {
+        start: T,
+        cur: T,
+    }
+
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! tuple_strategy {
         ($(($($s:ident $idx:tt),+))*) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
                 type Value = ($($s::Value,)+);
-                fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                    ($(self.$idx.sample(rng),)+)
+                fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, Self::Value> {
+                    Rc::new(($(self.$idx.tree(rng),)+))
+                }
+            }
+
+            impl<'a, $($s: 'a),+> ValueTree<'a> for ($(TreeRc<'a, $s>,)+) {
+                type Value = ($($s,)+);
+                fn current(&self) -> Self::Value {
+                    ($(self.$idx.current(),)+)
+                }
+                fn simplify(&self) -> Vec<TreeRc<'a, Self::Value>> {
+                    // Componentwise: each candidate simplifies exactly
+                    // one component, keeping the others.
+                    let mut out: Vec<TreeRc<'a, Self::Value>> = Vec::new();
+                    $(
+                        for cand in self.$idx.simplify() {
+                            let mut next = self.clone();
+                            next.$idx = cand;
+                            out.push(Rc::new(next));
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -287,9 +443,10 @@ pub mod strategy {
 }
 
 pub mod collection {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, TreeRc, ValueTree};
     use crate::test_runner::TestRng;
     use std::ops::Range;
+    use std::rc::Rc;
 
     /// Strategy for `Vec`s with a length drawn from a range.
     #[derive(Clone)]
@@ -304,19 +461,67 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
+    struct VecTree<'a, T> {
+        elems: Vec<TreeRc<'a, T>>,
+        min: usize,
+    }
+
+    impl<'a, T: 'a> ValueTree<'a> for VecTree<'a, T> {
+        type Value = Vec<T>;
+        fn current(&self) -> Vec<T> {
+            self.elems.iter().map(|e| e.current()).collect()
+        }
+        fn simplify(&self) -> Vec<TreeRc<'a, Vec<T>>> {
+            let mut out: Vec<TreeRc<'a, Vec<T>>> = Vec::new();
+            let n = self.elems.len();
+            // Truncate toward the minimum length: all the way, halfway,
+            // by one — most aggressive first.
+            let mut lens = Vec::new();
+            if n > self.min {
+                for l in [self.min, self.min + (n - self.min) / 2, n - 1] {
+                    if l != n && !lens.contains(&l) {
+                        lens.push(l);
+                    }
+                }
+            }
+            for l in lens {
+                out.push(Rc::new(VecTree {
+                    elems: self.elems[..l].to_vec(),
+                    min: self.min,
+                }));
+            }
+            // Shrink one element at a time, keeping the length.
+            for i in 0..n {
+                for cand in self.elems[i].simplify() {
+                    let mut elems = self.elems.clone();
+                    elems[i] = cand;
+                    out.push(Rc::new(VecTree {
+                        elems,
+                        min: self.min,
+                    }));
+                }
+            }
+            out
+        }
+    }
+
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
-        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, Vec<S::Value>> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
-            (0..n).map(|_| self.element.sample(rng)).collect()
+            Rc::new(VecTree {
+                elems: (0..n).map(|_| self.element.tree(rng)).collect(),
+                min: self.len.start,
+            })
         }
     }
 }
 
 pub mod bool {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, TreeRc, ValueTree};
     use crate::test_runner::TestRng;
+    use std::rc::Rc;
 
     /// Strategy type behind [`ANY`].
     #[derive(Clone, Copy, Debug)]
@@ -325,10 +530,26 @@ pub mod bool {
     /// Uniformly random booleans (`proptest::bool::ANY`).
     pub const ANY: Any = Any;
 
+    struct BoolTree(::core::primitive::bool);
+
+    impl<'a> ValueTree<'a> for BoolTree {
+        type Value = ::core::primitive::bool;
+        fn current(&self) -> ::core::primitive::bool {
+            self.0
+        }
+        fn simplify(&self) -> Vec<TreeRc<'a, ::core::primitive::bool>> {
+            if self.0 {
+                vec![Rc::new(BoolTree(false))]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
     impl Strategy for Any {
         type Value = ::core::primitive::bool;
-        fn sample(&self, rng: &mut TestRng) -> ::core::primitive::bool {
-            rng.next_u64() & 1 == 1
+        fn tree<'a>(&'a self, rng: &mut TestRng) -> TreeRc<'a, ::core::primitive::bool> {
+            Rc::new(BoolTree(rng.next_u64() & 1 == 1))
         }
     }
 }
@@ -343,8 +564,9 @@ macro_rules! proptest {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::test_runner::run_property(stringify!($name), |rng| {
-                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+            let __strat = ($($strat,)+);
+            $crate::test_runner::run_property(stringify!($name), &__strat, |__case| {
+                let ($($arg,)+) = __case;
                 #[allow(unreachable_code)]
                 (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                     $body
@@ -515,8 +737,99 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics() {
-        crate::test_runner::run_property("always_fails", |_rng| {
+        crate::test_runner::run_property("always_fails", &(0u64..10), |_v| {
             Err(TestCaseError::Fail("nope".into()))
         });
+    }
+
+    /// Greedy shrinking finds the boundary: any x >= 17 fails, and the
+    /// reported counterexample is exactly 17.
+    #[test]
+    fn integers_shrink_to_the_boundary() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("ge_17_fails", &(0u64..1000), |x| {
+                if x >= 17 {
+                    Err(TestCaseError::Fail(format!("x = {x}")))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("x = 17"), "not minimal: {msg}");
+    }
+
+    /// Vectors shrink both their length (toward the range minimum) and
+    /// their elements (toward the element range start).
+    #[test]
+    fn vectors_shrink_length_and_elements() {
+        let strat = crate::collection::vec(0u64..100, 0..20);
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("len3_fails", &strat, |v| {
+                if v.len() >= 3 {
+                    Err(TestCaseError::Fail(format!("{v:?}")))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("[0, 0, 0]"), "not minimal: {msg}");
+    }
+
+    /// Mapped strategies shrink through the map: the underlying integer
+    /// shrinks, so the mapped value shrinks with it.
+    #[test]
+    fn map_shrinks_through_the_function() {
+        let strat = (0u64..1000).prop_map(|x| x * 2);
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("ge_100_fails", &strat, |x| {
+                if x >= 100 {
+                    Err(TestCaseError::Fail(format!("x = {x}")))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("x = 100"), "not minimal: {msg}");
+    }
+
+    /// Tuples shrink componentwise: each component reaches its own
+    /// minimum failing value independently.
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("sum_fails", &(0u64..100, 0u64..100), |(x, y)| {
+                if x >= 5 && y >= 3 {
+                    Err(TestCaseError::Fail(format!("({x}, {y})")))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("(5, 3)"), "not minimal: {msg}");
+    }
+
+    /// Booleans shrink to `false`.
+    #[test]
+    fn bools_shrink_to_false() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("true_fails", &crate::bool::ANY, |b| {
+                if b {
+                    Err(TestCaseError::Fail("was true".into()))
+                } else {
+                    Ok(())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("shrunk 0 steps") || msg.contains("was true"));
     }
 }

@@ -1,0 +1,252 @@
+//! A minimal scoped work-stealing thread pool.
+//!
+//! This is a vendored stand-in for a crates.io scheduler (rayon et al.),
+//! written for one job: run a *fixed* set of independent, index-addressed
+//! tasks across host threads and hand the results back **in index
+//! order**, so callers can merge them deterministically no matter which
+//! worker ran what.
+//!
+//! Design:
+//!
+//! - Workers are spawned per [`Pool::run_with`] call inside
+//!   [`std::thread::scope`], so tasks may borrow from the caller's stack
+//!   without `unsafe` lifetime erasure. Spawning a handful of OS threads
+//!   costs tens of microseconds — negligible against the multi-millisecond
+//!   parallel regions this pool exists for (callers gate small workloads
+//!   to a sequential path).
+//! - Each worker owns a deque seeded with a contiguous chunk of the index
+//!   range and pops from the front; an idle worker steals half of a
+//!   victim's remaining work from the back. Because the task set is fixed
+//!   (tasks never spawn tasks), a worker may simply exit once every deque
+//!   reads empty — no condition variables or termination protocol needed.
+//! - Per-worker state (`init` in [`Pool::run_with`]) gives callers a
+//!   place for scratch allocations that are reused across the tasks one
+//!   worker executes (the simulator's shadow memory relies on this).
+//!
+//! Determinism: the *results* vector is always ordered by task index;
+//! which worker executed a task, and in what interleaving, is
+//! intentionally unobservable through this API.
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// A work-stealing pool of a fixed number of workers.
+///
+/// The pool holds no threads while idle; each [`Pool::run_with`] call
+/// spawns its workers for the duration of that call only.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The host's available parallelism (1 if it cannot be determined).
+    pub fn available_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Number of workers this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `task` for every index in `0..n` and returns the results in
+    /// index order.
+    ///
+    /// `init` constructs one worker-local state per worker thread; the
+    /// state is passed mutably to every task that worker executes, so
+    /// expensive scratch buffers are allocated once per worker rather
+    /// than once per task.
+    ///
+    /// With one worker (or `n <= 1`) everything runs on the calling
+    /// thread — no threads are spawned.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is propagated to the caller once the
+    /// scope joins (remaining tasks on other workers still run).
+    pub fn run_with<S, T, FI, F>(&self, n: usize, init: FI, task: F) -> Vec<T>
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            let mut state = init();
+            return (0..n).map(|i| task(&mut state, i)).collect();
+        }
+        let workers = self.workers.min(n);
+        // Seed each deque with a contiguous chunk of the index range.
+        let chunk = n.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                Mutex::new((lo..hi.max(lo)).collect())
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let init = &init;
+                    let task = &task;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        while let Some(i) = next_task(deques, w) {
+                            out.push((i, task(&mut state, i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, v) in collected.into_iter().flatten() {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index produced a result"))
+            .collect()
+    }
+
+    /// [`Pool::run_with`] without worker-local state.
+    pub fn run<T, F>(&self, n: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_with(n, || (), |(), i| task(i))
+    }
+}
+
+/// Pops the next task for worker `w`: front of its own deque first, then
+/// half of the largest remainder stolen from another worker's back.
+/// Returns `None` only when every deque is empty — final, because tasks
+/// never enqueue new tasks.
+fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = deques[w].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    let workers = deques.len();
+    for off in 1..workers {
+        let victim = (w + off) % workers;
+        let stolen: Vec<usize> = {
+            let mut v = deques[victim].lock().unwrap();
+            let take = v.len().div_ceil(2);
+            (0..take).filter_map(|_| v.pop_back()).collect()
+        };
+        if let Some((first, rest)) = stolen.split_first() {
+            let mut own = deques[w].lock().unwrap();
+            // Stolen from the victim's back in reverse order; re-reverse
+            // so lower indices run first (cache-friendly, and keeps
+            // progress roughly front-to-back).
+            own.extend(rest.iter().rev());
+            return Some(*first);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = Pool::new(8);
+        let counter = AtomicUsize::new(0);
+        let out = pool.run(1000, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn unbalanced_tasks_are_stolen() {
+        // Front-loaded costs: worker 0's chunk is far heavier; stealing
+        // must still complete everything with correct results.
+        let pool = Pool::new(4);
+        let out = pool.run(64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_local_state_is_reused() {
+        // Each worker's state counts the tasks it ran; the total over all
+        // workers must equal n even though per-worker shares vary.
+        let pool = Pool::new(3);
+        let total = AtomicUsize::new(0);
+        struct Local(usize);
+        impl Drop for Local {
+            fn drop(&mut self) {}
+        }
+        let out = pool.run_with(
+            200,
+            || Local(0),
+            |s, i| {
+                s.0 += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                i % 7
+            },
+        );
+        assert_eq!(out.len(), 200);
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = Pool::new(1);
+        let main_thread = std::thread::current().id();
+        let out = pool.run(5, move |i| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(Pool::available_workers() >= 1);
+    }
+}
