@@ -129,7 +129,7 @@ pub fn for_each_expr<'a>(body: &'a [ElabStmt], f: &mut dyn FnMut(&'a ElabExpr)) 
             }
             walk(value, f);
         }
-        ElabStmt::Split { .. } | ElabStmt::Sync => {}
+        ElabStmt::Split { .. } | ElabStmt::Sync | ElabStmt::Src(_) => {}
     });
 }
 
@@ -620,6 +620,9 @@ impl<'a> BodyCx<'a> {
                     out.push_str(self.be.barrier());
                     out.push('\n');
                 }
+                // Source markers carry trace attribution only; emitted
+                // text stays byte-identical with or without them.
+                ElabStmt::Src(_) => {}
             }
         }
         Ok(())
@@ -753,7 +756,7 @@ fn collect_index_exprs(k: &MonoKernel, inline_only: bool) -> Result<Vec<Expr>, C
                     walk_stmts(fst, inline_only, slots, out)?;
                     walk_stmts(snd, inline_only, slots, out)?;
                 }
-                ElabStmt::Sync => {}
+                ElabStmt::Sync | ElabStmt::Src(_) => {}
             }
         }
         Ok(())
@@ -817,7 +820,7 @@ pub fn ir_index_exprs(ir: &KernelIr) -> Vec<Expr> {
                     walk_expr(bound, out);
                     walk_stmts(body, out);
                 }
-                Stmt::Barrier => {}
+                Stmt::Barrier | Stmt::Src(_) => {}
             }
         }
     }

@@ -10,14 +10,20 @@
 //!
 //! Usage:
 //!   bench_sim [--reps N] [--json PATH] [--baseline PATH] [--no-reference]
+//!             [--trace DIR]
 //!
 //! `--json` writes the machine-readable results. `--baseline` re-reads a
 //! previously committed file and exits non-zero when any entry above the
 //! noise floor regressed by more than 25% wall-clock — the scheduled CI
 //! bench job runs with `--baseline BENCH_SIM.json` as a perf ratchet.
+//! `--trace DIR` additionally records one traced run per benchmark at
+//! the reduced parity-test footprints and writes the raw launch-trace
+//! JSON per launch into DIR (deterministic artifacts; tracing never
+//! runs inside the timed section, so the timings above are unaffected).
 
-use descend_benchmarks::baselines;
 use descend_benchmarks::sources::{BLOCK_SIZE, HIST_BINS, HIST_BLOCK, STENCIL_BLOCK};
+use descend_benchmarks::{baselines, run_benchmark_traced, trace_param, ALL_BENCHMARKS};
+use gpu_sim::trace::launch_trace_json;
 use gpu_sim::{ElemTy, ExecMode, Gpu, LaunchConfig};
 use std::time::Instant;
 
@@ -200,6 +206,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut with_reference = true;
     let mut only: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -208,6 +215,7 @@ fn main() {
             "--baseline" => baseline_path = Some(args.next().expect("--baseline PATH")),
             "--no-reference" => with_reference = false,
             "--only" => only = Some(args.next().expect("--only BENCH")),
+            "--trace" => trace_dir = Some(args.next().expect("--trace DIR")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -279,6 +287,32 @@ fn main() {
     if let Some(path) = &json_path {
         std::fs::write(path, to_json(&entries)).expect("write json");
         println!("wrote {path}");
+    }
+
+    if let Some(dir) = &trace_dir {
+        // Outside the timed loops by construction: fresh traced runs at
+        // reduced footprints, one raw launch-trace JSON per launch.
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        for kind in ALL_BENCHMARKS {
+            if only.as_deref().is_some_and(|o| o != kind.name()) {
+                continue;
+            }
+            let r = run_benchmark_traced(
+                kind,
+                trace_param(kind),
+                0xC0FFEE,
+                &cfg(ExecMode::Warp, false),
+            );
+            let sides = [("descend", &r.descend_traces), ("cuda", &r.cuda_traces)];
+            for (side, traces) in sides {
+                for (i, tr) in traces.iter().enumerate() {
+                    let path =
+                        format!("{dir}/{}-{side}-{i}.trace.json", kind.name().to_lowercase());
+                    std::fs::write(&path, launch_trace_json(tr)).expect("write trace");
+                    println!("wrote {path}");
+                }
+            }
+        }
     }
 
     if let Some(path) = &baseline_path {

@@ -10,12 +10,52 @@
 //! - `FIGURE8_JSON=<path>`: additionally write the cycle counts as a
 //!   JSON array (one object per benchmark x footprint cell) for the
 //!   scheduled CI job's regression-tracking artifact.
+//!
+//! Flags:
+//! - `--trace[=DIR]` (default `figure8-traces`): additionally record one
+//!   traced run per benchmark and write a Chrome-trace (Perfetto)
+//!   timeline `<DIR>/<benchmark>.trace.json` showing the Descend and
+//!   baseline launches back to back. Traces record every access group,
+//!   so they run at the reduced parity-test footprints
+//!   (`trace_param`) — the timeline shape is the artifact, not the
+//!   scale. Deterministic: byte-identical across executor modes and
+//!   simulation thread counts.
 
 use descend_bench::{fmt_ratio, median_result};
-use descend_benchmarks::{footprints, ALL_BENCHMARKS};
+use descend_benchmarks::{footprints, run_benchmark_traced, trace_param, ALL_BENCHMARKS};
+use gpu_sim::trace::chrome_trace;
 use gpu_sim::LaunchConfig;
 
+/// Records one traced run per benchmark at reduced footprints and
+/// writes one Chrome-trace timeline per benchmark into `dir`.
+fn write_traces(dir: &str, cfg: &LaunchConfig) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create trace dir `{dir}`: {e}");
+        return;
+    }
+    for kind in ALL_BENCHMARKS {
+        let param = trace_param(kind);
+        let r = run_benchmark_traced(kind, param, 0xC0FFEE, cfg);
+        let mut launches = r.descend_traces;
+        launches.extend(r.cuda_traces);
+        let path = format!("{dir}/{}.trace.json", kind.name().to_lowercase());
+        match std::fs::write(&path, chrome_trace(&launches, false)) {
+            Ok(()) => println!("trace ({} @ {param}) written to {path}", kind.name()),
+            Err(e) => eprintln!("warning: cannot write `{path}`: {e}"),
+        }
+    }
+    println!();
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = args.iter().find_map(|a| {
+        if a == "--trace" {
+            Some("figure8-traces".to_string())
+        } else {
+            a.strip_prefix("--trace=").map(str::to_string)
+        }
+    });
     let runs: usize = std::env::var("FIGURE8_RUNS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -24,6 +64,9 @@ fn main() {
         detect_races: std::env::var("FIGURE8_RACES").as_deref() == Ok("1"),
         ..LaunchConfig::default()
     };
+    if let Some(dir) = &trace_dir {
+        write_traces(dir, &cfg);
+    }
     println!("Figure 8 reproduction: relative kernel runtimes, Descend vs handwritten CUDA");
     println!("(simulated cycles; median of {runs} run(s); 1.000 = parity, lower = Descend faster)");
     println!();

@@ -28,4 +28,7 @@ pub mod reference;
 pub mod runner;
 pub mod sources;
 
-pub use runner::{footprints, run_benchmark, BenchKind, BenchResult, SizeClass, ALL_BENCHMARKS};
+pub use runner::{
+    footprints, run_benchmark, run_benchmark_traced, trace_param, BenchKind, BenchResult,
+    SizeClass, ALL_BENCHMARKS,
+};

@@ -5,6 +5,7 @@ use crate::{baselines, reference, sources};
 use descend_compiler::Compiler;
 use gpu_sim::device::BufId;
 use gpu_sim::ir::ElemTy;
+use gpu_sim::trace::LaunchTrace;
 use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -186,6 +187,11 @@ pub struct BenchResult {
     pub descend_stats: Vec<LaunchStats>,
     /// Per-launch stats, baseline.
     pub cuda_stats: Vec<LaunchStats>,
+    /// Per-launch traces, Descend version (empty unless recorded via
+    /// [`run_benchmark_traced`]).
+    pub descend_traces: Vec<LaunchTrace>,
+    /// Per-launch traces, baseline (empty unless recorded).
+    pub cuda_traces: Vec<LaunchTrace>,
 }
 
 impl BenchResult {
@@ -228,23 +234,35 @@ fn random_data(n: usize, seed: u64) -> Vec<f64> {
 struct Launcher<'a> {
     gpu: Gpu,
     cfg: &'a LaunchConfig,
+    tracing: bool,
     stats: Vec<LaunchStats>,
+    traces: Vec<LaunchTrace>,
 }
 
 impl<'a> Launcher<'a> {
-    fn new(cfg: &'a LaunchConfig) -> Launcher<'a> {
+    fn new(cfg: &'a LaunchConfig, tracing: bool) -> Launcher<'a> {
         Launcher {
             gpu: Gpu::new(),
             cfg,
+            tracing,
             stats: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
     fn launch(&mut self, kernel: &KernelIr, grid: [u64; 3], block: [u64; 3], args: &[BufId]) {
-        let stats = self
-            .gpu
-            .launch(kernel, grid, block, args, self.cfg)
-            .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", kernel.name));
+        let stats = if self.tracing {
+            let (stats, trace) = self
+                .gpu
+                .launch_traced(kernel, grid, block, args, self.cfg)
+                .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", kernel.name));
+            self.traces.push(trace);
+            stats
+        } else {
+            self.gpu
+                .launch(kernel, grid, block, args, self.cfg)
+                .unwrap_or_else(|e| panic!("kernel `{}` failed: {e}", kernel.name))
+        };
         self.stats.push(stats);
     }
 
@@ -258,25 +276,64 @@ impl<'a> Launcher<'a> {
 /// Both versions are validated against the scalar reference; a failure
 /// panics (the benchmarks are also exercised as tests).
 pub fn run_benchmark(kind: BenchKind, param: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+    run_benchmark_opts(kind, param, seed, cfg, false)
+}
+
+/// Like [`run_benchmark`], but records a deterministic [`LaunchTrace`]
+/// per launch on both sides ([`BenchResult::descend_traces`] /
+/// [`BenchResult::cuda_traces`]).
+///
+/// Tracing records every access group, so use reduced footprints (see
+/// [`trace_param`]) — at the full Figure 8 footprints the event lists
+/// run to tens of millions of records.
+pub fn run_benchmark_traced(
+    kind: BenchKind,
+    param: usize,
+    seed: u64,
+    cfg: &LaunchConfig,
+) -> BenchResult {
+    run_benchmark_opts(kind, param, seed, cfg, true)
+}
+
+/// A reduced size parameter per benchmark suitable for traced runs —
+/// the same scales the parity tests use: the timeline *shape* is the
+/// artifact, not the footprint.
+pub fn trace_param(kind: BenchKind) -> usize {
     match kind {
-        BenchKind::Reduce => run_reduce(param, seed, cfg),
-        BenchKind::Transpose => run_transpose(param, seed, cfg),
-        BenchKind::Scan => run_scan(param, seed, cfg),
-        BenchKind::Matmul => run_matmul(param, seed, cfg),
-        BenchKind::Histogram => run_histogram(param, seed, cfg),
-        BenchKind::ReduceShuffle => run_reduce_shuffle(param, seed, cfg),
-        BenchKind::Stencil => run_stencil(param, seed, cfg),
+        BenchKind::Reduce | BenchKind::ReduceShuffle | BenchKind::Stencil => 8192,
+        BenchKind::Transpose => 128,
+        BenchKind::Scan => 4096,
+        BenchKind::Matmul => 64,
+        BenchKind::Histogram => 1 << 13,
     }
 }
 
-fn run_stencil(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_benchmark_opts(
+    kind: BenchKind,
+    param: usize,
+    seed: u64,
+    cfg: &LaunchConfig,
+    tracing: bool,
+) -> BenchResult {
+    match kind {
+        BenchKind::Reduce => run_reduce(param, seed, cfg, tracing),
+        BenchKind::Transpose => run_transpose(param, seed, cfg, tracing),
+        BenchKind::Scan => run_scan(param, seed, cfg, tracing),
+        BenchKind::Matmul => run_matmul(param, seed, cfg, tracing),
+        BenchKind::Histogram => run_histogram(param, seed, cfg, tracing),
+        BenchKind::ReduceShuffle => run_reduce_shuffle(param, seed, cfg, tracing),
+        BenchKind::Stencil => run_stencil(param, seed, cfg, tracing),
+    }
+}
+
+fn run_stencil(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let bs = sources::STENCIL_BLOCK;
     let nb = n / bs;
     let data = random_data(n + 2, seed);
     let expect = reference::stencil3(&data);
     // Descend version.
     let kernels = compile_kernels(&sources::stencil(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let inp = d.gpu.alloc_f64(&data);
     let out = d.gpu.alloc_f64(&vec![0.0; n]);
     d.launch(
@@ -288,7 +345,7 @@ fn run_stencil(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     assert_close(&d.gpu.read_f64(out), &expect, "descend stencil");
     // Baseline.
     let k = baselines::stencil(n, bs);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let inp = c.gpu.alloc_f64(&data);
     let out = c.gpu.alloc_f64(&vec![0.0; n]);
     c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
@@ -300,6 +357,8 @@ fn run_stencil(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
@@ -312,7 +371,7 @@ fn random_ints(n: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let bs = sources::HIST_BLOCK;
     let bins = sources::HIST_BINS;
     let nb = n / bs;
@@ -320,7 +379,7 @@ fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     let expect = reference::histogram(&data, bins);
     // Descend version.
     let kernels = compile_kernels(&sources::histogram(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let inp = d.gpu.alloc_scalars(ElemTy::I32, &data);
     let hist = d.gpu.alloc_scalars(ElemTy::I32, &vec![0.0; bins]);
     d.launch(
@@ -332,7 +391,7 @@ fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     assert_close(&d.gpu.read_scalars(hist), &expect, "descend histogram");
     // Baseline.
     let k = baselines::histogram(n, bs, bins);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let inp = c.gpu.alloc_scalars(ElemTy::I32, &data);
     let hist = c.gpu.alloc_scalars(ElemTy::I32, &vec![0.0; bins]);
     c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, hist]);
@@ -344,17 +403,19 @@ fn run_histogram(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
-fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let bs = sources::BLOCK_SIZE;
     let nb = n / bs;
     let data = random_data(n, seed);
     let expect = reference::block_sums(&data, bs);
     // Descend version.
     let kernels = compile_kernels(&sources::reduce(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let inp = d.gpu.alloc_f64(&data);
     let out = d.gpu.alloc_f64(&vec![0.0; nb]);
     d.launch(
@@ -366,7 +427,7 @@ fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     assert_close(&d.gpu.read_f64(out), &expect, "descend reduce");
     // Baseline.
     let k = baselines::reduce(n, bs);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let inp = c.gpu.alloc_f64(&data);
     let out = c.gpu.alloc_f64(&vec![0.0; nb]);
     c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
@@ -378,17 +439,19 @@ fn run_reduce(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
-fn run_reduce_shuffle(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_reduce_shuffle(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let bs = sources::BLOCK_SIZE;
     let nb = n / bs;
     let data = random_data(n, seed);
     let expect = reference::block_sums(&data, bs);
     // Descend version.
     let kernels = compile_kernels(&sources::reduce_shuffle(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let inp = d.gpu.alloc_f64(&data);
     let out = d.gpu.alloc_f64(&vec![0.0; nb]);
     d.launch(
@@ -400,7 +463,7 @@ fn run_reduce_shuffle(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     assert_close(&d.gpu.read_f64(out), &expect, "descend reduce_shuffle");
     // Baseline.
     let k = baselines::reduce_shuffle(n, bs);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let inp = c.gpu.alloc_f64(&data);
     let out = c.gpu.alloc_f64(&vec![0.0; nb]);
     c.launch(&k, [nb as u64, 1, 1], [bs as u64, 1, 1], &[inp, out]);
@@ -412,21 +475,23 @@ fn run_reduce_shuffle(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
-fn run_transpose(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_transpose(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let nb = (n / 32) as u64;
     let data = random_data(n * n, seed);
     let expect = reference::transpose(&data, n);
     let kernels = compile_kernels(&sources::transpose(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let inp = d.gpu.alloc_f64(&data);
     let out = d.gpu.alloc_f64(&vec![0.0; n * n]);
     d.launch(&kernels[0], [nb, nb, 1], [32, 8, 1], &[inp, out]);
     assert_close(&d.gpu.read_f64(out), &expect, "descend transpose");
     let k = baselines::transpose(n);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let inp = c.gpu.alloc_f64(&data);
     let out = c.gpu.alloc_f64(&vec![0.0; n * n]);
     c.launch(&k, [nb, nb, 1], [32, 8, 1], &[inp, out]);
@@ -438,6 +503,8 @@ fn run_transpose(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
@@ -449,7 +516,7 @@ fn exclusive_scan(sums: &[f64]) -> Vec<f64> {
     offsets
 }
 
-fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let bs = sources::BLOCK_SIZE;
     let nb = n / bs;
     let data = random_data(n, seed);
@@ -462,7 +529,7 @@ fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     );
     let kernels = compile_kernels(&src);
     assert_eq!(kernels.len(), 2, "scan compiles to two kernels");
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let io = d.gpu.alloc_f64(&data);
     let sums = d.gpu.alloc_f64(&vec![0.0; nb]);
     d.launch(
@@ -483,7 +550,7 @@ fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
     // Baseline.
     let k1 = baselines::scan_blocks(n, bs);
     let k2 = baselines::scan_add_offsets(n, bs);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let io = c.gpu.alloc_f64(&data);
     let sums = c.gpu.alloc_f64(&vec![0.0; nb]);
     c.launch(&k1, [nb as u64, 1, 1], [bs as u64, 1, 1], &[io, sums]);
@@ -498,23 +565,25 @@ fn run_scan(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 
-fn run_matmul(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
+fn run_matmul(n: usize, seed: u64, cfg: &LaunchConfig, tracing: bool) -> BenchResult {
     let nb = (n / 32) as u64;
     let a = random_data(n * n, seed);
     let b = random_data(n * n, seed.wrapping_add(1));
     let expect = reference::matmul(&a, &b, n);
     let kernels = compile_kernels(&sources::matmul(n));
-    let mut d = Launcher::new(cfg);
+    let mut d = Launcher::new(cfg, tracing);
     let da = d.gpu.alloc_f64(&a);
     let db = d.gpu.alloc_f64(&b);
     let dc = d.gpu.alloc_f64(&vec![0.0; n * n]);
     d.launch(&kernels[0], [nb, nb, 1], [32, 32, 1], &[da, db, dc]);
     assert_close(&d.gpu.read_f64(dc), &expect, "descend matmul");
     let k = baselines::matmul(n);
-    let mut c = Launcher::new(cfg);
+    let mut c = Launcher::new(cfg, tracing);
     let da = c.gpu.alloc_f64(&a);
     let db = c.gpu.alloc_f64(&b);
     let dc = c.gpu.alloc_f64(&vec![0.0; n * n]);
@@ -527,6 +596,8 @@ fn run_matmul(n: usize, seed: u64, cfg: &LaunchConfig) -> BenchResult {
         cuda_cycles: c.cycles(),
         descend_stats: d.stats,
         cuda_stats: c.stats,
+        descend_traces: d.traces,
+        cuda_traces: c.traces,
     }
 }
 

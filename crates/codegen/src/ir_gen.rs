@@ -332,6 +332,10 @@ impl LowerCx {
                     });
                 }
                 ElabStmt::Sync => out.push(Stmt::Barrier),
+                ElabStmt::Src(span) => out.push(Stmt::Src(descend_trace::SrcSpan {
+                    start: span.start,
+                    end: span.end,
+                })),
             }
         }
         Ok(out)

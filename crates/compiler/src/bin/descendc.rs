@@ -5,6 +5,8 @@
 //! descendc emit   <file.descend> [--emit=TARGETS] emit generated source
 //! descendc cuda   <file.descend>                  emit CUDA C++ (same as --emit=cuda)
 //! descendc run    <file.descend> [--fn f]         run a host function on the simulator
+//! descendc profile <file.descend> [--fn f] [--json] [--chrome-trace=PATH]
+//!                                                 run + per-source-line cost profile
 //! descendc kernels <file.descend>                 list compiled kernel instances
 //! ```
 //!
@@ -15,21 +17,31 @@
 //!
 //! `run` executes with the dynamic race detector enabled and prints the
 //! final CPU buffers and per-launch statistics.
+//!
+//! `profile` runs the same way while recording a launch trace, then
+//! prints source lines ranked by modeled cycles (with `--json`, the
+//! machine document, schema `descend-profile/1`). `--chrome-trace=PATH`
+//! additionally writes a Chrome-trace (Perfetto) timeline of blocks
+//! over SMs. Both outputs are deterministic: byte-identical across
+//! executor modes and simulation thread counts.
 
 use descend_backends::BACKEND_NAMES;
-use descend_compiler::Compiler;
+use descend_compiler::{profile, Compiler};
+use gpu_sim::trace::chrome_trace;
 use gpu_sim::LaunchConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: descendc <check|emit|cuda|run|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|all]\n\
+        "usage: descendc <check|emit|cuda|run|profile|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|all] [--json] [--chrome-trace=PATH]\n\
          \n\
          check    type-check and report diagnostics\n\
          emit     emit generated source to stdout (default --emit=all)\n\
          cuda     emit the CUDA C++ translation unit to stdout\n\
          run      execute a host function on the simulated GPU (default: main)\n\
+         profile  run + rank source lines by modeled cost (--json for machine output,\n\
+                  --chrome-trace=PATH for a Perfetto timeline)\n\
          kernels  list compiled kernel instances and their launch shapes"
     );
     ExitCode::from(2)
@@ -163,12 +175,46 @@ fn main() -> ExitCode {
                         );
                     }
                     for (i, s) in run.launches.iter().enumerate() {
-                        println!(
-                            "launch {i}: {} cycles, {} global transactions, {} barriers",
-                            s.cycles, s.global_transactions, s.barriers
-                        );
+                        // One table per launch, via the canonical
+                        // LaunchStats rendering (no hand-picked fields).
+                        println!("launch {i}:");
+                        for l in s.to_string().lines() {
+                            println!("  {l}");
+                        }
                     }
                     println!("total modeled cycles: {}", run.total_cycles());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "profile" => {
+            let cfg = LaunchConfig {
+                detect_races: true,
+                ..LaunchConfig::default()
+            };
+            let json = args.iter().any(|a| a == "--json");
+            let chrome_path = args.iter().find_map(|a| a.strip_prefix("--chrome-trace="));
+            match compiled.run_host_traced(host_fn, &HashMap::new(), &cfg) {
+                Ok((run, traces)) => {
+                    if let Some(p) = chrome_path {
+                        let timeline = chrome_trace(&traces, false);
+                        if let Err(e) = std::fs::write(p, timeline) {
+                            eprintln!("error: cannot write `{p}`: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote chrome trace to {p}");
+                    }
+                    let profiles = profile::profile_launches(&src, &run.launches, &traces);
+                    if json {
+                        print!("{}", profile::render_json(path, host_fn, &profiles));
+                    } else {
+                        print!("{}", profile::render_text(&profiles));
+                        println!("total modeled cycles: {}", run.total_cycles());
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

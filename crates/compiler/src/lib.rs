@@ -43,12 +43,15 @@
 
 #![deny(missing_docs)]
 
+pub mod profile;
+
 use descend_ast::term::Program;
 use descend_backends::{backend_by_name, KernelBackend, BACKEND_NAMES};
 use descend_codegen::ir_gen::elem_ty;
 use descend_codegen::{kernel_to_ir, CodegenError};
 use descend_typeck::{check_program, CheckedProgram, HostStmt, MonoKernel, ScalarKind, TypeError};
 use gpu_sim::device::BufId;
+use gpu_sim::trace::LaunchTrace;
 use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats, SimError};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -318,6 +321,37 @@ impl Compiled {
         inputs: &HashMap<String, Vec<f64>>,
         cfg: &LaunchConfig,
     ) -> Result<HostRun, RunError> {
+        self.run_host_inner(name, inputs, cfg, false)
+            .map(|(r, _)| r)
+    }
+
+    /// Runs a host function like [`Compiled::run_host`] while recording
+    /// a [`LaunchTrace`] per kernel launch (same order as
+    /// [`HostRun::launches`]).
+    ///
+    /// The traces are deterministic: byte-identical exports across
+    /// [`gpu_sim::ExecMode`]s and workpool thread counts (wall-clock
+    /// worker spans excluded).
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run_host_traced(
+        &self,
+        name: &str,
+        inputs: &HashMap<String, Vec<f64>>,
+        cfg: &LaunchConfig,
+    ) -> Result<(HostRun, Vec<LaunchTrace>), RunError> {
+        self.run_host_inner(name, inputs, cfg, true)
+    }
+
+    fn run_host_inner(
+        &self,
+        name: &str,
+        inputs: &HashMap<String, Vec<f64>>,
+        cfg: &LaunchConfig,
+        tracing: bool,
+    ) -> Result<(HostRun, Vec<LaunchTrace>), RunError> {
         let stmts = self
             .checked
             .host_fn(name)
@@ -327,6 +361,7 @@ impl Compiled {
         let mut cpu_elem: HashMap<String, ScalarKind> = HashMap::new();
         let mut dev: HashMap<String, BufId> = HashMap::new();
         let mut run = HostRun::default();
+        let mut traces: Vec<LaunchTrace> = Vec::new();
         for s in stmts {
             match s {
                 HostStmt::AllocCpu { name, elem, len } => {
@@ -392,13 +427,24 @@ impl Compiled {
                             })
                         })
                         .collect::<Result<_, _>>()?;
-                    let stats =
-                        gpu.launch(&ck.ir, ck.mono.grid_dim, ck.mono.block_dim, &bufs, cfg)?;
+                    let stats = if tracing {
+                        let (stats, trace) = gpu.launch_traced(
+                            &ck.ir,
+                            ck.mono.grid_dim,
+                            ck.mono.block_dim,
+                            &bufs,
+                            cfg,
+                        )?;
+                        traces.push(trace);
+                        stats
+                    } else {
+                        gpu.launch(&ck.ir, ck.mono.grid_dim, ck.mono.block_dim, &bufs, cfg)?
+                    };
                     run.launches.push(stats);
                 }
             }
         }
         run.cpu = cpu;
-        Ok(run)
+        Ok((run, traces))
     }
 }

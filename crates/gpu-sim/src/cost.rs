@@ -20,6 +20,7 @@
 
 use crate::interp::AccessRec;
 use crate::ir::ElemTy;
+use descend_trace::{GroupCost, Recorder};
 use std::collections::HashMap;
 
 /// Cost-model parameters, loosely calibrated to a P100-class device.
@@ -146,6 +147,59 @@ impl LaunchStats {
         self.shuffles += o.shuffles;
         self.blocks += o.blocks;
     }
+
+    /// The stats as `(label, value)` rows, in display order. The single
+    /// source of truth for [`LaunchStats`]'s table and JSON renderings —
+    /// callers that print stats route through these instead of
+    /// hand-formatting fields.
+    pub fn rows(&self) -> [(&'static str, u64); 11] {
+        [
+            ("cycles", self.cycles),
+            ("global transactions", self.global_transactions),
+            ("global accesses", self.global_accesses),
+            ("shared replays", self.shared_replays),
+            ("shared accesses", self.shared_accesses),
+            ("instructions", self.instructions),
+            ("barriers", self.barriers),
+            ("atomic accesses", self.atomic_accesses),
+            ("atomic serializations", self.atomic_serializations),
+            ("shuffles", self.shuffles),
+            ("blocks", self.blocks),
+        ]
+    }
+
+    /// Renders the stats as a single-line JSON object with snake_case
+    /// keys (hand-rolled like the rest of the tree — no serde in the
+    /// dependency cone).
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .rows()
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", k.replace(' ', "_")))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+impl std::fmt::Display for LaunchStats {
+    /// An aligned two-column table (label left, value right), one row
+    /// per counter, no trailing newline.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows = self.rows();
+        let label_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let val_w = rows
+            .iter()
+            .map(|(_, v)| v.to_string().len())
+            .max()
+            .unwrap_or(1);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k:<label_w$}  {v:>val_w$}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Accumulates per-interval costs for one block at a time.
@@ -184,15 +238,40 @@ impl CostAccumulator {
         shared_elem: &[ElemTy],
         had_barrier: bool,
     ) {
+        self.interval_traced(
+            accesses,
+            instr_delta,
+            global_elem,
+            shared_elem,
+            had_barrier.then_some(u32::MAX),
+            None,
+        );
+    }
+
+    /// [`CostAccumulator::interval`] with launch-trace emission: each
+    /// access group is reported to `sink` with its warp, pc, occurrence
+    /// and charged cost, and the interval is closed with the barrier pc
+    /// (when the interval ended at a barrier). The recorder canonically
+    /// sorts at block end, so the hash-map iteration order here does not
+    /// leak into the trace.
+    pub fn interval_traced(
+        &mut self,
+        accesses: &[AccessRec],
+        instr_delta: &[u64],
+        global_elem: &[ElemTy],
+        shared_elem: &[ElemTy],
+        barrier: Option<u32>,
+        mut sink: Option<&mut Recorder>,
+    ) {
         let warp = self.model.warp_size;
         // Warp-wide instruction cost: lockstep execution takes the max
         // lane count per warp.
-        let mut instr_cycles = 0u64;
+        let mut instr_count = 0u64;
         for chunk in instr_delta.chunks(warp as usize) {
-            instr_cycles += chunk.iter().copied().max().unwrap_or(0);
+            instr_count += chunk.iter().copied().max().unwrap_or(0);
         }
-        self.stats.instructions += instr_cycles;
-        let mut cycles = instr_cycles * self.model.instr_cost;
+        self.stats.instructions += instr_count;
+        let mut cycles = instr_count * self.model.instr_cost;
         // Group accesses by (warp, pc, occurrence) — the lanes of a warp
         // executing the same instruction the same number of times access
         // memory simultaneously.
@@ -211,7 +290,8 @@ impl CostAccumulator {
                 .or_default()
                 .push((a.idx, a.write, a.buf, a.atomic));
         }
-        for ((_, _, _, is_global), members) in &groups {
+        for ((w, pc, o, is_global), members) in &groups {
+            let mut gc = GroupCost::default();
             // Atomic contention: lanes of one warp instruction RMWing the
             // same address serialize; charge the extra replays (a group is
             // one instruction, so its accesses share atomicity).
@@ -226,7 +306,8 @@ impl CostAccumulator {
                 }
                 let contention = per_addr.values().copied().max().unwrap_or(1);
                 self.stats.atomic_serializations += contention - 1;
-                cycles += (contention - 1) * self.model.atomic_cost;
+                gc.serializations = contention - 1;
+                gc.cycles += (contention - 1) * self.model.atomic_cost;
             }
             if *is_global {
                 self.stats.global_accesses += members.len() as u64;
@@ -246,7 +327,8 @@ impl CostAccumulator {
                 segments.dedup();
                 let tx = segments.len() as u64;
                 self.stats.global_transactions += tx;
-                cycles += tx * self.model.global_cost;
+                gc.transactions = tx;
+                gc.cycles += tx * self.model.global_cost;
             } else {
                 self.stats.shared_accesses += members.len() as u64;
                 // Bank conflicts: distinct addresses per bank serialize.
@@ -269,12 +351,36 @@ impl CostAccumulator {
                     replay = replay.max(addrs.len() as u64);
                 }
                 self.stats.shared_replays += replay - 1;
-                cycles += replay * self.model.shared_cost;
+                gc.replays = replay - 1;
+                gc.cycles += replay * self.model.shared_cost;
+            }
+            cycles += gc.cycles;
+            if let Some(rec) = sink.as_deref_mut() {
+                rec.mem_group_at(
+                    *w,
+                    *pc,
+                    *o,
+                    *is_global,
+                    atomics > 0,
+                    members.len() as u32,
+                    gc,
+                );
             }
         }
-        if had_barrier {
+        let mut barrier_cycles = 0;
+        if barrier.is_some() {
             self.stats.barriers += 1;
-            cycles += self.model.barrier_cost;
+            barrier_cycles = self.model.barrier_cost;
+            cycles += barrier_cycles;
+        }
+        if let Some(rec) = sink {
+            use descend_trace::TraceSink;
+            rec.interval_end(
+                instr_count,
+                instr_count * self.model.instr_cost,
+                barrier,
+                barrier_cycles,
+            );
         }
         self.current_block += cycles;
     }
@@ -283,16 +389,20 @@ impl CostAccumulator {
     /// lanes): charges [`CostModel::shuffle_cost`] cycles for the
     /// exchange — warp-wide, like any lockstep instruction — and counts
     /// the lane-level moves.
-    pub fn warp_shuffle(&mut self, lanes: u64) {
+    pub fn warp_shuffle(&mut self, lanes: u64) -> u64 {
         self.stats.shuffles += lanes;
         self.current_block += self.model.shuffle_cost;
+        self.model.shuffle_cost
     }
 
-    /// Finishes the current block.
-    pub fn end_block(&mut self) {
-        self.block_cycles.push(self.current_block);
+    /// Finishes the current block, returning its cycle count (what the
+    /// SM schedule and the block's launch trace consume).
+    pub fn end_block(&mut self) -> u64 {
+        let cycles = self.current_block;
+        self.block_cycles.push(cycles);
         self.current_block = 0;
         self.stats.blocks += 1;
+        cycles
     }
 
     /// Schedules block costs over the SMs and returns the final stats.
@@ -344,30 +454,40 @@ impl BlockCost {
 
     /// Warp-wide instruction cycles of one interval: the max lane delta
     /// of one warp (lockstep execution runs at the slowest lane).
-    pub(crate) fn warp_instrs(&mut self, max_lane_delta: u64) {
+    /// Returns the cycles charged (for trace emission).
+    pub(crate) fn warp_instrs(&mut self, max_lane_delta: u64) -> u64 {
         self.stats.instructions += max_lane_delta;
-        self.cycles += max_lane_delta * self.model.instr_cost;
+        let c = max_lane_delta * self.model.instr_cost;
+        self.cycles += c;
+        c
     }
 
-    /// One barrier closing an interval.
-    pub(crate) fn barrier(&mut self) {
+    /// One barrier closing an interval. Returns the cycles charged.
+    pub(crate) fn barrier(&mut self) -> u64 {
         self.stats.barriers += 1;
         self.cycles += self.model.barrier_cost;
+        self.model.barrier_cost
     }
 
-    /// One warp-wide shuffle exchange over `lanes` lanes.
-    pub(crate) fn warp_shuffle(&mut self, lanes: u64) {
+    /// One warp-wide shuffle exchange over `lanes` lanes. Returns the
+    /// cycles charged.
+    pub(crate) fn warp_shuffle(&mut self, lanes: u64) -> u64 {
         self.stats.shuffles += lanes;
         self.cycles += self.model.shuffle_cost;
+        self.model.shuffle_cost
     }
 
     /// All global-memory accesses of one warp instruction: `idxs` holds
     /// one element index per participating lane, `esz` the element size
     /// in bytes. Charges coalesced transactions, and atomic contention
-    /// when the instruction is an atomic RMW.
-    pub(crate) fn global_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) {
+    /// when the instruction is an atomic RMW. Returns the charged
+    /// [`GroupCost`] (for trace emission).
+    pub(crate) fn global_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) -> GroupCost {
+        let mut gc = GroupCost::default();
         if atomic {
-            self.charge_atomics(idxs);
+            let (ser, c) = self.charge_atomics(idxs);
+            gc.serializations = ser;
+            gc.cycles += c;
         }
         self.stats.global_accesses += idxs.len() as u64;
         // Fastest path: consecutive lanes touch every segment between
@@ -384,7 +504,9 @@ impl BlockCost {
             let tx = last - first + 1;
             self.stats.global_transactions += tx;
             self.cycles += tx * self.model.global_cost;
-            return;
+            gc.transactions = tx;
+            gc.cycles += tx * self.model.global_cost;
+            return gc;
         }
         // Coalescing: distinct 128-byte segments among the lanes.
         for i in idxs.iter_mut() {
@@ -405,13 +527,20 @@ impl BlockCost {
         }
         self.stats.global_transactions += tx;
         self.cycles += tx * self.model.global_cost;
+        gc.transactions = tx;
+        gc.cycles += tx * self.model.global_cost;
+        gc
     }
 
     /// All shared-memory accesses of one warp instruction (see
-    /// [`BlockCost::global_group`]). Charges bank-conflict replays.
-    pub(crate) fn shared_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) {
+    /// [`BlockCost::global_group`]). Charges bank-conflict replays and
+    /// returns the charged [`GroupCost`].
+    pub(crate) fn shared_group(&mut self, idxs: &mut [u64], esz: u64, atomic: bool) -> GroupCost {
+        let mut gc = GroupCost::default();
         if atomic {
-            self.charge_atomics(idxs);
+            let (ser, c) = self.charge_atomics(idxs);
+            gc.serializations = ser;
+            gc.cycles += c;
         }
         self.stats.shared_accesses += idxs.len() as u64;
         // Bank conflicts: distinct addresses per bank serialize
@@ -437,7 +566,9 @@ impl BlockCost {
                 if replay > 0 {
                     self.stats.shared_replays += replay - 1;
                     self.cycles += replay * self.model.shared_cost;
-                    return;
+                    gc.replays = replay - 1;
+                    gc.cycles += replay * self.model.shared_cost;
+                    return gc;
                 }
             }
         }
@@ -490,11 +621,15 @@ impl BlockCost {
         };
         self.stats.shared_replays += replay - 1;
         self.cycles += replay * self.model.shared_cost;
+        gc.replays = replay - 1;
+        gc.cycles += replay * self.model.shared_cost;
+        gc
     }
 
     /// Same-address contention among one warp instruction's atomic
-    /// lanes: the deepest per-address pile-up serializes.
-    fn charge_atomics(&mut self, idxs: &mut [u64]) {
+    /// lanes: the deepest per-address pile-up serializes. Returns the
+    /// extra serializations and the cycles they cost.
+    fn charge_atomics(&mut self, idxs: &mut [u64]) -> (u64, u64) {
         self.stats.atomic_accesses += idxs.len() as u64;
         if !idxs.is_sorted() {
             idxs.sort_unstable();
@@ -513,6 +648,7 @@ impl BlockCost {
         }
         self.stats.atomic_serializations += contention - 1;
         self.cycles += (contention - 1) * self.model.atomic_cost;
+        (contention - 1, (contention - 1) * self.model.atomic_cost)
     }
 
     /// Finishes the block: its cycle count and stats delta (with

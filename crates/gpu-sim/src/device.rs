@@ -4,6 +4,7 @@ use crate::cost::{CostAccumulator, CostModel, LaunchStats};
 use crate::interp::{self, AccessRec, InterpError, ThreadState, ThreadStop};
 use crate::ir::{ElemTy, KernelIr};
 use crate::race::{RaceDetector, RaceReport};
+use descend_trace::{BlockTrace, LaunchTrace, Recorder, SrcSpan, TraceSink, WorkerSpan};
 use std::fmt;
 
 /// A buffer handle.
@@ -53,6 +54,14 @@ pub struct LaunchConfig {
     pub exec: ExecMode,
     /// Host-parallel block execution (warp executor only).
     pub parallel: Parallel,
+    /// Worker-count override for parallel block execution: `Some(n)`
+    /// uses at most `n` host threads (1 forces sequential), bypassing
+    /// the `DESCEND_SIM_THREADS` environment variable — which is
+    /// process-global and therefore racy for tests that want different
+    /// counts side by side. `None` defers to the environment, then to
+    /// the host parallelism. Neither overrides the order-insensitivity
+    /// gate that protects determinism.
+    pub workers: Option<usize>,
 }
 
 /// Threads per warp for the lockstep shuffle grouping (agrees with
@@ -255,6 +264,45 @@ impl Gpu {
         args: &[BufId],
         cfg: &LaunchConfig,
     ) -> Result<LaunchStats, SimError> {
+        self.launch_inner(kernel, grid_dim, block_dim, args, cfg, false)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Gpu::launch`], additionally recording a structured
+    /// [`LaunchTrace`]: per-block barrier intervals, memory access
+    /// groups and shuffle exchanges with their modeled costs, each
+    /// attributed to a source span via the kernel's pc-to-span table.
+    ///
+    /// The trace is deterministic by construction — byte-identical
+    /// across [`ExecMode::Warp`] and [`ExecMode::Reference`] and across
+    /// worker counts (the wall-clock [`LaunchTrace::workers`] spans are
+    /// the one documented exception, and deterministic exports exclude
+    /// them). Stats are identical to what the untraced launch returns.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Gpu::launch`]'s errors.
+    pub fn launch_traced(
+        &mut self,
+        kernel: &KernelIr,
+        grid_dim: [u64; 3],
+        block_dim: [u64; 3],
+        args: &[BufId],
+        cfg: &LaunchConfig,
+    ) -> Result<(LaunchStats, LaunchTrace), SimError> {
+        self.launch_inner(kernel, grid_dim, block_dim, args, cfg, true)
+            .map(|(stats, trace)| (stats, trace.expect("traced launch records a trace")))
+    }
+
+    fn launch_inner(
+        &mut self,
+        kernel: &KernelIr,
+        grid_dim: [u64; 3],
+        block_dim: [u64; 3],
+        args: &[BufId],
+        cfg: &LaunchConfig,
+        tracing: bool,
+    ) -> Result<(LaunchStats, Option<LaunchTrace>), SimError> {
         if args.len() != kernel.params.len() {
             return Err(SimError::BadLaunch(format!(
                 "kernel `{}` expects {} buffers, got {}",
@@ -317,7 +365,7 @@ impl Gpu {
             }
         }
         let threads_per_block = threads_per_block as usize;
-        let (code, local_count) = interp::prepare(kernel);
+        let (code, spans, local_count) = interp::prepare_spanned(kernel);
         let weights = interp::weights(&code);
         let global_elems: Vec<ElemTy> = kernel.params.iter().map(|p| p.elem).collect();
         let shared_elems: Vec<ElemTy> = kernel.shared.iter().map(|s| s.elem).collect();
@@ -329,10 +377,13 @@ impl Gpu {
             .map(|a| std::mem::take(&mut self.buffers[a.0].data))
             .collect();
 
+        let mut block_traces: Vec<BlockTrace> = Vec::new();
+        let mut worker_spans: Vec<WorkerSpan> = Vec::new();
         let result = match cfg.exec {
             ExecMode::Reference => {
                 let mut cost = CostAccumulator::new(cfg.cost.clone());
                 let mut races = RaceDetector::new();
+                let mut traces = tracing.then(Vec::new);
                 let result = self.run_grid(
                     &code,
                     &weights,
@@ -346,7 +397,9 @@ impl Gpu {
                     &shared_elems,
                     &mut cost,
                     cfg.detect_races.then_some(&mut races),
+                    traces.as_mut(),
                 );
+                block_traces = traces.unwrap_or_default();
                 result.and_then(|()| match races.race {
                     Some(r) => Err(SimError::DataRace(r)),
                     None => Ok(cost.finish()),
@@ -364,13 +417,38 @@ impl Gpu {
                 &mut global,
                 &global_elems,
                 cfg,
-            ),
+                tracing,
+            )
+            .map(|(stats, traces, workers)| {
+                block_traces = traces;
+                worker_spans = workers;
+                stats
+            }),
         };
         // Restore buffers even on error.
         for (a, data) in args.iter().zip(global) {
             self.buffers[a.0].data = data;
         }
-        result
+        // Attribute a detected race to its source location (the span
+        // table exists whether or not tracing is on).
+        let result = result.map_err(|e| match e {
+            SimError::DataRace(mut r) => {
+                r.span = spans.get(r.pc as usize).copied().unwrap_or(SrcSpan::DUMMY);
+                SimError::DataRace(r)
+            }
+            other => other,
+        });
+        let stats = result?;
+        let trace = tracing.then(|| LaunchTrace {
+            kernel: kernel.name.clone(),
+            grid_dim,
+            block_dim,
+            sm_count: cfg.cost.num_sms,
+            spans,
+            blocks: block_traces,
+            workers: worker_spans,
+        });
+        Ok((stats, trace))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -388,6 +466,7 @@ impl Gpu {
         shared_elems: &[ElemTy],
         cost: &mut CostAccumulator,
         mut races: Option<&mut RaceDetector>,
+        mut traces: Option<&mut Vec<BlockTrace>>,
     ) -> Result<(), SimError> {
         /// Where a thread of the block currently waits within one
         /// barrier interval.
@@ -409,6 +488,7 @@ impl Gpu {
             for by in 0..grid_dim[1] {
                 for bx in 0..grid_dim[0] {
                     let block_lin = (bz * grid_dim[1] + by) * grid_dim[0] + bx;
+                    let mut rec = traces.is_some().then(Recorder::new);
                     let mut shared: Vec<Vec<u64>> = kernel
                         .shared
                         .iter()
@@ -526,7 +606,10 @@ impl Gpu {
                                     };
                                     waits[t] = Wait::Run;
                                 }
-                                cost.warp_shuffle(n as u64);
+                                let cycles = cost.warp_shuffle(n as u64);
+                                if let Some(r) = rec.as_mut() {
+                                    r.shuffle((ws / WARP_SIZE) as u32, pc as u32, n as u32, cycles);
+                                }
                                 resolved = true;
                             }
                             if !resolved {
@@ -543,7 +626,23 @@ impl Gpu {
                             .filter(|w| matches!(w, Wait::Barrier(_)))
                             .count();
                         let had_barrier = at_barrier > 0;
-                        cost.interval(&log, &instr_delta, global_elems, shared_elems, had_barrier);
+                        let barrier_pc = had_barrier.then(|| {
+                            waits
+                                .iter()
+                                .find_map(|w| match w {
+                                    Wait::Barrier(pc) => Some(*pc as u32),
+                                    _ => None,
+                                })
+                                .unwrap_or(u32::MAX)
+                        });
+                        cost.interval_traced(
+                            &log,
+                            &instr_delta,
+                            global_elems,
+                            shared_elems,
+                            barrier_pc,
+                            rec.as_mut(),
+                        );
                         if let Some(r) = races.as_deref_mut() {
                             r.interval(block_lin as u32, &log);
                         }
@@ -568,7 +667,10 @@ impl Gpu {
                             }
                         }
                     }
-                    cost.end_block();
+                    let cycles = cost.end_block();
+                    if let (Some(ts), Some(r)) = (traces.as_deref_mut(), rec.take()) {
+                        ts.push(r.finish_block(block_lin, cycles));
+                    }
                     if let Some(r) = races.as_deref_mut() {
                         r.end_block();
                     }
@@ -624,13 +726,20 @@ fn decide_workers(
     global_lens: &[usize],
     shared_lens: &[usize],
 ) -> usize {
-    // `DESCEND_SIM_THREADS` overrides how many host threads a parallel
-    // launch may use (1 forces sequential); it never overrides the
-    // order-insensitivity gate, which protects determinism.
-    let available = std::env::var("DESCEND_SIM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
+    // [`LaunchConfig::workers`] (per-launch, test-safe) takes precedence
+    // over `DESCEND_SIM_THREADS` (process-global); both only cap how
+    // many host threads a parallel launch may use (1 forces sequential)
+    // and never override the order-insensitivity gate, which protects
+    // determinism.
+    let available = cfg
+        .workers
         .filter(|n| *n >= 1)
+        .or_else(|| {
+            std::env::var("DESCEND_SIM_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+        })
         .unwrap_or_else(workpool::Pool::available_workers);
     let requested = match cfg.parallel {
         Parallel::Off => 1,
@@ -675,7 +784,8 @@ fn run_grid_warp(
     global: &mut [Vec<u64>],
     global_elems: &[ElemTy],
     cfg: &LaunchConfig,
-) -> Result<LaunchStats, SimError> {
+    tracing: bool,
+) -> Result<(LaunchStats, Vec<BlockTrace>, Vec<WorkerSpan>), SimError> {
     use crate::race::{fold_min, CrossBlockMerge, ShadowMemory};
     use crate::warp::{run_block, BlockOutcome, BlockScratch, GridCtx};
     let views: Vec<&[std::sync::atomic::AtomicU64]> = global
@@ -704,42 +814,65 @@ fn run_grid_warp(
         &global_lens,
         &shared_lens,
     );
-    let outcomes: Vec<Result<BlockOutcome, SimError>> = if workers <= 1 {
-        let mut shadow = cfg.detect_races.then(ShadowMemory::default);
-        let mut scratch = BlockScratch::new(&ctx);
-        let mut out = Vec::with_capacity(blocks);
-        for b in 0..blocks {
-            let r = run_block(&ctx, b as u64, shadow.as_mut(), &mut scratch);
-            let failed = r.is_err();
-            out.push(r);
-            if failed {
-                // Sequential execution stops at the first error, like
-                // the reference path; the merge below returns it.
-                break;
+    let (outcomes, worker_spans): (Vec<Result<BlockOutcome, SimError>>, Vec<WorkerSpan>) =
+        if workers <= 1 {
+            let mut shadow = cfg.detect_races.then(ShadowMemory::default);
+            let mut scratch = BlockScratch::new(&ctx);
+            let mut out = Vec::with_capacity(blocks);
+            for b in 0..blocks {
+                let r = run_block(&ctx, b as u64, shadow.as_mut(), &mut scratch, tracing);
+                let failed = r.is_err();
+                out.push(r);
+                if failed {
+                    // Sequential execution stops at the first error, like
+                    // the reference path; the merge below returns it.
+                    break;
+                }
             }
-        }
-        out
-    } else {
-        workpool::Pool::new(workers).run_with(
-            blocks,
-            || {
+            (out, Vec::new())
+        } else {
+            let pool = workpool::Pool::new(workers);
+            let init = || {
                 (
                     cfg.detect_races.then(ShadowMemory::default),
                     BlockScratch::new(&ctx),
                 )
-            },
-            |(shadow, scratch), b| run_block(&ctx, b as u64, shadow.as_mut(), scratch),
-        )
-    };
+            };
+            let task = |(shadow, scratch): &mut (Option<ShadowMemory>, BlockScratch), b: usize| {
+                run_block(&ctx, b as u64, shadow.as_mut(), scratch, tracing)
+            };
+            if tracing {
+                // Worker busy spans ride into the trace's host section
+                // (wall-clock; deterministic exports exclude them).
+                let (out, stats) = pool.run_with_stats(blocks, init, task);
+                let spans = stats
+                    .spans
+                    .iter()
+                    .map(|s| WorkerSpan {
+                        worker: s.worker as u32,
+                        block: s.index as u64,
+                        start_us: s.start_us,
+                        end_us: s.end_us,
+                    })
+                    .collect();
+                (out, spans)
+            } else {
+                (pool.run_with(blocks, init, task), Vec::new())
+            }
+        };
     // Merge strictly in linear block order: the first failing block's
     // error wins, races fold to the sort_key minimum, stats sum.
     let mut stats = LaunchStats::default();
     let mut block_cycles = Vec::with_capacity(outcomes.len());
+    let mut block_traces = Vec::new();
     let mut best: Option<crate::race::RaceReport> = None;
     let mut merge = cfg.detect_races.then(|| CrossBlockMerge::new(&global_lens));
     for (b, outcome) in outcomes.into_iter().enumerate() {
-        let outcome = outcome?;
+        let mut outcome = outcome?;
         block_cycles.push(outcome.cycles);
+        if let Some(t) = outcome.trace.take() {
+            block_traces.push(t);
+        }
         stats.accumulate(&outcome.stats);
         if let Some(r) = outcome.race {
             fold_min(&mut best, r);
@@ -757,7 +890,7 @@ fn run_grid_warp(
         return Err(SimError::DataRace(r));
     }
     stats.cycles = crate::cost::schedule_blocks(&cfg.cost, &block_cycles);
-    Ok(stats)
+    Ok((stats, block_traces, worker_spans))
 }
 
 /// Converts an f64 host value to the bit pattern a buffer of the given

@@ -9,6 +9,7 @@
 //! divergence (the behavior CUDA leaves undefined, see paper Section 2.2).
 
 use crate::ir::{AtomicOp, Axis, BinOp, Expr, KernelIr, LoopCmp, LoopStep, ShflOp, Stmt, UnOp};
+use descend_trace::SrcSpan;
 
 /// A runtime value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -159,65 +160,106 @@ pub enum Instr {
 
 /// Compiles structured statements to bytecode.
 pub fn compile(body: &[Stmt]) -> Vec<Instr> {
-    let mut code = Vec::new();
-    emit(body, &mut code);
-    code.push(Instr::Halt);
-    code
+    compile_spanned(body).0
 }
 
-fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
+/// Compiles structured statements to bytecode, also returning the source
+/// span of each instruction (parallel to the code vector). Spans come
+/// from [`Stmt::Src`] markers: every instruction emitted after a marker
+/// (at the same or deeper nesting) carries that marker's span until the
+/// next one; bodies without markers (handwritten IR) get
+/// [`SrcSpan::DUMMY`] throughout, as does the final `Halt`.
+pub fn compile_spanned(body: &[Stmt]) -> (Vec<Instr>, Vec<SrcSpan>) {
+    let mut code = Vec::new();
+    let mut spans = Vec::new();
+    emit(body, &mut code, &mut spans, SrcSpan::DUMMY);
+    code.push(Instr::Halt);
+    spans.push(SrcSpan::DUMMY);
+    debug_assert_eq!(code.len(), spans.len());
+    (code, spans)
+}
+
+fn emit(stmts: &[Stmt], code: &mut Vec<Instr>, spans: &mut Vec<SrcSpan>, outer: SrcSpan) {
+    // The marker span in effect; nested bodies inherit it at entry and
+    // their own markers stay scoped to the nesting.
+    let mut cur = outer;
+    let push = |code: &mut Vec<Instr>, spans: &mut Vec<SrcSpan>, i: Instr, sp: SrcSpan| {
+        code.push(i);
+        spans.push(sp);
+    };
     for s in stmts {
         match s {
-            Stmt::SetLocal(i, e) => code.push(Instr::SetLocal(*i, e.clone())),
-            Stmt::StoreGlobal { buf, idx, value } => code.push(Instr::StoreGlobal {
-                buf: *buf,
-                idx: idx.clone(),
-                value: value.clone(),
-            }),
-            Stmt::StoreShared { buf, idx, value } => code.push(Instr::StoreShared {
-                buf: *buf,
-                idx: idx.clone(),
-                value: value.clone(),
-            }),
+            Stmt::Src(sp) => cur = *sp,
+            Stmt::SetLocal(i, e) => push(code, spans, Instr::SetLocal(*i, e.clone()), cur),
+            Stmt::StoreGlobal { buf, idx, value } => push(
+                code,
+                spans,
+                Instr::StoreGlobal {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    value: value.clone(),
+                },
+                cur,
+            ),
+            Stmt::StoreShared { buf, idx, value } => push(
+                code,
+                spans,
+                Instr::StoreShared {
+                    buf: *buf,
+                    idx: idx.clone(),
+                    value: value.clone(),
+                },
+                cur,
+            ),
             Stmt::AtomicGlobal {
                 op,
                 buf,
                 idx,
                 value,
-            } => code.push(Instr::AtomicGlobal {
-                op: *op,
-                buf: *buf,
-                idx: idx.clone(),
-                value: value.clone(),
-            }),
+            } => push(
+                code,
+                spans,
+                Instr::AtomicGlobal {
+                    op: *op,
+                    buf: *buf,
+                    idx: idx.clone(),
+                    value: value.clone(),
+                },
+                cur,
+            ),
             Stmt::AtomicShared {
                 op,
                 buf,
                 idx,
                 value,
-            } => code.push(Instr::AtomicShared {
-                op: *op,
-                buf: *buf,
-                idx: idx.clone(),
-                value: value.clone(),
-            }),
+            } => push(
+                code,
+                spans,
+                Instr::AtomicShared {
+                    op: *op,
+                    buf: *buf,
+                    idx: idx.clone(),
+                    value: value.clone(),
+                },
+                cur,
+            ),
             Stmt::If {
                 cond,
                 then_s,
                 else_s,
             } => {
                 let jif = code.len();
-                code.push(Instr::Jump(0)); // placeholder for JumpIfFalse
-                emit(then_s, code);
+                push(code, spans, Instr::Jump(0), cur); // placeholder for JumpIfFalse
+                emit(then_s, code, spans, cur);
                 if else_s.is_empty() {
                     let end = code.len();
                     code[jif] = Instr::JumpIfFalse(cond.clone(), end);
                 } else {
                     let jend = code.len();
-                    code.push(Instr::Jump(0)); // placeholder
+                    push(code, spans, Instr::Jump(0), cur); // placeholder
                     let else_start = code.len();
                     code[jif] = Instr::JumpIfFalse(cond.clone(), else_start);
-                    emit(else_s, code);
+                    emit(else_s, code, spans, cur);
                     let end = code.len();
                     code[jend] = Instr::Jump(end);
                 }
@@ -230,14 +272,19 @@ fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
                 step,
                 body,
             } => {
-                code.push(Instr::SetLocal(*var, init.clone()));
+                push(code, spans, Instr::SetLocal(*var, init.clone()), cur);
                 let head = code.len();
                 let cond = loop_cond(*var, *cmp, bound.clone());
                 let jexit = code.len();
-                code.push(Instr::Jump(0)); // placeholder
-                emit(body, code);
-                code.push(Instr::SetLocal(*var, loop_update(*var, *step)));
-                code.push(Instr::Jump(head));
+                push(code, spans, Instr::Jump(0), cur); // placeholder
+                emit(body, code, spans, cur);
+                push(
+                    code,
+                    spans,
+                    Instr::SetLocal(*var, loop_update(*var, *step)),
+                    cur,
+                );
+                push(code, spans, Instr::Jump(head), cur);
                 let end = code.len();
                 code[jexit] = Instr::JumpIfFalse(cond, end);
             }
@@ -246,13 +293,18 @@ fn emit(stmts: &[Stmt], code: &mut Vec<Instr>) {
                 op,
                 value,
                 delta,
-            } => code.push(Instr::Shfl {
-                dst: *dst,
-                op: *op,
-                value: value.clone(),
-                delta: *delta,
-            }),
-            Stmt::Barrier => code.push(Instr::Barrier),
+            } => push(
+                code,
+                spans,
+                Instr::Shfl {
+                    dst: *dst,
+                    op: *op,
+                    value: value.clone(),
+                    delta: *delta,
+                },
+                cur,
+            ),
+            Stmt::Barrier => push(code, spans, Instr::Barrier, cur),
         }
     }
 }
@@ -735,6 +787,13 @@ pub fn run_thread(
 /// Convenience: compiles and returns bytecode plus the local count.
 pub fn prepare(kernel: &KernelIr) -> (Vec<Instr>, usize) {
     (compile(&kernel.body), kernel.local_count())
+}
+
+/// Like [`prepare`], also returning the per-pc source span table (see
+/// [`compile_spanned`]) for launch-trace attribution.
+pub fn prepare_spanned(kernel: &KernelIr) -> (Vec<Instr>, Vec<SrcSpan>, usize) {
+    let (code, spans) = compile_spanned(&kernel.body);
+    (code, spans, kernel.local_count())
 }
 
 /// Number of expression nodes (models arithmetic cost per instruction).

@@ -72,3 +72,8 @@ mod warp;
 pub use cost::{CostModel, LaunchStats};
 pub use device::{ExecMode, Gpu, LaunchConfig, Parallel, SimError};
 pub use ir::{AtomicOp, Axis, BinOp, ElemTy, Expr, KernelIr, ParamDecl, SharedDecl, Stmt, UnOp};
+
+/// Launch-trace observability (re-export of the `descend-trace` crate):
+/// sinks, recorded traces, profile aggregation and Chrome-trace export.
+/// See [`device::Gpu::launch_traced`].
+pub use descend_trace as trace;

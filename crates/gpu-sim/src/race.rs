@@ -15,7 +15,11 @@
 //! (transcribed to the IR) must be flagged.
 
 use crate::interp::AccessRec;
+use descend_trace::SrcSpan;
 use std::collections::HashMap;
+
+/// Bytecode pc value meaning "location unknown" in a [`RaceReport`].
+pub const PC_UNKNOWN: u32 = u32::MAX;
 
 /// A detected race.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,6 +38,14 @@ pub struct RaceReport {
     pub parties: (u32, u32),
     /// Whether both conflicting accesses are writes.
     pub write_write: bool,
+    /// Bytecode pc of the access that completed the conflicting pair
+    /// (the earlier access's location is not retained);
+    /// [`PC_UNKNOWN`] when the detector has no location.
+    pub pc: u32,
+    /// Source span of that access, resolved by the device from the
+    /// launch's pc-to-span table ([`SrcSpan::DUMMY`] for kernels
+    /// without source markers, e.g. hand-built IR).
+    pub span: SrcSpan,
 }
 
 impl std::fmt::Display for RaceReport {
@@ -56,18 +68,24 @@ impl std::fmt::Display for RaceReport {
             } else {
                 "read-write"
             }
-        )
+        )?;
+        if !self.span.is_dummy() {
+            write!(f, " at {}", self.span)?;
+        }
+        Ok(())
     }
 }
 
 impl RaceReport {
     /// The total order used to choose *the* reported race when several
     /// are detected: `(global, buf, idx, parties, cross_block,
-    /// write_write)`, with [`RaceReport::parties`] normalized low-high.
-    /// Folding the minimum under this key is order-independent, which is
-    /// what makes the reported race deterministic under parallel block
-    /// execution.
-    pub fn sort_key(&self) -> (bool, u32, u64, u32, u32, bool, bool) {
+    /// write_write, pc)`, with [`RaceReport::parties`] normalized
+    /// low-high. Folding the minimum under this key is
+    /// order-independent, which is what makes the reported race
+    /// deterministic under parallel block execution. The pc comes last:
+    /// it breaks ties between otherwise-identical conflicts without
+    /// ever changing *which* logical race is reported.
+    pub fn sort_key(&self) -> (bool, u32, u64, u32, u32, bool, bool, u32) {
         (
             self.global,
             self.buf,
@@ -76,6 +94,7 @@ impl RaceReport {
             self.parties.1,
             self.cross_block,
             self.write_write,
+            self.pc,
         )
     }
 }
@@ -208,6 +227,8 @@ impl RaceDetector {
                     cross_block: false,
                     parties: (p1, p2),
                     write_write: ww,
+                    pc: a.pc,
+                    span: SrcSpan::DUMMY,
                 });
             }
             // Cross-block check for global memory (whole kernel).
@@ -229,6 +250,8 @@ impl RaceDetector {
                             cross_block: true,
                             parties: (p1, p2),
                             write_write: ww,
+                            pc: a.pc,
+                            span: SrcSpan::DUMMY,
                         });
                     }
                 }
@@ -263,12 +286,15 @@ pub(crate) const TOUCH_READ: u8 = 1;
 pub(crate) const TOUCH_WRITE: u8 = 2;
 pub(crate) const TOUCH_ATOMIC: u8 = 4;
 
-/// One global location a block touched, with the access kinds seen.
+/// One global location a block touched, with the access kinds seen and
+/// the bytecode pc of the first access of each kind (read/write/atomic
+/// order; [`PC_UNKNOWN`] for kinds never seen).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct TouchRec {
     pub buf: u32,
     pub idx: u64,
     pub flags: u8,
+    pub pcs: [u32; 3],
 }
 
 /// Sentinel for "no party yet" in a shadow cell.
@@ -361,11 +387,13 @@ impl ShadowCell {
     }
 }
 
-/// Epoch-tagged per-location touch flags for the cross-block summary.
+/// Epoch-tagged per-location touch flags for the cross-block summary,
+/// with the first-touch pc per access kind (read/write/atomic).
 #[derive(Clone, Copy, Debug)]
 struct TouchCell {
     epoch: u64,
     flags: u8,
+    pcs: [u32; 3],
 }
 
 /// Worker-local shadow memory: intra-block detection for one block at a
@@ -412,7 +440,16 @@ impl ShadowMemory {
         {
             self.touch = global_lens
                 .iter()
-                .map(|l| vec![TouchCell { epoch: 0, flags: 0 }; *l])
+                .map(|l| {
+                    vec![
+                        TouchCell {
+                            epoch: 0,
+                            flags: 0,
+                            pcs: [PC_UNKNOWN; 3],
+                        };
+                        *l
+                    ]
+                })
                 .collect();
             self.touch_epoch = 0;
         }
@@ -424,8 +461,11 @@ impl ShadowMemory {
     }
 
     /// Records one access (the executor has already bounds-checked
-    /// `idx`). `who` is the block-linear thread id.
+    /// `idx`). `who` is the block-linear thread id; `pc` attributes a
+    /// detected conflict (and the cross-block touch summary) to the
+    /// bytecode location of the access.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // one flag per access dimension
     pub(crate) fn access(
         &mut self,
         global: bool,
@@ -434,6 +474,7 @@ impl ShadowMemory {
         who: u32,
         write: bool,
         atomic: bool,
+        pc: u32,
     ) {
         let cells = if global {
             &mut self.global
@@ -455,6 +496,8 @@ impl ShadowMemory {
                     cross_block: false,
                     parties: (p1.min(p2), p1.max(p2)),
                     write_write: ww,
+                    pc,
+                    span: SrcSpan::DUMMY,
                 },
             );
         }
@@ -463,15 +506,21 @@ impl ShadowMemory {
             if t.epoch != self.touch_epoch {
                 t.epoch = self.touch_epoch;
                 t.flags = 0;
+                t.pcs = [PC_UNKNOWN; 3];
                 self.touched.push((buf as u32, idx));
             }
-            t.flags |= if atomic {
-                TOUCH_ATOMIC
+            let kind = if atomic {
+                2
             } else if write {
-                TOUCH_WRITE
+                1
             } else {
-                TOUCH_READ
+                0
             };
+            let bit = 1u8 << kind;
+            if t.flags & bit == 0 {
+                t.pcs[kind] = pc;
+            }
+            t.flags |= bit;
         }
     }
 
@@ -486,10 +535,14 @@ impl ShadowMemory {
         let recs = self
             .touched
             .drain(..)
-            .map(|(buf, idx)| TouchRec {
-                buf,
-                idx,
-                flags: self.touch[buf as usize][idx as usize].flags,
+            .map(|(buf, idx)| {
+                let cell = &self.touch[buf as usize][idx as usize];
+                TouchRec {
+                    buf,
+                    idx,
+                    flags: cell.flags,
+                    pcs: cell.pcs,
+                }
             })
             .collect();
         self.epoch += 1;
@@ -529,11 +582,14 @@ impl CrossBlockMerge {
     pub(crate) fn feed(&mut self, block: u32, touched: &[TouchRec]) {
         for t in touched {
             let cell = &mut self.cells[t.buf as usize][t.idx as usize];
-            for (bit, write, atomic) in [
+            for (kind, (bit, write, atomic)) in [
                 (TOUCH_READ, false, false),
                 (TOUCH_WRITE, true, false),
                 (TOUCH_ATOMIC, true, true),
-            ] {
+            ]
+            .into_iter()
+            .enumerate()
+            {
                 if t.flags & bit == 0 {
                     continue;
                 }
@@ -548,6 +604,8 @@ impl CrossBlockMerge {
                                 cross_block: true,
                                 parties: (p1.min(p2), p1.max(p2)),
                                 write_write: ww,
+                                pc: t.pcs[kind],
+                                span: SrcSpan::DUMMY,
                             },
                         );
                     }

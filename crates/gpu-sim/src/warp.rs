@@ -20,6 +20,7 @@ use crate::device::{lift_err, SimError, WARP_SIZE};
 use crate::interp::{apply_atomic, apply_bin, Instr, InterpError, Value};
 use crate::ir::{Axis, BinOp, Expr, SharedDecl, ShflOp, UnOp};
 use crate::race::{RaceReport, ShadowMemory, TouchRec};
+use descend_trace::{BlockTrace, NullSink, Recorder, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Everything immutable a block needs to execute; shared by all worker
@@ -58,6 +59,8 @@ pub(crate) struct BlockOutcome {
     pub(crate) race: Option<RaceReport>,
     /// Cross-block touch summary (empty when races are off).
     pub(crate) touched: Vec<TouchRec>,
+    /// Structured trace of this block's execution (only when tracing).
+    pub(crate) trace: Option<BlockTrace>,
 }
 
 /// Per-lane execution status within the current barrier interval.
@@ -159,9 +162,9 @@ impl Warp {
 
     /// Runs the warp to the end of the current barrier interval: every
     /// lane ends `Barrier` or `Done`, with in-warp shuffles resolved.
-    fn run_interval(
+    fn run_interval<S: TraceSink>(
         &mut self,
-        env: &mut Env<'_, '_>,
+        env: &mut Env<'_, '_, S>,
         scratch: &mut [[Value; 32]],
     ) -> Result<(), SimError> {
         loop {
@@ -215,7 +218,7 @@ impl Warp {
     /// Exchanges staged shuffle operands once every lane of the warp
     /// waits at the same shuffle (the lockstep requirement the reference
     /// path enforces, with identical diagnostics).
-    fn resolve_shuffle(&mut self, env: &mut Env<'_, '_>) -> Result<(), SimError> {
+    fn resolve_shuffle<S: TraceSink>(&mut self, env: &mut Env<'_, '_, S>) -> Result<(), SimError> {
         let pc = (0..self.n)
             .find_map(|l| match self.status[l] {
                 Lane::Shfl(p) => Some(p),
@@ -267,7 +270,11 @@ impl Warp {
             self.status[l] = Lane::Run;
             self.sched[l] = self.pc[l] as u32;
         }
-        env.cost.warp_shuffle(n as u64);
+        let cycles = env.cost.warp_shuffle(n as u64);
+        if S::ENABLED {
+            env.sink
+                .shuffle(self.widx as u32, pc as u32, n as u32, cycles);
+        }
         Ok(())
     }
 
@@ -279,9 +286,9 @@ impl Warp {
     /// which is the warp path's hottest allocation. Stale lanes in a
     /// reused buffer are harmless — every consumer reads only lanes in
     /// `mask`, and every evaluator writes exactly those lanes.
-    fn exec(
+    fn exec<S: TraceSink>(
         &mut self,
-        env: &mut Env<'_, '_>,
+        env: &mut Env<'_, '_, S>,
         pc: usize,
         mask: u32,
         scratch: &mut [[Value; 32]],
@@ -343,7 +350,7 @@ impl Warp {
                     let bits = vals[l].to_elem_bits(elem).map_err(ev)?;
                     view[i as usize].store(bits, Ordering::Relaxed);
                     if let Some(sh) = shadow.as_deref_mut() {
-                        sh.access(true, *buf, i, base + l as u32, true, false);
+                        sh.access(true, *buf, i, base + l as u32, true, false, pc as u32);
                     }
                     group[n] = i;
                     n += 1;
@@ -351,8 +358,13 @@ impl Warp {
                     sched[l] = pc as u32 + 1;
                     Ok(())
                 })?;
-                env.cost
+                let gc = env
+                    .cost
                     .global_group(&mut group[..n], elem.size_bytes(), false);
+                if S::ENABLED {
+                    env.sink
+                        .mem_group(self.widx as u32, pc as u32, true, false, n as u32, gc);
+                }
             }
             Instr::StoreShared { buf, idx, value } => {
                 let (addrs, vals) = self.eval_store_operands(env, idx, value, mask, pc, scratch)?;
@@ -377,7 +389,7 @@ impl Warp {
                     let bits = vals[l].to_elem_bits(elem).map_err(ev)?;
                     buf_mem[i as usize] = bits;
                     if let Some(sh) = shadow.as_deref_mut() {
-                        sh.access(false, *buf, i, base + l as u32, true, false);
+                        sh.access(false, *buf, i, base + l as u32, true, false, pc as u32);
                     }
                     group[n] = i;
                     n += 1;
@@ -385,8 +397,13 @@ impl Warp {
                     sched[l] = pc as u32 + 1;
                     Ok(())
                 })?;
-                env.cost
+                let gc = env
+                    .cost
                     .shared_group(&mut group[..n], elem.size_bytes(), false);
+                if S::ENABLED {
+                    env.sink
+                        .mem_group(self.widx as u32, pc as u32, false, false, n as u32, gc);
+                }
             }
             Instr::AtomicGlobal {
                 op,
@@ -431,7 +448,7 @@ impl Warp {
                         }
                     }
                     if let Some(sh) = shadow.as_deref_mut() {
-                        sh.access(true, *buf, i, base + l as u32, true, true);
+                        sh.access(true, *buf, i, base + l as u32, true, true, pc as u32);
                     }
                     group[n] = i;
                     n += 1;
@@ -439,8 +456,13 @@ impl Warp {
                     sched[l] = pc as u32 + 1;
                     Ok(())
                 })?;
-                env.cost
+                let gc = env
+                    .cost
                     .global_group(&mut group[..n], elem.size_bytes(), true);
+                if S::ENABLED {
+                    env.sink
+                        .mem_group(self.widx as u32, pc as u32, true, true, n as u32, gc);
+                }
             }
             Instr::AtomicShared {
                 op,
@@ -471,7 +493,7 @@ impl Warp {
                     let new = apply_atomic(*op, old, vals[l]).map_err(ev)?;
                     buf_mem[i as usize] = new.to_elem_bits(elem).map_err(ev)?;
                     if let Some(sh) = shadow.as_deref_mut() {
-                        sh.access(false, *buf, i, base + l as u32, true, true);
+                        sh.access(false, *buf, i, base + l as u32, true, true, pc as u32);
                     }
                     group[n] = i;
                     n += 1;
@@ -479,8 +501,13 @@ impl Warp {
                     sched[l] = pc as u32 + 1;
                     Ok(())
                 })?;
-                env.cost
+                let gc = env
+                    .cost
                     .shared_group(&mut group[..n], elem.size_bytes(), true);
+                if S::ENABLED {
+                    env.sink
+                        .mem_group(self.widx as u32, pc as u32, false, true, n as u32, gc);
+                }
             }
             Instr::JumpIfFalse(cond, target) => {
                 let (vals, rest) = scratch.split_first_mut().expect("scratch sized per kernel");
@@ -557,9 +584,9 @@ impl Warp {
     /// and value operands, in the reference interpreter's order: index
     /// conversion errors surface before value-evaluation errors, which
     /// surface before bounds checks.
-    fn eval_store_operands<'s>(
+    fn eval_store_operands<'s, S: TraceSink>(
         &self,
-        env: &mut Env<'_, '_>,
+        env: &mut Env<'_, '_, S>,
         idx: &Expr,
         value: &Expr,
         mask: u32,
@@ -581,13 +608,17 @@ impl Warp {
     }
 }
 
-/// Mutable per-block execution state.
-struct Env<'a, 'b> {
+/// Mutable per-block execution state. Generic over the trace sink so the
+/// untraced instantiation ([`NullSink`], `ENABLED = false`) monomorphizes
+/// every `if S::ENABLED` guard away and stays the exact pre-trace code.
+struct Env<'a, 'b, S: TraceSink> {
     ctx: &'a GridCtx<'a>,
     /// This block's shared allocations (bit patterns).
     shared: &'b mut [Vec<u64>],
     cost: BlockCost,
     shadow: Option<&'b mut ShadowMemory>,
+    /// Where cost events land when tracing.
+    sink: &'b mut S,
     block_lin: u64,
     /// Block coordinates, block/grid dims as i64 (expression operands).
     block: [i64; 3],
@@ -643,8 +674,8 @@ fn ev(msg: String) -> Box<SimError> {
 /// Buffers come back with stale lanes from earlier nodes; that is fine
 /// because only `mask` lanes are ever read, and those are always
 /// freshly written.
-fn eval_vec(
-    env: &mut Env<'_, '_>,
+fn eval_vec<S: TraceSink>(
+    env: &mut Env<'_, '_, S>,
     warp: &Warp,
     e: &Expr,
     mask: u32,
@@ -693,15 +724,20 @@ fn eval_vec(
                     return Err(oob(block_lin, "global", *buf, i, view.len() as u64, pc));
                 }
                 if let Some(sh) = shadow.as_deref_mut() {
-                    sh.access(true, *buf, i, warp.tid(l), false, false);
+                    sh.access(true, *buf, i, warp.tid(l), false, false, pc as u32);
                 }
                 out[l] = Value::from_bits(view[i as usize].load(Ordering::Relaxed), elem);
                 group[n] = i;
                 n += 1;
                 Ok(())
             })?;
-            env.cost
+            let gc = env
+                .cost
                 .global_group(&mut group[..n], elem.size_bytes(), false);
+            if S::ENABLED {
+                env.sink
+                    .mem_group(warp.widx as u32, pc as u32, true, false, n as u32, gc);
+            }
         }
         Expr::LoadShared { buf, idx } => {
             eval_vec(env, warp, idx, mask, pc, out, scratch)?;
@@ -723,15 +759,20 @@ fn eval_vec(
                     return Err(oob(block_lin, "shared", *buf, i, len, pc));
                 }
                 if let Some(sh) = shadow.as_deref_mut() {
-                    sh.access(false, *buf, i, warp.tid(l), false, false);
+                    sh.access(false, *buf, i, warp.tid(l), false, false, pc as u32);
                 }
                 out[l] = Value::from_bits(buf_mem[i as usize], elem);
                 group[n] = i;
                 n += 1;
                 Ok(())
             })?;
-            env.cost
+            let gc = env
+                .cost
                 .shared_group(&mut group[..n], elem.size_bytes(), false);
+            if S::ENABLED {
+                env.sink
+                    .mem_group(warp.widx as u32, pc as u32, false, false, n as u32, gc);
+            }
         }
         Expr::Bin(op, a, b) => {
             eval_vec(env, warp, a, mask, pc, out, scratch)?;
@@ -979,11 +1020,35 @@ impl BlockScratch {
 /// Runs one block to completion: barrier-interval loop over all warps,
 /// with per-interval cost accounting and barrier-consistency checks
 /// identical to the reference path.
+///
+/// `tracing` selects the sink instantiation: `false` runs the
+/// [`NullSink`] monomorphization (bit-identical to the pre-trace
+/// executor), `true` records every cost event into a [`BlockTrace`]
+/// returned on the outcome.
 pub(crate) fn run_block(
+    ctx: &GridCtx<'_>,
+    block_lin: u64,
+    shadow: Option<&mut ShadowMemory>,
+    bs: &mut BlockScratch,
+    tracing: bool,
+) -> Result<BlockOutcome, SimError> {
+    if tracing {
+        let mut rec = Recorder::new();
+        let mut out = run_block_sink(ctx, block_lin, shadow, bs, &mut rec)?;
+        out.trace = Some(rec.finish_block(block_lin, out.cycles));
+        Ok(out)
+    } else {
+        run_block_sink(ctx, block_lin, shadow, bs, &mut NullSink)
+    }
+}
+
+/// [`run_block`] body, monomorphized per sink.
+fn run_block_sink<S: TraceSink>(
     ctx: &GridCtx<'_>,
     block_lin: u64,
     mut shadow: Option<&mut ShadowMemory>,
     bs: &mut BlockScratch,
+    sink: &mut S,
 ) -> Result<BlockOutcome, SimError> {
     let gd = ctx.grid_dim;
     let block = [
@@ -1007,6 +1072,7 @@ pub(crate) fn run_block(
         shared,
         cost: BlockCost::new(ctx.model.clone()),
         shadow,
+        sink,
         block_lin,
         block,
         bdim: [
@@ -1025,6 +1091,8 @@ pub(crate) fn run_block(
         for w in warps.iter_mut() {
             w.run_interval(&mut env, arena)?;
         }
+        let mut instrs = 0u64;
+        let mut instr_cycles = 0u64;
         for w in warps.iter_mut() {
             let mut max_delta = 0u64;
             for l in 0..w.n {
@@ -1032,13 +1100,26 @@ pub(crate) fn run_block(
                 w.instr_before[l] = w.instr_count[l];
                 max_delta = max_delta.max(d);
             }
-            env.cost.warp_instrs(max_delta);
+            instrs += max_delta;
+            instr_cycles += env.cost.warp_instrs(max_delta);
         }
         let finished: usize = warps.iter().map(|w| w.done).sum();
         let at_barrier = threads - finished;
         let had_barrier = at_barrier > 0;
+        let mut barrier_cycles = 0;
         if had_barrier {
-            env.cost.barrier();
+            barrier_cycles = env.cost.barrier();
+        }
+        if S::ENABLED {
+            // The consistency checks below error out on divergent
+            // barriers, so any lane's stop records the interval's
+            // closing barrier location.
+            let barrier_pc = had_barrier.then(|| match warps[0].status[0] {
+                Lane::Barrier(p) => p as u32,
+                _ => u32::MAX,
+            });
+            env.sink
+                .interval_end(instrs, instr_cycles, barrier_pc, barrier_cycles);
         }
         if let Some(sh) = env.shadow.as_deref_mut() {
             sh.end_interval();
@@ -1084,5 +1165,6 @@ pub(crate) fn run_block(
         stats,
         race,
         touched,
+        trace: None,
     })
 }

@@ -1342,6 +1342,11 @@ impl<'g, 'p> FnCx<'g, 'p> {
     }
 
     fn check_stmt(&mut self, s: &Stmt, out: &mut Vec<ElabStmt>) -> TResult<()> {
+        // Source-location marker for the statements this one elaborates
+        // into: cost attribution in the simulator's launch traces.
+        if self.on_gpu() && !s.span.is_dummy() {
+            out.push(ElabStmt::Src(s.span));
+        }
         match &s.kind {
             StmtKind::Let {
                 name,

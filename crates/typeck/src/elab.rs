@@ -168,6 +168,12 @@ pub enum ElabStmt {
     },
     /// Block-wide barrier.
     Sync,
+    /// Source-location marker: the statements that follow (until the
+    /// next marker at the same nesting depth) elaborate the source
+    /// statement covering this span. Markers carry no semantics — code
+    /// generators skip them, the IR lowering forwards them so the
+    /// simulator can attribute modeled cost to source spans.
+    Src(descend_ast::span::Span),
 }
 
 /// A shared-memory allocation of a kernel.

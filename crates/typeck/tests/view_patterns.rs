@@ -2,7 +2,7 @@
 //! positive/negative twins that pin down the boundary of the conflict
 //! analysis.
 
-use descend_typeck::{check_program, ErrorKind};
+use descend_typeck::{check_program, ElabStmt, ErrorKind};
 
 fn check(src: &str) -> Result<descend_typeck::CheckedProgram, descend_typeck::TypeError> {
     let prog = descend_parser::parse(src).expect("test sources parse");
@@ -218,9 +218,15 @@ fn k(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
 "#,
     )
     .expect("+= desugars to a safe read-modify-write");
-    // One store whose value contains one load.
+    // One store whose value contains one load (net of `ElabStmt::Src`
+    // trace-attribution markers).
     let k = &out.kernels[0];
-    assert_eq!(k.body.len(), 1);
+    let stores = k
+        .body
+        .iter()
+        .filter(|s| !matches!(s, ElabStmt::Src(_)))
+        .count();
+    assert_eq!(stores, 1);
 }
 
 /// Selecting with a sibling's execution variable from outside its scope

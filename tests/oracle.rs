@@ -384,3 +384,60 @@ fn detector_catches_cross_block_race() {
         other => panic!("expected cross-block race, got {other}"),
     }
 }
+
+/// Race reports on compiled kernels carry *source* attribution: the
+/// reported span points at the Descend statement whose access completed
+/// the conflicting pair, golden-pinned here on the Listing 1 bug
+/// (removing the barriers from the compiled transpose, the IR analog of
+/// deleting `__syncthreads()`). Hand-built IR (the injected-fault tests
+/// above) has no spans, so its reports keep the location-free text.
+#[test]
+fn race_report_attributes_source_span() {
+    use descend::sim::ir::Stmt;
+    fn strip_barriers(stmts: &mut Vec<Stmt>) {
+        stmts.retain(|s| !matches!(s, Stmt::Barrier));
+        for s in stmts {
+            match s {
+                Stmt::If { then_s, else_s, .. } => {
+                    strip_barriers(then_s);
+                    strip_barriers(else_s);
+                }
+                Stmt::Loop { body, .. } => strip_barriers(body),
+                _ => {}
+            }
+        }
+    }
+    let src = sources::transpose(64);
+    let compiled = Compiler::new().compile_source(&src).expect("accepted");
+    let ck = &compiled.kernels[0];
+    let mut ir = ck.ir.clone();
+    strip_barriers(&mut ir.body);
+    let mut gpu = Gpu::new();
+    let inp = gpu.alloc_f64(&vec![1.0; 64 * 64]);
+    let out = gpu.alloc_f64(&vec![0.0; 64 * 64]);
+    let err = gpu
+        .launch(
+            &ir,
+            ck.mono.grid_dim,
+            ck.mono.block_dim,
+            &[inp, out],
+            &race_checked(),
+        )
+        .unwrap_err();
+    let SimError::DataRace(r) = err else {
+        panic!("expected a data race without barriers");
+    };
+    // Golden: the unsynchronized read-back of the staging tile.
+    assert!(!r.span.is_dummy(), "compiled kernels must attribute races");
+    let snippet = &src[r.span.start as usize..r.span.end as usize];
+    assert!(
+        snippet.starts_with("(*output).tiles::<32,32>[[block]]")
+            && snippet.contains("tmp.transpose"),
+        "race attributed to the wrong statement: {snippet:?}"
+    );
+    let rendered = r.to_string();
+    assert!(
+        rendered.ends_with(&format!("at {}..{}", r.span.start, r.span.end)),
+        "rendered report must name the span: {rendered}"
+    );
+}

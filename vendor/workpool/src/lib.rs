@@ -133,6 +133,156 @@ impl Pool {
     {
         self.run_with(n, || (), |(), i| task(i))
     }
+
+    /// [`Pool::run_with`], additionally reporting what the run did: a
+    /// busy span per executed task and per-worker counters (tasks run,
+    /// steals, deepest own queue). Timing is wall-clock and therefore
+    /// run-to-run nondeterministic — callers exporting deterministic
+    /// artifacts must treat the stats as advisory. The results vector is
+    /// index-ordered exactly like [`Pool::run_with`].
+    pub fn run_with_stats<S, T, FI, F>(&self, n: usize, init: FI, task: F) -> (Vec<T>, PoolRunStats)
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let t0 = std::time::Instant::now();
+        let us = move || t0.elapsed().as_micros() as u64;
+        if self.workers == 1 || n <= 1 {
+            let mut state = init();
+            let mut stats = PoolRunStats {
+                workers: 1,
+                worker: vec![WorkerStats::default()],
+                spans: Vec::with_capacity(n),
+            };
+            let out = (0..n)
+                .map(|i| {
+                    let start_us = us();
+                    let r = task(&mut state, i);
+                    stats.spans.push(TaskSpan {
+                        worker: 0,
+                        index: i,
+                        start_us,
+                        end_us: us(),
+                    });
+                    stats.worker[0].tasks += 1;
+                    r
+                })
+                .collect();
+            return (out, stats);
+        }
+        let workers = self.workers.min(n);
+        let chunk = n.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                Mutex::new((lo..hi.max(lo)).collect())
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        type WorkerOut<T> = (Vec<(usize, T)>, WorkerStats, Vec<TaskSpan>);
+        let collected: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let init = &init;
+                    let task = &task;
+                    let us = &us;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut wstats = WorkerStats::default();
+                        let mut spans: Vec<TaskSpan> = Vec::new();
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        while let Some(i) = next_task_stats(deques, w, &mut wstats) {
+                            let start_us = us();
+                            out.push((i, task(&mut state, i)));
+                            spans.push(TaskSpan {
+                                worker: w,
+                                index: i,
+                                start_us,
+                                end_us: us(),
+                            });
+                            wstats.tasks += 1;
+                        }
+                        (out, wstats, spans)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut stats = PoolRunStats {
+            workers,
+            worker: Vec::with_capacity(workers),
+            spans: Vec::with_capacity(n),
+        };
+        for (results, wstats, spans) in collected {
+            for (i, v) in results {
+                slots[i] = Some(v);
+            }
+            stats.worker.push(wstats);
+            stats.spans.extend(spans);
+        }
+        // Index order for the spans, so consumers see a stable layout
+        // regardless of the interleaving (times stay wall-clock).
+        stats.spans.sort_unstable_by_key(|s| s.index);
+        let out = slots
+            .into_iter()
+            .map(|s| s.expect("every task index produced a result"))
+            .collect();
+        (out, stats)
+    }
+}
+
+/// One executed task's busy window (microseconds since the run began).
+#[derive(Clone, Copy, Debug)]
+pub struct TaskSpan {
+    /// Worker that executed the task.
+    pub worker: usize,
+    /// Task index.
+    pub index: usize,
+    /// When the task started.
+    pub start_us: u64,
+    /// When the task finished.
+    pub end_us: u64,
+}
+
+/// Per-worker counters for one [`Pool::run_with_stats`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub tasks: usize,
+    /// Successful steals (batches taken from a victim's deque).
+    pub steals: usize,
+    /// Deepest the worker's own deque got when observed.
+    pub max_queue_depth: usize,
+}
+
+/// Everything a [`Pool::run_with_stats`] run reports beyond its results.
+#[derive(Clone, Debug, Default)]
+pub struct PoolRunStats {
+    /// Workers the run actually used (capped at the task count).
+    pub workers: usize,
+    /// Per-worker counters, indexed by worker.
+    pub worker: Vec<WorkerStats>,
+    /// Busy span of every executed task, sorted by task index.
+    pub spans: Vec<TaskSpan>,
+}
+
+impl PoolRunStats {
+    /// Workers the run used.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Deepest any worker's own deque got during the run.
+    pub fn queue_depth(&self) -> usize {
+        self.worker
+            .iter()
+            .map(|w| w.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Pops the next task for worker `w`: front of its own deque first, then
@@ -157,6 +307,40 @@ fn next_task(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
             // so lower indices run first (cache-friendly, and keeps
             // progress roughly front-to-back).
             own.extend(rest.iter().rev());
+            return Some(*first);
+        }
+    }
+    None
+}
+
+/// [`next_task`] with counters: tracks the worker's own queue depth and
+/// successful steals in `stats`. Kept separate so the stat-free path
+/// stays exactly as it was.
+fn next_task_stats(
+    deques: &[Mutex<VecDeque<usize>>],
+    w: usize,
+    stats: &mut WorkerStats,
+) -> Option<usize> {
+    {
+        let mut own = deques[w].lock().unwrap();
+        stats.max_queue_depth = stats.max_queue_depth.max(own.len());
+        if let Some(i) = own.pop_front() {
+            return Some(i);
+        }
+    }
+    let workers = deques.len();
+    for off in 1..workers {
+        let victim = (w + off) % workers;
+        let stolen: Vec<usize> = {
+            let mut v = deques[victim].lock().unwrap();
+            let take = v.len().div_ceil(2);
+            (0..take).filter_map(|_| v.pop_back()).collect()
+        };
+        if let Some((first, rest)) = stolen.split_first() {
+            stats.steals += 1;
+            let mut own = deques[w].lock().unwrap();
+            own.extend(rest.iter().rev());
+            stats.max_queue_depth = stats.max_queue_depth.max(own.len());
             return Some(*first);
         }
     }
@@ -248,5 +432,28 @@ mod tests {
     #[test]
     fn available_workers_is_positive() {
         assert!(Pool::available_workers() >= 1);
+    }
+
+    #[test]
+    fn run_with_stats_reports_every_task_once() {
+        for workers in [1, 4] {
+            let pool = Pool::new(workers);
+            let (out, stats) = pool.run_with_stats(50, || (), |(), i| i * 2);
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(stats.workers(), workers.min(50));
+            assert_eq!(stats.spans.len(), 50);
+            // Spans come back sorted by index, one per task, well-formed.
+            for (i, s) in stats.spans.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert!(s.start_us <= s.end_us);
+                assert!(s.worker < stats.workers());
+            }
+            let total: usize = stats.worker.iter().map(|w| w.tasks).sum();
+            assert_eq!(total, 50);
+            // Each worker's seeded chunk bounds its own-queue depth
+            // until steals add more; depth can never exceed the task
+            // count.
+            assert!(stats.queue_depth() <= 50);
+        }
     }
 }
