@@ -143,9 +143,9 @@ impl KernelBackend for CudaBackend {
                         "{t}* {name}; cudaMalloc(&{name}, {len} * sizeof({t})); cudaMemset({name}, 0, {len} * sizeof({t}));"
                     );
                 }
-                HostStmt::AllocGpuCopy { name, src } => {
-                    let (elem, len) = sizes.get(src);
-                    let t = self.scalar_type(elem);
+                HostStmt::AllocGpuCopy { name, src, elem } => {
+                    let (_, len) = sizes.get(src);
+                    let t = self.scalar_type(*elem);
                     let _ = writeln!(
                         out,
                         "{t}* {name}; cudaMalloc(&{name}, {len} * sizeof({t})); cudaMemcpy({name}, {src}, {len} * sizeof({t}), cudaMemcpyHostToDevice);"

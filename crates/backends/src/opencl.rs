@@ -223,9 +223,9 @@ impl KernelBackend for OpenClBackend {
                         "cl_mem {name} = clCreateBuffer(ctx, CL_MEM_READ_WRITE, {len} * sizeof({t}), NULL, NULL); {{ {t} zero = 0; clEnqueueFillBuffer(queue, {name}, &zero, sizeof({t}), 0, {len} * sizeof({t}), 0, NULL, NULL); }}"
                     );
                 }
-                HostStmt::AllocGpuCopy { name, src } => {
-                    let (elem, len) = sizes.get(src);
-                    let t = buffer_type(elem);
+                HostStmt::AllocGpuCopy { name, src, elem } => {
+                    let (_, len) = sizes.get(src);
+                    let t = buffer_type(*elem);
                     let _ = writeln!(
                         out,
                         "cl_mem {name} = clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, {len} * sizeof({t}), {src}, NULL);"

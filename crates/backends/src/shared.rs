@@ -650,9 +650,9 @@ impl HostSizes {
             HostStmt::AllocCpu { name, elem, len } | HostStmt::AllocGpu { name, elem, len } => {
                 self.sizes.insert(name.clone(), (*elem, *len));
             }
-            HostStmt::AllocGpuCopy { name, src } => {
-                let inherited = self.get(src);
-                self.sizes.insert(name.clone(), inherited);
+            HostStmt::AllocGpuCopy { name, src, elem } => {
+                let (_, len) = self.get(src);
+                self.sizes.insert(name.clone(), (*elem, len));
             }
             HostStmt::CopyToHost { .. } | HostStmt::CopyToGpu { .. } | HostStmt::Launch { .. } => {}
         }

@@ -319,12 +319,12 @@ impl KernelBackend for WgslBackend {
                         len * wgsl_size_bytes(*elem)
                     );
                 }
-                HostStmt::AllocGpuCopy { name, src } => {
-                    let (elem, len) = sizes.get(src);
+                HostStmt::AllocGpuCopy { name, src, elem } => {
+                    let (_, len) = sizes.get(src);
                     let _ = writeln!(
                         out,
                         "//   const {name} = device.createBuffer({{ size: {}, usage: STORAGE | COPY_SRC | COPY_DST }});",
-                        len * wgsl_size_bytes(elem)
+                        len * wgsl_size_bytes(*elem)
                     );
                     let _ = writeln!(out, "//   device.queue.writeBuffer({name}, 0, {src});");
                 }

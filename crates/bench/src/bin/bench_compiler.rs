@@ -1,0 +1,217 @@
+//! Compiler throughput benchmark — the source of `BENCH_COMPILER.json`.
+//!
+//! Times the whole pass corpus (`examples/descend/*.descend`) through
+//! the full pipeline (parse, typeck, IR lowering, emission for every
+//! backend) in two modes:
+//!
+//! - **cold**: a fresh [`CompileSession`] per compile — every query
+//!   misses, i.e. the historical batch-compiler cost;
+//! - **warm**: one persistent session, pre-warmed with a single
+//!   untimed pass — every query hits, i.e. the steady-state cost of
+//!   `descendc serve` answering an unchanged program.
+//!
+//! Wall-clock is min-of-N per file to shrug off scheduler noise;
+//! throughput is reported as programs/sec over the corpus.
+//!
+//! Usage:
+//!   bench_compiler [--reps N] [--json PATH] [--baseline PATH]
+//!
+//! `--json` writes the machine-readable results (schema
+//! `descend-bench-compiler/1`). `--baseline` re-reads a previously
+//! committed file and exits non-zero when the corpus totals regressed
+//! by more than 25% wall-clock, or when the warm/cold speedup fell
+//! below the 5x the incremental engine is designed to clear — the
+//! scheduled CI bench job runs with `--baseline BENCH_COMPILER.json`.
+
+use descend_compiler::CompileSession;
+use std::time::Instant;
+
+/// Totals above this baseline wall-clock participate in the >25%
+/// regression gate; smaller ones are timer noise (the warm-speedup
+/// ratio below gates unconditionally — ratios are robust to machine
+/// noise in a way single-digit-millisecond totals are not).
+const GATE_FLOOR_MS: f64 = 20.0;
+const REGRESSION_FACTOR: f64 = 1.25;
+/// The warm path must stay at least this much faster than cold.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+struct Entry {
+    file: String,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/descend");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/descend exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "descend"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).expect("corpus file reads");
+            (name, src)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline PATH")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sources = corpus();
+    assert!(!sources.is_empty(), "empty corpus");
+
+    // Cold: a fresh session per compile, so every query misses.
+    let mut entries: Vec<Entry> = sources
+        .iter()
+        .map(|(name, src)| {
+            let mut best = f64::MAX;
+            for _ in 0..reps {
+                let mut session = CompileSession::new();
+                let t = Instant::now();
+                session.compile_source(src).expect("pass corpus compiles");
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            Entry {
+                file: name.clone(),
+                cold_ms: best * 1e3,
+                warm_ms: 0.0,
+            }
+        })
+        .collect();
+
+    // Warm: one persistent session over the whole corpus, pre-warmed
+    // with an untimed pass — the serve steady state.
+    let mut session = CompileSession::new();
+    for (_, src) in &sources {
+        session.compile_source(src).expect("pass corpus compiles");
+    }
+    session.reset_stats();
+    for (entry, (_, src)) in entries.iter_mut().zip(&sources) {
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            let t = Instant::now();
+            session.compile_source(src).expect("pass corpus compiles");
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        entry.warm_ms = best * 1e3;
+    }
+    assert_eq!(
+        session.stats().misses(),
+        0,
+        "the timed warm passes must be pure cache hits"
+    );
+
+    let cold_total: f64 = entries.iter().map(|e| e.cold_ms).sum();
+    let warm_total: f64 = entries.iter().map(|e| e.warm_ms).sum();
+    let speedup = cold_total / warm_total;
+    let n = entries.len();
+
+    println!(
+        "{:<36} {:>10} {:>10} {:>9}",
+        "file", "cold ms", "warm ms", "speedup"
+    );
+    for e in &entries {
+        println!(
+            "{:<36} {:>10.3} {:>10.3} {:>8.1}x",
+            e.file,
+            e.cold_ms,
+            e.warm_ms,
+            e.cold_ms / e.warm_ms
+        );
+    }
+    println!(
+        "corpus: {n} programs, cold {:.1}ms ({:.0}/s), warm {:.2}ms ({:.0}/s), speedup {speedup:.1}x",
+        cold_total,
+        n as f64 / (cold_total / 1e3),
+        warm_total,
+        n as f64 / (warm_total / 1e3),
+    );
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, to_json(&entries)).expect("write json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &baseline_path {
+        let baseline = std::fs::read_to_string(path).expect("read baseline");
+        let mut failed = false;
+        for (key, new_ms) in [("cold_ms", cold_total), ("warm_ms", warm_total)] {
+            let Some(old_ms) = summary_field(&baseline, key) else {
+                continue;
+            };
+            if old_ms >= GATE_FLOOR_MS && new_ms > old_ms * REGRESSION_FACTOR {
+                eprintln!(
+                    "REGRESSION: corpus {key}: {new_ms:.1}ms vs baseline {old_ms:.1}ms (>25%)"
+                );
+                failed = true;
+            }
+        }
+        if speedup < MIN_WARM_SPEEDUP {
+            eprintln!("REGRESSION: warm speedup {speedup:.1}x fell below {MIN_WARM_SPEEDUP}x");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("no wall-clock regression >25% against {path}; warm speedup {speedup:.1}x >= {MIN_WARM_SPEEDUP}x");
+    }
+}
+
+fn to_json(entries: &[Entry]) -> String {
+    let cold_total: f64 = entries.iter().map(|e| e.cold_ms).sum();
+    let warm_total: f64 = entries.iter().map(|e| e.warm_ms).sum();
+    let n = entries.len();
+    let mut s = String::from("{\n  \"schema\": \"descend-bench-compiler/1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {:.1}}}",
+            e.file,
+            e.cold_ms,
+            e.warm_ms,
+            e.cold_ms / e.warm_ms
+        ));
+        if i + 1 < entries.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "  ],\n  \"summary\": {{\"files\": {n}, \"cold_ms\": {cold_total:.3}, \"warm_ms\": {warm_total:.3}, \
+         \"cold_programs_per_sec\": {:.1}, \"warm_programs_per_sec\": {:.1}, \"warm_speedup\": {:.1}}}\n}}\n",
+        n as f64 / (cold_total / 1e3),
+        n as f64 / (warm_total / 1e3),
+        cold_total / warm_total,
+    ));
+    s
+}
+
+/// Extracts one numeric field from the `"summary"` line of the JSON this
+/// tool itself writes — the same dependency-free ratchet parsing
+/// `bench_sim` uses.
+fn summary_field(json: &str, name: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.contains("\"summary\""))?;
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

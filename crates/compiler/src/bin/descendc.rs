@@ -8,12 +8,17 @@
 //! descendc profile <file.descend> [--fn f] [--json] [--chrome-trace=PATH]
 //!                                                 run + per-source-line cost profile
 //! descendc kernels <file.descend>                 list compiled kernel instances
+//! descendc serve                                  line-delimited JSON compile server
 //! ```
 //!
 //! `TARGETS` is `cuda`, `opencl`, `wgsl`, a comma-separated list, or
 //! `all` (the default for `emit`). With a single target the translation
 //! unit prints bare; with several, each is preceded by a
 //! `// ==== backend: <name> ====` separator.
+//!
+//! Argument parsing is strict: unknown commands, unknown flags, flags a
+//! command does not take, stray positionals, and flag-like `--fn` values
+//! all exit 2 with the usage text (see [`descend_compiler::cli`]).
 //!
 //! `run` executes with the dynamic race detector enabled and prints the
 //! final CPU buffers and per-launch statistics.
@@ -24,17 +29,24 @@
 //! additionally writes a Chrome-trace (Perfetto) timeline of blocks
 //! over SMs. Both outputs are deterministic: byte-identical across
 //! executor modes and simulation thread counts.
+//!
+//! `serve` reads one JSON request per stdin line and answers one JSON
+//! response per stdout line against a persistent incremental
+//! [`descend_compiler::CompileSession`]; see
+//! [`descend_compiler::server`] for the protocol (including `batch`
+//! fan-out over a worker pool and cache `stats`).
 
-use descend_backends::BACKEND_NAMES;
-use descend_compiler::{profile, Compiler};
+use descend_compiler::cli::{parse_args, Command};
+use descend_compiler::{profile, server, Compiler};
 use gpu_sim::trace::chrome_trace;
 use gpu_sim::LaunchConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
+fn usage() {
     eprintln!(
         "usage: descendc <check|emit|cuda|run|profile|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|all] [--json] [--chrome-trace=PATH]\n\
+         \x20      descendc serve\n\
          \n\
          check    type-check and report diagnostics\n\
          emit     emit generated source to stdout (default --emit=all)\n\
@@ -42,54 +54,43 @@ fn usage() -> ExitCode {
          run      execute a host function on the simulated GPU (default: main)\n\
          profile  run + rank source lines by modeled cost (--json for machine output,\n\
                   --chrome-trace=PATH for a Perfetto timeline)\n\
-         kernels  list compiled kernel instances and their launch shapes"
+         kernels  list compiled kernel instances and their launch shapes\n\
+         serve    answer line-delimited JSON check/emit/profile requests on stdin"
     );
-    ExitCode::from(2)
-}
-
-/// Resolves an `--emit=` value to registry names, `None` on an unknown
-/// target.
-fn parse_targets(spec: &str) -> Option<Vec<&'static str>> {
-    if spec == "all" {
-        return Some(BACKEND_NAMES.to_vec());
-    }
-    let mut out = Vec::new();
-    for part in spec.split(',') {
-        let name = BACKEND_NAMES.iter().find(|n| **n == part)?;
-        if !out.contains(name) {
-            out.push(*name);
-        }
-    }
-    (!out.is_empty()).then_some(out)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path) = match (args.first(), args.get(1)) {
-        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
-        _ => return usage(),
+    let cmd = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::from(2);
+        }
     };
-    let host_fn = args
-        .iter()
-        .position(|a| a == "--fn")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("main");
-    let emit_spec = args.iter().find_map(|a| a.strip_prefix("--emit="));
-    let targets = match emit_spec {
-        Some(spec) => match parse_targets(spec) {
-            Some(t) => Some(t),
-            None => {
-                eprintln!(
-                    "error: unknown --emit target `{spec}` (use {}, a comma-separated list, or all)",
-                    BACKEND_NAMES.join(", ")
-                );
-                return ExitCode::from(2);
+
+    if let Command::Serve = cmd {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match server::serve(stdin.lock(), stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
             }
-        },
-        None => None,
+        };
+    }
+
+    let path = match &cmd {
+        Command::Check { path }
+        | Command::Emit { path, .. }
+        | Command::Run { path, .. }
+        | Command::Profile { path, .. }
+        | Command::Kernels { path } => path.clone(),
+        Command::Serve => unreachable!("handled above"),
     };
-    let src = match std::fs::read_to_string(path) {
+    let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read `{path}`: {e}");
@@ -98,12 +99,8 @@ fn main() -> ExitCode {
     };
     // Only the emitting commands pay for text emission; check/run/kernels
     // compile IR-only.
-    let selected: Vec<&str> = match (cmd, &targets) {
-        // `cuda` is documented as `--emit=cuda`; a contradictory flag is
-        // ignored rather than silently emitting another language.
-        ("cuda", _) => vec!["cuda"],
-        ("emit", Some(t)) => t.clone(),
-        ("emit", None) => BACKEND_NAMES.to_vec(),
+    let selected: Vec<&str> = match &cmd {
+        Command::Emit { targets, .. } => targets.clone(),
         _ => vec![],
     };
     let compiler = Compiler::with_backends(&selected).expect("targets are validated");
@@ -114,8 +111,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cmd {
-        "check" => {
+    match &cmd {
+        Command::Check { .. } => {
             println!(
                 "ok: {} kernel instance(s), {} host function(s)",
                 compiled.kernels.len(),
@@ -123,9 +120,9 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        "cuda" | "emit" => {
-            let many = selected.len() > 1;
-            for (i, name) in selected.iter().enumerate() {
+        Command::Emit { targets, .. } => {
+            let many = targets.len() > 1;
+            for (i, name) in targets.iter().enumerate() {
                 if many {
                     if i > 0 {
                         println!();
@@ -136,7 +133,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "kernels" => {
+        Command::Kernels { .. } => {
             for k in &compiled.kernels {
                 let m = &k.mono;
                 println!(
@@ -154,7 +151,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "run" => {
+        Command::Run { host_fn, .. } => {
             let cfg = LaunchConfig {
                 detect_races: true,
                 ..LaunchConfig::default()
@@ -191,13 +188,16 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "profile" => {
+        Command::Profile {
+            host_fn,
+            json,
+            chrome_trace: chrome_path,
+            ..
+        } => {
             let cfg = LaunchConfig {
                 detect_races: true,
                 ..LaunchConfig::default()
             };
-            let json = args.iter().any(|a| a == "--json");
-            let chrome_path = args.iter().find_map(|a| a.strip_prefix("--chrome-trace="));
             match compiled.run_host_traced(host_fn, &HashMap::new(), &cfg) {
                 Ok((run, traces)) => {
                     if let Some(p) = chrome_path {
@@ -209,8 +209,8 @@ fn main() -> ExitCode {
                         eprintln!("wrote chrome trace to {p}");
                     }
                     let profiles = profile::profile_launches(&src, &run.launches, &traces);
-                    if json {
-                        print!("{}", profile::render_json(path, host_fn, &profiles));
+                    if *json {
+                        print!("{}", profile::render_json(&path, host_fn, &profiles));
                     } else {
                         print!("{}", profile::render_text(&profiles));
                         println!("total modeled cycles: {}", run.total_cycles());
@@ -223,6 +223,6 @@ fn main() -> ExitCode {
                 }
             }
         }
-        _ => usage(),
+        Command::Serve => unreachable!("handled above"),
     }
 }

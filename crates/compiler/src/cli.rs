@@ -1,0 +1,264 @@
+//! Strict command-line parsing for `descendc`.
+//!
+//! Every argument must be recognized: unknown flags, flag-like values
+//! (a `--fn` immediately followed by another flag), missing values, and
+//! stray positionals are hard errors, not silently-ignored noise — the
+//! historical parser accepted `descendc run f.descend --emti=cuda` and
+//! cheerfully did something else. [`parse_args`] returns the error
+//! message; the binary prints it with the usage text and exits 2.
+
+use descend_backends::BACKEND_NAMES;
+
+/// A fully validated `descendc` invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `check <file>`: type-check only.
+    Check {
+        /// Source path.
+        path: String,
+    },
+    /// `emit <file> [--emit=TARGETS]` (and its alias `cuda <file>`):
+    /// print translation units.
+    Emit {
+        /// Source path.
+        path: String,
+        /// Selected backend registry names, in emission order.
+        targets: Vec<&'static str>,
+    },
+    /// `run <file> [--fn NAME]`: execute a host function on the
+    /// simulator.
+    Run {
+        /// Source path.
+        path: String,
+        /// Host function to run.
+        host_fn: String,
+    },
+    /// `profile <file> [--fn NAME] [--json] [--chrome-trace=PATH]`: run
+    /// and rank source lines by modeled cost.
+    Profile {
+        /// Source path.
+        path: String,
+        /// Host function to run.
+        host_fn: String,
+        /// Emit the machine-readable document instead of text.
+        json: bool,
+        /// Also write a Chrome-trace timeline here.
+        chrome_trace: Option<String>,
+    },
+    /// `kernels <file>`: list compiled kernel instances.
+    Kernels {
+        /// Source path.
+        path: String,
+    },
+    /// `serve`: line-delimited JSON requests over stdin/stdout against a
+    /// persistent incremental [`crate::CompileSession`].
+    Serve,
+}
+
+/// Resolves an `--emit=` value to registry names: a single name, a
+/// comma-separated list (deduplicated, order kept), or `all`. `None` on
+/// an unknown or empty target — which covers `--emit=` itself and a
+/// trailing comma, both of which contain an empty element.
+pub fn parse_targets(spec: &str) -> Option<Vec<&'static str>> {
+    if spec == "all" {
+        return Some(BACKEND_NAMES.to_vec());
+    }
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let name = BACKEND_NAMES.iter().find(|n| **n == part)?;
+        if !out.contains(name) {
+            out.push(*name);
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Parses the arguments after the program name into a [`Command`].
+///
+/// # Errors
+///
+/// A human-readable message for the first problem: missing or unknown
+/// command, missing file, a flag the command does not take, an unknown
+/// argument, a missing or flag-like `--fn` value, or an unknown
+/// `--emit=` target.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing command")?.as_str();
+    if cmd == "serve" {
+        return match it.next() {
+            None => Ok(Command::Serve),
+            Some(extra) => Err(format!("`serve` takes no arguments, got `{extra}`")),
+        };
+    }
+    if !matches!(
+        cmd,
+        "check" | "emit" | "cuda" | "run" | "profile" | "kernels"
+    ) {
+        return Err(format!("unknown command `{cmd}`"));
+    }
+    let path = match it.next() {
+        Some(p) if !p.starts_with('-') => p.clone(),
+        Some(p) => return Err(format!("expected a file, got flag `{p}`")),
+        None => return Err(format!("`{cmd}` needs a file")),
+    };
+
+    let mut host_fn: Option<String> = None;
+    let mut emit_spec: Option<&str> = None;
+    let mut json = false;
+    let mut chrome_trace: Option<String> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fn" if matches!(cmd, "run" | "profile") => {
+                let v = it.next().ok_or("`--fn` needs a value")?;
+                if v.starts_with('-') {
+                    return Err(format!("`--fn` needs a function name, got flag `{v}`"));
+                }
+                host_fn = Some(v.clone());
+            }
+            "--json" if cmd == "profile" => json = true,
+            a if cmd == "emit" && a.starts_with("--emit=") => {
+                emit_spec = Some(&a["--emit=".len()..]);
+            }
+            a if cmd == "profile" && a.starts_with("--chrome-trace=") => {
+                chrome_trace = Some(a["--chrome-trace=".len()..].to_string());
+            }
+            other => {
+                return Err(format!("unknown argument `{other}` for `{cmd}`"));
+            }
+        }
+    }
+
+    Ok(match cmd {
+        "check" => Command::Check { path },
+        "kernels" => Command::Kernels { path },
+        "cuda" => Command::Emit {
+            path,
+            targets: vec!["cuda"],
+        },
+        "emit" => {
+            let targets = match emit_spec {
+                None => BACKEND_NAMES.to_vec(),
+                Some(spec) => parse_targets(spec).ok_or_else(|| {
+                    format!(
+                        "unknown --emit target `{spec}` (use {}, a comma-separated list, or all)",
+                        BACKEND_NAMES.join(", ")
+                    )
+                })?,
+            };
+            Command::Emit { path, targets }
+        }
+        "run" => Command::Run {
+            path,
+            host_fn: host_fn.unwrap_or_else(|| "main".to_string()),
+        },
+        "profile" => Command::Profile {
+            path,
+            host_fn: host_fn.unwrap_or_else(|| "main".to_string()),
+            json,
+            chrome_trace,
+        },
+        _ => unreachable!("command list is checked above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn targets_all_and_lists() {
+        assert_eq!(parse_targets("all"), Some(BACKEND_NAMES.to_vec()));
+        assert_eq!(parse_targets("cuda"), Some(vec!["cuda"]));
+        assert_eq!(parse_targets("wgsl,cuda"), Some(vec!["wgsl", "cuda"]));
+        assert_eq!(parse_targets("cuda,cuda"), Some(vec!["cuda"]));
+    }
+
+    #[test]
+    fn targets_reject_empty_and_malformed() {
+        // `--emit=` with no value, a trailing comma, a leading comma, and
+        // a typo all contain an element that is not a backend name.
+        assert_eq!(parse_targets(""), None);
+        assert_eq!(parse_targets("cuda,"), None);
+        assert_eq!(parse_targets(",cuda"), None);
+        assert_eq!(parse_targets("cdua"), None);
+        assert_eq!(parse_targets("cuda,,wgsl"), None);
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            parse(&["check", "a.descend"]),
+            Ok(Command::Check {
+                path: "a.descend".into()
+            })
+        );
+        assert_eq!(
+            parse(&["cuda", "a.descend"]),
+            Ok(Command::Emit {
+                path: "a.descend".into(),
+                targets: vec!["cuda"]
+            })
+        );
+        assert_eq!(
+            parse(&["emit", "a.descend", "--emit=wgsl,opencl"]),
+            Ok(Command::Emit {
+                path: "a.descend".into(),
+                targets: vec!["wgsl", "opencl"]
+            })
+        );
+        assert_eq!(
+            parse(&["run", "a.descend"]),
+            Ok(Command::Run {
+                path: "a.descend".into(),
+                host_fn: "main".into()
+            })
+        );
+        assert_eq!(
+            parse(&["profile", "a.descend", "--fn", "go", "--json"]),
+            Ok(Command::Profile {
+                path: "a.descend".into(),
+                host_fn: "go".into(),
+                json: true,
+                chrome_trace: None
+            })
+        );
+        assert_eq!(parse(&["serve"]), Ok(Command::Serve));
+    }
+
+    #[test]
+    fn flag_like_fn_value_is_rejected() {
+        // The historical parser consumed `--json` as the function name.
+        let e = parse(&["profile", "a.descend", "--fn", "--json"]).unwrap_err();
+        assert!(e.contains("--fn"), "{e}");
+        assert!(e.contains("--json"), "{e}");
+        let e = parse(&["run", "a.descend", "--fn"]).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        // The historical parser silently ignored all of these.
+        assert!(parse(&["run", "a.descend", "--emti=cuda"]).is_err());
+        assert!(parse(&["check", "a.descend", "extra.descend"]).is_err());
+        assert!(parse(&["cuda", "a.descend", "--emit=wgsl"]).is_err());
+        assert!(parse(&["check", "a.descend", "--json"]).is_err());
+        assert!(parse(&["serve", "a.descend"]).is_err());
+        assert!(parse(&["wat", "a.descend"]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["emit"]).is_err());
+        assert!(parse(&["run", "--fn"]).is_err());
+    }
+
+    #[test]
+    fn empty_emit_is_rejected() {
+        let e = parse(&["emit", "a.descend", "--emit="]).unwrap_err();
+        assert!(e.contains("unknown --emit target"), "{e}");
+        let e = parse(&["emit", "a.descend", "--emit=cuda,"]).unwrap_err();
+        assert!(e.contains("cuda,"), "{e}");
+    }
+}

@@ -43,13 +43,18 @@
 
 #![deny(missing_docs)]
 
+pub mod cli;
 pub mod profile;
+mod query;
+pub mod server;
+
+pub use query::{CompileSession, QueryCounter, QueryStats};
 
 use descend_ast::term::Program;
-use descend_backends::{backend_by_name, KernelBackend, BACKEND_NAMES};
+use descend_backends::{backend_by_name, BACKEND_NAMES};
 use descend_codegen::ir_gen::elem_ty;
-use descend_codegen::{kernel_to_ir, CodegenError};
-use descend_typeck::{check_program, CheckedProgram, HostStmt, MonoKernel, ScalarKind, TypeError};
+use descend_codegen::CodegenError;
+use descend_typeck::{CheckedProgram, HostStmt, MonoKernel, TypeError};
 use gpu_sim::device::BufId;
 use gpu_sim::trace::LaunchTrace;
 use gpu_sim::{Gpu, KernelIr, LaunchConfig, LaunchStats, SimError};
@@ -168,18 +173,15 @@ impl Compiler {
 
     /// Compiles Descend source text through the whole pipeline.
     ///
+    /// Each call runs in a fresh single-shot [`CompileSession`]; hold a
+    /// session of your own to reuse its caches across compiles.
+    ///
     /// # Errors
     ///
     /// A [`CompileError`] carrying a rendered diagnostic for the first
     /// parse, type, or lowering failure.
     pub fn compile_source(&self, src: &str) -> Result<Compiled, CompileError> {
-        let ast = descend_parser::parse(src).map_err(|e| CompileError {
-            stage: Stage::Parse,
-            rendered: descend_diag::Diagnostic::new("syntax error", e.span, e.msg.clone())
-                .render(src),
-            type_error: None,
-        })?;
-        self.compile_ast(ast, src)
+        self.session().compile_source(src)
     }
 
     /// Compiles an already parsed program.
@@ -188,41 +190,13 @@ impl Compiler {
     ///
     /// Same as [`Compiler::compile_source`], minus parse errors.
     pub fn compile_ast(&self, ast: Program, src: &str) -> Result<Compiled, CompileError> {
-        let checked = check_program(&ast).map_err(|e| CompileError {
-            stage: Stage::Type,
-            rendered: e.diag.render(src),
-            type_error: Some(Box::new(e)),
-        })?;
-        let backends: Vec<Box<dyn KernelBackend>> = self
-            .backend_names
-            .iter()
-            .map(|n| backend_by_name(n).expect("backend names are validated at construction"))
-            .collect();
-        let mut kernels = Vec::new();
-        for mk in &checked.kernels {
-            let ir = kernel_to_ir(mk).map_err(|e| codegen_err(&e))?;
-            let mut targets = BTreeMap::new();
-            for be in &backends {
-                let text = be.emit_kernel(mk).map_err(|e| codegen_err(&e))?;
-                targets.insert(be.name().to_string(), text);
-            }
-            kernels.push(CompiledKernel {
-                mono: mk.clone(),
-                ir,
-                targets,
-            });
-        }
-        let mut target_sources = BTreeMap::new();
-        for be in &backends {
-            let text = be.emit_program(&checked).map_err(|e| codegen_err(&e))?;
-            target_sources.insert(be.name().to_string(), text);
-        }
-        Ok(Compiled {
-            ast,
-            checked,
-            kernels,
-            target_sources,
-        })
+        self.session().compile_ast(ast, src)
+    }
+
+    /// A fresh session over this compiler's backend selection.
+    pub fn session(&self) -> CompileSession {
+        let names: Vec<&str> = self.backend_names.iter().map(String::as_str).collect();
+        CompileSession::with_backends(&names).expect("backend names are validated at construction")
     }
 }
 
@@ -356,9 +330,21 @@ impl Compiled {
             .checked
             .host_fn(name)
             .ok_or_else(|| RunError::NoSuchHostFn(name.to_string()))?;
+        // Every input key must seed a CPU allocation of this host
+        // function; a typo'd buffer name would otherwise seed nothing
+        // and the run would "succeed" on zeros.
+        for key in inputs.keys() {
+            let seeds_alloc = stmts
+                .iter()
+                .any(|s| matches!(s, HostStmt::AllocCpu { name, .. } if name == key));
+            if !seeds_alloc {
+                return Err(RunError::BadInput(format!(
+                    "input `{key}` does not match any CPU allocation of `{name}`"
+                )));
+            }
+        }
         let mut gpu = Gpu::new();
         let mut cpu: HashMap<String, Vec<f64>> = HashMap::new();
-        let mut cpu_elem: HashMap<String, ScalarKind> = HashMap::new();
         let mut dev: HashMap<String, BufId> = HashMap::new();
         let mut run = HostRun::default();
         let mut traces: Vec<LaunchTrace> = Vec::new();
@@ -384,18 +370,16 @@ impl Compiled {
                         *v = gpu_sim::device::quantize_scalar(e, *v);
                     }
                     cpu.insert(name.clone(), data);
-                    cpu_elem.insert(name.clone(), *elem);
                 }
                 HostStmt::AllocGpu { name, elem, len } => {
                     let id = gpu.alloc_scalars(elem_ty(*elem), &vec![0.0; *len as usize]);
                     dev.insert(name.clone(), id);
                 }
-                HostStmt::AllocGpuCopy { name, src } => {
+                HostStmt::AllocGpuCopy { name, src, elem } => {
                     let data = cpu.get(src).ok_or_else(|| {
                         RunError::BadInput(format!("`{src}` is not a CPU buffer"))
                     })?;
-                    let elem = cpu_elem.get(src).copied().unwrap_or(ScalarKind::F64);
-                    let id = gpu.alloc_scalars(elem_ty(elem), data);
+                    let id = gpu.alloc_scalars(elem_ty(*elem), data);
                     dev.insert(name.clone(), id);
                 }
                 HostStmt::CopyToHost { dst, src } => {

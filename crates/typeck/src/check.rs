@@ -70,6 +70,146 @@ pub fn check_program(program: &Program) -> TResult<CheckedProgram> {
     Ok(cx.out)
 }
 
+/// The elaborated result of checking one function in isolation — the
+/// unit the incremental compiler caches per function (see
+/// [`check_fn`]).
+#[derive(Clone, Debug, Default)]
+pub struct CheckedFn {
+    /// Kernel instantiations produced by this function's check, in
+    /// discovery order: a non-generic GPU function yields its own single
+    /// instance; a host function yields every kernel instance it
+    /// launches (generic or not).
+    pub kernels: Vec<MonoKernel>,
+    /// For host functions, the elaborated host statements. Their
+    /// [`HostStmt::Launch`] indices refer into [`CheckedFn::kernels`]
+    /// *of this result* — callers merging several `CheckedFn`s must
+    /// remap them (deduplicating kernels by mangled instance name).
+    pub host: Option<Vec<HostStmt>>,
+}
+
+/// Validates the program-wide item context all functions share: view
+/// definitions are registered and nat constants evaluate.
+///
+/// This is the program-level prefix of [`check_program`]; incremental
+/// drivers run it once per compile before issuing per-function
+/// [`check_fn`] queries.
+///
+/// # Errors
+///
+/// The first [`TypeError`] from constant evaluation.
+pub fn check_context(program: &Program) -> TResult<()> {
+    GlobalCx::new(program).map(|_| ())
+}
+
+/// Checks a single function of `program` in isolation — the
+/// per-function typeck entry point for incremental compilation.
+///
+/// The result depends only on the function's own definition, the
+/// program's views and constants, and (for host functions) the
+/// definitions of the kernels it launches — never on other host
+/// functions — so it can be cached keyed by those inputs. Checking
+/// every function of a program this way and merging the results (in
+/// [`check_program`]'s order, deduplicating kernels by mangled name)
+/// reproduces [`check_program`]'s output exactly; the workspace-level
+/// incremental test pins that equivalence corpus-wide.
+///
+/// Generic GPU functions return an empty result, mirroring
+/// [`check_program`]: they are checked per instantiation at launch
+/// sites, i.e. inside the launching host function's `check_fn`.
+///
+/// # Errors
+///
+/// The first [`TypeError`] encountered, as [`check_program`] would
+/// report when reaching this function.
+pub fn check_fn(program: &Program, f: &FnDef) -> TResult<CheckedFn> {
+    let mut cx = GlobalCx::new(program)?;
+    match &f.sig.exec_ty {
+        ExecTy::GpuGrid(..) if f.sig.generics.is_empty() => {
+            cx.instantiate_kernel(f, &[], f.span)?;
+            Ok(CheckedFn {
+                kernels: cx.out.kernels,
+                host: None,
+            })
+        }
+        ExecTy::CpuThread => {
+            let stmts = cx.check_host_fn(f)?;
+            Ok(CheckedFn {
+                kernels: cx.out.kernels,
+                host: Some(stmts),
+            })
+        }
+        // Generic kernels (checked per instantiation) and non-top-level
+        // execution levels (which check_program ignores) contribute
+        // nothing standalone.
+        _ => Ok(CheckedFn::default()),
+    }
+}
+
+/// The kernel names a function's body launches, in source order —
+/// the syntactic dependency set an incremental driver hashes into a
+/// host function's cache key (a launch is the only way one function's
+/// check can depend on another function's definition).
+pub fn launch_callees(f: &FnDef) -> Vec<String> {
+    fn walk_block(b: &Block, out: &mut Vec<String>) {
+        for s in &b.stmts {
+            walk_stmt(s, out);
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
+        match &s.kind {
+            StmtKind::Let { init, .. } => walk_expr(init, out),
+            StmtKind::Assign { value, .. } => walk_expr(value, out),
+            StmtKind::Expr(e) => walk_expr(e, out),
+            StmtKind::ToWarps { body, .. }
+            | StmtKind::Sched { body, .. }
+            | StmtKind::ForNat { body, .. } => walk_block(body, out),
+            StmtKind::SplitExec {
+                fst_body, snd_body, ..
+            } => {
+                walk_block(fst_body, out);
+                walk_block(snd_body, out);
+            }
+            StmtKind::AtomicRmw { index, value, .. } => {
+                if let Some(i) = index {
+                    walk_expr(i, out);
+                }
+                walk_expr(value, out);
+            }
+            StmtKind::Scope(b) => walk_block(b, out),
+            StmtKind::Sync => {}
+        }
+    }
+    fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+        match &e.kind {
+            ExprKind::Launch { name, args, .. } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+            ExprKind::Binary(_, a, b) => {
+                walk_expr(a, out);
+                walk_expr(b, out);
+            }
+            ExprKind::Unary(_, a) | ExprKind::Shfl { value: a, .. } => walk_expr(a, out),
+            ExprKind::Lit(_)
+            | ExprKind::Place(_)
+            | ExprKind::Borrow { .. }
+            | ExprKind::Alloc { .. } => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk_block(&f.body, &mut out);
+    out
+}
+
 /// Program-wide context.
 struct GlobalCx<'p> {
     program: &'p Program,
@@ -1968,9 +2108,11 @@ impl<'g, 'p> FnCx<'g, 'p> {
                         "`gpu_alloc_copy` requires a borrow of a whole variable",
                     )
                 })?;
+                let (elem, _) = scalar_and_dims(inner, span)?;
                 self.emit_host(HostStmt::AllocGpuCopy {
                     name: name.to_string(),
                     src,
+                    elem,
                 });
                 self.bind(
                     name,

@@ -219,6 +219,45 @@ pub struct MonoKernel {
     pub body: Vec<ElabStmt>,
 }
 
+impl MonoKernel {
+    /// Shifts every source span in the elaborated body by `delta` bytes
+    /// (dummy spans stay dummy).
+    ///
+    /// Source spans are the only absolute byte offsets an elaborated
+    /// kernel carries, so a cached instantiation whose defining function
+    /// moved within the file — but whose source text is unchanged — is
+    /// rebased to its new location with this one walk. The incremental
+    /// compiler relies on that to return byte-identical output from warm
+    /// caches.
+    pub fn shift_spans(&mut self, delta: i64) {
+        if delta != 0 {
+            shift_stmts(&mut self.body, delta);
+        }
+    }
+}
+
+fn shift_stmts(stmts: &mut [ElabStmt], delta: i64) {
+    for s in stmts {
+        match s {
+            ElabStmt::Src(span) => {
+                if !span.is_dummy() {
+                    span.start = (i64::from(span.start) + delta) as u32;
+                    span.end = (i64::from(span.end) + delta) as u32;
+                }
+            }
+            ElabStmt::Split { fst, snd, .. } => {
+                shift_stmts(fst, delta);
+                shift_stmts(snd, delta);
+            }
+            ElabStmt::Local { .. }
+            | ElabStmt::AssignLocal { .. }
+            | ElabStmt::Store { .. }
+            | ElabStmt::Atomic { .. }
+            | ElabStmt::Sync => {}
+        }
+    }
+}
+
 /// An elaborated host statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum HostStmt {
@@ -247,6 +286,9 @@ pub enum HostStmt {
         name: String,
         /// Source CPU variable.
         src: String,
+        /// Element kind, carried explicitly so consumers never have to
+        /// re-derive (or worse, guess) it from the source allocation.
+        elem: ScalarKind,
     },
     /// Copy device memory back to the host (`copy_mem_to_host`).
     CopyToHost {

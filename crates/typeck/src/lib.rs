@@ -48,7 +48,9 @@ mod check;
 mod elab;
 mod error;
 
-pub use check::{check_program, CheckedProgram};
+pub use check::{
+    check_context, check_fn, check_program, launch_callees, CheckedFn, CheckedProgram,
+};
 pub use elab::{
     ElabAccess, ElabExpr, ElabStmt, HostStmt, KernelParam, MemKind, MonoKernel, ScalarKind,
     SharedAlloc,

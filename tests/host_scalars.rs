@@ -122,3 +122,87 @@ fn main() -[t: cpu.thread]-> () {
         assert_eq!(*v, 0.1 * 3.0);
     }
 }
+
+/// `AllocGpuCopy` carries its element kind explicitly: the elaboration
+/// records `F32` for an f32 copy instead of re-deriving it from the
+/// source allocation (which used to silently default to `F64` when the
+/// lookup failed).
+#[test]
+fn gpu_alloc_copy_carries_element_kind() {
+    use descend::typeck::{HostStmt, ScalarKind};
+    let src = r#"
+fn scale(v: &uniq gpu.global [f32; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 2.0f32;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f32; 64]>();
+    let d = gpu_alloc_copy(&h);
+    scale<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let stmts = compiled.checked.host_fn("main").expect("has main");
+    let copies: Vec<_> = stmts
+        .iter()
+        .filter_map(|s| match s {
+            HostStmt::AllocGpuCopy { name, src, elem } => {
+                Some((name.as_str(), src.as_str(), *elem))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(copies, vec![("d", "h", ScalarKind::F32)]);
+}
+
+/// Input keys that match no CPU allocation are rejected instead of
+/// silently ignored — a typo'd buffer name used to seed nothing and the
+/// run would "succeed" on zeros.
+#[test]
+fn unmatched_input_keys_are_rejected() {
+    let src = r#"
+fn scale(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
+    sched(X) block in grid {
+        sched(X) thread in block {
+            (*v).group::<32>[[block]][[thread]] =
+                (*v).group::<32>[[block]][[thread]] * 3.0;
+        }
+    }
+}
+
+fn main() -[t: cpu.thread]-> () {
+    let h = alloc::<cpu.mem, [f64; 64]>();
+    let d = gpu_alloc_copy(&h);
+    scale<<<X<2>, X<32>>>>(&uniq d);
+    copy_mem_to_host(&uniq h, &d);
+}
+"#;
+    let compiled = Compiler::new().compile_source(src).expect("compiles");
+    let mut inputs = HashMap::new();
+    inputs.insert("hh".to_string(), vec![0.5; 64]); // typo for `h`
+    let err = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect_err("typo'd input key must error");
+    let msg = err.to_string();
+    assert!(msg.contains("hh"), "{msg}");
+    assert!(msg.contains("does not match any CPU allocation"), "{msg}");
+    // GPU-only names are not seedable either: `d` is a device buffer.
+    let mut inputs = HashMap::new();
+    inputs.insert("d".to_string(), vec![0.5; 64]);
+    compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect_err("device buffer names are not inputs");
+    // The correct key still works.
+    let mut inputs = HashMap::new();
+    inputs.insert("h".to_string(), vec![0.5; 64]);
+    let run = compiled
+        .run_host("main", &inputs, &race_checked())
+        .expect("runs");
+    assert_eq!(run.cpu["h"], vec![1.5; 64]);
+}
