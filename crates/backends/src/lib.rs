@@ -5,14 +5,19 @@
 //! `split` becomes a coordinate condition and `sync` a barrier. This
 //! crate factors the *rendering* of that translation behind the
 //! [`KernelBackend`] trait so one safe front end serves many GPU
-//! targets. Three backends ship today:
+//! targets. Four backends ship today:
 //!
 //! - [`CudaBackend`] — CUDA C++ (`__global__`, `__shared__`,
 //!   `__syncthreads()`), byte-identical to the historical emitter,
 //! - [`OpenClBackend`] — OpenCL C (`__kernel`, `__local`,
 //!   `barrier(CLK_LOCAL_MEM_FENCE)`),
 //! - [`WgslBackend`] — WGSL compute shaders (`@compute`,
-//!   `var<workgroup>`, `workgroupBarrier()`; one module per kernel).
+//!   `var<workgroup>`, `workgroupBarrier()`; one module per kernel),
+//! - [`CBackend`] — portable C11 with OpenMP, the one target this
+//!   repository can *execute*: blocks become `#pragma omp parallel for`
+//!   iterations, barriers become loop fission over the threads of a
+//!   block, and the differential harness runs the result against the
+//!   simulator (see `crates/native` and `tests/native_diff.rs`).
 //!
 //! # The trait contract
 //!
@@ -50,18 +55,20 @@
 //! use descend_backends::{all_backends, backend_by_name};
 //!
 //! let names: Vec<&str> = all_backends().iter().map(|b| b.name()).collect();
-//! assert_eq!(names, ["cuda", "opencl", "wgsl"]);
+//! assert_eq!(names, ["cuda", "opencl", "wgsl", "c"]);
 //! assert_eq!(backend_by_name("wgsl").unwrap().file_extension(), "wgsl");
 //! assert!(backend_by_name("metal").is_none());
 //! ```
 
 #![deny(missing_docs)]
 
+pub mod c;
 pub mod cuda;
 pub mod opencl;
 pub mod shared;
 pub mod wgsl;
 
+pub use c::CBackend;
 pub use cuda::CudaBackend;
 pub use opencl::OpenClBackend;
 pub use shared::{
@@ -231,7 +238,7 @@ pub trait KernelBackend {
 }
 
 /// The registry names, in registry order.
-pub const BACKEND_NAMES: &[&str] = &["cuda", "opencl", "wgsl"];
+pub const BACKEND_NAMES: &[&str] = &["cuda", "opencl", "wgsl", "c"];
 
 /// All registered backends, in [`BACKEND_NAMES`] order.
 pub fn all_backends() -> Vec<Box<dyn KernelBackend>> {
@@ -239,6 +246,7 @@ pub fn all_backends() -> Vec<Box<dyn KernelBackend>> {
         Box::new(CudaBackend),
         Box::new(OpenClBackend),
         Box::new(WgslBackend),
+        Box::new(CBackend),
     ]
 }
 
@@ -248,6 +256,7 @@ pub fn backend_by_name(name: &str) -> Option<Box<dyn KernelBackend>> {
         "cuda" => Some(Box::new(CudaBackend)),
         "opencl" => Some(Box::new(OpenClBackend)),
         "wgsl" => Some(Box::new(WgslBackend)),
+        "c" => Some(Box::new(CBackend)),
         _ => None,
     }
 }

@@ -4,17 +4,25 @@
 //! descendc check  <file.descend>                  type-check only
 //! descendc emit   <file.descend> [--emit=TARGETS] emit generated source
 //! descendc cuda   <file.descend>                  emit CUDA C++ (same as --emit=cuda)
-//! descendc run    <file.descend> [--fn f]         run a host function on the simulator
+//! descendc run    <file.descend> [--fn f] [--native]
+//!                                                 run a host function on the simulator
+//!                                                 (or natively via the C backend)
 //! descendc profile <file.descend> [--fn f] [--json] [--chrome-trace=PATH]
 //!                                                 run + per-source-line cost profile
 //! descendc kernels <file.descend>                 list compiled kernel instances
 //! descendc serve                                  line-delimited JSON compile server
 //! ```
 //!
-//! `TARGETS` is `cuda`, `opencl`, `wgsl`, a comma-separated list, or
-//! `all` (the default for `emit`). With a single target the translation
-//! unit prints bare; with several, each is preceded by a
+//! `TARGETS` is `cuda`, `opencl`, `wgsl`, `c`, a comma-separated list,
+//! or `all` (the default for `emit`). With a single target the
+//! translation unit prints bare; with several, each is preceded by a
 //! `// ==== backend: <name> ====` separator.
+//!
+//! `run --native` compiles the C backend's translation unit with the
+//! host C compiler (`$CC`, `cc`, `gcc`, or `clang`; OpenMP when
+//! available) and executes it, printing the final CPU buffers in the
+//! same format as the simulated run — the two outputs are directly
+//! diffable. It fails if no host C compiler is installed.
 //!
 //! Argument parsing is strict: unknown commands, unknown flags, flags a
 //! command does not take, stray positionals, and flag-like `--fn` values
@@ -45,18 +53,73 @@ use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
-        "usage: descendc <check|emit|cuda|run|profile|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|all] [--json] [--chrome-trace=PATH]\n\
+        "usage: descendc <check|emit|cuda|run|profile|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|c|all] [--native] [--json] [--chrome-trace=PATH]\n\
          \x20      descendc serve\n\
          \n\
          check    type-check and report diagnostics\n\
          emit     emit generated source to stdout (default --emit=all)\n\
          cuda     emit the CUDA C++ translation unit to stdout\n\
-         run      execute a host function on the simulated GPU (default: main)\n\
+         run      execute a host function on the simulated GPU (default: main);\n\
+         \x20         with --native, compile the emitted C with the host toolchain and run it\n\
          profile  run + rank source lines by modeled cost (--json for machine output,\n\
                   --chrome-trace=PATH for a Perfetto timeline)\n\
          kernels  list compiled kernel instances and their launch shapes\n\
          serve    answer line-delimited JSON check/emit/profile requests on stdin"
     );
+}
+
+/// `run --native`: compile the C backend's translation unit with the
+/// host toolchain and execute the chosen host function on empty inputs
+/// (zero-initialized buffers — exactly what the simulated `run` uses).
+/// The buffer lines print in the simulated run's format so the two are
+/// directly diffable.
+fn run_native(compiled: &descend_compiler::Compiled, host_fn: &str) -> ExitCode {
+    let Some(tc) = descend_native::Toolchain::detect() else {
+        eprintln!("error: `--native` needs a host C compiler (tried $CC, cc, gcc, clang)");
+        return ExitCode::FAILURE;
+    };
+    let c_source = compiled.target_source("c").expect("c backend selected");
+    if !descend_native::has_host_main(c_source) {
+        eprintln!("error: `--native` needs a host function; this program has none");
+        return ExitCode::FAILURE;
+    }
+    let exe = match tc.compile(c_source) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match exe.run(host_fn, &HashMap::new()) {
+        Ok(bufs) => {
+            eprintln!(
+                "native: {} ({})",
+                tc.cc,
+                if tc.openmp {
+                    "OpenMP"
+                } else {
+                    "sequential, no OpenMP"
+                }
+            );
+            let mut names: Vec<_> = bufs.keys().collect();
+            names.sort();
+            for name in names {
+                let data = &bufs[name];
+                let preview: Vec<String> = data.iter().take(8).map(|v| format!("{v}")).collect();
+                println!(
+                    "{name}: [{}{}] ({} elements)",
+                    preview.join(", "),
+                    if data.len() > 8 { ", ..." } else { "" },
+                    data.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -98,9 +161,10 @@ fn main() -> ExitCode {
         }
     };
     // Only the emitting commands pay for text emission; check/run/kernels
-    // compile IR-only.
+    // compile IR-only — except a native run, which needs the C unit.
     let selected: Vec<&str> = match &cmd {
         Command::Emit { targets, .. } => targets.clone(),
+        Command::Run { native: true, .. } => vec!["c"],
         _ => vec![],
     };
     let compiler = Compiler::with_backends(&selected).expect("targets are validated");
@@ -151,6 +215,11 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Command::Run {
+            host_fn,
+            native: true,
+            ..
+        } => run_native(&compiled, host_fn),
         Command::Run { host_fn, .. } => {
             let cfg = LaunchConfig {
                 detect_races: true,

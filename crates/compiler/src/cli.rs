@@ -25,13 +25,16 @@ pub enum Command {
         /// Selected backend registry names, in emission order.
         targets: Vec<&'static str>,
     },
-    /// `run <file> [--fn NAME]`: execute a host function on the
-    /// simulator.
+    /// `run <file> [--fn NAME] [--native]`: execute a host function on
+    /// the simulator, or — with `--native` — compile the C backend's
+    /// output with the host C toolchain and run it natively.
     Run {
         /// Source path.
         path: String,
         /// Host function to run.
         host_fn: String,
+        /// Execute natively via the emitted C instead of the simulator.
+        native: bool,
     },
     /// `profile <file> [--fn NAME] [--json] [--chrome-trace=PATH]`: run
     /// and rank source lines by modeled cost.
@@ -105,6 +108,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut host_fn: Option<String> = None;
     let mut emit_spec: Option<&str> = None;
     let mut json = false;
+    let mut native = false;
     let mut chrome_trace: Option<String> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -116,6 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 host_fn = Some(v.clone());
             }
             "--json" if cmd == "profile" => json = true,
+            "--native" if cmd == "run" => native = true,
             a if cmd == "emit" && a.starts_with("--emit=") => {
                 emit_spec = Some(&a["--emit=".len()..]);
             }
@@ -150,6 +155,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "run" => Command::Run {
             path,
             host_fn: host_fn.unwrap_or_else(|| "main".to_string()),
+            native,
         },
         "profile" => Command::Profile {
             path,
@@ -173,8 +179,11 @@ mod tests {
     #[test]
     fn targets_all_and_lists() {
         assert_eq!(parse_targets("all"), Some(BACKEND_NAMES.to_vec()));
+        assert!(parse_targets("all").unwrap().contains(&"c"));
         assert_eq!(parse_targets("cuda"), Some(vec!["cuda"]));
+        assert_eq!(parse_targets("c"), Some(vec!["c"]));
         assert_eq!(parse_targets("wgsl,cuda"), Some(vec!["wgsl", "cuda"]));
+        assert_eq!(parse_targets("c,cuda"), Some(vec!["c", "cuda"]));
         assert_eq!(parse_targets("cuda,cuda"), Some(vec!["cuda"]));
     }
 
@@ -184,8 +193,10 @@ mod tests {
         // a typo all contain an element that is not a backend name.
         assert_eq!(parse_targets(""), None);
         assert_eq!(parse_targets("cuda,"), None);
+        assert_eq!(parse_targets("c,"), None);
         assert_eq!(parse_targets(",cuda"), None);
         assert_eq!(parse_targets("cdua"), None);
+        assert_eq!(parse_targets("c11"), None);
         assert_eq!(parse_targets("cuda,,wgsl"), None);
     }
 
@@ -215,7 +226,16 @@ mod tests {
             parse(&["run", "a.descend"]),
             Ok(Command::Run {
                 path: "a.descend".into(),
-                host_fn: "main".into()
+                host_fn: "main".into(),
+                native: false
+            })
+        );
+        assert_eq!(
+            parse(&["run", "a.descend", "--native", "--fn", "go"]),
+            Ok(Command::Run {
+                path: "a.descend".into(),
+                host_fn: "go".into(),
+                native: true
             })
         );
         assert_eq!(
@@ -260,5 +280,22 @@ mod tests {
         assert!(e.contains("unknown --emit target"), "{e}");
         let e = parse(&["emit", "a.descend", "--emit=cuda,"]).unwrap_err();
         assert!(e.contains("cuda,"), "{e}");
+        // Regression: the C target participates in strict validation —
+        // a trailing comma and an unknown name still fail with the full
+        // target list in the message.
+        let e = parse(&["emit", "a.descend", "--emit=c,"]).unwrap_err();
+        assert!(e.contains("unknown --emit target `c,`"), "{e}");
+        assert!(e.contains("c"), "{e}");
+        let e = parse(&["emit", "a.descend", "--emit=c99"]).unwrap_err();
+        assert!(e.contains("unknown --emit target `c99`"), "{e}");
+    }
+
+    #[test]
+    fn native_flag_is_run_only() {
+        // `--native` belongs to `run`; every other command rejects it.
+        for cmd in ["check", "emit", "profile", "kernels"] {
+            let e = parse(&[cmd, "a.descend", "--native"]).unwrap_err();
+            assert!(e.contains("--native"), "{cmd}: {e}");
+        }
     }
 }

@@ -3,7 +3,8 @@
 //! Ties the pipeline together: parsing ([`descend_parser`]), type checking
 //! and extended borrow checking ([`descend_typeck`]), the shared lowering
 //! to the simulator IR ([`descend_codegen`]), and text emission for every
-//! registered backend ([`descend_backends`]: CUDA C++, OpenCL C, WGSL).
+//! registered backend ([`descend_backends`]: CUDA C++, OpenCL C, WGSL,
+//! and executable C11 + OpenMP).
 //! A small host interpreter executes the elaborated host functions against
 //! the simulated GPU, making `.descend` programs runnable end to end.
 //!
@@ -33,7 +34,7 @@
 //! // Every backend rendered the program from the one shared lowering.
 //! assert_eq!(
 //!     compiled.targets().keys().collect::<Vec<_>>(),
-//!     ["cuda", "opencl", "wgsl"]
+//!     ["c", "cuda", "opencl", "wgsl"]
 //! );
 //! let mut inputs = std::collections::HashMap::new();
 //! inputs.insert("h".to_string(), vec![2.0; 64]);

@@ -11,9 +11,12 @@
 //! - [`typeck`]: the type system and extended borrow checker ([`descend_typeck`]),
 //! - [`diag`]: diagnostics rendering ([`descend_diag`]),
 //! - [`codegen`]: the shared kernel-IR lowering ([`descend_codegen`]),
-//! - [`backends`]: multi-target emission — CUDA C++, OpenCL C, WGSL —
-//!   behind the `KernelBackend` trait ([`descend_backends`]),
+//! - [`backends`]: multi-target emission — CUDA C++, OpenCL C, WGSL,
+//!   executable C11 + OpenMP — behind the `KernelBackend` trait
+//!   ([`descend_backends`]),
 //! - [`compiler`]: the driver tying the phases together ([`descend_compiler`]),
+//! - [`native`]: host C toolchain driver that compiles and runs the C
+//!   backend's output ([`descend_native`]),
 //! - [`sim`]: the GPU simulator ([`gpu_sim`]),
 //! - [`benchmarks`]: the paper's evaluation programs ([`descend_benchmarks`]).
 //!
@@ -43,6 +46,7 @@ pub use descend_codegen as codegen;
 pub use descend_compiler as compiler;
 pub use descend_diag as diag;
 pub use descend_exec as exec;
+pub use descend_native as native;
 pub use descend_parser as parser;
 pub use descend_places as places;
 pub use descend_typeck as typeck;

@@ -290,8 +290,16 @@ fn k(a: &uniq gpu.global [i32; 64], inp: & gpu.global [i32; 64])
             &mut rendered,
         );
         assert_eq!(rendered, "bin");
+        // The C backend hoists thread-private locals into per-thread
+        // arrays (`bin[__t]`), so its *use* spelling differs; the slot
+        // identity and the bind-then-guard shape are the same.
+        let local_use = if be.name() == "c" {
+            "(bin[__t])"
+        } else {
+            "(bin)"
+        };
         assert!(
-            text.contains("(bin)") && text.contains("descend_idx_0") && text.contains("< 64) {"),
+            text.contains(local_use) && text.contains("descend_idx_0") && text.contains("< 64) {"),
             "backend `{}` must bind, guard and name the local index:\n{text}",
             be.name()
         );

@@ -1,0 +1,172 @@
+//! Property-based differential execution (vendored proptest): the
+//! natively compiled C backend and the simulator agree on randomized
+//! inputs for the three hardest corpus programs — `dot` (tree
+//! reduction), `histogram` (data-dependent scatter atomics), and
+//! `reduce_warp_shuffle` (the staged shuffle butterfly) — plus the
+//! f32 cross-block atomic finisher `reduce_atomic`.
+//!
+//! Comparison discipline: i32 buffers and f64 buffers must be
+//! *bitwise* equal — both executions perform the same IEEE operations
+//! in the association the kernel itself fixes, so even fractional
+//! inputs round identically. The f32 cross-block atomic sum is the one
+//! place the native schedule (OpenMP block order) may legally differ
+//! from the simulator's, so that comparison allows a few ulps.
+//!
+//! Each program compiles once per suite (`OnceLock`); the proptest
+//! cases only re-run the binary. Without a host C compiler the suite
+//! skips with a notice.
+
+use descend::compiler::{Compiled, Compiler};
+use descend::native::{CompiledNative, Toolchain};
+use descend::sim::LaunchConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+struct Ctx {
+    compiled: Compiled,
+    exe: CompiledNative,
+}
+
+fn build(file: &str) -> Option<Ctx> {
+    static TC: OnceLock<Option<Toolchain>> = OnceLock::new();
+    let tc = TC
+        .get_or_init(|| {
+            let tc = Toolchain::detect();
+            if tc.is_none() {
+                eprintln!(
+                    "SKIP: no host C compiler found (tried $CC, cc, gcc, clang); \
+                     native property suite not exercised"
+                );
+            }
+            tc
+        })
+        .as_ref()?;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/descend")
+        .join(file);
+    let src = std::fs::read_to_string(path).expect("corpus file");
+    let compiled = Compiler::with_backends(&["c"])
+        .expect("c backend registered")
+        .compile_source(&src)
+        .expect("corpus compiles");
+    let exe = tc
+        .compile(compiled.target_source("c").expect("c selected"))
+        .expect("emitted C compiles");
+    Some(Ctx { compiled, exe })
+}
+
+fn race_checked() -> LaunchConfig {
+    LaunchConfig {
+        detect_races: true,
+        ..LaunchConfig::default()
+    }
+}
+
+/// Deterministic pseudo-random data: fractional values (multiples of
+/// 1/64) in roughly `[-half_range, half_range)`.
+fn fractional(n: usize, seed: u64, half_range: i64) -> Vec<f64> {
+    let span = (half_range * 128) as u64;
+    (0..n)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(40503))
+                .wrapping_mul(6364136223846793005);
+            ((x >> 33) % span) as f64 / 64.0 - half_range as f64
+        })
+        .collect()
+}
+
+fn run_both(
+    ctx: &Ctx,
+    inputs: &HashMap<String, Vec<f64>>,
+) -> (HashMap<String, Vec<f64>>, HashMap<String, Vec<f64>>) {
+    let sim = ctx
+        .compiled
+        .run_host("main", inputs, &race_checked())
+        .expect("simulated run");
+    let native = ctx.exe.run("main", inputs).expect("native run");
+    (sim.cpu, native)
+}
+
+proptest! {
+    /// `dot`: per-block f64 tree reduction. Bitwise agreement — the
+    /// kernel fixes the association, so fractional inputs round the
+    /// same way on both sides.
+    #[test]
+    fn dot_matches_natively(seed in 0u64..200) {
+        static CTX: OnceLock<Option<Ctx>> = OnceLock::new();
+        let Some(ctx) = CTX.get_or_init(|| build("dot.descend")).as_ref() else {
+            return Ok(());
+        };
+        let mut inputs = HashMap::new();
+        inputs.insert("ha".to_string(), fractional(2048, seed, 8));
+        inputs.insert("hb".to_string(), fractional(2048, seed ^ 0xABCD, 8));
+        let (sim, native) = run_both(ctx, &inputs);
+        for name in ["ha", "hb", "hout"] {
+            prop_assert_eq!(&native[name], &sim[name], "buffer `{}` diverges", name);
+        }
+    }
+
+    /// `histogram`: scatter atomics over i32 bins. Counts are exact
+    /// integers; bitwise agreement, and conservation of the total.
+    #[test]
+    fn histogram_matches_natively(seed in 0u64..200) {
+        static CTX: OnceLock<Option<Ctx>> = OnceLock::new();
+        let Some(ctx) = CTX.get_or_init(|| build("histogram.descend")).as_ref() else {
+            return Ok(());
+        };
+        let data: Vec<f64> = (0..512)
+            .map(|i| (((i * 48271 + seed * 16807) >> 3) % 1000) as f64)
+            .collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), data);
+        let (sim, native) = run_both(ctx, &inputs);
+        prop_assert_eq!(&native["bins"], &sim["bins"]);
+        prop_assert_eq!(&native["h"], &sim["h"]);
+        let total: f64 = native["bins"].iter().sum();
+        prop_assert_eq!(total as u64, 512, "native histogram loses counts");
+    }
+
+    /// `reduce_warp_shuffle`: shared-memory tree into a 5-round
+    /// `shfl_xor` butterfly. The staged scratch arrays must reproduce
+    /// warp-synchronous lockstep exactly — bitwise f64 agreement.
+    #[test]
+    fn reduce_warp_shuffle_matches_natively(seed in 0u64..200) {
+        static CTX: OnceLock<Option<Ctx>> = OnceLock::new();
+        let Some(ctx) = CTX.get_or_init(|| build("reduce_warp_shuffle.descend")).as_ref() else {
+            return Ok(());
+        };
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), fractional(2048, seed, 32));
+        let (sim, native) = run_both(ctx, &inputs);
+        prop_assert_eq!(&native["sums"], &sim["sums"]);
+        prop_assert_eq!(&native["h"], &sim["h"]);
+    }
+
+    /// `reduce_atomic`: f32 block sums finished by a cross-block
+    /// `atomic_add`. OpenMP may apply the four block contributions in
+    /// any order, so the f32 total is only order-independent up to
+    /// rounding — comparison within a tight relative tolerance.
+    #[test]
+    fn reduce_atomic_matches_natively_within_tolerance(seed in 0u64..200) {
+        static CTX: OnceLock<Option<Ctx>> = OnceLock::new();
+        let Some(ctx) = CTX.get_or_init(|| build("reduce_atomic.descend")).as_ref() else {
+            return Ok(());
+        };
+        let mut inputs = HashMap::new();
+        inputs.insert("h".to_string(), fractional(1024, seed, 16));
+        let (sim, native) = run_both(ctx, &inputs);
+        prop_assert_eq!(&native["h"], &sim["h"]);
+        let (n, s) = (native["total"][0], sim["total"][0]);
+        let tol = 1e-4 * s.abs().max(1.0);
+        prop_assert!(
+            (n - s).abs() <= tol,
+            "f32 atomic total diverges: native {} vs simulator {}",
+            n,
+            s
+        );
+    }
+}
