@@ -54,9 +54,11 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "usage: descendc <check|emit|cuda|run|profile|kernels> <file.descend> [--fn NAME] [--emit=cuda|opencl|wgsl|c|all] [--native] [--json] [--chrome-trace=PATH]\n\
+         \x20      descendc explain <E0xxx>\n\
          \x20      descendc serve\n\
          \n\
-         check    type-check and report diagnostics\n\
+         check    type-check and report diagnostics (--json for the machine-readable\n\
+                  descend-diagnostics/1 document)\n\
          emit     emit generated source to stdout (default --emit=all)\n\
          cuda     emit the CUDA C++ translation unit to stdout\n\
          run      execute a host function on the simulated GPU (default: main);\n\
@@ -64,6 +66,7 @@ fn usage() {
          profile  run + rank source lines by modeled cost (--json for machine output,\n\
                   --chrome-trace=PATH for a Perfetto timeline)\n\
          kernels  list compiled kernel instances and their launch shapes\n\
+         explain  print the explanation for a stable error code\n\
          serve    answer line-delimited JSON check/emit/profile requests on stdin"
     );
 }
@@ -144,14 +147,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    if let Command::Explain { code } = &cmd {
+        return match descend_diag::registry::lookup(code) {
+            Some(info) => {
+                println!("{}: {}", info.code, info.title);
+                println!();
+                println!("{}", info.explanation);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "error: unknown error code `{code}`; see docs/DIAGNOSTICS.md for the index"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let path = match &cmd {
-        Command::Check { path }
+        Command::Check { path, .. }
         | Command::Emit { path, .. }
         | Command::Run { path, .. }
         | Command::Profile { path, .. }
         | Command::Kernels { path } => path.clone(),
-        Command::Serve => unreachable!("handled above"),
+        Command::Serve | Command::Explain { .. } => unreachable!("handled above"),
     };
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -171,17 +190,30 @@ fn main() -> ExitCode {
     let compiled = match compiler.compile_source(&src) {
         Ok(c) => c,
         Err(e) => {
+            // Diagnostics go to stderr; `check --json` additionally
+            // prints the machine document to stdout. Either way the
+            // exit code is 1.
+            if let Command::Check { json: true, .. } = &cmd {
+                print!(
+                    "{}",
+                    descend_diag::render_json(&path, &src, std::slice::from_ref(e.diag.as_ref()))
+                );
+            }
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
     match &cmd {
-        Command::Check { .. } => {
-            println!(
-                "ok: {} kernel instance(s), {} host function(s)",
-                compiled.kernels.len(),
-                compiled.checked.host_fns.len()
-            );
+        Command::Check { json, .. } => {
+            if *json {
+                print!("{}", descend_diag::render_json(&path, &src, &[]));
+            } else {
+                println!(
+                    "ok: {} kernel instance(s), {} host function(s)",
+                    compiled.kernels.len(),
+                    compiled.checked.host_fns.len()
+                );
+            }
             ExitCode::SUCCESS
         }
         Command::Emit { targets, .. } => {
@@ -292,6 +324,6 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Command::Serve => unreachable!("handled above"),
+        Command::Serve | Command::Explain { .. } => unreachable!("handled above"),
     }
 }

@@ -12,10 +12,19 @@ use descend_backends::BACKEND_NAMES;
 /// A fully validated `descendc` invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file>`: type-check only.
+    /// `check <file> [--json]`: type-check only; with `--json`, print
+    /// the machine-readable `descend-diagnostics/1` document.
     Check {
         /// Source path.
         path: String,
+        /// Emit the machine-readable diagnostics document.
+        json: bool,
+    },
+    /// `explain <E0xxx>`: print the registry explanation for a stable
+    /// error code.
+    Explain {
+        /// The error code, e.g. `E0104`.
+        code: String,
     },
     /// `emit <file> [--emit=TARGETS]` (and its alias `cuda <file>`):
     /// print translation units.
@@ -93,6 +102,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Some(extra) => Err(format!("`serve` takes no arguments, got `{extra}`")),
         };
     }
+    if cmd == "explain" {
+        let code = match it.next() {
+            Some(c) if !c.starts_with('-') => c.clone(),
+            Some(c) => return Err(format!("expected an error code, got flag `{c}`")),
+            None => return Err("`explain` needs an error code (e.g. `E0104`)".to_string()),
+        };
+        return match it.next() {
+            None => Ok(Command::Explain { code }),
+            Some(extra) => Err(format!("`explain` takes one code, got `{extra}`")),
+        };
+    }
     if !matches!(
         cmd,
         "check" | "emit" | "cuda" | "run" | "profile" | "kernels"
@@ -119,7 +139,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
                 host_fn = Some(v.clone());
             }
-            "--json" if cmd == "profile" => json = true,
+            "--json" if matches!(cmd, "profile" | "check") => json = true,
             "--native" if cmd == "run" => native = true,
             a if cmd == "emit" && a.starts_with("--emit=") => {
                 emit_spec = Some(&a["--emit=".len()..]);
@@ -134,7 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
 
     Ok(match cmd {
-        "check" => Command::Check { path },
+        "check" => Command::Check { path, json },
         "kernels" => Command::Kernels { path },
         "cuda" => Command::Emit {
             path,
@@ -205,7 +225,21 @@ mod tests {
         assert_eq!(
             parse(&["check", "a.descend"]),
             Ok(Command::Check {
-                path: "a.descend".into()
+                path: "a.descend".into(),
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&["check", "a.descend", "--json"]),
+            Ok(Command::Check {
+                path: "a.descend".into(),
+                json: true
+            })
+        );
+        assert_eq!(
+            parse(&["explain", "E0104"]),
+            Ok(Command::Explain {
+                code: "E0104".into()
             })
         );
         assert_eq!(
@@ -266,7 +300,6 @@ mod tests {
         assert!(parse(&["run", "a.descend", "--emti=cuda"]).is_err());
         assert!(parse(&["check", "a.descend", "extra.descend"]).is_err());
         assert!(parse(&["cuda", "a.descend", "--emit=wgsl"]).is_err());
-        assert!(parse(&["check", "a.descend", "--json"]).is_err());
         assert!(parse(&["serve", "a.descend"]).is_err());
         assert!(parse(&["wat", "a.descend"]).is_err());
         assert!(parse(&[]).is_err());
@@ -288,6 +321,30 @@ mod tests {
         assert!(e.contains("c"), "{e}");
         let e = parse(&["emit", "a.descend", "--emit=c99"]).unwrap_err();
         assert!(e.contains("unknown --emit target `c99`"), "{e}");
+    }
+
+    #[test]
+    fn json_flag_is_check_and_profile_only() {
+        // `--json` means "machine-readable document"; only `check` and
+        // `profile` have one. Everything else must exit 2, not silently
+        // ignore it.
+        for cmd in ["run", "kernels", "emit", "cuda"] {
+            let e = parse(&[cmd, "a.descend", "--json"]).unwrap_err();
+            assert!(e.contains("--json"), "{cmd}: {e}");
+            assert!(e.contains("unknown argument"), "{cmd}: {e}");
+        }
+    }
+
+    #[test]
+    fn explain_argument_validation() {
+        let e = parse(&["explain"]).unwrap_err();
+        assert!(e.contains("needs an error code"), "{e}");
+        let e = parse(&["explain", "--json"]).unwrap_err();
+        assert!(e.contains("got flag"), "{e}");
+        let e = parse(&["explain", "E0104", "E0105"]).unwrap_err();
+        assert!(e.contains("takes one code"), "{e}");
+        // Unknown codes parse fine; the binary reports them at lookup.
+        assert!(parse(&["explain", "E9999"]).is_ok());
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct CompileError {
     pub stage: Stage,
     /// The rendered diagnostic (with source snippet for type errors).
     pub rendered: String,
+    /// The structured diagnostic: stable code, labelled spans, help
+    /// notes. `rendered` is its cached rendering against the source, so
+    /// warm-session replays stay byte-identical. Boxed (like
+    /// `type_error`) to keep the `Err` variant of compile results
+    /// small.
+    pub diag: Box<descend_diag::Diagnostic>,
     /// The structured type error, when `stage == Stage::Type` (boxed to
     /// keep the `Err` variant of the compile results small).
     pub type_error: Option<Box<TypeError>>,
@@ -202,9 +208,15 @@ impl Compiler {
 }
 
 fn codegen_err(e: &CodegenError) -> CompileError {
+    let diag = descend_diag::Diagnostic::coded(
+        descend_diag::registry::LOWERING_FAILED,
+        descend_ast::Span::DUMMY,
+        format!("{e}"),
+    );
     CompileError {
         stage: Stage::Codegen,
-        rendered: format!("error: {e}"),
+        rendered: diag.render(""),
+        diag: Box::new(diag),
         type_error: None,
     }
 }

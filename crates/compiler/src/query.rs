@@ -236,11 +236,17 @@ impl CompileSession {
             }
             None => {
                 self.stats.parse.miss();
-                let parsed = descend_parser::parse(src).map_err(|e| CompileError {
-                    stage: Stage::Parse,
-                    rendered: descend_diag::Diagnostic::new("syntax error", e.span, e.msg.clone())
-                        .render(src),
-                    type_error: None,
+                // Route through the parser's registry-coded diagnostic
+                // (not a hand-built one) so cached parse failures carry
+                // their `E0001`/`E0002` code and replay byte-identically.
+                let parsed = descend_parser::parse(src).map_err(|e| {
+                    let diag = e.to_diagnostic();
+                    CompileError {
+                        stage: Stage::Parse,
+                        rendered: diag.render(src),
+                        diag: Box::new(diag),
+                        type_error: None,
+                    }
                 });
                 self.parse_cache.insert(key, parsed.clone());
                 parsed?
@@ -513,6 +519,7 @@ fn type_err(e: descend_typeck::TypeError, src: &str) -> CompileError {
     CompileError {
         stage: Stage::Type,
         rendered: e.diag.render(src),
+        diag: e.diag.clone(),
         type_error: Some(Box::new(e)),
     }
 }

@@ -17,8 +17,12 @@
 //! command-specific payload (`kernels`/`host_fns` for `check`,
 //! `sources` for `emit`, `profile` — the `descend-profile/1` document —
 //! for `profile`), or `{"ok":false,"error":"..."}` with the same
-//! rendered diagnostic the CLI prints. A malformed request line answers
-//! with an error response; the server keeps serving.
+//! rendered diagnostic the CLI prints. Compile failures additionally
+//! carry `"diagnostics"`: an array of structured diagnostics (stable
+//! `code`, labelled `spans`, `help` notes) shaped like the
+//! `descend-diagnostics/1` schema's `diagnostics[]` items, so clients
+//! need not scrape the rendering. A malformed request line answers with
+//! an error response; the server keeps serving.
 //!
 //! Sequential requests share one persistent [`CompileSession`], so an
 //! edit-recheck loop re-runs only the queries whose inputs changed.
@@ -348,9 +352,18 @@ fn compile(session: &mut CompileSession, req: &Json) -> Result<Compiled, Json> {
         .get("src")
         .and_then(Json::as_str)
         .ok_or_else(|| err_response("request needs a string `src` field"))?;
-    session
-        .compile_source(src)
-        .map_err(|e| err_response(e.rendered.trim_end()))
+    session.compile_source(src).map_err(|e| {
+        // Alongside the legacy rendered `error` string, ship the
+        // structured diagnostic (code, spans, help) so clients need not
+        // scrape the human rendering. One object per the
+        // `descend-diagnostics/1` schema's `diagnostics[]` items.
+        let diag = parse_json(&e.diag.to_json(src)).expect("diagnostic JSON is well-formed");
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), Json::Str(e.rendered.trim_end().into())),
+            ("diagnostics".into(), Json::Arr(vec![diag])),
+        ])
+    })
 }
 
 /// Handles one non-batch request against a session, producing the
@@ -615,6 +628,21 @@ mod tests {
                 .is_some_and(|e| e.contains("syntax error")),
             "{resp:?}"
         );
+        // Compile failures also ship the structured diagnostic.
+        let diags = resp
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .expect("diagnostics array");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].get("code"),
+            Some(&Json::Str("E0002".into())),
+            "{resp:?}"
+        );
+        assert!(diags[0].get("spans").and_then(Json::as_arr).is_some());
+        // Protocol errors (not compile errors) have no diagnostics.
+        let resp = request(&mut s, r#"{"cmd":"frobnicate"}"#);
+        assert!(resp.get("diagnostics").is_none());
     }
 
     #[test]

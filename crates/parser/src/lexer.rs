@@ -259,8 +259,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             _ => {
                 let start = i;
+                // Two-byte lookahead, clamped to a char boundary so a
+                // multi-byte character right after `j` cannot split.
                 let two = |j: usize| -> &str {
-                    let end = (j + 2).min(src.len());
+                    let mut end = (j + 2).min(src.len());
+                    while !src.is_char_boundary(end) {
+                        end -= 1;
+                    }
                     &src[j..end]
                 };
                 let (kind, len) = match two(i) {
@@ -300,11 +305,21 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                             '&' => TokenKind::Amp,
                             '!' => TokenKind::Bang,
                             '@' => TokenKind::At,
-                            other => {
+                            _ => {
+                                // The byte-wise scan casts only the lead
+                                // byte; decode the real character so the
+                                // message names it and the span covers its
+                                // full UTF-8 width (an end of `start + 1`
+                                // lands mid-sequence and breaks any later
+                                // slicing by span).
+                                let real = src[start..]
+                                    .chars()
+                                    .next()
+                                    .expect("start is a char boundary");
                                 return Err(LexError {
-                                    msg: format!("unexpected character `{other}`"),
-                                    span: Span::new(start as u32, start as u32 + 1),
-                                })
+                                    msg: format!("unexpected character `{real}`"),
+                                    span: Span::new(start as u32, (start + real.len_utf8()) as u32),
+                                });
                             }
                         };
                         (kind, 1)
@@ -325,6 +340,20 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<TokenKind> {
         tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    /// Multi-byte characters after an identifier used to split the
+    /// two-byte operator lookahead mid-sequence (found by fuzzing);
+    /// they must lex to a clean error with char-boundary spans.
+    #[test]
+    fn multibyte_characters_error_without_panicking() {
+        for src in ["aa∀", "aa🦀", "∀", "é", "a🦀b", "x∀=", "…"] {
+            let err = tokenize(src).expect_err("rejected");
+            let (s, e) = (err.span.start as usize, err.span.end as usize);
+            assert!(e <= src.len(), "{src}: span escapes source");
+            assert!(src.is_char_boundary(s), "{src}: start mid-char");
+            assert!(src.is_char_boundary(e), "{src}: end mid-char");
+        }
     }
 
     #[test]

@@ -6,13 +6,24 @@ use descend_ast::ty::*;
 use descend_ast::{Nat, Span};
 use std::fmt;
 
-/// A parse error with location.
+/// A parse error with location and stable code: `E0001` for lexical
+/// errors, `E0002` for syntactic ones (see `descend_diag::registry`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
+    /// Stable error code (`E0001` or `E0002`).
+    pub code: &'static str,
     /// Human-readable message.
     pub msg: String,
     /// Location of the offending token.
     pub span: Span,
+}
+
+impl ParseError {
+    /// Converts into a registry-coded [`descend_diag::Diagnostic`]; the
+    /// headline is the registry title for the code.
+    pub fn to_diagnostic(&self) -> descend_diag::Diagnostic {
+        descend_diag::Diagnostic::coded(self.code, self.span, self.msg.clone())
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -30,6 +41,7 @@ impl std::error::Error for ParseError {}
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = tokenize(src).map_err(|e| ParseError {
+        code: descend_diag::registry::INVALID_TOKEN,
         msg: e.msg,
         span: e.span,
     })?;
@@ -72,6 +84,7 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
         Err(ParseError {
+            code: descend_diag::registry::SYNTAX_ERROR,
             msg: msg.into(),
             span: self.span(),
         })

@@ -1143,6 +1143,14 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     lvl.extent
                 ),
             )
+            .with_help(format!(
+                "insert the missing select: view `{0}` with `group::<..>` (or \
+                 `split` it) into {2} parts and select one per {1} with \
+                 `[[..]]`, so each of the {2} {1}s owns a distinct chunk",
+                access.display,
+                lvl.space.noun(),
+                lvl.extent
+            ))
             .with_help(
                 "each execution resource must select its own distinct part of the memory",
             ));
@@ -1354,7 +1362,12 @@ impl<'g, 'p> FnCx<'g, 'p> {
                         ErrorKind::ShuffleError,
                         e.span,
                         format!("`{kind}` with distance 0 exchanges nothing"),
-                    ));
+                    )
+                    .with_help(format!(
+                        "use a distance between 1 and {} (below the warp size {})",
+                        descend_exec::WARP_SIZE - 1,
+                        descend_exec::WARP_SIZE
+                    )));
                 }
                 if d >= descend_exec::WARP_SIZE {
                     return Err(TypeError::new(
@@ -1746,6 +1759,10 @@ impl<'g, 'p> FnCx<'g, 'p> {
                     )
                     .with_help(
                         "the block is split here; barriers must be reached by every thread of the block",
+                    )
+                    .with_help(
+                        "hoist the `sync` out of the `split { .. }` so every thread of the \
+                         block reaches it, then split again for the divergent work",
                     ));
                 }
                 // The barrier orders all intra-block accesses: release the

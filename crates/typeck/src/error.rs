@@ -54,62 +54,105 @@ pub enum ErrorKind {
     NonStaticNat,
 }
 
+impl ErrorKind {
+    /// Every variant, in declaration (= code) order. Coverage tests
+    /// iterate this to demand a conformance program and a documentation
+    /// entry per kind.
+    pub const ALL: [ErrorKind; 20] = [
+        ErrorKind::MismatchedTypes,
+        ErrorKind::ConflictingAccess,
+        ErrorKind::NarrowingViolation,
+        ErrorKind::BarrierNotAllowed,
+        ErrorKind::WrongExecutionContext,
+        ErrorKind::LaunchConfigMismatch,
+        ErrorKind::UnknownName,
+        ErrorKind::MovedValue,
+        ErrorKind::BorrowConflict,
+        ErrorKind::NotWritable,
+        ErrorKind::ViewMisapplied,
+        ErrorKind::SelectSizeMismatch,
+        ErrorKind::WhereClauseViolated,
+        ErrorKind::ScheduleError,
+        ErrorKind::ShuffleError,
+        ErrorKind::Shadowing,
+        ErrorKind::ArityMismatch,
+        ErrorKind::Unsupported,
+        ErrorKind::OutOfBounds,
+        ErrorKind::NonStaticNat,
+    ];
+
+    /// The stable error code of this kind, one per variant in
+    /// declaration order (`descend_diag::registry` is the source of
+    /// truth for titles and explanations; `descendc explain` serves
+    /// them).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorKind::MismatchedTypes => "E0101",
+            ErrorKind::ConflictingAccess => "E0102",
+            ErrorKind::NarrowingViolation => "E0103",
+            ErrorKind::BarrierNotAllowed => "E0104",
+            ErrorKind::WrongExecutionContext => "E0105",
+            ErrorKind::LaunchConfigMismatch => "E0106",
+            ErrorKind::UnknownName => "E0107",
+            ErrorKind::MovedValue => "E0108",
+            ErrorKind::BorrowConflict => "E0109",
+            ErrorKind::NotWritable => "E0110",
+            ErrorKind::ViewMisapplied => "E0111",
+            ErrorKind::SelectSizeMismatch => "E0112",
+            ErrorKind::WhereClauseViolated => "E0113",
+            ErrorKind::ScheduleError => "E0114",
+            ErrorKind::ShuffleError => "E0115",
+            ErrorKind::Shadowing => "E0116",
+            ErrorKind::ArityMismatch => "E0117",
+            ErrorKind::Unsupported => "E0118",
+            ErrorKind::OutOfBounds => "E0119",
+            ErrorKind::NonStaticNat => "E0120",
+        }
+    }
+}
+
 impl fmt::Display for ErrorKind {
+    /// Displays the registry title of the kind's code, so every user-
+    /// facing surface (corpus markers, rendered headlines, docs) uses
+    /// one canonical phrase per code.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            ErrorKind::MismatchedTypes => "mismatched types",
-            ErrorKind::ConflictingAccess => "conflicting memory access",
-            ErrorKind::NarrowingViolation => "narrowing violated",
-            ErrorKind::BarrierNotAllowed => "barrier not allowed here",
-            ErrorKind::WrongExecutionContext => "wrong execution context",
-            ErrorKind::LaunchConfigMismatch => "launch configuration mismatch",
-            ErrorKind::UnknownName => "unknown name",
-            ErrorKind::MovedValue => "use of moved value",
-            ErrorKind::BorrowConflict => "conflicting borrows",
-            ErrorKind::NotWritable => "cannot write to this place",
-            ErrorKind::ViewMisapplied => "view cannot be applied",
-            ErrorKind::SelectSizeMismatch => "select size mismatch",
-            ErrorKind::WhereClauseViolated => "where clause violated",
-            ErrorKind::ScheduleError => "invalid schedule",
-            ErrorKind::ShuffleError => "invalid shuffle",
-            ErrorKind::Shadowing => "shadowing is not allowed",
-            ErrorKind::ArityMismatch => "wrong number of arguments",
-            ErrorKind::Unsupported => "unsupported construct",
-            ErrorKind::OutOfBounds => "index out of bounds",
-            ErrorKind::NonStaticNat => "size is not statically known",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", descend_diag::registry::title(self.code()))
     }
 }
 
 /// A type error: a structured kind plus a renderable diagnostic.
+///
+/// The diagnostic is boxed: `TResult<T>` flows through every checker
+/// function, and keeping the `Err` variant pointer-sized keeps those
+/// returns cheap (clippy's `result_large_err`).
 #[derive(Clone, Debug)]
 pub struct TypeError {
     /// The structured kind.
     pub kind: ErrorKind,
     /// The renderable diagnostic.
-    pub diag: Diagnostic,
+    pub diag: Box<Diagnostic>,
 }
 
 impl TypeError {
-    /// Creates an error from a kind, span and primary message.
+    /// Creates an error from a kind, span and primary message. The
+    /// diagnostic carries the kind's stable code and registry title.
     pub fn new(kind: ErrorKind, span: Span, msg: impl Into<String>) -> TypeError {
-        let title = kind.to_string();
+        let code = kind.code();
         TypeError {
             kind,
-            diag: Diagnostic::new(title, span, msg),
+            diag: Box::new(Diagnostic::coded(code, span, msg)),
         }
     }
 
     /// Attaches a secondary label.
     pub fn with_secondary(mut self, span: Span, msg: impl Into<String>) -> TypeError {
-        self.diag = self.diag.with_secondary(span, msg);
+        self.diag = Box::new((*self.diag).with_secondary(span, msg));
         self
     }
 
     /// Attaches help text.
     pub fn with_help(mut self, msg: impl Into<String>) -> TypeError {
-        self.diag = self.diag.with_help(msg);
+        self.diag = Box::new((*self.diag).with_help(msg));
         self
     }
 }
@@ -121,3 +164,36 @@ impl fmt::Display for TypeError {
 }
 
 impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use descend_diag::registry;
+
+    #[test]
+    fn all_is_in_code_order_and_codes_are_dense() {
+        for (i, k) in ErrorKind::ALL.iter().enumerate() {
+            assert_eq!(k.code(), format!("E01{:02}", i + 1), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn every_kind_is_registered_with_matching_title() {
+        for k in ErrorKind::ALL {
+            let info = registry::lookup(k.code())
+                .unwrap_or_else(|| panic!("{k:?} ({}) missing from registry", k.code()));
+            assert_eq!(info.title, k.to_string(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn type_error_diag_carries_the_code() {
+        let e = TypeError::new(
+            ErrorKind::BarrierNotAllowed,
+            descend_ast::Span::new(0, 4),
+            "`sync` here",
+        );
+        assert_eq!(e.diag.code, Some("E0104"));
+        assert!(e.diag.render("sync;").starts_with("error[E0104]: "));
+    }
+}

@@ -1,0 +1,193 @@
+//! Conformance harness: adversarial programs pinned to exact diagnostics.
+//!
+//! Every `conformance/cNNN_*.descend` program is a small, deliberately
+//! wrong Descend program — nested-view conflicts, zip-routed write
+//! races, ragged windows, warp-divergent shuffles under split chains,
+//! moved-buffer re-launches, shadowing through views, and one program
+//! per remaining [`ErrorKind`]. A sibling `.expected` golden pins the
+//! stable error code, the primary span as `line:col`, and the full
+//! rendered diagnostic, so any drift in codes, span tracking, or
+//! rendering fails loudly here.
+//!
+//! Regenerate goldens after an intentional rendering change with
+//! `UPDATE_EXPECT=1 cargo test --test conformance`.
+
+use descend::compiler::Compiler;
+use descend::diag::line_col;
+use descend::typeck::ErrorKind;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn conformance_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("conformance")
+}
+
+/// All `*.descend` conformance programs, sorted by name.
+fn programs() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(conformance_dir())
+        .expect("conformance/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "descend"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "conformance/ has no programs");
+    out
+}
+
+/// Compile one conformance program (which must fail) and format the
+/// golden document: code, primary span as `line:col`, rendered text.
+fn actual_golden(path: &Path) -> String {
+    let src = fs::read_to_string(path).expect("readable program");
+    let err = Compiler::new()
+        .compile_source(&src)
+        .map(|_| ())
+        .expect_err(&format!("{} must be rejected", path.display()));
+    let code = err
+        .diag
+        .code
+        .unwrap_or_else(|| panic!("{}: diagnostic has no stable code", path.display()));
+    let span = if err.diag.primary.span.is_dummy() {
+        "none".to_string()
+    } else {
+        let (line, col) = line_col(&src, err.diag.primary.span.start);
+        format!("{line}:{col}")
+    };
+    let mut doc = format!("code: {code}\nspan: {span}\n\n{}", err.rendered);
+    if !doc.ends_with('\n') {
+        doc.push('\n');
+    }
+    doc
+}
+
+/// The golden comparison: every program's diagnostic must match its
+/// `.expected` sibling byte-for-byte. `UPDATE_EXPECT=1` rewrites the
+/// goldens instead of failing.
+#[test]
+fn diagnostics_match_goldens() {
+    let update = std::env::var("UPDATE_EXPECT").is_ok_and(|v| v == "1");
+    let mut mismatches = Vec::new();
+    for path in programs() {
+        let actual = actual_golden(&path);
+        assert!(
+            actual.contains("error[E"),
+            "{}: rendering lost its code header:\n{actual}",
+            path.display()
+        );
+        let golden_path = path.with_extension("expected");
+        if update {
+            fs::write(&golden_path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{}: missing golden; run UPDATE_EXPECT=1 cargo test --test conformance",
+                golden_path.display()
+            )
+        });
+        if actual != expected {
+            mismatches.push(format!(
+                "== {} ==\n-- expected --\n{expected}\n-- actual --\n{actual}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} conformance golden(s) drifted (UPDATE_EXPECT=1 to accept):\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The recomputed primary span in each golden must agree with the
+/// `--> line:col` arrow inside the rendered snippet — the two encodings
+/// of the span can never drift apart.
+#[test]
+fn golden_spans_agree_with_rendered_arrows() {
+    for path in programs() {
+        let doc = actual_golden(&path);
+        let span_line = doc
+            .lines()
+            .nth(1)
+            .expect("span header line")
+            .strip_prefix("span: ")
+            .expect("span header")
+            .to_string();
+        if span_line == "none" {
+            assert!(
+                !doc.contains("-->"),
+                "{}: dummy span but rendered snippet",
+                path.display()
+            );
+        } else {
+            assert!(
+                doc.contains(&format!("--> {span_line}")),
+                "{}: header span {span_line} not in rendering:\n{doc}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// No orphans in either direction: every program has a golden and
+/// every golden has a program.
+#[test]
+fn goldens_and_programs_pair_up() {
+    let dir = conformance_dir();
+    let mut stems: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    for entry in fs::read_dir(&dir).expect("conformance/ exists") {
+        let p = entry.expect("entry").path();
+        let stem = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        match p.extension().and_then(|e| e.to_str()) {
+            Some("descend") => stems.entry(stem).or_default().0 = true,
+            Some("expected") => stems.entry(stem).or_default().1 = true,
+            _ => panic!("unexpected file in conformance/: {}", p.display()),
+        }
+    }
+    for (stem, (has_src, has_golden)) in &stems {
+        assert!(has_src, "{stem}.expected has no program");
+        assert!(has_golden, "{stem}.descend has no golden (UPDATE_EXPECT=1)");
+    }
+}
+
+/// Coverage: every `ErrorKind` — plus the lexer's E0001 and the
+/// parser's E0002 — must be exercised by at least one conformance
+/// program. Adding an `ErrorKind` without an adversarial program for
+/// it fails here.
+#[test]
+fn every_error_kind_has_a_conformance_program() {
+    let mut exercised: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for path in programs() {
+        let src = fs::read_to_string(&path).expect("readable program");
+        let err = Compiler::new()
+            .compile_source(&src)
+            .map(|_| ())
+            .expect_err("conformance programs fail");
+        if let Some(code) = err.diag.code {
+            exercised
+                .entry(code)
+                .or_default()
+                .push(path.file_name().unwrap().to_string_lossy().into_owned());
+        }
+    }
+    let mut missing = Vec::new();
+    for kind in ErrorKind::ALL {
+        if !exercised.contains_key(kind.code()) {
+            missing.push(format!("{} ({kind:?})", kind.code()));
+        }
+    }
+    for code in ["E0001", "E0002"] {
+        if !exercised.contains_key(code) {
+            missing.push(code.to_string());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "error codes with no conformance program: {missing:?}\nexercised: {exercised:?}"
+    );
+}

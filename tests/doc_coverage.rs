@@ -90,6 +90,46 @@ fn every_view_step_form_is_documented() {
     }
 }
 
+/// The error-code index covers the entire registry: every code of
+/// every `ErrorKind` (plus the lexer/parser/lowering codes — i.e. the
+/// whole registry) appears in `docs/DIAGNOSTICS.md` with its title, and
+/// the index is linked from the README and the architecture document.
+/// Adding an `ErrorKind` or registry entry without documenting it fails
+/// here.
+#[test]
+fn every_error_code_is_documented() {
+    let md = repo_file("docs/DIAGNOSTICS.md");
+    use descend::typeck::ErrorKind;
+    for kind in ErrorKind::ALL {
+        assert!(
+            md.contains(kind.code()),
+            "docs/DIAGNOSTICS.md does not mention {} ({kind:?})",
+            kind.code()
+        );
+    }
+    for info in descend::diag::registry::REGISTRY {
+        assert!(
+            md.contains(info.code),
+            "docs/DIAGNOSTICS.md does not mention {}",
+            info.code
+        );
+        assert!(
+            md.contains(info.title),
+            "docs/DIAGNOSTICS.md does not carry the `{}` title `{}`",
+            info.code,
+            info.title
+        );
+    }
+    assert!(
+        repo_file("README.md").contains("docs/DIAGNOSTICS.md"),
+        "README must link docs/DIAGNOSTICS.md"
+    );
+    assert!(
+        repo_file("docs/ARCHITECTURE.md").contains("DIAGNOSTICS.md"),
+        "docs/ARCHITECTURE.md must link DIAGNOSTICS.md"
+    );
+}
+
 /// The architecture document links the consolidated design notes, and
 /// the design notes cover the divergences they promise.
 #[test]

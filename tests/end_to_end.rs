@@ -80,8 +80,9 @@ fn parse_errors_are_rendered_with_snippets() {
         .compile_source("fn f( -[t: cpu.thread]-> () {}")
         .unwrap_err();
     assert_eq!(err.stage, Stage::Parse);
-    assert!(err.rendered.contains("error: syntax error"));
+    assert!(err.rendered.contains("error[E0002]: syntax error"));
     assert!(err.rendered.contains("-->"));
+    assert_eq!(err.diag.code, Some("E0002"));
 }
 
 #[test]

@@ -1,0 +1,309 @@
+//! Front-end fuzzing: adversarial inputs through parse → typeck.
+//!
+//! Three generators feed the front end:
+//!
+//! - **token soups** — random sequences drawn from the language's own
+//!   token inventory, so the parser sees well-formed tokens in
+//!   nonsensical orders (deep into recovery paths),
+//! - **byte soups** — arbitrary text including unicode, stray
+//!   delimiters, and control characters (deep into lexer paths),
+//! - **mutated corpus** — real example programs with random splices,
+//!   deletions, and duplications, which reach typeck far more often
+//!   than whole-cloth random text.
+//!
+//! The invariant under test is the diagnostics contract, not any
+//! particular acceptance: the front end must never panic, every
+//! rejection must be a registry-coded [`Diagnostic`] whose primary
+//! span lies inside the source (or is the dummy span), the rendering
+//! and JSON encodings must succeed, and any program that *parses* must
+//! round-trip through the pretty-printer.
+//!
+//! Case count is `PROPTEST_CASES` (default 256; CI runs 1000+), seeded
+//! and deterministic via `PROPTEST_SEED`.
+
+use descend::ast::pretty;
+use descend::diag::Diagnostic;
+use descend::parser::parse;
+use descend::typeck::check_program;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The token inventory for soups: every keyword, operator, and
+/// delimiter of the language plus representative literals/identifiers.
+const TOKENS: &[&str] = &[
+    "fn",
+    "let",
+    "mut",
+    "const",
+    "nat",
+    "if",
+    "else",
+    "for",
+    "in",
+    "while",
+    "sched",
+    "split",
+    "to_warps",
+    "at",
+    "where",
+    "sync",
+    "uniq",
+    "shrd",
+    "gpu",
+    "cpu",
+    "grid",
+    "block",
+    "thread",
+    "warp",
+    "lane",
+    "mem",
+    "global",
+    "shared",
+    "zip",
+    "alloc",
+    "gpu_alloc_copy",
+    "copy_mem_to_host",
+    "shfl_down",
+    "shfl_up",
+    "group",
+    "rev",
+    "windows",
+    "transpose",
+    "map",
+    "X",
+    "Y",
+    "Z",
+    "f64",
+    "f32",
+    "i32",
+    "u32",
+    "bool",
+    "atomic_i32",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "<",
+    ">",
+    "<<<",
+    ">>>",
+    "[[",
+    "]]",
+    "&",
+    "*",
+    "+",
+    "-",
+    "/",
+    "%",
+    "=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "=>",
+    "->",
+    "-[",
+    "]->",
+    ";",
+    ":",
+    ",",
+    ".",
+    "::",
+    "::<",
+    "..",
+    "0",
+    "1",
+    "42",
+    "1024",
+    "3.5",
+    "0.0",
+    "true",
+    "false",
+    "x",
+    "v",
+    "h",
+    "d",
+    "tmp",
+    "out",
+    "main",
+    "k",
+    "N",
+    "n",
+];
+
+/// A palette for byte soups: ASCII plus characters that have broken
+/// lexers before (multi-byte UTF-8, NUL-adjacent controls, stray
+/// quotes and backslashes).
+const BYTES: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\n', '\t', '(', ')', '[', ']', '{', '}', '<', '>',
+    '&', '*', '+', '-', '/', '%', '=', ';', ':', ',', '.', '_', '#', '@', '$', '?', '!', '~', '^',
+    '|', '\\', '\'', '"', '`', 'é', 'λ', '∀', '🦀', '\u{0}', '\u{7f}', '\u{a0}',
+];
+
+/// Every checked-in example program, passing and failing alike — the
+/// seeds for corpus mutation.
+fn corpus() -> &'static [String] {
+    static CORPUS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/descend");
+        let mut out = Vec::new();
+        for dir in [root.clone(), root.join("fail")] {
+            let mut paths: Vec<_> = std::fs::read_dir(dir)
+                .expect("examples exist")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| p.extension().is_some_and(|e| e == "descend"))
+                .collect();
+            paths.sort();
+            for p in paths {
+                out.push(std::fs::read_to_string(p).expect("readable example"));
+            }
+        }
+        assert!(out.len() >= 20, "corpus unexpectedly small: {}", out.len());
+        out
+    })
+}
+
+/// The contract every front-end rejection must meet: a registry code,
+/// a primary span inside the source (or dummy), and renderings that
+/// do not panic and agree with the span.
+fn assert_diagnostic_contract(src: &str, diag: &Diagnostic) -> Result<(), TestCaseError> {
+    let code = diag.code;
+    prop_assert!(code.is_some(), "rejection without a stable code: {diag:?}");
+    prop_assert!(
+        descend::diag::registry::lookup(code.unwrap()).is_some(),
+        "code {:?} is not in the registry",
+        code
+    );
+    let span = diag.primary.span;
+    if !span.is_dummy() {
+        prop_assert!(
+            span.start <= span.end && span.end as usize <= src.len(),
+            "span {}..{} escapes source of len {}",
+            span.start,
+            span.end,
+            src.len()
+        );
+    }
+    // Rendering and JSON must hold up on arbitrary (unicode) sources.
+    let rendered = diag.render(src);
+    prop_assert!(
+        rendered.starts_with(&format!("error[{}]", code.unwrap())),
+        "rendering lost the code header:\n{rendered}"
+    );
+    let json = descend::diag::render_json("<fuzz>", src, std::slice::from_ref(diag));
+    prop_assert!(json.contains("\"ok\": false"), "bad JSON doc:\n{json}");
+    Ok(())
+}
+
+/// Run `src` through parse → typeck and check every observable
+/// against the diagnostics contract. Panics anywhere in the front end
+/// are converted into (shrinkable) failures.
+fn front_end_case(src: &str) -> Result<(), TestCaseError> {
+    let parsed = catch_unwind(AssertUnwindSafe(|| parse(src)));
+    let program = match parsed {
+        Err(_) => {
+            return Err(TestCaseError::Fail(format!(
+                "parser panicked on {} bytes: {:?}",
+                src.len(),
+                src.chars().take(200).collect::<String>()
+            )))
+        }
+        Ok(Err(e)) => {
+            assert_diagnostic_contract(src, &e.to_diagnostic())?;
+            return Ok(());
+        }
+        Ok(Ok(p)) => p,
+    };
+    // Survivors must round-trip through the pretty-printer.
+    let printed = pretty::program(&program);
+    match parse(&printed) {
+        Ok(reparsed) => prop_assert_eq!(
+            pretty::program(&reparsed),
+            printed.clone(),
+            "pretty-printed program is not a fixed point"
+        ),
+        Err(e) => prop_assert!(
+            false,
+            "pretty-printed program no longer parses: {}\n{}",
+            e.msg,
+            printed
+        ),
+    }
+    let checked = catch_unwind(AssertUnwindSafe(|| check_program(&program)));
+    match checked {
+        Err(_) => Err(TestCaseError::Fail(format!(
+            "typeck panicked on parsed program:\n{printed}"
+        ))),
+        Ok(Err(e)) => assert_diagnostic_contract(src, &e.diag),
+        Ok(Ok(_)) => Ok(()),
+    }
+}
+
+/// Splice-style corpus mutations: each `(kind, a, b)` triple picks an
+/// operation and two positions (taken modulo the current length).
+fn mutate(src: &str, ops: &[(u64, u64, u64)]) -> String {
+    let mut text: Vec<char> = src.chars().collect();
+    for &(kind, a, b) in ops {
+        if text.is_empty() {
+            break;
+        }
+        let i = (a as usize) % text.len();
+        let j = (b as usize) % text.len();
+        let (lo, hi) = (i.min(j), i.max(j).min(i.min(j) + 64));
+        match kind % 4 {
+            // delete a range
+            0 => {
+                text.drain(lo..hi);
+            }
+            // duplicate a range in place
+            1 => {
+                let chunk: Vec<char> = text[lo..hi].to_vec();
+                text.splice(lo..lo, chunk);
+            }
+            // swap two characters
+            2 => text.swap(i, j),
+            // overwrite with a token from the inventory
+            _ => {
+                let tok: Vec<char> = TOKENS[(b as usize) % TOKENS.len()].chars().collect();
+                text.splice(lo..hi, tok);
+            }
+        }
+    }
+    text.into_iter().collect()
+}
+
+proptest! {
+    /// Token soups: valid tokens, nonsensical order.
+    #[test]
+    fn token_soup_never_panics(idxs in vec(0u64..TOKENS.len() as u64, 0..200)) {
+        let src: String = idxs
+            .iter()
+            .map(|&i| TOKENS[i as usize])
+            .collect::<Vec<_>>()
+            .join(" ");
+        front_end_case(&src)?;
+    }
+
+    /// Byte soups: arbitrary text, including multi-byte and control
+    /// characters, straight into the lexer.
+    #[test]
+    fn byte_soup_never_panics(idxs in vec(0u64..BYTES.len() as u64, 0..300)) {
+        let src: String = idxs.iter().map(|&i| BYTES[i as usize]).collect();
+        front_end_case(&src)?;
+    }
+
+    /// Corpus mutation: real programs with random splices — the cases
+    /// most likely to get past the parser and stress typeck.
+    #[test]
+    fn mutated_corpus_never_panics(
+        pick in 0u64..1024,
+        ops in vec((0u64..4, 0u64..4096, 0u64..4096), 1..12),
+    ) {
+        let corpus = corpus();
+        let src = mutate(&corpus[pick as usize % corpus.len()], &ops);
+        front_end_case(&src)?;
+    }
+}

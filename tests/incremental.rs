@@ -126,6 +126,37 @@ fn fail_corpus_diagnostics_are_byte_identical_warm() {
     }
 }
 
+/// Regression: the session's parse-failure path used to hand-build its
+/// diagnostic instead of routing through the registry, so cached syntax
+/// errors lost their `E0002` code. Cached parse failures must carry the
+/// registry code, and the whole structured diagnostic — not just the
+/// rendering — must replay byte-identically from a warm session.
+#[test]
+fn cached_parse_failures_carry_registry_codes() {
+    let src = "fn broken( -[t: cpu.thread]-> () {}";
+    let mut session = CompileSession::new();
+    let cold = session.compile_source(src).expect_err("syntax error");
+    let warm = session.compile_source(src).expect_err("syntax error");
+    for (which, err) in [("cold", &cold), ("warm", &warm)] {
+        assert_eq!(err.diag.code, Some("E0002"), "{which}: code lost");
+        assert!(
+            err.rendered.starts_with("error[E0002]: syntax error"),
+            "{which}: rendering lost the code header:\n{}",
+            err.rendered
+        );
+        assert!(
+            !err.diag.primary.span.is_dummy(),
+            "{which}: parse failure lost its span"
+        );
+    }
+    assert_eq!(cold.diag, warm.diag, "structured diagnostic drifted");
+    // The machine document replays byte-identically too.
+    let doc = |e: &descend::compiler::CompileError| {
+        descend::diag::render_json("x.descend", src, std::slice::from_ref(e.diag.as_ref()))
+    };
+    assert_eq!(doc(&cold), doc(&warm), "JSON document drifted");
+}
+
 const TWO_KERNELS: &str = r#"
 fn double(v: &uniq gpu.global [f64; 64]) -[grid: gpu.grid<X<2>, X<32>>]-> () {
     sched(X) block in grid {
